@@ -1,0 +1,727 @@
+// Command wdlbench regenerates every experiment in EXPERIMENTS.md.
+//
+// The SIGMOD 2013 demonstration paper contains no quantitative tables; its
+// figures are the Wepic UI (Fig. 1), the peer topology (Fig. 2) and the
+// delegation-control interface (Fig. 3). wdlbench therefore reproduces:
+//
+//	e1..e5 — the demonstrated behaviours, as scripted, checked scenarios
+//	p1..p5 — performance series quantifying the mechanisms the paper
+//	         relies on (fixpoint, stage pipeline, delegation, distribution,
+//	         transports)
+//	a1     — ablations of the design choices called out in DESIGN.md
+//
+// Usage:
+//
+//	wdlbench [-exp all|e1,e3,p1,...] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/bench"
+	"repro/internal/email"
+	"repro/internal/engine"
+	"repro/internal/facebook"
+	"repro/internal/peer"
+	"repro/internal/wepic"
+	"repro/internal/wrappers"
+)
+
+var quick bool
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e5, p1..p5, a1) or 'all'")
+	flag.BoolVar(&quick, "quick", false, "smaller parameter sweeps")
+	flag.Parse()
+
+	all := []struct {
+		id   string
+		name string
+		run  func() error
+	}{
+		{"e1", "E1: Wepic functionality (Figure 1, §3 items 1-5)", runE1},
+		{"e2", "E2: Figure 2 topology — Facebook interaction (§4)", runE2},
+		{"e3", "E3: control of delegation (Figure 3, §4)", runE3},
+		{"e4", "E4: customizing rules (§4)", runE4},
+		{"e5", "E5: the §2 delegation example, verbatim", runE5},
+		{"p1", "P1: fixpoint — naive vs semi-naive", runP1},
+		{"p2", "P2: stage latency decomposition", runP2},
+		{"p3", "P3: delegation fan-out vs pre-installed rules", runP3},
+		{"p4", "P4: distributed (delegated) vs centralized join", runP4},
+		{"p5", "P5: transport throughput — bus vs TCP", runP5},
+		{"a1", "A1: ablations — indexes, WAL", runA1},
+	}
+	want := map[string]bool{}
+	if *exp != "all" {
+		for _, id := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	failed := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("\n================================================================\n%s\n================================================================\n", e.name)
+		if err := e.run(); err != nil {
+			fmt.Printf("!! %s FAILED: %v\n", e.id, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// demo assembles the Figure 2 deployment.
+type demo struct {
+	net     *peer.Network
+	emilien *wepic.App
+	jules   *wepic.App
+	hub     *wepic.Hub
+	fb      *facebook.Service
+	fbGroup *wrappers.FacebookGroupPeer
+	mail    *email.Server
+}
+
+func buildDemo() (*demo, error) {
+	d := &demo{net: peer.NewNetwork(), fb: facebook.NewService(), mail: email.NewServer()}
+	for _, u := range [][2]string{{"emilien", "Emilien"}, {"jules", "Jules"}} {
+		if err := d.fb.AddUser(u[0], u[1]); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.fb.CreateGroup("sigmodgroup", "SIGMOD 2013"); err != nil {
+		return nil, err
+	}
+	for _, u := range []string{"emilien", "jules"} {
+		if err := d.fb.JoinGroup(u, "sigmodgroup"); err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	if d.fbGroup, err = wrappers.NewFacebookGroupPeer(d.net, "sigmodfb", d.fb, "sigmodgroup"); err != nil {
+		return nil, err
+	}
+	if _, err = wrappers.NewEmailPeer(d.net, "mailhub", d.mail); err != nil {
+		return nil, err
+	}
+	if d.hub, err = wepic.NewHub(d.net, "sigmod", wepic.HubOptions{FacebookPeer: "sigmodfb"}); err != nil {
+		return nil, err
+	}
+	opts := wepic.Options{Hub: "sigmod", MailPeer: "mailhub", Policy: acl.NewTrustPolicy("sigmod")}
+	if d.emilien, err = wepic.New(d.net, "emilien", opts); err != nil {
+		return nil, err
+	}
+	if d.jules, err = wepic.New(d.net, "jules", opts); err != nil {
+		return nil, err
+	}
+	for _, a := range []string{"emilien", "jules"} {
+		if err := d.hub.Register(a); err != nil {
+			return nil, err
+		}
+	}
+	return d, d.run()
+}
+
+func (d *demo) run() error {
+	_, _, err := d.net.RunToQuiescence(500)
+	return err
+}
+
+// acceptAll approves pending delegations at both attendees until none remain.
+func (d *demo) acceptAll() error {
+	for {
+		any := false
+		for _, a := range []*wepic.App{d.emilien, d.jules} {
+			for _, pd := range a.PendingDelegations() {
+				if err := a.AcceptDelegation(pd.ID); err != nil {
+					return err
+				}
+				any = true
+			}
+		}
+		if !any {
+			return nil
+		}
+		if err := d.run(); err != nil {
+			return err
+		}
+	}
+}
+
+type check struct {
+	what string
+	ok   bool
+	note string
+}
+
+func printChecks(checks []check) error {
+	bad := 0
+	fmt.Printf("| %-58s | %-6s | %s\n", "check", "status", "observed")
+	fmt.Printf("|%s|%s|%s\n", strings.Repeat("-", 60), strings.Repeat("-", 8), strings.Repeat("-", 40))
+	for _, c := range checks {
+		status := "PASS"
+		if !c.ok {
+			status = "FAIL"
+			bad++
+		}
+		fmt.Printf("| %-58s | %-6s | %s\n", c.what, status, c.note)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d checks failed", bad)
+	}
+	return nil
+}
+
+func runE1() error {
+	d, err := buildDemo()
+	if err != nil {
+		return err
+	}
+	var checks []check
+
+	// 1. Upload a picture.
+	id, err := d.emilien.Upload("sea.jpg", []byte("jpegbytes"))
+	if err != nil {
+		return err
+	}
+	if err := d.run(); err != nil {
+		return err
+	}
+	pics := d.emilien.Pictures()
+	checks = append(checks, check{"1. upload a picture from a file",
+		len(pics) == 1 && pics[0].Name == "sea.jpg",
+		fmt.Sprintf("pictures@emilien has %d rows", len(pics))})
+
+	// 2. View pictures of a particular attendee.
+	if err := d.jules.SelectAttendee("emilien"); err != nil {
+		return err
+	}
+	if err := d.run(); err != nil {
+		return err
+	}
+	if err := d.acceptAll(); err != nil {
+		return err
+	}
+	ap := d.jules.AttendeePictures()
+	checks = append(checks, check{"2. view pictures provided by a particular attendee",
+		len(ap) == 1 && ap[0].Owner == "emilien",
+		fmt.Sprintf("attendeePictures@jules has %d rows", len(ap))})
+
+	// 3a. Transfer by the recipient's preferred protocol (email).
+	if err := d.emilien.SetProtocol("email"); err != nil {
+		return err
+	}
+	jid, err := d.jules.Upload("talk.jpg", []byte("slides"))
+	if err != nil {
+		return err
+	}
+	if err := d.jules.SelectPicture("talk.jpg", jid, "jules"); err != nil {
+		return err
+	}
+	if err := d.run(); err != nil {
+		return err
+	}
+	if err := d.acceptAll(); err != nil {
+		return err
+	}
+	inbox, _ := d.mail.Inbox("emilien")
+	checks = append(checks, check{"3a. send pictures by email",
+		len(inbox) == 1 && inbox[0].Subject == "talk.jpg",
+		fmt.Sprintf("emilien's mailbox has %d messages", len(inbox))})
+
+	// 3b. Get pictures from another peer (the wepic protocol pulls content).
+	if err := d.emilien.SetProtocol("wepic"); err != nil {
+		return err
+	}
+	if err := d.run(); err != nil {
+		return err
+	}
+	if err := d.acceptAll(); err != nil {
+		return err
+	}
+	got := false
+	for _, p := range d.emilien.Pictures() {
+		if p.Name == "talk.jpg" && p.Owner == "jules" {
+			got = true
+		}
+	}
+	checks = append(checks, check{"3b. get pictures from another Wepic peer",
+		got, fmt.Sprintf("pictures@emilien has %d rows", len(d.emilien.Pictures()))})
+
+	// 4. Annotate: rate, comment, tag.
+	if err := d.jules.Rate("emilien", id, 5); err != nil {
+		return err
+	}
+	if err := d.jules.Comment("emilien", id, "superb"); err != nil {
+		return err
+	}
+	if err := d.jules.Tag("emilien", id, "Serge"); err != nil {
+		return err
+	}
+	if err := d.run(); err != nil {
+		return err
+	}
+	ranked := d.emilien.Ranked()
+	annotated := len(ranked) > 0 && ranked[0].Ratings == 1 && ranked[0].Comments == 1 && len(ranked[0].Tags) == 1
+	checks = append(checks, check{"4. annotate pictures with ratings, comments, name tags",
+		annotated, fmt.Sprintf("top picture: %d rating(s), %d comment(s), tags=%v",
+			ranked[0].Ratings, ranked[0].Comments, ranked[0].Tags)})
+
+	// 5. Select and rank.
+	if err := d.jules.Rate("emilien", jid, 2); err != nil {
+		return err
+	}
+	if err := d.run(); err != nil {
+		return err
+	}
+	ranked = d.emilien.Ranked()
+	checks = append(checks, check{"5. select and rank photos based on their annotations",
+		len(ranked) >= 2 && ranked[0].AvgStars >= ranked[1].AvgStars,
+		fmt.Sprintf("ranking: %s(%.1f) >= %s(%.1f)", ranked[0].Name, ranked[0].AvgStars, ranked[1].Name, ranked[1].AvgStars)})
+
+	return printChecks(checks)
+}
+
+func runE2() error {
+	d, err := buildDemo()
+	if err != nil {
+		return err
+	}
+	var checks []check
+	id, err := d.emilien.Upload("boat.jpg", []byte("bytes"))
+	if err != nil {
+		return err
+	}
+	if err := d.emilien.Authorize("sigmod", id); err != nil {
+		return err
+	}
+	if err := d.emilien.Authorize("facebook", id); err != nil {
+		return err
+	}
+	if err := d.run(); err != nil {
+		return err
+	}
+	if err := d.acceptAll(); err != nil {
+		return err
+	}
+	hubPics := d.hub.Pictures()
+	checks = append(checks, check{"upload at emilien is instantly published to pictures@sigmod",
+		len(hubPics) == 1 && hubPics[0].Name == "boat.jpg",
+		fmt.Sprintf("pictures@sigmod: %d rows", len(hubPics))})
+	photos, err := d.fb.Photos("sigmodgroup")
+	if err != nil {
+		return err
+	}
+	checks = append(checks, check{"…then propagated to pictures@SigmodFB (the group)",
+		len(photos) == 1 && photos[0].Owner == "emilien",
+		fmt.Sprintf("Facebook group photos: %d", len(photos))})
+
+	// Reverse: comments and tags on Facebook flow back.
+	if err := d.fb.AddComment("sigmodgroup", photos[0].ID, "jules", "nice"); err != nil {
+		return err
+	}
+	if err := d.fb.AddTag("sigmodgroup", photos[0].ID, "Emilien"); err != nil {
+		return err
+	}
+	d.fbGroup.Sync()
+	if err := d.run(); err != nil {
+		return err
+	}
+	checks = append(checks, check{"comments retrieved from the group into comments@sigmod",
+		len(d.hub.Peer().Query("comments")) == 1,
+		fmt.Sprintf("comments@sigmod: %d rows", len(d.hub.Peer().Query("comments")))})
+	checks = append(checks, check{"tags retrieved from the group into tags@sigmod",
+		len(d.hub.Peer().Query("tags")) == 1,
+		fmt.Sprintf("tags@sigmod: %d rows", len(d.hub.Peer().Query("tags")))})
+
+	// A Facebook-native photo reaches Wepic users without an FB account.
+	if _, err := d.fb.PostPhoto("sigmodgroup", "gerome", "keynote.jpg", []byte{7}); err != nil {
+		return err
+	}
+	d.fbGroup.Sync()
+	if err := d.run(); err != nil {
+		return err
+	}
+	found := false
+	for _, p := range d.hub.Pictures() {
+		if p.Name == "keynote.jpg" {
+			found = true
+		}
+	}
+	checks = append(checks, check{"photo posted natively on Facebook surfaces at sigmod",
+		found, fmt.Sprintf("pictures@sigmod: %d rows", len(d.hub.Pictures()))})
+	return printChecks(checks)
+}
+
+func runE3() error {
+	d, err := buildDemo()
+	if err != nil {
+		return err
+	}
+	var checks []check
+	if _, err := d.jules.Upload("pic.jpg", []byte{1}); err != nil {
+		return err
+	}
+	// Émilien installs a rule at Jules' peer by selecting him.
+	if err := d.emilien.SelectAttendee("jules"); err != nil {
+		return err
+	}
+	if err := d.run(); err != nil {
+		return err
+	}
+	pend := d.jules.PendingDelegations()
+	checks = append(checks, check{"delegation from untrusted peer is queued, not installed",
+		len(pend) > 0 && len(d.jules.Peer().DelegatedRules()["emilien"]) == 0,
+		fmt.Sprintf("%d pending, 0 installed", len(pend))})
+	checks = append(checks, check{"no data flows before approval",
+		len(d.emilien.AttendeePictures()) == 0,
+		fmt.Sprintf("attendeePictures@emilien: %d rows", len(d.emilien.AttendeePictures()))})
+	fmt.Println("\npending queue at jules (as shown in Figure 3):")
+	for _, pd := range pend {
+		fmt.Println("   ", strings.ReplaceAll(pd.String(), "\n", "\n    "))
+	}
+
+	for _, pd := range pend {
+		if err := d.jules.AcceptDelegation(pd.ID); err != nil {
+			return err
+		}
+	}
+	if err := d.run(); err != nil {
+		return err
+	}
+	if err := d.acceptAll(); err != nil {
+		return err
+	}
+	checks = append(checks, check{"after approval the rule is installed (program changed)",
+		len(d.jules.Peer().DelegatedRules()["emilien"]) > 0,
+		fmt.Sprintf("%d delegated rules installed", len(d.jules.Peer().DelegatedRules()["emilien"]))})
+	checks = append(checks, check{"and the delegated view now flows",
+		len(d.emilien.AttendeePictures()) == 1,
+		fmt.Sprintf("attendeePictures@emilien: %d rows", len(d.emilien.AttendeePictures()))})
+
+	// Rejection path on a fresh network.
+	d2, err := buildDemo()
+	if err != nil {
+		return err
+	}
+	if err := d2.emilien.SelectAttendee("jules"); err != nil {
+		return err
+	}
+	if err := d2.run(); err != nil {
+		return err
+	}
+	for _, pd := range d2.jules.PendingDelegations() {
+		if err := d2.jules.RejectDelegation(pd.ID); err != nil {
+			return err
+		}
+	}
+	if err := d2.run(); err != nil {
+		return err
+	}
+	checks = append(checks, check{"rejecting keeps the program unchanged",
+		len(d2.jules.Peer().DelegatedRules()["emilien"]) == 0,
+		"0 delegated rules installed"})
+	return printChecks(checks)
+}
+
+func runE4() error {
+	d, err := buildDemo()
+	if err != nil {
+		return err
+	}
+	var checks []check
+	id1, _ := d.emilien.Upload("a.jpg", []byte{1})
+	id2, _ := d.emilien.Upload("b.jpg", []byte{2})
+	if err := d.emilien.Rate("emilien", id1, 5); err != nil {
+		return err
+	}
+	if err := d.emilien.Rate("emilien", id2, 3); err != nil {
+		return err
+	}
+	if err := d.jules.SelectAttendee("emilien"); err != nil {
+		return err
+	}
+	if err := d.run(); err != nil {
+		return err
+	}
+	if err := d.acceptAll(); err != nil {
+		return err
+	}
+	before := d.jules.AttendeePictures()
+	checks = append(checks, check{"default rule shows all pictures of the selected attendee",
+		len(before) == 2, fmt.Sprintf("%d pictures in the view", len(before))})
+
+	err = d.jules.Peer().ReplaceRule(wepic.RuleViewAttendeePictures, `
+		attendeePictures@jules($id,$name,$owner,$data) :-
+			selectedAttendee@jules($attendee),
+			pictures@$attendee($id,$name,$owner,$data),
+			rate@$owner($id, 5);`)
+	if err != nil {
+		return err
+	}
+	if err := d.run(); err != nil {
+		return err
+	}
+	if err := d.acceptAll(); err != nil {
+		return err
+	}
+	after := d.jules.AttendeePictures()
+	checks = append(checks, check{"customized rule (rating = 5) narrows the view, as in §4",
+		len(after) == 1 && after[0].Name == "a.jpg",
+		fmt.Sprintf("view now: %d picture(s), first = %s", len(after), after[0].Name)})
+	return printChecks(checks)
+}
+
+func runE5() error {
+	net := peer.NewNetwork()
+	jules, err := net.NewPeer(peer.Config{Name: "jules"})
+	if err != nil {
+		return err
+	}
+	emilien, err := net.NewPeer(peer.Config{Name: "emilien"})
+	if err != nil {
+		return err
+	}
+	if err := emilien.LoadSource(`
+		relation extensional pictures@emilien(id, name, owner, data);
+		pictures@emilien(1, "sea.jpg", "emilien", 0xCAFE);
+	`); err != nil {
+		return err
+	}
+	if err := jules.LoadSource(`
+		relation extensional selectedAttendee@jules(attendee);
+		relation intensional attendeePictures@jules(id, name, owner, data);
+		selectedAttendee@jules("emilien");
+		attendeePictures@jules($id,$name,$owner,$data) :-
+			selectedAttendee@jules($attendee),
+			pictures@$attendee($id,$name,$owner,$data);
+	`); err != nil {
+		return err
+	}
+	if _, _, err := net.RunToQuiescence(100); err != nil {
+		return err
+	}
+	var checks []check
+	delegated := emilien.DelegatedRules()["jules"]
+	wantResidual := `attendeePictures@jules($id, $name, $owner, $data) :- pictures@emilien($id, $name, $owner, $data)`
+	checks = append(checks, check{"evaluation delegates exactly the residual rule printed in §2",
+		len(delegated) == 1 && delegated[0].String() == wantResidual,
+		fmt.Sprintf("%d residual rule(s) at emilien", len(delegated))})
+	if len(delegated) == 1 {
+		fmt.Println("\nresidual rule installed at emilien:")
+		fmt.Println("   ", delegated[0].String(), ";")
+	}
+	checks = append(checks, check{"emilien sends all facts of his pictures relation to jules",
+		len(jules.Query("attendeePictures")) == 1,
+		fmt.Sprintf("attendeePictures@jules: %d rows", len(jules.Query("attendeePictures")))})
+
+	if err := jules.DeleteString(`selectedAttendee@jules("emilien");`); err != nil {
+		return err
+	}
+	if _, _, err := net.RunToQuiescence(100); err != nil {
+		return err
+	}
+	checks = append(checks, check{"retracting the selectedAttendee fact withdraws the delegation",
+		len(emilien.DelegatedRules()["jules"]) == 0 && len(jules.Query("attendeePictures")) == 0,
+		"0 delegated rules, empty view"})
+	return printChecks(checks)
+}
+
+func runP1() error {
+	sizes := []int{50, 100, 200, 400}
+	treeSizes := []int{1000, 4000}
+	if quick {
+		sizes = []int{50, 100}
+		treeSizes = []int{1000}
+	}
+	semi := engine.DefaultOptions()
+	naive := engine.DefaultOptions()
+	naive.SemiNaive = false
+	fmt.Printf("%-18s %9s %9s %12s %12s %9s\n", "workload", "derived", "iter s/n", "semi-naive", "naive", "speedup")
+	for _, n := range sizes {
+		s, err := bench.RunTC(bench.ChainEdges(n), semi)
+		if err != nil {
+			return err
+		}
+		v, err := bench.RunTC(bench.ChainEdges(n), naive)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %9d %4d/%-4d %12v %12v %8.1fx\n",
+			fmt.Sprintf("chain(%d)", n), s.Derived, s.Iterations, v.Iterations,
+			s.Duration.Round(time.Microsecond), v.Duration.Round(time.Microsecond),
+			float64(v.Duration)/float64(s.Duration))
+	}
+	for _, n := range treeSizes {
+		s, err := bench.RunTC(bench.BinaryTreeEdges(n), semi)
+		if err != nil {
+			return err
+		}
+		v, err := bench.RunTC(bench.BinaryTreeEdges(n), naive)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %9d %4d/%-4d %12v %12v %8.1fx\n",
+			fmt.Sprintf("tree(%d)", n), s.Derived, s.Iterations, v.Iterations,
+			s.Duration.Round(time.Microsecond), v.Duration.Round(time.Microsecond),
+			float64(v.Duration)/float64(s.Duration))
+	}
+	fmt.Println("\nexpected shape: semi-naive wins, and the gap widens with workload size.")
+	return nil
+}
+
+func runP2() error {
+	sizes := []int{100, 1000, 10000}
+	if quick {
+		sizes = []int{100, 1000}
+	}
+	fmt.Printf("%-12s %12s %12s %12s %12s\n", "facts", "ingest", "fixpoint", "emit", "total")
+	for _, n := range sizes {
+		d, err := bench.RunStageDecomposition(n)
+		if err != nil {
+			return err
+		}
+		total := d.Ingest + d.Fixpoint + d.Emit
+		fmt.Printf("%-12d %12v %12v %12v %12v\n", n,
+			d.Ingest.Round(time.Microsecond), d.Fixpoint.Round(time.Microsecond),
+			d.Emit.Round(time.Microsecond), total.Round(time.Microsecond))
+	}
+	fmt.Println("\nexpected shape: all three steps scale roughly linearly in the input batch.")
+	return nil
+}
+
+func runP3() error {
+	fans := []int{2, 4, 8, 16, 32, 64}
+	if quick {
+		fans = []int{2, 8, 32}
+	}
+	fmt.Printf("%-8s %14s %10s %14s %10s %10s\n", "peers", "delegated", "msgs", "preinstalled", "msgs", "overhead")
+	for _, n := range fans {
+		d, err := bench.RunDelegationFanout(n, 20)
+		if err != nil {
+			return err
+		}
+		p, err := bench.RunPreinstalledFanout(n, 20)
+		if err != nil {
+			return err
+		}
+		if d.Collected != n*20 || p.Collected != n*20 {
+			return fmt.Errorf("p3: wrong answers: delegated=%d preinstalled=%d want %d", d.Collected, p.Collected, n*20)
+		}
+		fmt.Printf("%-8d %14v %10d %14v %10d %9.2fx\n", n,
+			d.Duration.Round(time.Microsecond), d.Messages,
+			p.Duration.Round(time.Microsecond), p.Messages,
+			float64(d.Duration)/float64(p.Duration))
+	}
+	fmt.Println("\nexpected shape: run-time delegation costs within a small constant factor of")
+	fmt.Println("statically installed rules — the flexibility is close to free.")
+	return nil
+}
+
+func runP4() error {
+	fans := []int{2, 4, 8, 16}
+	if quick {
+		fans = []int{4, 16}
+	}
+	fmt.Printf("%-8s | %12s %12s | %12s %12s | %s\n", "peers", "deleg time", "facts moved", "central time", "facts moved", "reduction")
+	for _, n := range fans {
+		d, err := bench.RunDistributedJoin(n, 200, 5)
+		if err != nil {
+			return err
+		}
+		c, err := bench.RunCentralizedJoin(n, 200, 5)
+		if err != nil {
+			return err
+		}
+		if d.Answers != c.Answers {
+			return fmt.Errorf("p4: answers differ: %d vs %d", d.Answers, c.Answers)
+		}
+		fmt.Printf("%-8d | %12v %12d | %12v %12d | %7.1fx fewer facts shipped\n", n,
+			d.Duration.Round(time.Microsecond), d.FactsShipped,
+			c.Duration.Round(time.Microsecond), c.FactsShipped,
+			float64(c.FactsShipped)/float64(d.FactsShipped))
+	}
+	fmt.Println("\nexpected shape: delegation evaluates in place and ships only matches;")
+	fmt.Println("centralizing ships every base fact (the paper's §1 motivation).")
+	return nil
+}
+
+func runP5() error {
+	n := 20000
+	if quick {
+		n = 2000
+	}
+	fmt.Printf("%-10s %10s %12s %14s\n", "transport", "payload", "messages/s", "per message")
+	for _, payload := range []int{64, 4096} {
+		r, err := bench.RunBusThroughput(n, payload)
+		if err != nil {
+			return err
+		}
+		perMsg := r.Duration / time.Duration(r.Messages)
+		fmt.Printf("%-10s %9dB %12.0f %14v\n", "bus", payload, float64(r.Messages)/r.Duration.Seconds(), perMsg)
+	}
+	for _, payload := range []int{64, 4096} {
+		r, err := bench.RunTCPThroughput(n, payload)
+		if err != nil {
+			return err
+		}
+		perMsg := r.Duration / time.Duration(r.Messages)
+		fmt.Printf("%-10s %9dB %12.0f %14v\n", "tcp+gob", payload, float64(r.Messages)/r.Duration.Seconds(), perMsg)
+	}
+	fmt.Println("\nexpected shape: the in-memory bus is orders of magnitude faster; TCP+gob")
+	fmt.Println("is the cost of genuine distribution (the demo's laptop/cloud deployment).")
+	return nil
+}
+
+func runA1() error {
+	rows := []int{1000, 10000}
+	if quick {
+		rows = []int{1000}
+	}
+	fmt.Println("-- column hash indexes on join attributes --")
+	fmt.Printf("%-12s %14s %14s %10s\n", "rows/side", "indexed", "full scan", "speedup")
+	for _, n := range rows {
+		idx, err := bench.RunJoinAblation(n, n, true)
+		if err != nil {
+			return err
+		}
+		scan, err := bench.RunJoinAblation(n, n, false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12d %14v %14v %9.1fx\n", n,
+			idx.Duration.Round(time.Microsecond), scan.Duration.Round(time.Microsecond),
+			float64(scan.Duration)/float64(idx.Duration))
+	}
+
+	fmt.Println("\n-- write-ahead-log durability on the update path --")
+	nf := 5000
+	if quick {
+		nf = 1000
+	}
+	noWal, err := bench.RunWALAblation(nf, "")
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "wdlbench-wal")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	wal, err := bench.RunWALAblation(nf, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %14s %14s %10s\n", "facts", "volatile", "durable", "cost")
+	fmt.Printf("%-12d %14v %14v %9.1fx\n", nf,
+		noWal.Duration.Round(time.Microsecond), wal.Duration.Round(time.Microsecond),
+		float64(wal.Duration)/float64(noWal.Duration))
+	return nil
+}

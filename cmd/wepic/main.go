@@ -1,0 +1,133 @@
+// Command wepic runs the paper's demonstration: the Wepic conference
+// picture manager. It assembles the Figure 2 topology in-process — attendee
+// peers, the sigmod hub on the "cloud", the SigmodFB Facebook-group wrapper
+// and the e-mail wrapper — and serves one Web UI per attendee, mounted
+// under /peer/<name>/.
+//
+//	wepic [-listen :8080] [-attendees emilien,jules] [-hub sigmod]
+//
+// Open http://localhost:8080/ and use the per-attendee UIs to upload,
+// share, rate, annotate, customize rules, and approve delegations — the
+// demo scenarios of §4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/acl"
+	"repro/internal/email"
+	"repro/internal/facebook"
+	"repro/internal/peer"
+	"repro/internal/wepic"
+	"repro/internal/wrappers"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "HTTP listen address")
+	attendees := flag.String("attendees", "emilien,jules", "comma-separated attendee peer names")
+	hubName := flag.String("hub", "sigmod", "name of the hub peer")
+	flag.Parse()
+
+	net := peer.NewNetwork()
+	fb := facebook.NewService()
+	mail := email.NewServer()
+
+	if err := fb.CreateGroup("sigmodgroup", "SIGMOD conference group"); err != nil {
+		log.Fatal(err)
+	}
+	fbGroup, err := wrappers.NewFacebookGroupPeer(net, "sigmodfb", fb, "sigmodgroup")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := wrappers.NewEmailPeer(net, "mailhub", mail); err != nil {
+		log.Fatal(err)
+	}
+	hub, err := wepic.NewHub(net, *hubName, wepic.HubOptions{FacebookPeer: "sigmodfb"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	run := func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		fbGroup.Sync()
+		_, _, err := net.RunToQuiescence(500)
+		return err
+	}
+
+	names := strings.Split(*attendees, ",")
+	apps := make(map[string]*wepic.App, len(names))
+	mux := http.NewServeMux()
+	for _, raw := range names {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		app, err := wepic.New(net, name, wepic.Options{
+			Hub:      *hubName,
+			MailPeer: "mailhub",
+			Policy:   acl.NewTrustPolicy(*hubName),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fb.AddUser(name, capitalize(name)); err != nil {
+			log.Fatal(err)
+		}
+		if err := fb.JoinGroup(name, "sigmodgroup"); err != nil {
+			log.Fatal(err)
+		}
+		if err := hub.Register(name); err != nil {
+			log.Fatal(err)
+		}
+		apps[name] = app
+		ui := wepic.NewUI(app, run)
+		mux.Handle("/peer/"+name+"/", http.StripPrefix("/peer/"+name, ui.Handler()))
+	}
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		data := struct {
+			Attendees []string
+			Hub       string
+		}{Hub: *hubName}
+		for name := range apps {
+			data.Attendees = append(data.Attendees, name)
+		}
+		if err := indexTmpl.Execute(w, data); err != nil {
+			fmt.Fprintf(w, "template error: %v", err)
+		}
+	})
+
+	log.Printf("Wepic demo on http://localhost%s/ — attendees: %s, hub: %s", *listen, *attendees, *hubName)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+// capitalize upper-cases the first byte of an ASCII name for display.
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	if c := s[0]; c >= 'a' && c <= 'z' {
+		return string(c-'a'+'A') + s[1:]
+	}
+	return s
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>Wepic demo</title><style>body{font-family:sans-serif;margin:3em}</style></head>
+<body><h1>Wepic — WebdamLog demonstration</h1>
+<p>Peers in this deployment (Figure 2 of the paper): the attendees below,
+the <em>{{.Hub}}</em> hub, the <em>sigmodfb</em> Facebook-group wrapper and the
+<em>mailhub</em> e-mail wrapper.</p>
+<ul>{{range .Attendees}}<li><a href="/peer/{{.}}/">{{.}}'s Wepic peer</a></li>{{end}}</ul>
+</body></html>`))

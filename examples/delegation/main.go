@@ -1,0 +1,110 @@
+// Delegation walkthrough: reproduces Figure 3 and the §4 scenario
+// "Illustration of the control of delegation" — Émilien attempts to install
+// a rule at Jules' peer; the system requires Jules' approval; the program
+// of Jules changes once the approval is granted and the rule is installed.
+// It then shows delegation *maintenance*: when Émilien's supporting fact is
+// retracted, the delegated rule is withdrawn from Jules automatically.
+//
+//	go run ./examples/delegation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	sys := webdamlog.NewSystem()
+
+	// Jules trusts only the sigmod peer; everyone else's delegations are
+	// queued for explicit approval (the paper's default policy).
+	jules, err := sys.Network().NewPeer(webdamlogPeerConfig("jules"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := jules.LoadSource(`
+		relation extensional pictures@jules(id, name);
+		pictures@jules(1, "welcome-reception.jpg");
+		pictures@jules(2, "keynote.jpg");
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	emilien, err := sys.AddPeer("emilien")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := emilien.LoadSource(`
+		relation extensional watch@emilien(peerName);
+		relation extensional collected@emilien(id, name);
+		watch@emilien("jules");
+		collected@emilien($id, $name) :- watch@emilien($p), pictures@$p($id, $name);
+	`); err != nil {
+		log.Fatal(err)
+	}
+	sys.MustRun()
+
+	fmt.Println("== Before approval ==")
+	fmt.Printf("emilien's collected relation: %v (must be empty)\n", emilien.Query("collected"))
+	fmt.Println("jules' program:")
+	fmt.Print(indent(jules.ProgramText()))
+	fmt.Println("jules' pending delegation queue:")
+	for _, pd := range jules.Controller().Pending() {
+		fmt.Println(indent(pd.String()))
+	}
+
+	fmt.Println("\n== Jules clicks accept ==")
+	pending := jules.Controller().Pending()
+	if len(pending) != 1 {
+		log.Fatalf("expected exactly one pending delegation, got %d", len(pending))
+	}
+	if err := jules.Controller().Accept(pending[0].ID); err != nil {
+		log.Fatal(err)
+	}
+	sys.MustRun()
+	fmt.Println("jules' program now contains the delegated rule:")
+	fmt.Print(indent(jules.ProgramText()))
+	fmt.Printf("emilien's collected relation: %v\n", emilien.Query("collected"))
+
+	fmt.Println("\n== Delegation maintenance: emilien stops watching ==")
+	if err := emilien.DeleteString(`watch@emilien("jules");`); err != nil {
+		log.Fatal(err)
+	}
+	sys.MustRun()
+	fmt.Println("jules' program after the withdrawal:")
+	fmt.Print(indent(jules.ProgramText()))
+	fmt.Printf("delegated rules remaining at jules: %d\n", len(jules.DelegatedRules()))
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}
+
+// webdamlogPeerConfig builds a peer config with the demo trust policy.
+func webdamlogPeerConfig(name string) peerConfig {
+	return peerConfig{Name: name, Policy: webdamlog.NewTrustPolicy("sigmod")}
+}
+
+// peerConfig aliases the peer configuration type through the facade.
+type peerConfig = webdamlog.PeerConfig

@@ -1,0 +1,57 @@
+// Quickstart: two peers, one delegation — the paper's §2 example in ~40
+// lines of API use. Jules' rule reads a relation at whichever peer the data
+// names; evaluating it delegates the residual rule to emilien, who then
+// streams his pictures to jules.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	sys := webdamlog.NewSystem()
+	err := sys.LoadSource(`
+		peer emilien;
+		relation extensional pictures@emilien(id, name, owner, data);
+		pictures@emilien(1, "sea.jpg",  "emilien", 0xCAFE);
+		pictures@emilien(2, "boat.jpg", "emilien", 0xBEEF);
+
+		peer jules;
+		relation extensional selectedAttendee@jules(attendee);
+		relation intensional attendeePictures@jules(id, name, owner, data);
+		selectedAttendee@jules("emilien");
+
+		// The paper's rule: the peer read by the second atom comes from the
+		// data bound by the first atom, so evaluation delegates
+		//   attendeePictures@jules(...) :- pictures@emilien(...)
+		// to emilien at run time.
+		attendeePictures@jules($id,$name,$owner,$data) :-
+			selectedAttendee@jules($attendee),
+			pictures@$attendee($id,$name,$owner,$data);
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rounds, stages, err := sys.Run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network quiesced after %d rounds (%d peer stages)\n\n", rounds, stages)
+
+	fmt.Println("attendeePictures@jules:")
+	for _, t := range sys.Peer("jules").Query("attendeePictures") {
+		fmt.Println("  ", t)
+	}
+
+	fmt.Println("\nrules installed at emilien by delegation:")
+	for origin, rules := range sys.Peer("emilien").DelegatedRules() {
+		for _, r := range rules {
+			fmt.Printf("  %s;   (from %s)\n", r.String(), origin)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Social example: the paper's §1 motivation — "Joe … wants to post on his
+// blog a review of the last movie he watched … advertise his review to his
+// Facebook friends and include a link to his Dropbox folder" — expressed as
+// a handful of WebdamLog rules over wrapper peers, showing that the system
+// automates cross-service data management without centralizing the data.
+//
+// Here Joe runs his own peer holding reviews; a Facebook user-wrapper
+// exports his friend list; the e-mail wrapper delivers notifications. One
+// rule fans a new review out to every friend by their preferred channel.
+//
+//	go run ./examples/social
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/email"
+	"repro/internal/facebook"
+	"repro/internal/peer"
+	"repro/internal/wrappers"
+)
+
+func main() {
+	net := peer.NewNetwork()
+	fb := facebook.NewService()
+	mail := email.NewServer()
+
+	// Joe's social graph lives on the external service.
+	must(fb.AddUser("joe", "Joe"))
+	must(fb.AddUser("alice", "Alice"))
+	must(fb.AddUser("bob", "Bob"))
+	must(fb.Befriend("joe", "alice"))
+	must(fb.Befriend("joe", "bob"))
+
+	// Wrapper peers: Joe's view of Facebook, and the mail system.
+	joeFB, err := wrappers.NewFacebookUserPeer(net, "joefb", fb, "joe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := wrappers.NewEmailPeer(net, "mailhub", mail); err != nil {
+		log.Fatal(err)
+	}
+
+	// Joe's own peer: his blog reviews, and one rule that notifies every
+	// Facebook friend of every review by e-mail. The friends relation is
+	// read at the wrapper peer — evaluating the rule delegates there.
+	joe, err := net.NewPeer(peer.Config{Name: "joe"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := joe.LoadSource(`
+		relation extensional review@joe(movie, verdict);
+		relation extensional blog@joe(title, body);
+
+		// Publish each review on the blog...
+		blog@joe($movie, $verdict) :- review@joe($movie, $verdict);
+
+		// ...and advertise it to all Facebook friends by mail.
+		mail@mailhub($friend, $movie, $movie, 0, "joe") :-
+			review@joe($movie, $verdict),
+			friends@joefb($me, $friend);
+	`); err != nil {
+		log.Fatal(err)
+	}
+	run := func() {
+		if _, _, err := net.RunToQuiescence(200); err != nil {
+			log.Fatal(err)
+		}
+	}
+	run()
+
+	fmt.Println("Joe posts a review...")
+	must(joe.InsertString(`review@joe("The Fifth Element", "a classic, 5/5");`))
+	run()
+
+	fmt.Println("\nblog@joe:")
+	for _, t := range joe.Query("blog") {
+		fmt.Println("  ", t)
+	}
+	fmt.Println("\nfriends@joefb (exported by the Facebook wrapper):")
+	for _, t := range joeFB.Peer().Query("friends") {
+		fmt.Println("  ", t)
+	}
+	fmt.Println("\nmail delivered:")
+	for _, user := range mail.Mailboxes() {
+		msgs, err := mail.Inbox(user)
+		must(err)
+		for _, m := range msgs {
+			fmt.Printf("  to=%s from=%s subject=%q\n", m.To, m.From, m.Subject)
+		}
+	}
+	fmt.Println("\nrules installed at the wrapper by delegation:")
+	for origin, rules := range joeFB.Peer().DelegatedRules() {
+		for _, r := range rules {
+			fmt.Printf("  %s;   (from %s)\n", r.String(), origin)
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

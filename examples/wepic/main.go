@@ -1,0 +1,146 @@
+// Wepic scenario: the full demonstration of the paper run as a script —
+// the Figure 2 topology (Émilien's and Jules' laptops, the sigmod peer on
+// the Webdam cloud, the SigmodFB Facebook-group wrapper, the e-mail
+// wrapper), then the §4 scenarios: upload → automatic publication to
+// sigmod → propagation to the Facebook group; transfer with preferred
+// protocols; annotation and ranking.
+//
+//	go run ./examples/wepic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/acl"
+	"repro/internal/email"
+	"repro/internal/facebook"
+	"repro/internal/peer"
+	"repro/internal/wepic"
+	"repro/internal/wrappers"
+)
+
+func main() {
+	net := peer.NewNetwork()
+	fb := facebook.NewService()
+	mail := email.NewServer()
+
+	// External world: the conference's Facebook group with two members.
+	must(fb.AddUser("emilien", "Emilien"))
+	must(fb.AddUser("jules", "Jules"))
+	must(fb.Befriend("emilien", "jules"))
+	must(fb.CreateGroup("sigmodgroup", "SIGMOD 2013"))
+	must(fb.JoinGroup("emilien", "sigmodgroup"))
+	must(fb.JoinGroup("jules", "sigmodgroup"))
+
+	// Wrappers and the hub.
+	fbGroup, err := wrappers.NewFacebookGroupPeer(net, "sigmodfb", fb, "sigmodgroup")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := wrappers.NewEmailPeer(net, "mailhub", mail); err != nil {
+		log.Fatal(err)
+	}
+	hub, err := wepic.NewHub(net, "sigmod", wepic.HubOptions{FacebookPeer: "sigmodfb"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Attendee peers; per the paper, only the sigmod peer is trusted.
+	opts := wepic.Options{Hub: "sigmod", MailPeer: "mailhub", Policy: acl.NewTrustPolicy("sigmod")}
+	emilien, err := wepic.New(net, "emilien", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jules, err := wepic.New(net, "jules", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(hub.Register("emilien"))
+	must(hub.Register("jules"))
+	run := func() {
+		if _, _, err := net.RunToQuiescence(500); err != nil {
+			log.Fatal(err)
+		}
+	}
+	acceptAll := func(apps ...*wepic.App) {
+		for {
+			any := false
+			for _, a := range apps {
+				for _, pd := range a.PendingDelegations() {
+					fmt.Printf("  [%s] accepting delegation from %s\n", a.Name(), pd.Origin)
+					must(a.AcceptDelegation(pd.ID))
+					any = true
+				}
+			}
+			if !any {
+				return
+			}
+			run()
+		}
+	}
+	run()
+
+	fmt.Println("== Scenario 1: upload, authorize, publish to sigmod, propagate to Facebook ==")
+	id, err := emilien.Upload("sea.jpg", []byte("...jpeg bytes..."))
+	must(err)
+	must(emilien.Authorize("sigmod", id))
+	must(emilien.Authorize("facebook", id))
+	run()
+	acceptAll(emilien, jules) // sigmod's authorization check delegates to emilien
+	fmt.Println("pictures@sigmod:")
+	for _, p := range hub.Pictures() {
+		fmt.Printf("  #%d %s (owner %s)\n", p.ID, p.Name, p.Owner)
+	}
+	photos, _ := fb.Photos("sigmodgroup")
+	fmt.Println("photos on the Facebook group:")
+	for _, ph := range photos {
+		fmt.Printf("  #%d %s (owner %s) %s\n", ph.ID, ph.Name, ph.Owner, ph.URL)
+	}
+
+	fmt.Println("\n== Scenario 2: view a selected attendee's pictures (delegation + approval) ==")
+	must(jules.SelectAttendee("emilien"))
+	run()
+	fmt.Printf("pending delegations at emilien: %d\n", len(emilien.PendingDelegations()))
+	acceptAll(emilien, jules)
+	for _, p := range jules.AttendeePictures() {
+		fmt.Printf("  jules sees: #%d %s by %s\n", p.ID, p.Name, p.Owner)
+	}
+
+	fmt.Println("\n== Scenario 3: transfer via the recipient's preferred protocol (email) ==")
+	must(emilien.SetProtocol("email"))
+	id2, err := jules.Upload("talk.jpg", []byte("...slides..."))
+	must(err)
+	must(jules.SelectPicture("talk.jpg", id2, "jules"))
+	run()
+	acceptAll(emilien, jules)
+	inbox, err := mail.Inbox("emilien")
+	must(err)
+	for _, m := range inbox {
+		fmt.Printf("  emilien's mail: from=%s subject=%q body=%q\n", m.From, m.Subject, m.Body)
+	}
+
+	fmt.Println("\n== Scenario 4: annotate and rank ==")
+	must(jules.Rate("emilien", id, 5))
+	must(jules.Comment("emilien", id, "best picture of the conference"))
+	must(jules.Tag("emilien", id, "Serge"))
+	run()
+	for _, rk := range emilien.Ranked() {
+		fmt.Printf("  #%d %s: %.1f stars (%d ratings), %d comments, tags=%v\n",
+			rk.ID, rk.Name, rk.AvgStars, rk.Ratings, rk.Comments, rk.Tags)
+	}
+
+	fmt.Println("\n== Scenario 5: comments made on Facebook flow back to sigmod ==")
+	must(fb.AddComment("sigmodgroup", photos[0].ID, "jules", "nice shot!"))
+	fbGroup.Sync()
+	run()
+	for _, t := range hub.Peer().Query("comments") {
+		fmt.Printf("  comment at sigmod: %s\n", t)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

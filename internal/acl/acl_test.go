@@ -1,0 +1,286 @@
+package acl
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func sampleRules(n int) []ast.Rule {
+	out := make([]ast.Rule, n)
+	for i := range out {
+		out[i] = ast.Rule{
+			ID:     "r",
+			Origin: "origin",
+			Head:   ast.NewAtom("out", "origin", ast.V("x")),
+			Body:   []ast.Atom{{Rel: ast.CStr("in"), Peer: ast.CStr("me"), Args: []ast.Term{ast.V("x")}}},
+		}
+	}
+	return out
+}
+
+type installRecorder struct {
+	calls []struct {
+		Origin, RuleID string
+		N              int
+	}
+}
+
+func (r *installRecorder) install(origin, ruleID string, rules []ast.Rule) {
+	r.calls = append(r.calls, struct {
+		Origin, RuleID string
+		N              int
+	}{origin, ruleID, len(rules)})
+}
+
+func TestTrustPolicyDecisions(t *testing.T) {
+	p := NewTrustPolicy("sigmod")
+	if p.DecideDelegation("sigmod") != Accept {
+		t.Error("trusted peer must be accepted")
+	}
+	if p.DecideDelegation("stranger") != Hold {
+		t.Error("untrusted peer must be held")
+	}
+	p.Trust("stranger")
+	if p.DecideDelegation("stranger") != Accept {
+		t.Error("newly trusted peer must be accepted")
+	}
+	p.Distrust("stranger")
+	if p.DecideDelegation("stranger") != Hold {
+		t.Error("distrusted peer must be held again")
+	}
+	if !p.Trusted("sigmod") || p.Trusted("nobody") {
+		t.Error("Trusted() inconsistent")
+	}
+}
+
+func TestOpenAndClosedPolicies(t *testing.T) {
+	if (OpenPolicy{}).DecideDelegation("anyone") != Accept {
+		t.Error("open policy must accept")
+	}
+	if (ClosedPolicy{}).DecideDelegation("anyone") != Reject {
+		t.Error("closed policy must reject")
+	}
+}
+
+func TestControllerAcceptFlow(t *testing.T) {
+	rec := &installRecorder{}
+	c := NewController(NewTrustPolicy(), rec.install)
+	d := c.OnDelegation("julia", "r1", sampleRules(1))
+	if d != Hold {
+		t.Fatalf("decision = %v, want hold", d)
+	}
+	if len(rec.calls) != 0 {
+		t.Fatal("install called before approval")
+	}
+	pend := c.Pending()
+	if len(pend) != 1 || pend[0].Origin != "julia" {
+		t.Fatalf("pending = %v", pend)
+	}
+	if err := c.Accept(pend[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.calls) != 1 || rec.calls[0].N != 1 {
+		t.Fatalf("install calls = %v", rec.calls)
+	}
+	if len(c.Pending()) != 0 {
+		t.Error("queue not cleared after accept")
+	}
+	// Maintenance updates from the accepted source auto-apply.
+	if d := c.OnDelegation("julia", "r1", sampleRules(2)); d != Accept {
+		t.Errorf("maintenance update decision = %v, want accept", d)
+	}
+	if len(rec.calls) != 2 || rec.calls[1].N != 2 {
+		t.Fatalf("install calls = %v", rec.calls)
+	}
+}
+
+func TestControllerRejectFlow(t *testing.T) {
+	rec := &installRecorder{}
+	c := NewController(NewTrustPolicy(), rec.install)
+	c.OnDelegation("julia", "r1", sampleRules(1))
+	pend := c.Pending()
+	if err := c.Reject(pend[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if c.Rejected() != 1 || len(c.Pending()) != 0 {
+		t.Errorf("rejected=%d pending=%d", c.Rejected(), len(c.Pending()))
+	}
+	if len(rec.calls) != 0 {
+		t.Error("rejected delegation was installed")
+	}
+	// A rejected (not accepted) origin stays held on resend.
+	if d := c.OnDelegation("julia", "r1", sampleRules(1)); d != Hold {
+		t.Errorf("resend decision = %v, want hold", d)
+	}
+}
+
+func TestControllerWithdrawalAlwaysApplies(t *testing.T) {
+	rec := &installRecorder{}
+	c := NewController(NewTrustPolicy(), rec.install)
+	c.OnDelegation("julia", "r1", sampleRules(1)) // held
+	if d := c.OnDelegation("julia", "r1", nil); d != Accept {
+		t.Errorf("withdrawal decision = %v, want accept", d)
+	}
+	if len(c.Pending()) != 0 {
+		t.Error("withdrawal must clear the pending entry")
+	}
+	if len(rec.calls) != 1 || rec.calls[0].N != 0 {
+		t.Errorf("withdrawal install = %v", rec.calls)
+	}
+}
+
+func TestControllerResendRefreshesPending(t *testing.T) {
+	rec := &installRecorder{}
+	c := NewController(NewTrustPolicy(), rec.install)
+	c.OnDelegation("julia", "r1", sampleRules(1))
+	c.OnDelegation("julia", "r1", sampleRules(3)) // maintenance resend while pending
+	pend := c.Pending()
+	if len(pend) != 1 || len(pend[0].Rules) != 3 {
+		t.Fatalf("pending = %v, want one entry with 3 rules", pend)
+	}
+}
+
+func TestControllerUnknownIDs(t *testing.T) {
+	c := NewController(nil, func(string, string, []ast.Rule) {})
+	if err := c.Accept(42); !errors.Is(err, ErrNoSuchDelegation) {
+		t.Errorf("Accept(42) = %v", err)
+	}
+	if err := c.Reject(42); !errors.Is(err, ErrNoSuchDelegation) {
+		t.Errorf("Reject(42) = %v", err)
+	}
+}
+
+func TestControllerNilPolicyAcceptsAll(t *testing.T) {
+	rec := &installRecorder{}
+	c := NewController(nil, rec.install)
+	if d := c.OnDelegation("anyone", "r1", sampleRules(1)); d != Accept {
+		t.Errorf("decision = %v", d)
+	}
+	if len(rec.calls) != 1 {
+		t.Error("install not called")
+	}
+}
+
+func TestControllerRejectPolicy(t *testing.T) {
+	rec := &installRecorder{}
+	c := NewController(ClosedPolicy{}, rec.install)
+	if d := c.OnDelegation("anyone", "r1", sampleRules(1)); d != Reject {
+		t.Errorf("decision = %v", d)
+	}
+	if c.Rejected() != 1 || len(rec.calls) != 0 {
+		t.Error("reject accounting wrong")
+	}
+}
+
+func TestGrants(t *testing.T) {
+	g := NewGrants("alice")
+	if !g.Allowed("pictures", "alice", ReadPriv|WritePriv|GrantPriv) {
+		t.Error("owner must hold all privileges")
+	}
+	if g.Allowed("pictures", "bob", ReadPriv) {
+		t.Error("no grant yet")
+	}
+	g.Grant("pictures", "bob", ReadPriv)
+	if !g.Allowed("pictures", "bob", ReadPriv) || g.Allowed("pictures", "bob", WritePriv) {
+		t.Error("grant scope wrong")
+	}
+	g.Grant("pictures", "bob", WritePriv)
+	if !g.Allowed("pictures", "bob", ReadPriv|WritePriv) {
+		t.Error("privileges must accumulate")
+	}
+	g.Revoke("pictures", "bob", WritePriv)
+	if g.Allowed("pictures", "bob", WritePriv) || !g.Allowed("pictures", "bob", ReadPriv) {
+		t.Error("revoke scope wrong")
+	}
+	g.Grant("pictures", "*", ReadPriv)
+	if !g.Allowed("pictures", "stranger", ReadPriv) {
+		t.Error("wildcard grant ignored")
+	}
+	if got := g.Grantees("pictures"); len(got) != 2 {
+		t.Errorf("grantees = %v", got)
+	}
+}
+
+func TestPrivilegeString(t *testing.T) {
+	if got := (ReadPriv | WritePriv).String(); got != "read|write" {
+		t.Errorf("priv string = %q", got)
+	}
+	if got := Privilege(0).String(); got != "none" {
+		t.Errorf("zero priv = %q", got)
+	}
+}
+
+type fakeProv map[string][]ast.Fact
+
+func (f fakeProv) BaseSupports(fact ast.Fact) []ast.Fact { return f[fact.Key()] }
+
+func TestViewGuardProvenancePolicy(t *testing.T) {
+	g := NewGrants("alice")
+	base1 := ast.NewFact("pictures", "alice")
+	base2 := ast.NewFact("private", "alice")
+	view := ast.NewFact("album", "alice")
+	prov := fakeProv{view.Key(): {base1, base2}}
+	vg := NewViewGuard(g, prov)
+
+	g.Grant("pictures", "bob", ReadPriv)
+	if vg.CanRead("bob", view, true) {
+		t.Error("bob cannot read: private base fact not granted")
+	}
+	g.Grant("private", "bob", ReadPriv)
+	if !vg.CanRead("bob", view, true) {
+		t.Error("bob must read once all base facts are granted")
+	}
+	// Extensional facts check the relation directly.
+	if vg.CanRead("carol", base1, false) {
+		t.Error("carol has no grant on pictures")
+	}
+	if !vg.CanRead("alice", base2, false) {
+		t.Error("owner always reads")
+	}
+}
+
+func TestViewGuardDeclassify(t *testing.T) {
+	g := NewGrants("alice")
+	view := ast.NewFact("album", "alice")
+	secret := ast.NewFact("private", "alice")
+	prov := fakeProv{view.Key(): {secret}}
+	vg := NewViewGuard(g, prov)
+
+	if vg.CanRead("bob", view, true) {
+		t.Error("default provenance policy must deny")
+	}
+	// "a user may override this policy … effectively declassifying some data"
+	vg.Declassify("album")
+	g.Grant("album", "bob", ReadPriv)
+	if !vg.CanRead("bob", view, true) {
+		t.Error("declassified view with a grant must be readable")
+	}
+	vg.Reclassify("album")
+	if vg.CanRead("bob", view, true) {
+		t.Error("reclassified view must deny again")
+	}
+	if vg.Declassified("album") {
+		t.Error("Declassified() stale")
+	}
+}
+
+func TestViewGuardNoProvenanceFallsBack(t *testing.T) {
+	g := NewGrants("alice")
+	vg := NewViewGuard(g, fakeProv{})
+	view := ast.NewFact("album", "alice")
+	if vg.CanRead("bob", view, true) {
+		t.Error("no grants: deny")
+	}
+	g.Grant("album", "bob", ReadPriv)
+	if !vg.CanRead("bob", view, true) {
+		t.Error("fallback to grants on the view itself")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Accept.String() != "accept" || Hold.String() != "hold" || Reject.String() != "reject" {
+		t.Error("Decision.String broken")
+	}
+}

@@ -1,0 +1,439 @@
+// Package ast defines the abstract syntax of the WebdamLog language:
+// terms, atoms, facts, rules and programs, together with printing,
+// substitution and structural equality.
+//
+// Following the paper (§2 "Language and System"), an atom is written
+// m@p(t1, …, tn) where both the relation name m and the peer name p may be
+// variables; variables are written with a leading '$'. Rule bodies are
+// evaluated left-to-right, and the order of atoms is significant.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// RelKind distinguishes extensional (base, persistent, updatable) relations
+// from intensional (derived, recomputed every stage) relations.
+type RelKind uint8
+
+// The two relation kinds of WebdamLog.
+const (
+	Extensional RelKind = iota
+	Intensional
+)
+
+// String returns "extensional" or "intensional".
+func (k RelKind) String() string {
+	if k == Intensional {
+		return "intensional"
+	}
+	return "extensional"
+}
+
+// Term is either a constant value or a variable. Variables are identified by
+// name without the leading '$'. The zero Term is the constant empty string.
+type Term struct {
+	Var string      // non-empty iff the term is a variable
+	Val value.Value // constant payload when Var == ""
+}
+
+// V returns a variable term named name (without the leading '$').
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term holding v.
+func C(v value.Value) Term { return Term{Val: v} }
+
+// CStr returns a constant string term.
+func CStr(s string) Term { return C(value.Str(s)) }
+
+// CInt returns a constant integer term.
+func CInt(i int64) Term { return C(value.Int(i)) }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// Equal reports structural equality of terms.
+func (t Term) Equal(u Term) bool {
+	if t.Var != "" || u.Var != "" {
+		return t.Var == u.Var
+	}
+	return t.Val.Equal(u.Val)
+}
+
+// String renders the term in concrete syntax ('$' prefix for variables).
+func (t Term) String() string {
+	if t.IsVar() {
+		return "$" + t.Var
+	}
+	return t.Val.Literal()
+}
+
+// nameString renders a term appearing in relation or peer position, where
+// constants print as bare identifiers rather than quoted strings.
+func (t Term) nameString() string {
+	if t.IsVar() {
+		return "$" + t.Var
+	}
+	if t.Val.Kind() == value.KindString {
+		return t.Val.StringVal()
+	}
+	return t.Val.Literal()
+}
+
+// Atom is one literal of a rule: (possibly negated) relation-at-peer with an
+// argument list. Rel and Peer are terms so that they can be variables, the
+// distinguishing feature of WebdamLog.
+type Atom struct {
+	Neg  bool
+	Rel  Term
+	Peer Term
+	Args []Term
+}
+
+// NewAtom builds a positive atom with constant relation and peer names.
+func NewAtom(rel, peer string, args ...Term) Atom {
+	return Atom{Rel: CStr(rel), Peer: CStr(peer), Args: args}
+}
+
+// String renders the atom in concrete syntax, e.g. `not pictures@$p($id)`.
+func (a Atom) String() string {
+	var sb strings.Builder
+	if a.Neg {
+		sb.WriteString("not ")
+	}
+	sb.WriteString(a.Rel.nameString())
+	sb.WriteByte('@')
+	sb.WriteString(a.Peer.nameString())
+	sb.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Equal reports structural equality of atoms.
+func (a Atom) Equal(b Atom) bool {
+	if a.Neg != b.Neg || !a.Rel.Equal(b.Rel) || !a.Peer.Equal(b.Peer) || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !a.Args[i].Equal(b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars appends the names of variables occurring in the atom to dst
+// (duplicates included, in syntactic order) and returns it.
+func (a Atom) Vars(dst []string) []string {
+	if a.Rel.IsVar() {
+		dst = append(dst, a.Rel.Var)
+	}
+	if a.Peer.IsVar() {
+		dst = append(dst, a.Peer.Var)
+	}
+	for _, t := range a.Args {
+		if t.IsVar() {
+			dst = append(dst, t.Var)
+		}
+	}
+	return dst
+}
+
+// IsGround reports whether the atom contains no variables.
+func (a Atom) IsGround() bool {
+	if a.Rel.IsVar() || a.Peer.IsVar() {
+		return false
+	}
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the atom.
+func (a Atom) Clone() Atom {
+	out := a
+	out.Args = make([]Term, len(a.Args))
+	copy(out.Args, a.Args)
+	return out
+}
+
+// UpdateOp says what a rule head does to an extensional relation.
+type UpdateOp uint8
+
+// Head operations: Derive is the default WebdamLog semantics (insertion for
+// extensional heads, derivation for intensional heads); Delete is the
+// deletion extension, written with a '-' before the head.
+const (
+	Derive UpdateOp = iota
+	Delete
+)
+
+// Fact is a ground unit of data: relation m at peer p holding a tuple.
+type Fact struct {
+	Rel  string
+	Peer string
+	Args value.Tuple
+}
+
+// NewFact builds a fact.
+func NewFact(rel, peer string, args ...value.Value) Fact {
+	return Fact{Rel: rel, Peer: peer, Args: value.Tuple(args)}
+}
+
+// String renders the fact in concrete syntax.
+func (f Fact) String() string {
+	var sb strings.Builder
+	sb.WriteString(f.Rel)
+	sb.WriteByte('@')
+	sb.WriteString(f.Peer)
+	sb.WriteByte('(')
+	for i, v := range f.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.Literal())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Equal reports structural equality of facts.
+func (f Fact) Equal(g Fact) bool {
+	return f.Rel == g.Rel && f.Peer == g.Peer && f.Args.Equal(g.Args)
+}
+
+// Key returns a canonical map key for the fact.
+func (f Fact) Key() string {
+	return f.Rel + "@" + f.Peer + "|" + f.Args.Key()
+}
+
+// Atom converts the fact to a ground positive atom.
+func (f Fact) Atom() Atom {
+	args := make([]Term, len(f.Args))
+	for i, v := range f.Args {
+		args[i] = C(v)
+	}
+	return Atom{Rel: CStr(f.Rel), Peer: CStr(f.Peer), Args: args}
+}
+
+// Rule is one WebdamLog rule: Head :- Body. ID identifies the rule within
+// its owning peer; Origin names the peer that authored the rule (for
+// delegated rules this differs from the executing peer).
+type Rule struct {
+	ID     string
+	Origin string
+	Op     UpdateOp
+	Head   Atom
+	Body   []Atom
+}
+
+// String renders the rule in concrete syntax (without trailing ';').
+func (r Rule) String() string {
+	var sb strings.Builder
+	if r.Op == Delete {
+		sb.WriteByte('-')
+	}
+	sb.WriteString(r.Head.String())
+	if len(r.Body) == 0 {
+		return sb.String()
+	}
+	sb.WriteString(" :- ")
+	for i, a := range r.Body {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	return sb.String()
+}
+
+// Equal reports structural equality of rules (ignoring ID and Origin).
+func (r Rule) Equal(s Rule) bool {
+	if r.Op != s.Op || !r.Head.Equal(s.Head) || len(r.Body) != len(s.Body) {
+		return false
+	}
+	for i := range r.Body {
+		if !r.Body[i].Equal(s.Body[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the rule.
+func (r Rule) Clone() Rule {
+	out := r
+	out.Head = r.Head.Clone()
+	out.Body = make([]Atom, len(r.Body))
+	for i, a := range r.Body {
+		out.Body[i] = a.Clone()
+	}
+	return out
+}
+
+// Vars returns the names of all variables in the rule, in first-occurrence
+// order, without duplicates.
+func (r Rule) Vars() []string {
+	var all []string
+	all = r.Head.Vars(all)
+	for _, a := range r.Body {
+		all = a.Vars(all)
+	}
+	seen := make(map[string]bool, len(all))
+	out := all[:0]
+	for _, v := range all {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsFactRule reports whether the rule has an empty body and a ground head,
+// i.e. it asserts a fact.
+func (r Rule) IsFactRule() bool {
+	return len(r.Body) == 0 && r.Head.IsGround()
+}
+
+// HeadFact converts a fact-rule's head to a Fact. It panics if the head is
+// not ground (callers must check IsFactRule first).
+func (r Rule) HeadFact() Fact {
+	if !r.Head.IsGround() {
+		panic("ast: HeadFact on non-ground head " + r.Head.String())
+	}
+	args := make(value.Tuple, len(r.Head.Args))
+	for i, t := range r.Head.Args {
+		args[i] = t.Val
+	}
+	return Fact{
+		Rel:  r.Head.Rel.Val.StringVal(),
+		Peer: r.Head.Peer.Val.StringVal(),
+		Args: args,
+	}
+}
+
+// RelationDecl declares a relation's schema at a peer.
+type RelationDecl struct {
+	Name string
+	Peer string
+	Kind RelKind
+	Cols []string // column names; len(Cols) is the arity
+}
+
+// String renders the declaration in concrete syntax.
+func (d RelationDecl) String() string {
+	kw := "extensional"
+	if d.Kind == Intensional {
+		kw = "intensional"
+	}
+	return fmt.Sprintf("relation %s %s@%s(%s)", kw, d.Name, d.Peer, strings.Join(d.Cols, ", "))
+}
+
+// PeerDecl declares a peer and (optionally) its network address.
+type PeerDecl struct {
+	Name string
+	Addr string
+}
+
+// String renders the declaration in concrete syntax.
+func (d PeerDecl) String() string {
+	if d.Addr == "" {
+		return "peer " + d.Name
+	}
+	return fmt.Sprintf("peer %s %q", d.Name, d.Addr)
+}
+
+// Statement is any top-level program statement: PeerDecl, RelationDecl,
+// Fact or Rule.
+type Statement interface {
+	stmt()
+}
+
+func (PeerDecl) stmt()     {}
+func (RelationDecl) stmt() {}
+func (Fact) stmt()         {}
+func (Rule) stmt()         {}
+
+// Program is a parsed WebdamLog source unit. The categorized slices hold
+// declarations, facts and rules in source order; Statements additionally
+// preserves the global statement order, which multi-peer program files use
+// to scope facts and rules to the most recent `peer` declaration.
+type Program struct {
+	Peers     []PeerDecl
+	Relations []RelationDecl
+	Facts     []Fact
+	Rules     []Rule
+	// Statements is the full program in source order.
+	Statements []Statement
+}
+
+// String renders the whole program in concrete syntax.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, d := range p.Peers {
+		sb.WriteString(d.String())
+		sb.WriteString(";\n")
+	}
+	for _, d := range p.Relations {
+		sb.WriteString(d.String())
+		sb.WriteString(";\n")
+	}
+	for _, f := range p.Facts {
+		sb.WriteString(f.String())
+		sb.WriteString(";\n")
+	}
+	for _, r := range p.Rules {
+		sb.WriteString(r.String())
+		sb.WriteString(";\n")
+	}
+	return sb.String()
+}
+
+// Substitution maps variable names to values.
+type Substitution map[string]value.Value
+
+// ApplyTerm replaces the term's variable by its binding, if any.
+func (s Substitution) ApplyTerm(t Term) Term {
+	if t.IsVar() {
+		if v, ok := s[t.Var]; ok {
+			return C(v)
+		}
+	}
+	return t
+}
+
+// ApplyAtom applies the substitution to every term of the atom.
+func (s Substitution) ApplyAtom(a Atom) Atom {
+	out := a
+	out.Rel = s.ApplyTerm(a.Rel)
+	out.Peer = s.ApplyTerm(a.Peer)
+	out.Args = make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		out.Args[i] = s.ApplyTerm(t)
+	}
+	return out
+}
+
+// ApplyRule applies the substitution to the head and every body atom.
+func (s Substitution) ApplyRule(r Rule) Rule {
+	out := r
+	out.Head = s.ApplyAtom(r.Head)
+	out.Body = make([]Atom, len(r.Body))
+	for i, a := range r.Body {
+		out.Body[i] = s.ApplyAtom(a)
+	}
+	return out
+}

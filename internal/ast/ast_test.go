@@ -1,0 +1,186 @@
+package ast
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestTermBasics(t *testing.T) {
+	v := V("x")
+	if !v.IsVar() || v.String() != "$x" {
+		t.Errorf("V: %v", v)
+	}
+	c := CStr("hello")
+	if c.IsVar() || c.String() != `"hello"` {
+		t.Errorf("CStr: %v", c)
+	}
+	if !v.Equal(V("x")) || v.Equal(V("y")) || v.Equal(c) {
+		t.Error("term equality broken")
+	}
+	if !CInt(3).Equal(C(value.Int(3))) {
+		t.Error("CInt equality broken")
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	a := Atom{
+		Neg:  true,
+		Rel:  CStr("pictures"),
+		Peer: V("attendee"),
+		Args: []Term{V("id"), CStr("sea.jpg"), CInt(5)},
+	}
+	want := `not pictures@$attendee($id, "sea.jpg", 5)`
+	if got := a.String(); got != want {
+		t.Errorf("atom = %q, want %q", got, want)
+	}
+}
+
+func TestAtomVarsAndGround(t *testing.T) {
+	a := Atom{Rel: V("r"), Peer: CStr("p"), Args: []Term{V("x"), CStr("c"), V("x")}}
+	vars := a.Vars(nil)
+	if len(vars) != 3 || vars[0] != "r" || vars[1] != "x" || vars[2] != "x" {
+		t.Errorf("vars = %v", vars)
+	}
+	if a.IsGround() {
+		t.Error("atom with vars reported ground")
+	}
+	g := NewAtom("m", "p", CStr("a"))
+	if !g.IsGround() {
+		t.Error("ground atom reported non-ground")
+	}
+}
+
+func TestRuleVarsDeduplicated(t *testing.T) {
+	r := Rule{
+		Head: Atom{Rel: CStr("h"), Peer: CStr("p"), Args: []Term{V("x")}},
+		Body: []Atom{
+			{Rel: CStr("a"), Peer: CStr("p"), Args: []Term{V("x"), V("y")}},
+			{Rel: CStr("b"), Peer: V("y"), Args: []Term{V("z")}},
+		},
+	}
+	vars := r.Vars()
+	if len(vars) != 3 {
+		t.Errorf("vars = %v, want [x y z]", vars)
+	}
+}
+
+func TestRuleCloneIsDeep(t *testing.T) {
+	r := Rule{
+		Head: Atom{Rel: CStr("h"), Peer: CStr("p"), Args: []Term{V("x")}},
+		Body: []Atom{{Rel: CStr("a"), Peer: CStr("p"), Args: []Term{V("x")}}},
+	}
+	c := r.Clone()
+	c.Body[0].Args[0] = CStr("mutated")
+	c.Head.Args[0] = CStr("mutated")
+	if r.Body[0].Args[0].IsVar() == false || r.Head.Args[0].IsVar() == false {
+		t.Error("Clone shares atom argument storage")
+	}
+}
+
+func TestFactRule(t *testing.T) {
+	r := Rule{Head: NewAtom("m", "p", CStr("v"), CInt(2))}
+	if !r.IsFactRule() {
+		t.Fatal("ground bodiless rule is a fact rule")
+	}
+	f := r.HeadFact()
+	if f.Rel != "m" || f.Peer != "p" || !f.Args.Equal(value.Tuple{value.Str("v"), value.Int(2)}) {
+		t.Errorf("fact = %v", f)
+	}
+	r2 := Rule{Head: Atom{Rel: CStr("m"), Peer: CStr("p"), Args: []Term{V("x")}}}
+	if r2.IsFactRule() {
+		t.Error("rule with head variable is not a fact rule")
+	}
+}
+
+func TestHeadFactPanicsOnVars(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("HeadFact on non-ground head must panic")
+		}
+	}()
+	r := Rule{Head: Atom{Rel: CStr("m"), Peer: CStr("p"), Args: []Term{V("x")}}}
+	r.HeadFact()
+}
+
+func TestSubstitution(t *testing.T) {
+	sub := Substitution{"x": value.Str("emilien"), "y": value.Int(7)}
+	r := Rule{
+		Head: Atom{Rel: CStr("out"), Peer: V("x"), Args: []Term{V("y"), V("z")}},
+		Body: []Atom{{Rel: V("x"), Peer: CStr("p"), Args: []Term{V("z")}}},
+	}
+	s := sub.ApplyRule(r)
+	if s.Head.Peer.IsVar() || s.Head.Peer.Val.StringVal() != "emilien" {
+		t.Errorf("head peer = %v", s.Head.Peer)
+	}
+	if s.Head.Args[0].IsVar() || s.Head.Args[0].Val.IntVal() != 7 {
+		t.Errorf("head arg0 = %v", s.Head.Args[0])
+	}
+	if !s.Head.Args[1].IsVar() {
+		t.Errorf("unbound var z must stay a variable: %v", s.Head.Args[1])
+	}
+	if s.Body[0].Rel.IsVar() {
+		t.Errorf("body relation var not substituted: %v", s.Body[0].Rel)
+	}
+	// The original rule is untouched.
+	if !r.Head.Peer.IsVar() {
+		t.Error("ApplyRule mutated its input")
+	}
+}
+
+func TestFactKeyDistinguishesRelPeer(t *testing.T) {
+	f1 := NewFact("a", "b", value.Str("x"))
+	f2 := NewFact("b", "a", value.Str("x"))
+	if f1.Key() == f2.Key() {
+		t.Error("fact keys collide across rel/peer swap")
+	}
+}
+
+func TestFactAtomConversion(t *testing.T) {
+	f := NewFact("m", "p", value.Str("v"), value.Int(1))
+	a := f.Atom()
+	if !a.IsGround() || a.String() != `m@p("v", 1)` {
+		t.Errorf("atom = %v", a)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := &Program{
+		Peers:     []PeerDecl{{Name: "alice", Addr: "x:1"}},
+		Relations: []RelationDecl{{Name: "r", Peer: "alice", Kind: Intensional, Cols: []string{"a"}}},
+		Facts:     []Fact{NewFact("e", "alice", value.Int(1))},
+		Rules: []Rule{{
+			Head: NewAtom("r", "alice", V("x")),
+			Body: []Atom{{Rel: CStr("e"), Peer: CStr("alice"), Args: []Term{V("x")}}},
+		}},
+	}
+	s := p.String()
+	for _, want := range []string{`peer alice "x:1";`, "relation intensional r@alice(a);", "e@alice(1);", "r@alice($x) :- e@alice($x);"} {
+		if !contains(s, want) {
+			t.Errorf("program string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && index(s, sub) >= 0)
+}
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestUpdateOpAndKindStrings(t *testing.T) {
+	if Extensional.String() != "extensional" || Intensional.String() != "intensional" {
+		t.Error("RelKind.String broken")
+	}
+	r := Rule{Op: Delete, Head: NewAtom("m", "p", CStr("v"))}
+	if r.String() != `-m@p("v")` {
+		t.Errorf("deletion rule renders as %q", r.String())
+	}
+}

@@ -1,0 +1,521 @@
+// Package bench holds the workload generators and experiment runners behind
+// the repository's benchmark suite (root bench_test.go) and the experiment
+// harness (cmd/wdlbench). Each Run* function builds a fresh deployment,
+// exercises one aspect the paper demonstrates — fixpoint computation,
+// stage pipelining, delegation, distribution, transports — and returns
+// measurements.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/peer"
+	"repro/internal/protocol"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// ChainEdges returns edges 0->1->2->…->n (n edges).
+func ChainEdges(n int) [][2]int64 {
+	out := make([][2]int64, n)
+	for i := range out {
+		out[i] = [2]int64{int64(i), int64(i + 1)}
+	}
+	return out
+}
+
+// BinaryTreeEdges returns parent->child edges of a complete binary tree
+// with n nodes, a bushier fixpoint workload than a chain.
+func BinaryTreeEdges(n int) [][2]int64 {
+	var out [][2]int64
+	for i := 1; i < n; i++ {
+		out = append(out, [2]int64{int64((i - 1) / 2), int64(i)})
+	}
+	return out
+}
+
+// TCResult measures one transitive-closure fixpoint (experiment P1).
+type TCResult struct {
+	Edges      int
+	Derived    int
+	Iterations int
+	Duration   time.Duration
+}
+
+// RunTC loads the given edges into a single peer's store and runs the
+// classic transitive-closure program to fixpoint with the given engine
+// options. This is the micro-benchmark for the naive vs semi-naive
+// ablation.
+func RunTC(edges [][2]int64, opts engine.Options) (TCResult, error) {
+	db := store.New()
+	edge, err := db.Declare(store.Schema{Name: "edge", Peer: "local", Kind: ast.Extensional, Cols: []string{"a", "b"}})
+	if err != nil {
+		return TCResult{}, err
+	}
+	if _, err := db.Declare(store.Schema{Name: "tc", Peer: "local", Kind: ast.Intensional, Cols: []string{"a", "b"}}); err != nil {
+		return TCResult{}, err
+	}
+	for _, e := range edges {
+		edge.Insert(value.Tuple{value.Int(e[0]), value.Int(e[1])})
+	}
+	e := engine.New("local", db, opts)
+	prog, err := e.CompileProgram([]ast.Rule{
+		mustRule("t1", `tc@local($x,$y) :- edge@local($x,$y);`),
+		mustRule("t2", `tc@local($x,$z) :- tc@local($x,$y), edge@local($y,$z);`),
+	})
+	if err != nil {
+		return TCResult{}, err
+	}
+	start := time.Now()
+	res := e.RunStage(prog)
+	return TCResult{
+		Edges:      len(edges),
+		Derived:    res.Derived,
+		Iterations: res.Iterations,
+		Duration:   time.Since(start),
+	}, joinErrs(res.Errors)
+}
+
+// StageDecomposition measures the three steps of one peer stage
+// (experiment P2): ingest of n remote facts, fixpoint over a join view, and
+// emission of the derived facts to a remote sink.
+type StageDecomposition struct {
+	Facts    int
+	Ingest   time.Duration
+	Fixpoint time.Duration
+	Emit     time.Duration
+}
+
+// RunStageDecomposition builds a two-peer network, queues nFacts at the
+// subject peer, runs its stage and reports the per-step latencies.
+func RunStageDecomposition(nFacts int) (StageDecomposition, error) {
+	net := peer.NewNetwork()
+	subject, err := net.NewPeer(peer.Config{Name: "subject"})
+	if err != nil {
+		return StageDecomposition{}, err
+	}
+	if _, err := net.NewPeer(peer.Config{Name: "sink"}); err != nil {
+		return StageDecomposition{}, err
+	}
+	err = subject.LoadSource(`
+		relation extensional in@subject(id, payload);
+		relation intensional view@subject(id, payload);
+		view@subject($i,$p) :- in@subject($i,$p);
+		out@sink($i) :- view@subject($i,$p);
+	`)
+	if err != nil {
+		return StageDecomposition{}, err
+	}
+	subject.RunStage() // initial compile stage
+	for i := 0; i < nFacts; i++ {
+		err := subject.Insert(ast.NewFact("in", "subject",
+			value.Int(int64(i)), value.Str(fmt.Sprintf("payload-%d", i))))
+		if err != nil {
+			return StageDecomposition{}, err
+		}
+	}
+	rep := subject.RunStage()
+	return StageDecomposition{
+		Facts:    nFacts,
+		Ingest:   rep.Ingest,
+		Fixpoint: rep.Fixpoint,
+		Emit:     rep.Emit,
+	}, joinErrs(rep.Errors)
+}
+
+// FanoutResult measures a delegation fan-out run (experiment P3).
+type FanoutResult struct {
+	Peers     int
+	Rounds    int
+	Stages    int
+	Collected int
+	Messages  uint64
+	Duration  time.Duration
+}
+
+// RunDelegationFanout builds a coordinator plus n member peers, each
+// holding factsPerPeer data facts. The coordinator's single rule
+//
+//	all@coord($x) :- members@coord($p), data@$p($x)
+//
+// delegates one residual rule to every member at run time. The run measures
+// wall-clock time to quiescence.
+func RunDelegationFanout(nPeers, factsPerPeer int) (FanoutResult, error) {
+	net, err := fanoutNetwork(nPeers, factsPerPeer)
+	if err != nil {
+		return FanoutResult{}, err
+	}
+	coord := net.Peer("coord")
+	if _, err := coord.AddRule(`all@coord($x) :- members@coord($p), data@$p($x);`); err != nil {
+		return FanoutResult{}, err
+	}
+	start := time.Now()
+	rounds, stages, err := net.RunToQuiescence(0)
+	if err != nil {
+		return FanoutResult{}, err
+	}
+	return FanoutResult{
+		Peers:     nPeers,
+		Rounds:    rounds,
+		Stages:    stages,
+		Collected: len(coord.Query("all")),
+		Messages:  net.Bus().Stats().MessagesSent,
+		Duration:  time.Since(start),
+	}, nil
+}
+
+// RunPreinstalledFanout is the baseline for P3: instead of delegating at
+// run time, the residual rules are installed at the members up front (what
+// a static distributed-datalog deployment would do).
+func RunPreinstalledFanout(nPeers, factsPerPeer int) (FanoutResult, error) {
+	net, err := fanoutNetwork(nPeers, factsPerPeer)
+	if err != nil {
+		return FanoutResult{}, err
+	}
+	coord := net.Peer("coord")
+	for i := 0; i < nPeers; i++ {
+		member := net.Peer(fmt.Sprintf("m%03d", i))
+		rule := fmt.Sprintf(`all@coord($x) :- data@%s($x);`, member.Name())
+		if _, err := member.AddRule(rule); err != nil {
+			return FanoutResult{}, err
+		}
+	}
+	start := time.Now()
+	rounds, stages, err := net.RunToQuiescence(0)
+	if err != nil {
+		return FanoutResult{}, err
+	}
+	return FanoutResult{
+		Peers:     nPeers,
+		Rounds:    rounds,
+		Stages:    stages,
+		Collected: len(coord.Query("all")),
+		Messages:  net.Bus().Stats().MessagesSent,
+		Duration:  time.Since(start),
+	}, nil
+}
+
+func fanoutNetwork(nPeers, factsPerPeer int) (*peer.Network, error) {
+	net := peer.NewNetwork()
+	coord, err := net.NewPeer(peer.Config{Name: "coord"})
+	if err != nil {
+		return nil, err
+	}
+	if err := coord.DeclareRelation("members", ast.Extensional, "p"); err != nil {
+		return nil, err
+	}
+	if err := coord.DeclareRelation("all", ast.Extensional, "x"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < nPeers; i++ {
+		name := fmt.Sprintf("m%03d", i)
+		m, err := net.NewPeer(peer.Config{Name: name})
+		if err != nil {
+			return nil, err
+		}
+		if err := m.DeclareRelation("data", ast.Extensional, "x"); err != nil {
+			return nil, err
+		}
+		for j := 0; j < factsPerPeer; j++ {
+			err := m.Insert(ast.NewFact("data", name, value.Str(fmt.Sprintf("%s-%d", name, j))))
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := coord.Insert(ast.NewFact("members", "coord", value.Str(name))); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+// DistributionResult measures experiment P4: answering a cross-peer join
+// with in-place distributed evaluation (delegation) versus shipping every
+// base fact to a central peer first.
+type DistributionResult struct {
+	Peers        int
+	Answers      int
+	Messages     uint64
+	FactsShipped uint64
+	Duration     time.Duration
+}
+
+// factsShipped sums the facts received across all peers of the network —
+// the data volume that crossed peer boundaries.
+func factsShipped(net *peer.Network) uint64 {
+	var sum uint64
+	for _, p := range net.Peers() {
+		sum += p.Stats().FactsIn
+	}
+	return sum
+}
+
+// RunDistributedJoin evaluates, at the querying peer,
+//
+//	match@q($x) :- wanted@q($p, $x), data@$p($x)
+//
+// where wanted names (peer, item) pairs: only matching items travel.
+func RunDistributedJoin(nPeers, factsPerPeer, wantedPerPeer int) (DistributionResult, error) {
+	net, q, err := distributionNetwork(nPeers, factsPerPeer, wantedPerPeer)
+	if err != nil {
+		return DistributionResult{}, err
+	}
+	if _, err := q.AddRule(`match@q($x) :- wanted@q($p,$x), data@$p($x);`); err != nil {
+		return DistributionResult{}, err
+	}
+	start := time.Now()
+	if _, _, err := net.RunToQuiescence(0); err != nil {
+		return DistributionResult{}, err
+	}
+	return DistributionResult{
+		Peers:        nPeers,
+		Answers:      len(q.Query("match")),
+		Messages:     net.Bus().Stats().MessagesSent,
+		FactsShipped: factsShipped(net),
+		Duration:     time.Since(start),
+	}, nil
+}
+
+// RunCentralizedJoin is the baseline: every member ships its whole data
+// relation to the querying peer, which joins locally.
+func RunCentralizedJoin(nPeers, factsPerPeer, wantedPerPeer int) (DistributionResult, error) {
+	net, q, err := distributionNetwork(nPeers, factsPerPeer, wantedPerPeer)
+	if err != nil {
+		return DistributionResult{}, err
+	}
+	if err := q.DeclareRelation("central", ast.Extensional, "p", "x"); err != nil {
+		return DistributionResult{}, err
+	}
+	for i := 0; i < nPeers; i++ {
+		name := fmt.Sprintf("m%03d", i)
+		m := net.Peer(name)
+		rule := fmt.Sprintf(`central@q("%s", $x) :- data@%s($x);`, name, name)
+		if _, err := m.AddRule(rule); err != nil {
+			return DistributionResult{}, err
+		}
+	}
+	if _, err := q.AddRule(`match@q($x) :- wanted@q($p,$x), central@q($p,$x);`); err != nil {
+		return DistributionResult{}, err
+	}
+	start := time.Now()
+	if _, _, err := net.RunToQuiescence(0); err != nil {
+		return DistributionResult{}, err
+	}
+	return DistributionResult{
+		Peers:        nPeers,
+		Answers:      len(q.Query("match")),
+		Messages:     net.Bus().Stats().MessagesSent,
+		FactsShipped: factsShipped(net),
+		Duration:     time.Since(start),
+	}, nil
+}
+
+func distributionNetwork(nPeers, factsPerPeer, wantedPerPeer int) (*peer.Network, *peer.Peer, error) {
+	net := peer.NewNetwork()
+	q, err := net.NewPeer(peer.Config{Name: "q"})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := q.DeclareRelation("wanted", ast.Extensional, "p", "x"); err != nil {
+		return nil, nil, err
+	}
+	if err := q.DeclareRelation("match", ast.Extensional, "x"); err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < nPeers; i++ {
+		name := fmt.Sprintf("m%03d", i)
+		m, err := net.NewPeer(peer.Config{Name: name})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := m.DeclareRelation("data", ast.Extensional, "x"); err != nil {
+			return nil, nil, err
+		}
+		for j := 0; j < factsPerPeer; j++ {
+			item := fmt.Sprintf("%s-%d", name, j)
+			if err := m.Insert(ast.NewFact("data", name, value.Str(item))); err != nil {
+				return nil, nil, err
+			}
+			if j < wantedPerPeer {
+				if err := q.Insert(ast.NewFact("wanted", "q", value.Str(name), value.Str(item))); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return net, q, nil
+}
+
+// TransportResult measures raw message throughput (experiment P5).
+type TransportResult struct {
+	Messages  int
+	BytesEach int
+	Duration  time.Duration
+}
+
+// RunBusThroughput pushes n fact messages of the given payload size through
+// the in-memory bus.
+func RunBusThroughput(n, payload int) (TransportResult, error) {
+	bus := transport.NewBus()
+	a := bus.Endpoint("a")
+	b := bus.Endpoint("b")
+	msg := makeMsg(payload)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", msg); err != nil {
+			return TransportResult{}, err
+		}
+	}
+	got := 0
+	for got < n {
+		got += len(b.Drain())
+	}
+	return TransportResult{Messages: n, BytesEach: payload, Duration: time.Since(start)}, nil
+}
+
+// RunTCPThroughput pushes n fact messages of the given payload size through
+// a localhost TCP link, including gob encode/decode.
+func RunTCPThroughput(n, payload int) (TransportResult, error) {
+	a, err := transport.ListenTCP("a", "127.0.0.1:0", nil)
+	if err != nil {
+		return TransportResult{}, err
+	}
+	defer a.Close()
+	b, err := transport.ListenTCP("b", "127.0.0.1:0", nil)
+	if err != nil {
+		return TransportResult{}, err
+	}
+	defer b.Close()
+	a.AddPeer("b", b.Addr())
+	msg := makeMsg(payload)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", msg); err != nil {
+			return TransportResult{}, err
+		}
+	}
+	got := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for got < n {
+		got += len(b.Drain())
+		if time.Now().After(deadline) {
+			return TransportResult{}, fmt.Errorf("bench: tcp throughput: received %d of %d", got, n)
+		}
+	}
+	return TransportResult{Messages: n, BytesEach: payload, Duration: time.Since(start)}, nil
+}
+
+func makeMsg(payload int) protocol.FactsMsg {
+	return protocol.FactsMsg{Ops: []protocol.FactDelta{{
+		Fact: ast.NewFact("blobrel", "b", value.Blob(make([]byte, payload))),
+	}}}
+}
+
+// JoinAblation measures a two-way join with or without hash indexes
+// (ablation A1).
+type JoinAblation struct {
+	LeftSize, RightSize int
+	Matches             int
+	Duration            time.Duration
+}
+
+// RunJoinAblation builds left(n) ⋈ right(m) on the join key and evaluates
+// a single rule over it.
+func RunJoinAblation(left, right int, useIndex bool) (JoinAblation, error) {
+	db := store.New()
+	l, err := db.Declare(store.Schema{Name: "left", Peer: "local", Kind: ast.Extensional, Cols: []string{"k", "v"}})
+	if err != nil {
+		return JoinAblation{}, err
+	}
+	r, err := db.Declare(store.Schema{Name: "right", Peer: "local", Kind: ast.Extensional, Cols: []string{"k", "w"}})
+	if err != nil {
+		return JoinAblation{}, err
+	}
+	if _, err := db.Declare(store.Schema{Name: "out", Peer: "local", Kind: ast.Intensional, Cols: []string{"v", "w"}}); err != nil {
+		return JoinAblation{}, err
+	}
+	for i := 0; i < left; i++ {
+		l.Insert(value.Tuple{value.Int(int64(i)), value.Int(int64(i * 7))})
+	}
+	for i := 0; i < right; i++ {
+		r.Insert(value.Tuple{value.Int(int64(i % left)), value.Int(int64(i * 13))})
+	}
+	opts := engine.DefaultOptions()
+	opts.UseIndexes = useIndex
+	e := engine.New("local", db, opts)
+	prog, err := e.CompileProgram([]ast.Rule{
+		mustRule("j", `out@local($v,$w) :- left@local($k,$v), right@local($k,$w);`),
+	})
+	if err != nil {
+		return JoinAblation{}, err
+	}
+	start := time.Now()
+	res := e.RunStage(prog)
+	return JoinAblation{
+		LeftSize:  left,
+		RightSize: right,
+		Matches:   res.Derived,
+		Duration:  time.Since(start),
+	}, joinErrs(res.Errors)
+}
+
+// WALAblation measures update-stage latency with and without durability.
+type WALAblation struct {
+	Facts    int
+	WAL      bool
+	Duration time.Duration
+}
+
+// RunWALAblation inserts n facts through a peer stage, optionally logging
+// them to a WAL in dir.
+func RunWALAblation(n int, dir string) (WALAblation, error) {
+	net := peer.NewNetwork()
+	cfg := peer.Config{Name: "p"}
+	if dir != "" {
+		w, err := store.OpenWAL(dir)
+		if err != nil {
+			return WALAblation{}, err
+		}
+		cfg.WAL = w
+	}
+	p, err := net.NewPeer(cfg)
+	if err != nil {
+		return WALAblation{}, err
+	}
+	if err := p.DeclareRelation("data", ast.Extensional, "id", "payload"); err != nil {
+		return WALAblation{}, err
+	}
+	for i := 0; i < n; i++ {
+		err := p.Insert(ast.NewFact("data", "p", value.Int(int64(i)), value.Str("payload")))
+		if err != nil {
+			return WALAblation{}, err
+		}
+	}
+	start := time.Now()
+	rep := p.RunStage()
+	d := time.Since(start)
+	if err := joinErrs(rep.Errors); err != nil {
+		return WALAblation{}, err
+	}
+	return WALAblation{Facts: n, WAL: dir != "", Duration: d}, nil
+}
+
+func mustRule(id, src string) ast.Rule {
+	r, err := parseRule(src)
+	if err != nil {
+		panic(fmt.Sprintf("bench: rule %s: %v", id, err))
+	}
+	r.ID = id
+	return r
+}
+
+func joinErrs(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("bench: %d stage errors, first: %w", len(errs), errs[0])
+}

@@ -1,0 +1,8 @@
+package bench
+
+import (
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func parseRule(src string) (ast.Rule, error) { return parser.ParseRule(src) }

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestWithWALPersistsAcrossSystems(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "alice")
+
+	sys1 := NewSystem()
+	p1, err := sys1.AddPeer("alice", WithWAL(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.LoadSource(`
+		relation extensional notes@alice(text);
+		notes@alice("remember the demo");
+	`); err != nil {
+		t.Fatal(err)
+	}
+	sys1.MustRun()
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2 := NewSystem()
+	p2, err := sys2.AddPeer("alice", WithWAL(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	got := p2.Query("notes")
+	if len(got) != 1 || got[0][0].StringVal() != "remember the demo" {
+		t.Fatalf("recovered notes = %v", got)
+	}
+}

@@ -1,0 +1,105 @@
+// Package email simulates the e-mail system behind the paper's e-mail
+// wrapper. Wepic attendees can choose "email" as their preferred transfer
+// protocol; the wrapper then turns facts inserted into its mail relation
+// into messages delivered to the recipient's mailbox on this server.
+package email
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrNoSuchMailbox is returned for reads of unknown mailboxes.
+var ErrNoSuchMailbox = errors.New("email: no such mailbox")
+
+// Message is one delivered e-mail.
+type Message struct {
+	ID         int64
+	From       string
+	To         string
+	Subject    string
+	Body       string
+	Attachment []byte
+}
+
+// Server is the simulated mail server. All methods are safe for concurrent
+// use. Mailboxes are created on first delivery or by CreateMailbox.
+type Server struct {
+	mu    sync.RWMutex
+	boxes map[string][]Message
+	seq   int64
+	// seen deduplicates (from,to,subject,body) so wrapper re-pushes are
+	// idempotent.
+	seen map[string]int64
+}
+
+// NewServer creates an empty mail server.
+func NewServer() *Server {
+	return &Server{boxes: make(map[string][]Message), seen: make(map[string]int64)}
+}
+
+// CreateMailbox provisions an empty mailbox (optional; deliveries create
+// mailboxes on demand).
+func (s *Server) CreateMailbox(user string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.boxes[user]; !ok {
+		s.boxes[user] = nil
+	}
+}
+
+// Send delivers a message to the recipient's mailbox and returns its id.
+// Resending an identical message returns the original id without a second
+// delivery.
+func (s *Server) Send(from, to, subject, body string, attachment []byte) (int64, error) {
+	if to == "" {
+		return 0, errors.New("email: empty recipient")
+	}
+	key := fmt.Sprintf("%s\x00%s\x00%s\x00%s", from, to, subject, body)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, dup := s.seen[key]; dup {
+		return id, nil
+	}
+	s.seq++
+	att := make([]byte, len(attachment))
+	copy(att, attachment)
+	msg := Message{ID: s.seq, From: from, To: to, Subject: subject, Body: body, Attachment: att}
+	s.boxes[to] = append(s.boxes[to], msg)
+	s.seen[key] = msg.ID
+	return msg.ID, nil
+}
+
+// Inbox returns all messages delivered to user, oldest first.
+func (s *Server) Inbox(user string) ([]Message, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	box, ok := s.boxes[user]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchMailbox, user)
+	}
+	out := make([]Message, len(box))
+	copy(out, box)
+	return out, nil
+}
+
+// Mailboxes returns all mailbox names, sorted.
+func (s *Server) Mailboxes() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.boxes))
+	for u := range s.boxes {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of messages in user's mailbox (0 if absent).
+func (s *Server) Count(user string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.boxes[user])
+}

@@ -1,0 +1,95 @@
+package email
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSendAndInbox(t *testing.T) {
+	s := NewServer()
+	id, err := s.Send("jules", "emilien", "hello", "body", []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Error("message id must be non-zero")
+	}
+	msgs, err := s.Inbox("emilien")
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("inbox = %v (%v)", msgs, err)
+	}
+	m := msgs[0]
+	if m.From != "jules" || m.Subject != "hello" || m.Body != "body" || len(m.Attachment) != 1 {
+		t.Errorf("message = %+v", m)
+	}
+}
+
+func TestSendIdempotent(t *testing.T) {
+	s := NewServer()
+	id1, _ := s.Send("a", "b", "s", "body", nil)
+	id2, _ := s.Send("a", "b", "s", "body", nil)
+	if id1 != id2 {
+		t.Error("identical resend must return the original id")
+	}
+	if s.Count("b") != 1 {
+		t.Errorf("count = %d, want 1", s.Count("b"))
+	}
+	id3, _ := s.Send("a", "b", "s", "different", nil)
+	if id3 == id1 {
+		t.Error("different body must be a new message")
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Send("a", "", "s", "b", nil); err == nil {
+		t.Error("empty recipient accepted")
+	}
+}
+
+func TestInboxUnknown(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Inbox("ghost"); !errors.Is(err, ErrNoSuchMailbox) {
+		t.Errorf("err = %v", err)
+	}
+	s.CreateMailbox("ghost")
+	msgs, err := s.Inbox("ghost")
+	if err != nil || len(msgs) != 0 {
+		t.Errorf("provisioned mailbox: %v (%v)", msgs, err)
+	}
+}
+
+func TestMailboxesSorted(t *testing.T) {
+	s := NewServer()
+	s.CreateMailbox("zoe")
+	s.CreateMailbox("amy")
+	if got := s.Mailboxes(); len(got) != 2 || got[0] != "amy" {
+		t.Errorf("mailboxes = %v", got)
+	}
+}
+
+func TestAttachmentIsolated(t *testing.T) {
+	s := NewServer()
+	att := []byte{1, 2}
+	if _, err := s.Send("a", "b", "s", "body", att); err != nil {
+		t.Fatal(err)
+	}
+	att[0] = 99
+	msgs, _ := s.Inbox("b")
+	if msgs[0].Attachment[0] != 1 {
+		t.Error("server aliases caller's attachment")
+	}
+}
+
+func TestInboxReturnsCopy(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Send("a", "b", "s", "body", nil); err != nil {
+		t.Fatal(err)
+	}
+	msgs, _ := s.Inbox("b")
+	msgs[0].Subject = "mutated"
+	again, _ := s.Inbox("b")
+	if again[0].Subject != "s" {
+		t.Error("Inbox exposes internal storage")
+	}
+}

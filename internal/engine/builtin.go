@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// BuiltinPeer is the reserved peer name for built-in predicates. Atoms whose
+// peer is this constant are evaluated by the engine itself rather than by a
+// relation lookup or a delegation:
+//
+//	top@jules($id) :- rate@jules($id, $s), ge@builtin($s, 4);
+//
+// Available predicates (all arity 2): lt, le, gt, ge, eq, neq. Values are
+// compared with the total order of the value package; comparing values of
+// different kinds follows the kind order rather than failing, which keeps
+// the predicates total.
+//
+// This is an extension over the paper's language, motivated by its
+// rule-customization scenario ("retrieving, e.g., only pictures that were
+// taken by a certain sigmod attendee"); the Bud runtime underlying the
+// original system offers similar predicates.
+const BuiltinPeer = "builtin"
+
+// builtinArity maps predicate names to their required arity.
+var builtinArity = map[string]int{
+	"lt": 2, "le": 2, "gt": 2, "ge": 2, "eq": 2, "neq": 2,
+}
+
+// IsBuiltinAtom reports whether a (relation, peer) pair names a built-in
+// predicate.
+func IsBuiltinAtom(rel, peerName string) bool {
+	if peerName != BuiltinPeer {
+		return false
+	}
+	_, ok := builtinArity[rel]
+	return ok
+}
+
+// evalBuiltin evaluates a built-in predicate under the current bindings.
+// All argument terms must be bound (guaranteed for compiled rules by
+// CheckSafety); it returns whether the predicate holds.
+func evalBuiltin(rel string, a *cAtom, env []value.Value) (bool, error) {
+	want, ok := builtinArity[rel]
+	if !ok {
+		return false, fmt.Errorf("engine: unknown builtin predicate %q", rel)
+	}
+	if len(a.args) != want {
+		return false, fmt.Errorf("engine: builtin %s expects %d arguments, got %d", rel, want, len(a.args))
+	}
+	vals := make([]value.Value, len(a.args))
+	for i, arg := range a.args {
+		if arg.isVar {
+			vals[i] = env[arg.slot]
+		} else {
+			vals[i] = arg.val
+		}
+	}
+	c := vals[0].Compare(vals[1])
+	switch rel {
+	case "lt":
+		return c < 0, nil
+	case "le":
+		return c <= 0, nil
+	case "gt":
+		return c > 0, nil
+	case "ge":
+		return c >= 0, nil
+	case "eq":
+		return c == 0, nil
+	case "neq":
+		return c != 0, nil
+	}
+	return false, fmt.Errorf("engine: unknown builtin predicate %q", rel)
+}

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// SafetyError reports a rule that violates WebdamLog's safety conditions.
+type SafetyError struct {
+	Rule ast.Rule
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *SafetyError) Error() string {
+	return fmt.Sprintf("unsafe rule %q: %s", e.Rule.String(), e.Msg)
+}
+
+// CheckSafety validates the paper's safety conditions for a rule:
+//
+//   - every variable in relation or peer position must be a constant or
+//     bound by an earlier (left-to-right) positive atom;
+//   - every variable of a negated atom must be bound by an earlier positive
+//     atom;
+//   - every head variable must be bound by some positive body atom.
+func CheckSafety(r ast.Rule) error {
+	bound := map[string]bool{}
+	for i, a := range r.Body {
+		if a.Rel.IsVar() && !bound[a.Rel.Var] {
+			return &SafetyError{Rule: r, Msg: fmt.Sprintf(
+				"relation variable $%s of body atom %d is not bound by an earlier positive atom", a.Rel.Var, i+1)}
+		}
+		if a.Peer.IsVar() && !bound[a.Peer.Var] {
+			return &SafetyError{Rule: r, Msg: fmt.Sprintf(
+				"peer variable $%s of body atom %d is not bound by an earlier positive atom", a.Peer.Var, i+1)}
+		}
+		if !a.Peer.IsVar() && a.Peer.Val.StringVal() == BuiltinPeer {
+			// Built-in predicates test bindings; they bind nothing, so all
+			// their variables must already be bound.
+			if a.Rel.IsVar() {
+				return &SafetyError{Rule: r, Msg: fmt.Sprintf(
+					"body atom %d: builtin predicates cannot have a variable name", i+1)}
+			}
+			if _, known := builtinArity[a.Rel.Val.StringVal()]; !known {
+				return &SafetyError{Rule: r, Msg: fmt.Sprintf(
+					"body atom %d: unknown builtin predicate %q", i+1, a.Rel.Val.StringVal())}
+			}
+			for _, t := range a.Args {
+				if t.IsVar() && !bound[t.Var] {
+					return &SafetyError{Rule: r, Msg: fmt.Sprintf(
+						"variable $%s of builtin atom %d is not bound by an earlier positive atom", t.Var, i+1)}
+				}
+			}
+			continue
+		}
+		if a.Neg {
+			for _, t := range a.Args {
+				if t.IsVar() && !bound[t.Var] {
+					return &SafetyError{Rule: r, Msg: fmt.Sprintf(
+						"variable $%s of negated atom %d is not bound by an earlier positive atom", t.Var, i+1)}
+				}
+			}
+			continue
+		}
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+	}
+	if r.Head.Rel.IsVar() && !bound[r.Head.Rel.Var] {
+		return &SafetyError{Rule: r, Msg: fmt.Sprintf("head relation variable $%s is not bound", r.Head.Rel.Var)}
+	}
+	if r.Head.Peer.IsVar() && !bound[r.Head.Peer.Var] {
+		return &SafetyError{Rule: r, Msg: fmt.Sprintf("head peer variable $%s is not bound", r.Head.Peer.Var)}
+	}
+	for _, t := range r.Head.Args {
+		if t.IsVar() && !bound[t.Var] {
+			return &SafetyError{Rule: r, Msg: fmt.Sprintf("head variable $%s is not bound", t.Var)}
+		}
+	}
+	if r.Head.Neg {
+		return &SafetyError{Rule: r, Msg: "head cannot be negated"}
+	}
+	if !r.Head.Peer.IsVar() && r.Head.Peer.Val.StringVal() == BuiltinPeer {
+		return &SafetyError{Rule: r, Msg: "head cannot target the builtin peer"}
+	}
+	return nil
+}
+
+// slotAllocator assigns frame slots to variable names.
+type slotAllocator struct {
+	slots map[string]int
+	names []string
+}
+
+func (s *slotAllocator) slot(name string) int {
+	if i, ok := s.slots[name]; ok {
+		return i
+	}
+	i := len(s.names)
+	s.slots[name] = i
+	s.names = append(s.names, name)
+	return i
+}
+
+func (s *slotAllocator) compileTerm(t ast.Term) termRef {
+	if t.IsVar() {
+		return termRef{isVar: true, slot: s.slot(t.Var)}
+	}
+	return termRef{val: t.Val}
+}
+
+func (s *slotAllocator) compileAtom(a ast.Atom) cAtom {
+	out := cAtom{
+		neg:  a.Neg,
+		rel:  s.compileTerm(a.Rel),
+		peer: s.compileTerm(a.Peer),
+		args: make([]termRef, len(a.Args)),
+	}
+	for i, t := range a.Args {
+		out.args[i] = s.compileTerm(t)
+	}
+	return out
+}
+
+// CompileRule checks safety and compiles a single rule. The rule is cloned;
+// the engine never aliases caller-owned memory.
+func (e *Engine) CompileRule(r ast.Rule) (*CompiledRule, error) {
+	if err := CheckSafety(r); err != nil {
+		return nil, err
+	}
+	r = r.Clone()
+	alloc := &slotAllocator{slots: map[string]int{}}
+	cr := &CompiledRule{Rule: &r}
+	// Compile body first so slot order follows binding order; the safety
+	// check guarantees the head only uses already-allocated slots.
+	cr.Body = make([]cAtom, len(r.Body))
+	for i, a := range r.Body {
+		cr.Body[i] = alloc.compileAtom(a)
+	}
+	cr.Head = alloc.compileAtom(r.Head)
+	cr.NumSlots = len(alloc.names)
+	cr.SlotNames = alloc.names
+	return cr, nil
+}
+
+// CompileProgram compiles and stratifies a rule set. Errors from individual
+// rules are joined; a stratification failure is reported for the whole set.
+func (e *Engine) CompileProgram(rules []ast.Rule) (*Program, error) {
+	prog := &Program{}
+	var errs []error
+	for _, r := range rules {
+		cr, err := e.CompileRule(r)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		prog.Rules = append(prog.Rules, cr)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	if err := e.stratify(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// CompileRules is the tolerant variant used by the peer runtime: rules that
+// fail safety checks are skipped (with their errors reported) and the rest
+// of the program still compiles. A stratification failure, which concerns
+// the rule set as a whole, returns a nil program.
+func (e *Engine) CompileRules(rules []ast.Rule) (*Program, []error) {
+	prog := &Program{}
+	var errs []error
+	for _, r := range rules {
+		cr, err := e.CompileRule(r)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		prog.Rules = append(prog.Rules, cr)
+	}
+	if err := e.stratify(prog); err != nil {
+		errs = append(errs, err)
+		return nil, errs
+	}
+	return prog, errs
+}

@@ -1,0 +1,175 @@
+// Package engine implements WebdamLog rule evaluation for a single peer's
+// computation stage, replacing the Bud datalog runtime used by the paper.
+//
+// A stage (paper §2, "WebdamLog peers, in brief") is: (1) load inputs
+// received from remote peers, (2) run a fixpoint of the local program,
+// (3) send facts (updates) and rules (delegations) to other peers. This
+// package implements step (2) and computes the outputs of step (3); the
+// peer package orchestrates the loop and the message passing.
+//
+// Evaluation is left-to-right per the paper ("Rule bodies in WebdamLog are
+// evaluated from left to right. The order matters"). When evaluation of a
+// body reaches an atom whose peer term resolves to a remote peer, the
+// remainder of the body — with the prefix's bindings substituted in — is
+// emitted as a residual rule delegated to that peer.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Options configures evaluation. The zero value is not useful; use
+// DefaultOptions as a base.
+type Options struct {
+	// SemiNaive enables semi-naive (delta-driven) fixpoint iteration.
+	// When false the engine re-evaluates all rules from scratch each
+	// iteration (naive evaluation; kept for the ablation benchmarks).
+	SemiNaive bool
+	// UseIndexes enables hash indexes on bound column subsets during joins.
+	UseIndexes bool
+	// MaxIterations bounds fixpoint iterations as a safety net.
+	MaxIterations int
+	// Tracer, when non-nil, observes every successful derivation.
+	Tracer Tracer
+}
+
+// DefaultOptions returns the production configuration.
+func DefaultOptions() Options {
+	return Options{SemiNaive: true, UseIndexes: true, MaxIterations: 1_000_000}
+}
+
+// Tracer observes derivations for provenance tracking and debugging.
+type Tracer interface {
+	// OnDerive is called for each successful rule firing: the produced head
+	// fact, the rule that fired, and the ground body atoms that supported it.
+	OnDerive(head ast.Fact, rule *ast.Rule, supports []ast.Fact)
+}
+
+// FactOp is a produced fact together with what to do with it (derive/insert
+// vs delete).
+type FactOp struct {
+	Op   ast.UpdateOp
+	Fact ast.Fact
+}
+
+// String renders the op for logs.
+func (f FactOp) String() string {
+	if f.Op == ast.Delete {
+		return "-" + f.Fact.String()
+	}
+	return "+" + f.Fact.String()
+}
+
+// Key returns a canonical dedupe key.
+func (f FactOp) Key() string {
+	if f.Op == ast.Delete {
+		return "-" + f.Fact.Key()
+	}
+	return "+" + f.Fact.Key()
+}
+
+// Result collects the outputs of one stage's fixpoint.
+type Result struct {
+	// LocalUpdates are +/- updates to local extensional relations, to be
+	// applied at the beginning of the next local stage.
+	LocalUpdates []FactOp
+	// Remote maps destination peer name to the facts to send it.
+	Remote map[string][]FactOp
+	// Delegations maps source rule ID -> target peer -> residual rules.
+	// The set for a (rule, target) pair replaces whatever that pair
+	// delegated in previous stages (delegation maintenance).
+	Delegations map[string]map[string][]ast.Rule
+	// Derived counts new intensional facts derived in this stage.
+	Derived int
+	// Iterations counts fixpoint iterations across all strata.
+	Iterations int
+	// Errors collects non-fatal runtime semantic errors (e.g. a deletion
+	// rule whose head resolved to an intensional relation).
+	Errors []error
+}
+
+// RemotePeers returns the destinations with pending facts, sorted.
+func (r *Result) RemotePeers() []string {
+	out := make([]string, 0, len(r.Remote))
+	for p := range r.Remote {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Engine evaluates compiled programs against a store on behalf of a peer.
+type Engine struct {
+	local string
+	db    *store.Store
+	opts  Options
+}
+
+// New creates an engine for the peer named local over db.
+func New(local string, db *store.Store, opts Options) *Engine {
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 1_000_000
+	}
+	return &Engine{local: local, db: db, opts: opts}
+}
+
+// Local returns the local peer name.
+func (e *Engine) Local() string { return e.local }
+
+// Store returns the underlying store.
+func (e *Engine) Store() *store.Store { return e.db }
+
+// Options returns the evaluation options.
+func (e *Engine) Options() Options { return e.opts }
+
+// termRef is a compiled term: either a constant or a slot in the rule's
+// variable frame.
+type termRef struct {
+	isVar bool
+	slot  int
+	val   value.Value
+}
+
+func (t termRef) String() string {
+	if t.isVar {
+		return fmt.Sprintf("$%d", t.slot)
+	}
+	return t.val.Literal()
+}
+
+// cAtom is a compiled atom.
+type cAtom struct {
+	neg  bool
+	rel  termRef
+	peer termRef
+	args []termRef
+}
+
+// CompiledRule is a rule compiled against a variable frame: each distinct
+// variable is assigned a slot index, and every term is resolved to either a
+// constant or a slot.
+type CompiledRule struct {
+	Rule      *ast.Rule
+	NumSlots  int
+	SlotNames []string
+	Head      cAtom
+	Body      []cAtom
+	Stratum   int
+}
+
+// String renders the original rule.
+func (c *CompiledRule) String() string { return c.Rule.String() }
+
+// Program is a compiled, stratified set of rules ready for RunStage.
+type Program struct {
+	Rules  []*CompiledRule
+	Strata [][]*CompiledRule
+}
+
+// RuleCount returns the number of rules in the program.
+func (p *Program) RuleCount() int { return len(p.Rules) }

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Stratification. The paper's language includes negation ("Although negation
+// is supported by the language, it is not yet implemented in the WebdamLog
+// system"); we implement it with the classic stratified semantics, applied
+// to the peer's local program each stage.
+//
+// Nodes of the dependency graph are the peer's local *intensional* relations
+// (extensional relations are frozen during a stage, so they impose no
+// ordering). Because WebdamLog allows variables in relation and peer
+// position, static analysis is necessarily conservative:
+//
+//   - a head with a variable relation or peer may derive into any local
+//     intensional relation ("wildcard head");
+//   - a body atom with a variable relation or peer may read any local
+//     intensional relation ("wildcard dependency").
+//
+// A program is rejected only if these conservative dependencies contain a
+// cycle through negation.
+
+// ErrNotStratifiable reports a program with a negation cycle.
+type ErrNotStratifiable struct {
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *ErrNotStratifiable) Error() string {
+	return "program is not stratifiable: " + e.Detail
+}
+
+// localIntensional returns the set of local intensional relation names that
+// currently exist in the store.
+func (e *Engine) localIntensional() map[string]bool {
+	out := map[string]bool{}
+	for _, r := range e.db.RelationsOf(e.local) {
+		if r.Kind() == ast.Intensional {
+			out[r.Name()] = true
+		}
+	}
+	return out
+}
+
+// headTargets returns the local intensional relations the rule's head might
+// derive into: nil for "none" and the full set for a wildcard head.
+func headTargets(cr *CompiledRule, idb map[string]bool, local string) []string {
+	h := cr.Head
+	if !h.peer.isVar {
+		if h.peer.val.StringVal() != local {
+			return nil // remote head: a message, not a local derivation
+		}
+	}
+	// Peer is local or a variable (conservatively possibly local).
+	if !h.rel.isVar {
+		name := h.rel.val.StringVal()
+		if idb[name] {
+			return []string{name}
+		}
+		return nil // extensional or undeclared head: an update, not a view
+	}
+	// Wildcard head.
+	out := make([]string, 0, len(idb))
+	for name := range idb {
+		out = append(out, name)
+	}
+	return out
+}
+
+// bodyDeps returns, for each body atom that may read a local intensional
+// relation, its possible relation names and whether the atom is negated.
+type bodyDep struct {
+	rels []string
+	neg  bool
+}
+
+func bodyDeps(cr *CompiledRule, idb map[string]bool, local string) []bodyDep {
+	var out []bodyDep
+	for _, a := range cr.Body {
+		if !a.peer.isVar && a.peer.val.StringVal() != local {
+			continue // definitely remote: evaluated by delegation at the remote peer
+		}
+		if !a.rel.isVar {
+			name := a.rel.val.StringVal()
+			if idb[name] {
+				out = append(out, bodyDep{rels: []string{name}, neg: a.neg})
+			}
+			continue
+		}
+		all := make([]string, 0, len(idb))
+		for name := range idb {
+			all = append(all, name)
+		}
+		if len(all) > 0 {
+			out = append(out, bodyDep{rels: all, neg: a.neg})
+		}
+	}
+	return out
+}
+
+// stratify assigns a stratum to every relation node and every rule, filling
+// prog.Strata. Rules with no local intensional head (pure update / message /
+// delegation rules) are placed after every stratum they depend on.
+func (e *Engine) stratify(prog *Program) error {
+	idb := e.localIntensional()
+	strata := map[string]int{}
+	for name := range idb {
+		strata[name] = 0
+	}
+	// Iterate the usual inequalities to a fixpoint; a stratum exceeding the
+	// node count certifies a negation cycle.
+	limit := len(idb) + 1
+	for changed := true; changed; {
+		changed = false
+		for _, cr := range prog.Rules {
+			heads := headTargets(cr, idb, e.local)
+			if len(heads) == 0 {
+				continue
+			}
+			deps := bodyDeps(cr, idb, e.local)
+			for _, h := range heads {
+				for _, d := range deps {
+					for _, b := range d.rels {
+						need := strata[b]
+						if d.neg {
+							need++
+						}
+						if strata[h] < need {
+							strata[h] = need
+							changed = true
+							if strata[h] > limit {
+								return &ErrNotStratifiable{Detail: fmt.Sprintf(
+									"relation %s@%s participates in a cycle through negation", h, e.local)}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	maxStratum := 0
+	for _, s := range strata {
+		if s > maxStratum {
+			maxStratum = s
+		}
+	}
+	// Place each rule: it must run no earlier than all its positive
+	// dependencies and strictly after its negated dependencies; deductive
+	// rules additionally run in their head's stratum.
+	for _, cr := range prog.Rules {
+		s := 0
+		for _, d := range bodyDeps(cr, idb, e.local) {
+			for _, b := range d.rels {
+				need := strata[b]
+				if d.neg {
+					need++
+				}
+				if s < need {
+					s = need
+				}
+			}
+		}
+		for _, h := range headTargets(cr, idb, e.local) {
+			if s < strata[h] {
+				s = strata[h]
+			}
+		}
+		if s > maxStratum {
+			maxStratum = s
+		}
+		cr.Stratum = s
+	}
+	prog.Strata = make([][]*CompiledRule, maxStratum+1)
+	for _, cr := range prog.Rules {
+		prog.Strata[cr.Stratum] = append(prog.Strata[cr.Stratum], cr)
+	}
+	return nil
+}

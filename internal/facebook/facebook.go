@@ -1,0 +1,304 @@
+// Package facebook simulates the external social-network service that the
+// paper's Facebook wrapper talks to. The real demonstration used the actual
+// Facebook API; this in-process substitute preserves the relevant behaviour:
+// a stateful service, outside the WebdamLog data model, holding users,
+// friendships, groups and group photos with comments and tags, reachable
+// only through an imperative API. The wrappers package adapts it to
+// WebdamLog relations exactly as the paper's wrapper exports
+// friends@ÉmilienFB and pictures@ÉmilienFB.
+package facebook
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Common service errors.
+var (
+	ErrNoSuchUser  = errors.New("facebook: no such user")
+	ErrNoSuchGroup = errors.New("facebook: no such group")
+	ErrNoSuchPhoto = errors.New("facebook: no such photo")
+	ErrDuplicate   = errors.New("facebook: duplicate")
+)
+
+// User is a registered account.
+type User struct {
+	ID   string
+	Name string
+}
+
+// Photo is a picture posted to a group.
+type Photo struct {
+	ID    int64
+	Group string
+	Owner string
+	Name  string
+	URL   string
+	Data  []byte
+}
+
+// Comment is a comment on a photo.
+type Comment struct {
+	PhotoID int64
+	Author  string
+	Text    string
+}
+
+// Tag marks a person appearing in a photo.
+type Tag struct {
+	PhotoID int64
+	Person  string
+}
+
+type user struct {
+	User
+	friends map[string]bool
+}
+
+type group struct {
+	id       string
+	name     string
+	members  map[string]bool
+	photos   map[int64]*Photo
+	comments []Comment
+	tags     []Tag
+	// byOwnerName deduplicates uploads of the same (owner, name) pair so a
+	// wrapper re-pushing relation contents is idempotent.
+	byOwnerName map[string]int64
+}
+
+// Service is the simulated social network. All methods are safe for
+// concurrent use.
+type Service struct {
+	mu       sync.RWMutex
+	users    map[string]*user
+	groups   map[string]*group
+	photoSeq int64
+}
+
+// NewService creates an empty service.
+func NewService() *Service {
+	return &Service{
+		users:  make(map[string]*user),
+		groups: make(map[string]*group),
+	}
+}
+
+// AddUser registers an account.
+func (s *Service) AddUser(id, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.users[id]; dup {
+		return fmt.Errorf("%w: user %q", ErrDuplicate, id)
+	}
+	s.users[id] = &user{User: User{ID: id, Name: name}, friends: make(map[string]bool)}
+	return nil
+}
+
+// UserName returns the display name of a user.
+func (s *Service) UserName(id string) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u, ok := s.users[id]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoSuchUser, id)
+	}
+	return u.Name, nil
+}
+
+// Befriend records a symmetric friendship between a and b.
+func (s *Service) Befriend(a, b string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ua, ok := s.users[a]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchUser, a)
+	}
+	ub, ok := s.users[b]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchUser, b)
+	}
+	ua.friends[b] = true
+	ub.friends[a] = true
+	return nil
+}
+
+// Friends returns the friends of a user, sorted by id.
+func (s *Service) Friends(id string) ([]User, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u, ok := s.users[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchUser, id)
+	}
+	ids := make([]string, 0, len(u.friends))
+	for f := range u.friends {
+		ids = append(ids, f)
+	}
+	sort.Strings(ids)
+	out := make([]User, 0, len(ids))
+	for _, f := range ids {
+		out = append(out, s.users[f].User)
+	}
+	return out, nil
+}
+
+// CreateGroup creates a group (the demo's "SigmodFB" group).
+func (s *Service) CreateGroup(id, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.groups[id]; dup {
+		return fmt.Errorf("%w: group %q", ErrDuplicate, id)
+	}
+	s.groups[id] = &group{
+		id: id, name: name,
+		members:     make(map[string]bool),
+		photos:      make(map[int64]*Photo),
+		byOwnerName: make(map[string]int64),
+	}
+	return nil
+}
+
+// JoinGroup adds a user to a group.
+func (s *Service) JoinGroup(userID, groupID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[userID]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchUser, userID)
+	}
+	g, ok := s.groups[groupID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchGroup, groupID)
+	}
+	g.members[userID] = true
+	return nil
+}
+
+// Members returns a group's member ids, sorted.
+func (s *Service) Members(groupID string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.groups[groupID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchGroup, groupID)
+	}
+	out := make([]string, 0, len(g.members))
+	for m := range g.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// PostPhoto publishes a photo to a group. Re-posting the same (owner, name)
+// pair returns the existing photo id, making wrapper pushes idempotent.
+func (s *Service) PostPhoto(groupID, owner, name string, data []byte) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[groupID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchGroup, groupID)
+	}
+	key := owner + "\x00" + name
+	if id, dup := g.byOwnerName[key]; dup {
+		return id, nil
+	}
+	s.photoSeq++
+	id := s.photoSeq
+	dataCopy := make([]byte, len(data))
+	copy(dataCopy, data)
+	g.photos[id] = &Photo{
+		ID:    id,
+		Group: groupID,
+		Owner: owner,
+		Name:  name,
+		URL:   fmt.Sprintf("https://fb.example/%s/photos/%d", groupID, id),
+		Data:  dataCopy,
+	}
+	g.byOwnerName[key] = id
+	return id, nil
+}
+
+// Photos returns a group's photos sorted by id.
+func (s *Service) Photos(groupID string) ([]Photo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.groups[groupID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchGroup, groupID)
+	}
+	out := make([]Photo, 0, len(g.photos))
+	for _, p := range g.photos {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// AddComment attaches a comment to a photo.
+func (s *Service) AddComment(groupID string, photoID int64, author, text string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[groupID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchGroup, groupID)
+	}
+	if _, ok := g.photos[photoID]; !ok {
+		return fmt.Errorf("%w: %d in %q", ErrNoSuchPhoto, photoID, groupID)
+	}
+	for _, c := range g.comments {
+		if c.PhotoID == photoID && c.Author == author && c.Text == text {
+			return nil // idempotent
+		}
+	}
+	g.comments = append(g.comments, Comment{PhotoID: photoID, Author: author, Text: text})
+	return nil
+}
+
+// Comments returns all comments in a group, in insertion order.
+func (s *Service) Comments(groupID string) ([]Comment, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.groups[groupID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchGroup, groupID)
+	}
+	out := make([]Comment, len(g.comments))
+	copy(out, g.comments)
+	return out, nil
+}
+
+// AddTag marks a person as appearing in a photo.
+func (s *Service) AddTag(groupID string, photoID int64, person string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[groupID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchGroup, groupID)
+	}
+	if _, ok := g.photos[photoID]; !ok {
+		return fmt.Errorf("%w: %d in %q", ErrNoSuchPhoto, photoID, groupID)
+	}
+	for _, tg := range g.tags {
+		if tg.PhotoID == photoID && tg.Person == person {
+			return nil // idempotent
+		}
+	}
+	g.tags = append(g.tags, Tag{PhotoID: photoID, Person: person})
+	return nil
+}
+
+// Tags returns all tags in a group, in insertion order.
+func (s *Service) Tags(groupID string) ([]Tag, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.groups[groupID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchGroup, groupID)
+	}
+	out := make([]Tag, len(g.tags))
+	copy(out, g.tags)
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package facebook
+
+import (
+	"errors"
+	"testing"
+)
+
+func seeded(t *testing.T) *Service {
+	t.Helper()
+	s := NewService()
+	for _, u := range [][2]string{{"emilien", "Emilien"}, {"jules", "Jules"}, {"julia", "Julia"}} {
+		if err := s.AddUser(u[0], u[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CreateGroup("g", "Group"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestUsersAndFriends(t *testing.T) {
+	s := seeded(t)
+	if err := s.AddUser("emilien", "Dup"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate user: %v", err)
+	}
+	if err := s.Befriend("emilien", "jules"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Befriend("emilien", "ghost"); !errors.Is(err, ErrNoSuchUser) {
+		t.Errorf("befriending ghost: %v", err)
+	}
+	ef, err := s.Friends("emilien")
+	if err != nil || len(ef) != 1 || ef[0].Name != "Jules" {
+		t.Errorf("emilien friends = %v (%v)", ef, err)
+	}
+	jf, err := s.Friends("jules")
+	if err != nil || len(jf) != 1 || jf[0].ID != "emilien" {
+		t.Errorf("friendship not symmetric: %v (%v)", jf, err)
+	}
+	if name, err := s.UserName("julia"); err != nil || name != "Julia" {
+		t.Errorf("UserName = %q (%v)", name, err)
+	}
+	if _, err := s.UserName("ghost"); !errors.Is(err, ErrNoSuchUser) {
+		t.Errorf("UserName(ghost): %v", err)
+	}
+}
+
+func TestGroupsAndMembers(t *testing.T) {
+	s := seeded(t)
+	if err := s.CreateGroup("g", "Again"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate group: %v", err)
+	}
+	if err := s.JoinGroup("emilien", "g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JoinGroup("ghost", "g"); !errors.Is(err, ErrNoSuchUser) {
+		t.Errorf("ghost join: %v", err)
+	}
+	if err := s.JoinGroup("jules", "nope"); !errors.Is(err, ErrNoSuchGroup) {
+		t.Errorf("join missing group: %v", err)
+	}
+	members, err := s.Members("g")
+	if err != nil || len(members) != 1 || members[0] != "emilien" {
+		t.Errorf("members = %v (%v)", members, err)
+	}
+}
+
+func TestPhotosIdempotentPost(t *testing.T) {
+	s := seeded(t)
+	id1, err := s.PostPhoto("g", "emilien", "sea.jpg", []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.PostPhoto("g", "emilien", "sea.jpg", []byte{1})
+	if err != nil || id2 != id1 {
+		t.Errorf("re-post: id %d vs %d (%v)", id1, id2, err)
+	}
+	id3, err := s.PostPhoto("g", "jules", "sea.jpg", []byte{2})
+	if err != nil || id3 == id1 {
+		t.Errorf("same name different owner must be a new photo")
+	}
+	photos, err := s.Photos("g")
+	if err != nil || len(photos) != 2 {
+		t.Fatalf("photos = %v (%v)", photos, err)
+	}
+	if photos[0].URL == "" || photos[0].Group != "g" {
+		t.Errorf("photo metadata = %+v", photos[0])
+	}
+}
+
+func TestPhotoDataIsolated(t *testing.T) {
+	s := seeded(t)
+	data := []byte{1, 2, 3}
+	if _, err := s.PostPhoto("g", "emilien", "x.jpg", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99
+	photos, _ := s.Photos("g")
+	if photos[0].Data[0] != 1 {
+		t.Error("service aliases caller's data slice")
+	}
+}
+
+func TestCommentsAndTags(t *testing.T) {
+	s := seeded(t)
+	id, err := s.PostPhoto("g", "emilien", "x.jpg", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddComment("g", id, "jules", "nice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddComment("g", id, "jules", "nice"); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if err := s.AddComment("g", 999, "jules", "nope"); !errors.Is(err, ErrNoSuchPhoto) {
+		t.Errorf("comment on missing photo: %v", err)
+	}
+	comments, err := s.Comments("g")
+	if err != nil || len(comments) != 1 {
+		t.Fatalf("comments = %v (%v)", comments, err)
+	}
+	if err := s.AddTag("g", id, "Serge"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTag("g", id, "Serge"); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	tags, err := s.Tags("g")
+	if err != nil || len(tags) != 1 || tags[0].Person != "Serge" {
+		t.Fatalf("tags = %v (%v)", tags, err)
+	}
+}
+
+func TestMissingGroupErrors(t *testing.T) {
+	s := seeded(t)
+	if _, err := s.Photos("nope"); !errors.Is(err, ErrNoSuchGroup) {
+		t.Errorf("Photos: %v", err)
+	}
+	if _, err := s.Comments("nope"); !errors.Is(err, ErrNoSuchGroup) {
+		t.Errorf("Comments: %v", err)
+	}
+	if _, err := s.Tags("nope"); !errors.Is(err, ErrNoSuchGroup) {
+		t.Errorf("Tags: %v", err)
+	}
+	if _, err := s.PostPhoto("nope", "emilien", "x", nil); !errors.Is(err, ErrNoSuchGroup) {
+		t.Errorf("PostPhoto: %v", err)
+	}
+}

@@ -1,0 +1,39 @@
+package parser
+
+import "testing"
+
+const benchProgram = `
+peer emilien;
+relation extensional pictures@emilien(id, name, owner, data);
+pictures@emilien(1, "sea.jpg", "emilien", 0xCAFE);
+pictures@emilien(2, "boat.jpg", "emilien", 0xBEEF);
+
+peer jules;
+relation extensional selectedAttendee@jules(attendee);
+relation intensional attendeePictures@jules(id, name, owner, data);
+selectedAttendee@jules("emilien");
+attendeePictures@jules($id,$name,$owner,$data) :-
+	selectedAttendee@jules($attendee),
+	pictures@$attendee($id,$name,$owner,$data),
+	not hidden@jules($id),
+	ge@builtin($id, 0);
+`
+
+func BenchmarkParseProgram(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchProgram); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseRule(b *testing.B) {
+	const rule = `attendeePictures@jules($id,$name,$owner,$data) :- selectedAttendee@jules($a), pictures@$a($id,$name,$owner,$data);`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRule(rule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,449 @@
+// Package parser parses WebdamLog source text into the ast package's types.
+//
+// Grammar (statements end with ';'):
+//
+//	program   := statement*
+//	statement := peerDecl | relDecl | factStmt | ruleStmt
+//	peerDecl  := "peer" IDENT [ STRING ] ";"
+//	relDecl   := "relation" kind IDENT "@" IDENT "(" cols ")" ";"
+//	kind      := "extensional" | "ext" | "intensional" | "int"
+//	factStmt  := atom ";"                       (atom must be ground)
+//	ruleStmt  := [ "+" | "-" ] atom ":-" atom ("," atom)* ";"
+//	atom      := [ "not" | "!" ] nameTerm "@" nameTerm "(" terms ")"
+//	nameTerm  := IDENT | VARIABLE
+//	term      := VARIABLE | STRING | NUMBER | HEX | "true" | "false" | IDENT
+//
+// Bare identifiers in argument position denote string constants, so
+// `rate@$owner($id, 5)` and `communicate@jules(email)` both parse. Negated
+// atoms use `not` (or `!`). A leading '-' on the head marks the deletion
+// extension.
+package parser
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/value"
+)
+
+// Error is a parse error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+}
+
+// Parse parses a whole WebdamLog program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &ast.Program{}
+	for !p.atEOF() {
+		if err := p.statement(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// ParseRule parses a single rule (with or without trailing ';').
+func ParseRule(src string) (ast.Rule, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	p := &parser{toks: toks}
+	r, err := p.rule()
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	if p.peek().Kind == lexer.Semi {
+		p.next()
+	}
+	if !p.atEOF() {
+		return ast.Rule{}, p.errHere("unexpected %s after rule", p.peek())
+	}
+	return r, nil
+}
+
+// ParseFact parses a single ground fact (with or without trailing ';').
+func ParseFact(src string) (ast.Fact, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return ast.Fact{}, err
+	}
+	p := &parser{toks: toks}
+	a, err := p.atom()
+	if err != nil {
+		return ast.Fact{}, err
+	}
+	if p.peek().Kind == lexer.Semi {
+		p.next()
+	}
+	if !p.atEOF() {
+		return ast.Fact{}, p.errHere("unexpected %s after fact", p.peek())
+	}
+	return atomToFact(p, a)
+}
+
+func (p *parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() lexer.Token {
+	if p.atEOF() {
+		return lexer.Token{Kind: lexer.EOF, Line: p.lastLine(), Col: p.lastCol()}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.peek()
+	if !p.atEOF() {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) lastLine() int {
+	if len(p.toks) == 0 {
+		return 1
+	}
+	return p.toks[len(p.toks)-1].Line
+}
+
+func (p *parser) lastCol() int {
+	if len(p.toks) == 0 {
+		return 1
+	}
+	return p.toks[len(p.toks)-1].Col + len(p.toks[len(p.toks)-1].Text)
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	t := p.peek()
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, p.errHere("expected %s, found %s", k, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) statement(prog *ast.Program) error {
+	t := p.peek()
+	if t.Kind == lexer.Ident {
+		switch t.Text {
+		case "peer":
+			return p.peerDecl(prog)
+		case "relation":
+			return p.relDecl(prog)
+		}
+	}
+	// Fact or rule.
+	op := ast.Derive
+	switch t.Kind {
+	case lexer.Plus:
+		p.next()
+	case lexer.Minus:
+		p.next()
+		op = ast.Delete
+	}
+	head, err := p.atom()
+	if err != nil {
+		return err
+	}
+	if head.Neg {
+		return p.errHere("rule head cannot be negated")
+	}
+	switch p.peek().Kind {
+	case lexer.Semi:
+		if op == ast.Derive {
+			p.next()
+			f, err := atomToFact(p, head)
+			if err != nil {
+				return err
+			}
+			prog.Facts = append(prog.Facts, f)
+			prog.Statements = append(prog.Statements, f)
+			return nil
+		}
+		// `-m@p(c…);` is a bodiless deletion rule.
+		p.next()
+		r := ast.Rule{Op: op, Head: head}
+		prog.Rules = append(prog.Rules, r)
+		prog.Statements = append(prog.Statements, r)
+		return nil
+	case lexer.ColonDash:
+		p.next()
+		body, err := p.body()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(lexer.Semi); err != nil {
+			return err
+		}
+		r := ast.Rule{Op: op, Head: head, Body: body}
+		prog.Rules = append(prog.Rules, r)
+		prog.Statements = append(prog.Statements, r)
+		return nil
+	default:
+		return p.errHere("expected ';' or ':-' after atom, found %s", p.peek())
+	}
+}
+
+func (p *parser) rule() (ast.Rule, error) {
+	op := ast.Derive
+	switch p.peek().Kind {
+	case lexer.Plus:
+		p.next()
+	case lexer.Minus:
+		p.next()
+		op = ast.Delete
+	}
+	head, err := p.atom()
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	if head.Neg {
+		return ast.Rule{}, p.errHere("rule head cannot be negated")
+	}
+	var body []ast.Atom
+	if p.peek().Kind == lexer.ColonDash {
+		p.next()
+		body, err = p.body()
+		if err != nil {
+			return ast.Rule{}, err
+		}
+	}
+	return ast.Rule{Op: op, Head: head, Body: body}, nil
+}
+
+func (p *parser) body() ([]ast.Atom, error) {
+	var body []ast.Atom
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, a)
+		if p.peek().Kind != lexer.Comma {
+			return body, nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) peerDecl(prog *ast.Program) error {
+	p.next() // "peer"
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return err
+	}
+	d := ast.PeerDecl{Name: name.Text}
+	if p.peek().Kind == lexer.String {
+		d.Addr = p.next().Text
+	}
+	if _, err := p.expect(lexer.Semi); err != nil {
+		return err
+	}
+	prog.Peers = append(prog.Peers, d)
+	prog.Statements = append(prog.Statements, d)
+	return nil
+}
+
+func (p *parser) relDecl(prog *ast.Program) error {
+	p.next() // "relation"
+	kindTok, err := p.expect(lexer.Ident)
+	if err != nil {
+		return err
+	}
+	var kind ast.RelKind
+	switch kindTok.Text {
+	case "extensional", "ext":
+		kind = ast.Extensional
+	case "intensional", "int":
+		kind = ast.Intensional
+	default:
+		return &Error{Line: kindTok.Line, Col: kindTok.Col,
+			Msg: fmt.Sprintf("expected 'extensional' or 'intensional', found %q", kindTok.Text)}
+	}
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(lexer.At); err != nil {
+		return err
+	}
+	peerTok, err := p.expect(lexer.Ident)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return err
+	}
+	var cols []string
+	if p.peek().Kind != lexer.RParen {
+		for {
+			col, err := p.expect(lexer.Ident)
+			if err != nil {
+				return err
+			}
+			cols = append(cols, col.Text)
+			if p.peek().Kind != lexer.Comma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return err
+	}
+	if _, err := p.expect(lexer.Semi); err != nil {
+		return err
+	}
+	d := ast.RelationDecl{Name: name.Text, Peer: peerTok.Text, Kind: kind, Cols: cols}
+	prog.Relations = append(prog.Relations, d)
+	prog.Statements = append(prog.Statements, d)
+	return nil
+}
+
+func (p *parser) atom() (ast.Atom, error) {
+	var a ast.Atom
+	t := p.peek()
+	if t.Kind == lexer.Bang || (t.Kind == lexer.Ident && t.Text == "not") {
+		// "not" only negates when followed by an atom; `not@p(...)` would be
+		// a relation named "not", which we disallow for clarity.
+		p.next()
+		a.Neg = true
+	}
+	rel, err := p.nameTerm("relation")
+	if err != nil {
+		return a, err
+	}
+	a.Rel = rel
+	if _, err := p.expect(lexer.At); err != nil {
+		return a, err
+	}
+	peer, err := p.nameTerm("peer")
+	if err != nil {
+		return a, err
+	}
+	a.Peer = peer
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return a, err
+	}
+	if p.peek().Kind != lexer.RParen {
+		for {
+			term, err := p.term()
+			if err != nil {
+				return a, err
+			}
+			a.Args = append(a.Args, term)
+			if p.peek().Kind != lexer.Comma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+func (p *parser) nameTerm(what string) (ast.Term, error) {
+	t := p.peek()
+	switch t.Kind {
+	case lexer.Ident:
+		p.next()
+		return ast.CStr(t.Text), nil
+	case lexer.Variable:
+		p.next()
+		return ast.V(t.Text), nil
+	default:
+		return ast.Term{}, p.errHere("expected %s name or variable, found %s", what, t)
+	}
+}
+
+func (p *parser) term() (ast.Term, error) {
+	t := p.peek()
+	switch t.Kind {
+	case lexer.Variable:
+		p.next()
+		return ast.V(t.Text), nil
+	case lexer.String:
+		p.next()
+		return ast.C(value.Str(t.Text)), nil
+	case lexer.Number:
+		p.next()
+		if i, err := strconv.ParseInt(t.Text, 10, 64); err == nil {
+			return ast.C(value.Int(i)), nil
+		}
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return ast.Term{}, &Error{Line: t.Line, Col: t.Col, Msg: "malformed number " + t.Text}
+		}
+		return ast.C(value.Float(f)), nil
+	case lexer.Hex:
+		p.next()
+		b, err := hex.DecodeString(pad(t.Text))
+		if err != nil {
+			return ast.Term{}, &Error{Line: t.Line, Col: t.Col, Msg: "malformed hex literal"}
+		}
+		return ast.C(value.Blob(b)), nil
+	case lexer.Ident:
+		p.next()
+		switch t.Text {
+		case "true":
+			return ast.C(value.Bool(true)), nil
+		case "false":
+			return ast.C(value.Bool(false)), nil
+		default:
+			// Bare identifier in argument position: a string constant.
+			return ast.C(value.Str(t.Text)), nil
+		}
+	default:
+		return ast.Term{}, p.errHere("expected term, found %s", t)
+	}
+}
+
+func pad(h string) string {
+	if len(h)%2 == 1 {
+		return "0" + h
+	}
+	return h
+}
+
+func atomToFact(p *parser, a ast.Atom) (ast.Fact, error) {
+	if a.Neg {
+		return ast.Fact{}, p.errHere("a fact cannot be negated")
+	}
+	if !a.IsGround() {
+		return ast.Fact{}, p.errHere("fact contains variables: %s", a.String())
+	}
+	args := make(value.Tuple, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = t.Val
+	}
+	return ast.Fact{
+		Rel:  a.Rel.Val.StringVal(),
+		Peer: a.Peer.Val.StringVal(),
+		Args: args,
+	}, nil
+}

@@ -1,0 +1,210 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+func TestParsePaperRule(t *testing.T) {
+	// Verbatim rule from §2 of the paper (modulo ASCII names).
+	r, err := ParseRule(`attendeePictures@Jules($id, $name, $owner, $data) :-
+		selectedAttendee@Jules($attendee),
+		pictures@$attendee($id, $name, $owner, $data);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Head.Rel.Val.StringVal() != "attendeePictures" || r.Head.Peer.Val.StringVal() != "Jules" {
+		t.Errorf("head = %v", r.Head)
+	}
+	if len(r.Body) != 2 {
+		t.Fatalf("body size = %d", len(r.Body))
+	}
+	if !r.Body[1].Peer.IsVar() || r.Body[1].Peer.Var != "attendee" {
+		t.Errorf("second atom peer = %v, want variable $attendee", r.Body[1].Peer)
+	}
+}
+
+func TestParseTransferRule(t *testing.T) {
+	// The §3 transfer rule: variable relation AND peer in the head.
+	r, err := ParseRule(`$protocol@$attendee($attendee, $name, $id, $owner) :-
+		selectedAttendee@Jules($attendee),
+		communicate@$attendee($protocol),
+		selectedPictures@Jules($name, $id, $owner);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Head.Rel.IsVar() || r.Head.Rel.Var != "protocol" {
+		t.Errorf("head relation = %v", r.Head.Rel)
+	}
+	if !r.Head.Peer.IsVar() || r.Head.Peer.Var != "attendee" {
+		t.Errorf("head peer = %v", r.Head.Peer)
+	}
+}
+
+func TestParseFactWithAllValueKinds(t *testing.T) {
+	f, err := ParseFact(`m@p(42, "str", 2.5, true, false, 0xBEEF, bare);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := value.Tuple{
+		value.Int(42), value.Str("str"), value.Float(2.5),
+		value.Bool(true), value.Bool(false), value.Blob([]byte{0xBE, 0xEF}), value.Str("bare"),
+	}
+	if !f.Args.Equal(want) {
+		t.Errorf("args = %v, want %v", f.Args, want)
+	}
+}
+
+func TestParseProgramStatements(t *testing.T) {
+	prog, err := Parse(`
+		peer alice "127.0.0.1:7001";
+		peer bob;
+		relation extensional edge@alice(a, b);
+		relation intensional tc@alice(a, b);
+		edge@alice("x", "y");
+		tc@alice($a,$b) :- edge@alice($a,$b);
+		-edge@alice("x", "y") :- tc@alice("x", "y");
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Peers) != 2 || prog.Peers[0].Addr != "127.0.0.1:7001" || prog.Peers[1].Addr != "" {
+		t.Errorf("peers = %v", prog.Peers)
+	}
+	if len(prog.Relations) != 2 || prog.Relations[1].Kind != ast.Intensional {
+		t.Errorf("relations = %v", prog.Relations)
+	}
+	if len(prog.Facts) != 1 || len(prog.Rules) != 2 {
+		t.Errorf("facts=%d rules=%d", len(prog.Facts), len(prog.Rules))
+	}
+	if prog.Rules[1].Op != ast.Delete {
+		t.Errorf("second rule op = %v, want Delete", prog.Rules[1].Op)
+	}
+	if len(prog.Statements) != 7 {
+		t.Errorf("statements = %d, want 7", len(prog.Statements))
+	}
+	// Statement order must interleave correctly.
+	if _, ok := prog.Statements[0].(ast.PeerDecl); !ok {
+		t.Errorf("statement 0 = %T", prog.Statements[0])
+	}
+	if _, ok := prog.Statements[4].(ast.Fact); !ok {
+		t.Errorf("statement 4 = %T", prog.Statements[4])
+	}
+}
+
+func TestNegationForms(t *testing.T) {
+	for _, src := range []string{
+		`ok@p($x) :- a@p($x), not bad@p($x);`,
+		`ok@p($x) :- a@p($x), !bad@p($x);`,
+	} {
+		r, err := ParseRule(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if !r.Body[1].Neg {
+			t.Errorf("%q: second atom not negated", src)
+		}
+	}
+}
+
+func TestBodilessDeletionFact(t *testing.T) {
+	prog, err := Parse(`-data@p("x");`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 || prog.Rules[0].Op != ast.Delete || len(prog.Rules[0].Body) != 0 {
+		t.Errorf("rules = %v", prog.Rules)
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	// Parsing the printed form of a rule must yield the same rule.
+	srcs := []string{
+		`tc@local($x, $z) :- tc@local($x, $y), edge@local($y, $z)`,
+		`$r@$p($x) :- names@local($r), peers@local($p), data@local($x)`,
+		`ok@p($x) :- a@p($x), not bad@p($x)`,
+		`-data@p($x) :- kill@p($x)`,
+		`m@p(1, "s", 2.5, true, 0xff) :- q@p(1)`,
+	}
+	for _, src := range srcs {
+		r1, err := ParseRule(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		r2, err := ParseRule(r1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", r1.String(), err)
+		}
+		if !r1.Equal(r2) {
+			t.Errorf("round trip changed rule: %q -> %q", src, r2.String())
+		}
+	}
+}
+
+func TestFactRoundTrip(t *testing.T) {
+	f1, err := ParseFact(`m@p(42, "a b", 0xdead, -1.5, false)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ParseFact(f1.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", f1.String(), err)
+	}
+	if !f1.Equal(f2) {
+		t.Errorf("round trip changed fact: %v -> %v", f1, f2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`m@p($x);`,                        // fact with variable
+		`not m@p("x");`,                   // negated fact
+		`m@p("x")`,                        // missing semicolon in program
+		`m@("x");`,                        // missing peer
+		`@p("x");`,                        // missing relation
+		`m@p("x") :- ;`,                   // empty body
+		`relation foo m@p(a);`,            // bad kind keyword
+		`relation ext m@p(a,);`,           // trailing comma
+		`peer "noname";`,                  // missing peer name
+		`m@p("x") :- not q@p("y") extra;`, // junk after body
+		`not m@p($x) :- q@p($x);`,         // negated head
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q parsed without error", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("m@p(\n  $x);")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line 2 position: %v", err)
+	}
+}
+
+func TestSingleRuleParserRejectsTrailingJunk(t *testing.T) {
+	if _, err := ParseRule(`a@p($x) :- b@p($x); extra@p();`); err == nil {
+		t.Error("trailing statement accepted by ParseRule")
+	}
+	if _, err := ParseFact(`a@p(1); b@p(2);`); err == nil {
+		t.Error("trailing statement accepted by ParseFact")
+	}
+}
+
+func TestOddLengthHexPadded(t *testing.T) {
+	f, err := ParseFact(`m@p(0xABC);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Args[0].BlobVal(); len(got) != 2 || got[0] != 0x0A || got[1] != 0xBC {
+		t.Errorf("blob = %x", got)
+	}
+}

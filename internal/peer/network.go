@@ -1,0 +1,124 @@
+package peer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Network is an in-process collection of peers connected by a transport.Bus,
+// with deterministic round-based scheduling and quiescence detection. It is
+// the harness used by tests, benchmarks, the examples and the single-process
+// demo mode ("launch their own Wepic peer" on one machine).
+type Network struct {
+	bus *transport.Bus
+
+	mu    sync.Mutex
+	peers map[string]*Peer
+	order []string
+}
+
+// NewNetwork creates an empty network over a fresh bus.
+func NewNetwork() *Network {
+	return &Network{bus: transport.NewBus(), peers: make(map[string]*Peer)}
+}
+
+// Bus returns the underlying transport bus.
+func (n *Network) Bus() *transport.Bus { return n.bus }
+
+// NewPeer creates a peer with the given config, attached to the network's
+// bus, and registers it.
+func (n *Network) NewPeer(cfg Config) (*Peer, error) {
+	ep := n.bus.Endpoint(cfg.Name)
+	p, err := New(cfg, ep)
+	if err != nil {
+		return nil, err
+	}
+	n.Add(p)
+	return p, nil
+}
+
+// Add registers an externally-created peer (it must be attached to this
+// network's bus for messages to flow).
+func (n *Network) Add(p *Peer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.peers[p.Name()]; dup {
+		return
+	}
+	n.peers[p.Name()] = p
+	n.order = append(n.order, p.Name())
+	sort.Strings(n.order)
+}
+
+// Peer returns the registered peer with the given name, or nil.
+func (n *Network) Peer(name string) *Peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peers[name]
+}
+
+// Peers returns all registered peers in name order.
+func (n *Network) Peers() []*Peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Peer, 0, len(n.order))
+	for _, name := range n.order {
+		out = append(out, n.peers[name])
+	}
+	return out
+}
+
+// ErrNoQuiescence reports that RunToQuiescence hit its round budget, which
+// usually means the program oscillates (e.g. rules that insert and delete
+// the same fact forever).
+type ErrNoQuiescence struct {
+	Rounds int
+}
+
+// Error implements the error interface.
+func (e *ErrNoQuiescence) Error() string {
+	return fmt.Sprintf("peer: network did not quiesce within %d rounds", e.Rounds)
+}
+
+// RunToQuiescence repeatedly runs a stage on every peer that has work, in
+// name order, until no peer has work (and hence no messages are in flight —
+// the bus delivers synchronously). It returns the number of rounds and the
+// total number of stages that actually ran. maxRounds bounds the loop.
+func (n *Network) RunToQuiescence(maxRounds int) (rounds, stages int, err error) {
+	if maxRounds <= 0 {
+		maxRounds = 1000
+	}
+	peers := n.Peers()
+	for r := 0; r < maxRounds; r++ {
+		progressed := false
+		for _, p := range peers {
+			if p.HasWork() {
+				rep := p.RunStage()
+				progressed = true
+				if rep.Ran {
+					stages++
+				}
+			}
+		}
+		if !progressed {
+			return r, stages, nil
+		}
+		rounds = r + 1
+	}
+	return rounds, stages, &ErrNoQuiescence{Rounds: maxRounds}
+}
+
+// StageAll runs exactly one stage on every peer that has work, in name
+// order. It returns the reports of the stages that ran.
+func (n *Network) StageAll() []*StageReport {
+	var out []*StageReport
+	for _, p := range n.Peers() {
+		if p.HasWork() {
+			out = append(out, p.RunStage())
+		}
+	}
+	return out
+}

@@ -1,0 +1,564 @@
+// Package peer implements the WebdamLog peer: a named participant that owns
+// relations, runs a rule program with the engine, and exchanges facts and
+// delegations with other peers over a transport.
+//
+// Each peer executes computation *stages* exactly as the paper describes
+// (§2): "First, the peer loads the inputs received from the remote peers
+// since the previous stage. Second, the peer runs a fixpoint computation of
+// its program. Third, the peer sends facts (updates) and rules
+// (delegations) to other peers."
+//
+// Programs are dynamic: rules can be added and removed at run time (the
+// Wepic "customize rules" scenario), and delegations install rules from
+// remote peers, subject to the access-control policy (acl package).
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/parser"
+	"repro/internal/protocol"
+	"repro/internal/provenance"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// Config configures a peer.
+type Config struct {
+	// Name is the peer's globally-unique name.
+	Name string
+	// Engine holds evaluation options; nil means engine.DefaultOptions.
+	Engine *engine.Options
+	// WAL, when non-nil, makes the peer's extensional relations durable.
+	WAL *store.WAL
+	// Policy controls incoming delegations; nil accepts everything.
+	Policy acl.Policy
+	// Provenance enables why-provenance tracking of derived facts.
+	Provenance bool
+	// Logf, when non-nil, receives debug log lines.
+	Logf func(format string, args ...any)
+}
+
+// Hooks lets wrappers synchronize external state around each stage.
+type Hooks interface {
+	// BeforeStage runs after inputs are ingested, before the fixpoint.
+	BeforeStage(p *Peer) error
+	// AfterStage runs after outputs have been sent.
+	AfterStage(p *Peer, rep *StageReport) error
+}
+
+// Stats accumulates peer-lifetime counters.
+type Stats struct {
+	Stages         uint64
+	StagesSkipped  uint64
+	FactsIn        uint64
+	FactsOut       uint64
+	DelegationsIn  uint64
+	DelegationsOut uint64
+	Withdrawals    uint64
+	Derived        uint64
+	UpdatesApplied uint64
+	RuntimeErrors  uint64
+}
+
+// StageReport describes one RunStage call.
+type StageReport struct {
+	Stage      uint64
+	Ran        bool // false when the stage was skipped (inputs changed nothing)
+	Derived    int
+	Iterations int
+	// Applied counts extensional updates applied during ingestion.
+	Applied int
+	// Seeds counts transient intensional facts ingested for this stage.
+	Seeds int
+	// FactsSent counts facts emitted to remote peers.
+	FactsSent int
+	// DelegationsSent counts delegation-set messages emitted (including
+	// withdrawals).
+	DelegationsSent int
+	// Ingest, Fixpoint and Emit decompose the stage latency (experiment P2).
+	Ingest   time.Duration
+	Fixpoint time.Duration
+	Emit     time.Duration
+	// Errors collects non-fatal problems (unsafe delegated rules, runtime
+	// semantic errors from the engine, transport failures).
+	Errors []error
+}
+
+// Duration returns the total stage latency.
+func (r *StageReport) Duration() time.Duration { return r.Ingest + r.Fixpoint + r.Emit }
+
+// delegationKey identifies an installed delegation group.
+type delegationKey struct {
+	Origin string
+	RuleID string
+}
+
+// Peer is one WebdamLog peer.
+type Peer struct {
+	name string
+	db   *store.Store
+	eng  *engine.Engine
+	ep   transport.Endpoint
+	wal  *store.WAL
+	prov *provenance.Store
+	ctrl *acl.Controller
+	logf func(string, ...any)
+
+	mu         sync.Mutex
+	ownRules   []ast.Rule
+	delegated  map[delegationKey][]ast.Rule
+	ruleSeq    int
+	progDirty  bool
+	prog       *engine.Program
+	compileErr []error
+
+	pendingOps []engine.FactOp // buffered updates for the next stage
+
+	lastSentDeleg map[string]map[string]string // ruleID -> target -> set fingerprint
+	ranOnce       bool
+	poked         bool
+	hooks         Hooks
+	stats         Stats
+	stageNo       uint64
+	wake          chan struct{}
+}
+
+// New creates a peer attached to the given transport endpoint. If cfg.WAL
+// is set, previously-logged state is recovered into the store first.
+func New(cfg Config, ep transport.Endpoint) (*Peer, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("peer: name must not be empty")
+	}
+	if ep == nil {
+		return nil, errors.New("peer: endpoint must not be nil")
+	}
+	if ep.Name() != cfg.Name {
+		return nil, fmt.Errorf("peer: endpoint is named %q, peer %q", ep.Name(), cfg.Name)
+	}
+	db := store.New()
+	if cfg.WAL != nil {
+		if err := cfg.WAL.Recover(db); err != nil {
+			return nil, fmt.Errorf("peer %s: recovering: %w", cfg.Name, err)
+		}
+	}
+	opts := engine.DefaultOptions()
+	if cfg.Engine != nil {
+		opts = *cfg.Engine
+	}
+	p := &Peer{
+		name:          cfg.Name,
+		db:            db,
+		ep:            ep,
+		wal:           cfg.WAL,
+		logf:          cfg.Logf,
+		delegated:     make(map[delegationKey][]ast.Rule),
+		lastSentDeleg: make(map[string]map[string]string),
+		wake:          make(chan struct{}, 1),
+	}
+	if cfg.Provenance {
+		p.prov = provenance.NewStore()
+		opts.Tracer = p.prov
+	}
+	p.eng = engine.New(cfg.Name, db, opts)
+	p.ctrl = acl.NewController(cfg.Policy, p.installDelegation)
+	return p, nil
+}
+
+// Name returns the peer's name.
+func (p *Peer) Name() string { return p.name }
+
+// Store returns the peer's relation store (read-mostly introspection; use
+// Insert/Delete for mutations so they are staged and logged properly).
+func (p *Peer) Store() *store.Store { return p.db }
+
+// Engine returns the peer's evaluation engine.
+func (p *Peer) Engine() *engine.Engine { return p.eng }
+
+// Endpoint returns the transport endpoint.
+func (p *Peer) Endpoint() transport.Endpoint { return p.ep }
+
+// Controller returns the delegation access controller.
+func (p *Peer) Controller() *acl.Controller { return p.ctrl }
+
+// Provenance returns the provenance store, or nil if disabled.
+func (p *Peer) Provenance() *provenance.Store { return p.prov }
+
+// SetHooks installs wrapper hooks (see Hooks).
+func (p *Peer) SetHooks(h Hooks) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hooks = h
+}
+
+// Stats returns a snapshot of lifetime counters.
+func (p *Peer) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+func (p *Peer) debugf(format string, args ...any) {
+	if p.logf != nil {
+		p.logf("[%s] "+format, append([]any{p.name}, args...)...)
+	}
+}
+
+func (p *Peer) kick() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// DeclareRelation declares (or re-checks) a relation owned by this peer.
+func (p *Peer) DeclareRelation(name string, kind ast.RelKind, cols ...string) error {
+	schema := store.Schema{Name: name, Peer: p.name, Kind: kind, Cols: cols}
+	rel := p.db.Get(name, p.name)
+	created := rel == nil
+	if _, err := p.db.Declare(schema); err != nil {
+		return fmt.Errorf("peer %s: %w", p.name, err)
+	}
+	if created && p.wal != nil && kind == ast.Extensional {
+		if err := p.wal.LogDeclare(schema); err != nil {
+			return fmt.Errorf("peer %s: %w", p.name, err)
+		}
+	}
+	if created {
+		// New relations can change conservative stratification.
+		p.mu.Lock()
+		p.progDirty = true
+		p.mu.Unlock()
+		p.kick()
+	}
+	return nil
+}
+
+// AddRule parses src and adds it to the peer's own program, returning the
+// assigned rule id.
+func (p *Peer) AddRule(src string) (string, error) {
+	r, err := parser.ParseRule(src)
+	if err != nil {
+		return "", fmt.Errorf("peer %s: %w", p.name, err)
+	}
+	return p.AddRuleAST(r)
+}
+
+// AddRuleAST adds an already-parsed rule, assigning it an id if it has none.
+// The rule is checked for safety immediately so the caller learns about
+// unusable rules synchronously.
+func (p *Peer) AddRuleAST(r ast.Rule) (string, error) {
+	if err := engine.CheckSafety(r); err != nil {
+		return "", fmt.Errorf("peer %s: %w", p.name, err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r.ID == "" {
+		p.ruleSeq++
+		r.ID = fmt.Sprintf("r%d", p.ruleSeq)
+	}
+	for _, have := range p.ownRules {
+		if have.ID == r.ID {
+			return "", fmt.Errorf("peer %s: duplicate rule id %q", p.name, r.ID)
+		}
+	}
+	if r.Origin == "" {
+		r.Origin = p.name
+	}
+	p.ownRules = append(p.ownRules, r)
+	p.progDirty = true
+	p.kick()
+	return r.ID, nil
+}
+
+// RemoveRule removes an own rule by id. Any delegations this rule installed
+// at other peers are withdrawn at the end of the next stage.
+func (p *Peer) RemoveRule(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, r := range p.ownRules {
+		if r.ID == id {
+			p.ownRules = append(p.ownRules[:i], p.ownRules[i+1:]...)
+			p.progDirty = true
+			p.kick()
+			return nil
+		}
+	}
+	return fmt.Errorf("peer %s: no rule with id %q", p.name, id)
+}
+
+// ReplaceRule atomically swaps the rule with the given id for a new rule
+// parsed from src, keeping the id (the Wepic rule-customization flow).
+func (p *Peer) ReplaceRule(id, src string) error {
+	r, err := parser.ParseRule(src)
+	if err != nil {
+		return fmt.Errorf("peer %s: %w", p.name, err)
+	}
+	if err := engine.CheckSafety(r); err != nil {
+		return fmt.Errorf("peer %s: %w", p.name, err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.ownRules {
+		if p.ownRules[i].ID == id {
+			r.ID = id
+			r.Origin = p.name
+			p.ownRules[i] = r
+			p.progDirty = true
+			p.kick()
+			return nil
+		}
+	}
+	return fmt.Errorf("peer %s: no rule with id %q", p.name, id)
+}
+
+// Rules returns the peer's own rules (copies), in insertion order.
+func (p *Peer) Rules() []ast.Rule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ast.Rule, len(p.ownRules))
+	for i, r := range p.ownRules {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// DelegatedRules returns the rules installed by remote peers, grouped by
+// origin, in deterministic order.
+func (p *Peer) DelegatedRules() map[string][]ast.Rule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := map[string][]ast.Rule{}
+	keys := make([]delegationKey, 0, len(p.delegated))
+	for k := range p.delegated {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Origin != keys[j].Origin {
+			return keys[i].Origin < keys[j].Origin
+		}
+		return keys[i].RuleID < keys[j].RuleID
+	})
+	for _, k := range keys {
+		for _, r := range p.delegated[k] {
+			out[k.Origin] = append(out[k.Origin], r.Clone())
+		}
+	}
+	return out
+}
+
+// ProgramText renders the peer's full program (own + delegated rules) the
+// way the demo UI displays it.
+func (p *Peer) ProgramText() string {
+	var sb strings.Builder
+	for _, r := range p.Rules() {
+		sb.WriteString(r.String())
+		sb.WriteString(";\n")
+	}
+	for origin, rules := range p.DelegatedRules() {
+		for _, r := range rules {
+			fmt.Fprintf(&sb, "%s; // delegated by %s\n", r.String(), origin)
+		}
+	}
+	return sb.String()
+}
+
+// installDelegation is the acl.Controller callback: it replaces the rule set
+// delegated by (origin, ruleID). nil rules withdraws the group.
+func (p *Peer) installDelegation(origin, ruleID string, rules []ast.Rule) {
+	key := delegationKey{Origin: origin, RuleID: ruleID}
+	// Localize ids deterministically so that re-delegation downstream has a
+	// stable identity across stages.
+	sorted := make([]ast.Rule, len(rules))
+	for i, r := range rules {
+		sorted[i] = r.Clone()
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].String() < sorted[j].String() })
+	for i := range sorted {
+		sorted[i].ID = fmt.Sprintf("d[%s/%s]/%d", origin, ruleID, i)
+		sorted[i].Origin = origin
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(sorted) == 0 {
+		if _, had := p.delegated[key]; !had {
+			return // withdrawal of nothing: no change
+		}
+		delete(p.delegated, key)
+		p.progDirty = true
+		p.kick()
+		return
+	}
+	if sameRules(p.delegated[key], sorted) {
+		return // maintenance resend with no change: do not re-trigger work
+	}
+	p.delegated[key] = sorted
+	p.progDirty = true
+	p.kick()
+}
+
+func sameRules(a, b []ast.Rule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Insert stages the insertion of a fact. Facts for this peer are applied at
+// the start of the next local stage; facts for other peers are sent to them
+// immediately.
+func (p *Peer) Insert(f ast.Fact) error { return p.update(ast.Derive, f) }
+
+// Delete stages the deletion of a fact, with the same routing as Insert.
+func (p *Peer) Delete(f ast.Fact) error { return p.update(ast.Delete, f) }
+
+// InsertString parses a fact in concrete syntax and stages its insertion.
+func (p *Peer) InsertString(src string) error {
+	f, err := parser.ParseFact(src)
+	if err != nil {
+		return fmt.Errorf("peer %s: %w", p.name, err)
+	}
+	return p.Insert(f)
+}
+
+// DeleteString parses a fact in concrete syntax and stages its deletion.
+func (p *Peer) DeleteString(src string) error {
+	f, err := parser.ParseFact(src)
+	if err != nil {
+		return fmt.Errorf("peer %s: %w", p.name, err)
+	}
+	return p.Delete(f)
+}
+
+func (p *Peer) update(op ast.UpdateOp, f ast.Fact) error {
+	if f.Peer != p.name {
+		del := op == ast.Delete
+		err := p.ep.Send(f.Peer, protocol.FactsMsg{Ops: []protocol.FactDelta{{Delete: del, Fact: f}}})
+		if err != nil {
+			return fmt.Errorf("peer %s: sending update for %s: %w", p.name, f.String(), err)
+		}
+		return nil
+	}
+	p.mu.Lock()
+	p.pendingOps = append(p.pendingOps, engine.FactOp{Op: op, Fact: f})
+	p.mu.Unlock()
+	p.kick()
+	return nil
+}
+
+// LoadProgram applies a parsed program unit: relation declarations for this
+// peer, staged facts, and rules. Declarations for other peers are ignored
+// (they describe the remote schema for the reader's benefit).
+func (p *Peer) LoadProgram(prog *ast.Program) error {
+	for _, d := range prog.Relations {
+		if d.Peer != p.name {
+			continue
+		}
+		if err := p.DeclareRelation(d.Name, d.Kind, d.Cols...); err != nil {
+			return err
+		}
+	}
+	for _, f := range prog.Facts {
+		if err := p.Insert(f); err != nil {
+			return err
+		}
+	}
+	for _, r := range prog.Rules {
+		if _, err := p.AddRuleAST(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSource parses src and applies it with LoadProgram.
+func (p *Peer) LoadSource(src string) error {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return fmt.Errorf("peer %s: %w", p.name, err)
+	}
+	return p.LoadProgram(prog)
+}
+
+// Query returns the current tuples of a local relation, sorted. Views are
+// as of the last completed stage.
+func (p *Peer) Query(relName string) []value.Tuple {
+	rel := p.db.Get(relName, p.name)
+	if rel == nil {
+		return nil
+	}
+	return rel.Tuples()
+}
+
+// QueryFacts is Query but renders tuples as facts.
+func (p *Peer) QueryFacts(relName string) []ast.Fact {
+	var out []ast.Fact
+	for _, t := range p.Query(relName) {
+		out = append(out, ast.Fact{Rel: relName, Peer: p.name, Args: t})
+	}
+	return out
+}
+
+// HasWork reports whether a stage would make progress: unread inbox
+// messages, staged updates, transient seeds, program changes, or the very
+// first stage.
+func (p *Peer) HasWork() bool {
+	if p.ep.Pending() > 0 {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pendingOps) > 0 || p.progDirty || !p.ranOnce || p.poked
+}
+
+// Poke schedules a stage attempt even though no inputs are queued. Wrappers
+// call it after external services change out-of-band, so the next stage's
+// pull hook observes the fresh state. If the pull changes nothing, the
+// stage is skipped as usual.
+func (p *Peer) Poke() {
+	p.mu.Lock()
+	p.poked = true
+	p.mu.Unlock()
+	p.kick()
+}
+
+// CompileErrors returns the rule errors from the most recent compilation
+// (unsafe delegated rules are skipped but reported here).
+func (p *Peer) CompileErrors() []error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]error, len(p.compileErr))
+	copy(out, p.compileErr)
+	return out
+}
+
+// Close flushes durable state and detaches from the transport.
+func (p *Peer) Close() error {
+	var errs []error
+	if p.wal != nil {
+		if err := p.wal.Sync(); err != nil {
+			errs = append(errs, err)
+		}
+		if err := p.wal.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := p.ep.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,163 @@
+package peer
+
+import (
+	"testing"
+
+	"repro/internal/acl"
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// TestProvenanceRecordedAcrossStages checks that why-provenance is captured
+// for facts derived during a peer stage, including multi-rule chains.
+func TestProvenanceRecordedAcrossStages(t *testing.T) {
+	n := NewNetwork()
+	p, err := n.NewPeer(Config{Name: "alice", Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadSource(`
+		relation extensional pictures@alice(id);
+		relation extensional private@alice(id);
+		relation intensional album@alice(id);
+		relation intensional featured@alice(id);
+		pictures@alice(1);
+		private@alice(1);
+		album@alice($x) :- pictures@alice($x), private@alice($x);
+		featured@alice($x) :- album@alice($x);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+
+	prov := p.Provenance()
+	album := ast.NewFact("album", "alice", value.Int(1))
+	featured := ast.NewFact("featured", "alice", value.Int(1))
+	why := prov.Why(album)
+	if len(why) != 1 || len(why[0].Supports) != 2 {
+		t.Fatalf("why(album) = %v", why)
+	}
+	// featured's base supports reach through album to the two base facts.
+	base := prov.BaseSupports(featured)
+	if len(base) != 2 {
+		t.Fatalf("base supports = %v, want the 2 extensional facts", base)
+	}
+	for _, f := range base {
+		if f.Rel != "pictures" && f.Rel != "private" {
+			t.Errorf("unexpected base support %v", f)
+		}
+	}
+}
+
+// TestViewGuardOverPeerProvenance wires the paper's sketched model end to
+// end: grants on stored relations + the provenance-derived default policy
+// for views, with declassification as the override.
+func TestViewGuardOverPeerProvenance(t *testing.T) {
+	n := NewNetwork()
+	p, err := n.NewPeer(Config{Name: "alice", Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadSource(`
+		relation extensional pictures@alice(id);
+		relation extensional private@alice(id);
+		relation intensional album@alice(id);
+		pictures@alice(1);
+		private@alice(1);
+		album@alice($x) :- pictures@alice($x), private@alice($x);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+
+	grants := acl.NewGrants("alice")
+	guard := acl.NewViewGuard(grants, p.Provenance())
+	view := ast.NewFact("album", "alice", value.Int(1))
+
+	// Bob can read pictures but not private: the view is denied.
+	grants.Grant("pictures", "bob", acl.ReadPriv)
+	if guard.CanRead("bob", view, true) {
+		t.Error("view readable although a base fact is not granted")
+	}
+	// Granting the second base relation opens the view.
+	grants.Grant("private", "bob", acl.ReadPriv)
+	if !guard.CanRead("bob", view, true) {
+		t.Error("view denied although all base facts are granted")
+	}
+	// Declassification: carol gets the view without any base grants.
+	if guard.CanRead("carol", view, true) {
+		t.Error("carol must not read before declassification")
+	}
+	guard.Declassify("album")
+	grants.Grant("album", "carol", acl.ReadPriv)
+	if !guard.CanRead("carol", view, true) {
+		t.Error("declassified view with a direct grant must be readable")
+	}
+}
+
+// TestProvenanceResetsPerStage checks that stale derivations do not leak
+// across stages (views are recomputed, so is their provenance).
+func TestProvenanceResetsPerStage(t *testing.T) {
+	n := NewNetwork()
+	p, err := n.NewPeer(Config{Name: "alice", Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadSource(`
+		relation extensional src@alice(x);
+		relation intensional view@alice(x);
+		src@alice("a");
+		view@alice($x) :- src@alice($x);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+	old := ast.NewFact("view", "alice", value.Str("a"))
+	if !p.Provenance().IsDerived(old) {
+		t.Fatal("derivation not recorded")
+	}
+	if err := p.DeleteString(`src@alice("a");`); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertString(`src@alice("b");`); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+	if p.Provenance().IsDerived(old) {
+		t.Error("stale provenance for a fact no longer derivable")
+	}
+	if !p.Provenance().IsDerived(ast.NewFact("view", "alice", value.Str("b"))) {
+		t.Error("fresh derivation missing")
+	}
+}
+
+// TestStageReportShape sanity-checks the metrics the benchmarks rely on.
+func TestStageReportShape(t *testing.T) {
+	n := NewNetwork()
+	p, err := n.NewPeer(Config{Name: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadSource(`
+		relation extensional a@alice(x);
+		relation intensional b@alice(x);
+		a@alice("v");
+		b@alice($x) :- a@alice($x);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.RunStage()
+	if !rep.Ran || rep.Stage != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.Applied != 1 || rep.Derived != 1 {
+		t.Errorf("applied=%d derived=%d", rep.Applied, rep.Derived)
+	}
+	if rep.Duration() <= 0 {
+		t.Error("durations not recorded")
+	}
+	stats := p.Stats()
+	if stats.Stages != 1 || stats.Derived != 1 || stats.UpdatesApplied != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}

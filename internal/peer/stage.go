@@ -1,0 +1,391 @@
+package peer
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/protocol"
+	"repro/internal/store"
+)
+
+// RunStage executes one computation stage: ingest inputs, run the fixpoint,
+// emit outputs. If ingestion changed nothing (all inbox messages were
+// no-ops, no staged updates, no program change), the fixpoint and emission
+// are skipped — the previous stage's outputs already reflect this state,
+// which is what lets a network of peers reach quiescence.
+func (p *Peer) RunStage() *StageReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	rep := &StageReport{Stage: p.stageNo + 1}
+	startIngest := time.Now()
+	p.poked = false
+
+	changed := p.ingestLocked(rep)
+	if p.prov != nil {
+		p.prov.Reset()
+	}
+	if hooks := p.hooks; hooks != nil {
+		// Wrapper pull hook: let the external service refresh the wrapper's
+		// relations. Detect changes via relation version counters, since the
+		// hook mutates relations directly.
+		before := p.storeVersionLocked()
+		p.mu.Unlock()
+		err := hooks.BeforeStage(p)
+		p.mu.Lock()
+		if err != nil {
+			rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: before-stage hook: %w", p.name, err))
+		}
+		if p.storeVersionLocked() != before {
+			changed = true
+		}
+	}
+	if p.progDirty {
+		p.compileLocked(rep)
+		changed = true
+	}
+	if !p.ranOnce {
+		changed = true
+	}
+	rep.Ingest = time.Since(startIngest)
+
+	if !changed {
+		p.stats.StagesSkipped++
+		return rep
+	}
+
+	p.stageNo++
+	rep.Stage = p.stageNo
+	p.ranOnce = true
+	rep.Ran = true
+
+	// Step 2: fixpoint. Intensional relations are recomputed from scratch
+	// each stage; seeds ingested above were inserted after the clear.
+	startFix := time.Now()
+	var res *engine.Result
+	if p.prog != nil {
+		res = p.eng.RunStage(p.prog)
+	} else {
+		res = &engine.Result{}
+	}
+	rep.Fixpoint = time.Since(startFix)
+	rep.Derived = res.Derived
+	rep.Iterations = res.Iterations
+	rep.Errors = append(rep.Errors, res.Errors...)
+
+	// Step 3: emit. Local updates buffer for the next stage; remote facts
+	// and delegations go out now.
+	startEmit := time.Now()
+	p.pendingOps = append(p.pendingOps, res.LocalUpdates...)
+	p.emitFactsLocked(res, rep)
+	p.emitDelegationsLocked(res, rep)
+	rep.Emit = time.Since(startEmit)
+
+	p.stats.Stages++
+	p.stats.Derived += uint64(res.Derived)
+	p.stats.RuntimeErrors += uint64(len(res.Errors))
+
+	if hooks := p.hooks; hooks != nil {
+		// Run the hook outside the lock: it may call back into the peer.
+		p.mu.Unlock()
+		err := hooks.AfterStage(p, rep)
+		p.mu.Lock()
+		if err != nil {
+			rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: after-stage hook: %w", p.name, err))
+		}
+	}
+	return rep
+}
+
+// ingestLocked performs step 1 of the stage and reports whether anything
+// about the peer's state actually changed.
+func (p *Peer) ingestLocked(rep *StageReport) bool {
+	changed := false
+
+	// Clear the per-stage views before seeding them.
+	p.db.ClearIntensional()
+
+	// Apply updates staged by the previous stage and by the local API.
+	ops := p.pendingOps
+	p.pendingOps = nil
+	for _, op := range ops {
+		if p.applyFactLocked(op.Op == ast.Delete, op.Fact, rep) {
+			changed = true
+		}
+	}
+
+	// Drain the transport inbox.
+	envs := p.ep.Drain()
+	for _, env := range envs {
+		switch msg := env.Msg.(type) {
+		case protocol.FactsMsg:
+			for _, d := range msg.Ops {
+				p.stats.FactsIn++
+				if d.Fact.Peer != p.name {
+					rep.Errors = append(rep.Errors, fmt.Errorf(
+						"peer %s: misrouted fact %s from %s", p.name, d.Fact.String(), env.From))
+					continue
+				}
+				if p.applyFactLocked(d.Delete, d.Fact, rep) {
+					changed = true
+				}
+			}
+		case protocol.DelegationMsg:
+			p.stats.DelegationsIn++
+			// The controller's install callback takes p.mu; release it for
+			// the duration of the decision.
+			p.mu.Unlock()
+			p.ctrl.OnDelegation(env.From, msg.RuleID, msg.Rules)
+			p.mu.Lock()
+			// installDelegation sets progDirty only on real changes; fold
+			// that into `changed` via the progDirty check in RunStage.
+		case protocol.ControlMsg:
+			if msg.Kind == protocol.ControlPing {
+				if err := p.ep.Send(env.From, protocol.ControlMsg{Kind: protocol.ControlPong, Token: msg.Token}); err != nil {
+					rep.Errors = append(rep.Errors, err)
+				}
+			}
+		default:
+			rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: unknown message %T from %s", p.name, env.Msg, env.From))
+		}
+	}
+
+	if p.wal != nil && rep.Applied > 0 {
+		if err := p.wal.Sync(); err != nil {
+			rep.Errors = append(rep.Errors, err)
+		}
+	}
+	return changed
+}
+
+// applyFactLocked routes one fact delta: extensional relations are updated
+// durably now; intensional facts become transient seeds for this stage.
+// It returns true if the peer's state changed.
+func (p *Peer) applyFactLocked(del bool, f ast.Fact, rep *StageReport) bool {
+	rel := p.db.Get(f.Rel, p.name)
+	if rel == nil {
+		if del {
+			return false // deleting from an unknown relation: nothing to do
+		}
+		// "Peers may discover … new relations": auto-declare extensional.
+		schema := store.Schema{Name: f.Rel, Peer: p.name, Kind: ast.Extensional, Cols: genericCols(len(f.Args))}
+		var err error
+		rel, err = p.db.Declare(schema)
+		if err != nil {
+			rep.Errors = append(rep.Errors, err)
+			return false
+		}
+		if p.wal != nil {
+			if err := p.wal.LogDeclare(schema); err != nil {
+				rep.Errors = append(rep.Errors, err)
+			}
+		}
+	}
+	if len(f.Args) != rel.Schema().Arity() {
+		rep.Errors = append(rep.Errors, fmt.Errorf(
+			"peer %s: fact %s has wrong arity for %s", p.name, f.String(), rel.Schema().ID()))
+		return false
+	}
+	if rel.Kind() == ast.Intensional {
+		if del {
+			rep.Errors = append(rep.Errors, fmt.Errorf(
+				"peer %s: cannot delete transient fact %s from intensional relation", p.name, f.String()))
+			return false
+		}
+		// Transient: hold for one stage. Seeding happens in ingestLocked
+		// after the intensional clear, so stash directly into the relation
+		// if we are mid-ingest; seeds queued between stages land in p.seeds.
+		rel.Insert(f.Args)
+		rep.Seeds++
+		return true
+	}
+	var changed bool
+	if del {
+		changed = rel.Delete(f.Args)
+	} else {
+		changed = rel.Insert(f.Args)
+	}
+	if changed {
+		rep.Applied++
+		p.stats.UpdatesApplied++
+		if p.wal != nil {
+			var err error
+			if del {
+				err = p.wal.LogDelete(f.Rel, f.Peer, f.Args)
+			} else {
+				err = p.wal.LogInsert(f.Rel, f.Peer, f.Args)
+			}
+			if err != nil {
+				rep.Errors = append(rep.Errors, err)
+			}
+		}
+	}
+	return changed
+}
+
+// compileLocked rebuilds the engine program from own + delegated rules.
+// Unsafe rules are skipped with errors recorded; if stratification fails
+// with delegated rules included, the peer falls back to its own rules so a
+// hostile delegation cannot wedge it.
+func (p *Peer) compileLocked(rep *StageReport) {
+	all := make([]ast.Rule, 0, len(p.ownRules)+len(p.delegated))
+	all = append(all, p.ownRules...)
+	keys := make([]delegationKey, 0, len(p.delegated))
+	for k := range p.delegated {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Origin != keys[j].Origin {
+			return keys[i].Origin < keys[j].Origin
+		}
+		return keys[i].RuleID < keys[j].RuleID
+	})
+	for _, k := range keys {
+		all = append(all, p.delegated[k]...)
+	}
+	prog, errs := p.eng.CompileRules(all)
+	if prog == nil {
+		rep.Errors = append(rep.Errors, fmt.Errorf(
+			"peer %s: program with delegated rules does not stratify; quarantining delegations", p.name))
+		var errs2 []error
+		prog, errs2 = p.eng.CompileRules(p.ownRules)
+		errs = append(errs, errs2...)
+	}
+	p.compileErr = errs
+	for _, err := range errs {
+		rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: %w", p.name, err))
+	}
+	p.prog = prog
+	p.progDirty = false
+}
+
+func (p *Peer) emitFactsLocked(res *engine.Result, rep *StageReport) {
+	for _, dst := range res.RemotePeers() {
+		ops := res.Remote[dst]
+		deltas := make([]protocol.FactDelta, len(ops))
+		for i, op := range ops {
+			deltas[i] = protocol.FactDelta{Delete: op.Op == ast.Delete, Fact: op.Fact}
+		}
+		if err := p.ep.Send(dst, protocol.FactsMsg{Ops: deltas}); err != nil {
+			rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: sending facts to %s: %w", p.name, dst, err))
+			continue
+		}
+		rep.FactsSent += len(deltas)
+		p.stats.FactsOut += uint64(len(deltas))
+	}
+}
+
+// emitDelegationsLocked sends the current residual sets and withdraws the
+// (rule, target) pairs that no longer produce residuals — the paper's
+// delegation maintenance.
+func (p *Peer) emitDelegationsLocked(res *engine.Result, rep *StageReport) {
+	current := make(map[string]map[string]string, len(res.Delegations))
+	ruleIDs := make([]string, 0, len(res.Delegations))
+	for ruleID := range res.Delegations {
+		ruleIDs = append(ruleIDs, ruleID)
+	}
+	sort.Strings(ruleIDs)
+	for _, ruleID := range ruleIDs {
+		byTarget := res.Delegations[ruleID]
+		targets := make([]string, 0, len(byTarget))
+		for t := range byTarget {
+			targets = append(targets, t)
+		}
+		sort.Strings(targets)
+		for _, target := range targets {
+			rules := byTarget[target]
+			sort.Slice(rules, func(i, j int) bool { return rules[i].String() < rules[j].String() })
+			fp := fingerprint(rules)
+			if current[ruleID] == nil {
+				current[ruleID] = map[string]string{}
+			}
+			current[ruleID][target] = fp
+			if p.lastSentDeleg[ruleID][target] == fp {
+				continue // unchanged since last send
+			}
+			if err := p.ep.Send(target, protocol.DelegationMsg{RuleID: ruleID, Rules: rules}); err != nil {
+				rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: delegating to %s: %w", p.name, target, err))
+				delete(current[ruleID], target) // retry next stage
+				continue
+			}
+			rep.DelegationsSent++
+			p.stats.DelegationsOut++
+		}
+	}
+	// Withdrawals: (rule, target) pairs that had residuals before but none now.
+	for ruleID, targets := range p.lastSentDeleg {
+		for target := range targets {
+			if current[ruleID][target] != "" {
+				continue
+			}
+			if err := p.ep.Send(target, protocol.DelegationMsg{RuleID: ruleID, Rules: nil}); err != nil {
+				rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: withdrawing from %s: %w", p.name, target, err))
+				// Keep it recorded so withdrawal is retried next stage.
+				if current[ruleID] == nil {
+					current[ruleID] = map[string]string{}
+				}
+				current[ruleID][target] = targets[target]
+				continue
+			}
+			rep.DelegationsSent++
+			p.stats.Withdrawals++
+		}
+	}
+	p.lastSentDeleg = current
+}
+
+// storeVersionLocked sums relation version counters for cheap global change
+// detection around wrapper hooks.
+func (p *Peer) storeVersionLocked() uint64 {
+	var sum uint64
+	for _, r := range p.db.Relations() {
+		sum += r.Version()
+	}
+	return sum
+}
+
+func fingerprint(rules []ast.Rule) string {
+	var sb []byte
+	for _, r := range rules {
+		sb = append(sb, r.String()...)
+		sb = append(sb, '\n')
+	}
+	return string(sb)
+}
+
+func genericCols(n int) []string {
+	cols := make([]string, n)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i)
+	}
+	return cols
+}
+
+// Run drives the peer until ctx is cancelled: stages run whenever there is
+// work, and the goroutine sleeps on transport/API wakeups otherwise. This
+// is the deployment loop for TCP networks; in-process tests prefer
+// Network.RunToQuiescence for determinism.
+func (p *Peer) Run(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if p.HasWork() {
+			rep := p.RunStage()
+			for _, err := range rep.Errors {
+				p.debugf("stage %d: %v", rep.Stage, err)
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-p.ep.Notify():
+		case <-p.wake:
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package protocol defines the messages WebdamLog peers exchange at the end
+// of each computation stage (paper §2: "the peer sends facts (updates) and
+// rules (delegations) to other peers"), and their gob-based wire codec.
+package protocol
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// FactDelta is one fact transmission: an insertion (default) or a deletion
+// of a fact in a relation at the destination peer.
+type FactDelta struct {
+	Delete bool
+	Fact   ast.Fact
+}
+
+// String renders the delta for logs.
+func (d FactDelta) String() string {
+	if d.Delete {
+		return "-" + d.Fact.String()
+	}
+	return "+" + d.Fact.String()
+}
+
+// FactsMsg carries a batch of fact deltas for relations at the destination.
+// Deltas for extensional relations are durable updates; deltas for
+// intensional relations are transient facts that hold for the destination's
+// next stage only.
+type FactsMsg struct {
+	Ops []FactDelta
+}
+
+// DelegationMsg installs, at the destination, the current residual-rule set
+// for one source rule of the sender. It *replaces* any set previously
+// delegated by (sender, RuleID) — an empty Rules slice withdraws the
+// delegation entirely. This implements the paper's delegation maintenance:
+// delegations are recomputed at every stage of the delegating peer.
+type DelegationMsg struct {
+	RuleID string
+	Rules  []ast.Rule
+}
+
+// ControlKind enumerates control messages.
+type ControlKind uint8
+
+// Control message kinds.
+const (
+	// ControlPing asks the destination to acknowledge liveness (used by the
+	// TCP transport's health checks and by tests).
+	ControlPing ControlKind = iota
+	// ControlPong answers a ping.
+	ControlPong
+	// ControlBye announces that the sender is shutting down.
+	ControlBye
+)
+
+// ControlMsg is a transport-level control message.
+type ControlMsg struct {
+	Kind  ControlKind
+	Token uint64
+}
+
+// Payload is the interface implemented by all message payloads.
+type Payload interface {
+	payload()
+}
+
+func (FactsMsg) payload()      {}
+func (DelegationMsg) payload() {}
+func (ControlMsg) payload()    {}
+
+// Envelope wraps a payload with routing metadata. Seq is a per-sender
+// sequence number; transports deliver envelopes from one sender in Seq
+// order (FIFO links, as the paper's TCP channels provide).
+type Envelope struct {
+	From string
+	To   string
+	Seq  uint64
+	Msg  Payload
+}
+
+// String renders the envelope for logs.
+func (e Envelope) String() string {
+	return fmt.Sprintf("%s->%s #%d %T", e.From, e.To, e.Seq, e.Msg)
+}
+
+func init() {
+	gob.Register(FactsMsg{})
+	gob.Register(DelegationMsg{})
+	gob.Register(ControlMsg{})
+}
+
+// Encode serializes an envelope with gob.
+func Encode(env Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		return nil, fmt.Errorf("protocol: encoding envelope: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEnvelope deserializes an envelope produced by Encode.
+func DecodeEnvelope(b []byte) (Envelope, error) {
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return Envelope{}, fmt.Errorf("protocol: decoding envelope: %w", err)
+	}
+	return env, nil
+}

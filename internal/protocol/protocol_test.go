@@ -1,0 +1,105 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+func TestFactsMsgRoundTrip(t *testing.T) {
+	env := Envelope{From: "a", To: "b", Seq: 3, Msg: FactsMsg{Ops: []FactDelta{
+		{Fact: ast.NewFact("r", "b", value.Str("x"), value.Int(1))},
+		{Delete: true, Fact: ast.NewFact("r", "b", value.Blob([]byte{0xCA}), value.Float(1.5), value.Bool(true))},
+	}}}
+	b, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := got.Msg.(FactsMsg)
+	if len(msg.Ops) != 2 || msg.Ops[0].Delete || !msg.Ops[1].Delete {
+		t.Fatalf("ops = %v", msg.Ops)
+	}
+	if !msg.Ops[0].Fact.Equal(env.Msg.(FactsMsg).Ops[0].Fact) {
+		t.Errorf("fact 0 corrupted: %v", msg.Ops[0].Fact)
+	}
+	if !msg.Ops[1].Fact.Equal(env.Msg.(FactsMsg).Ops[1].Fact) {
+		t.Errorf("fact 1 corrupted: %v", msg.Ops[1].Fact)
+	}
+}
+
+func TestDelegationMsgRoundTrip(t *testing.T) {
+	rule := ast.Rule{
+		ID:     "r1",
+		Origin: "a",
+		Op:     ast.Delete,
+		Head:   ast.Atom{Rel: ast.CStr("out"), Peer: ast.V("p"), Args: []ast.Term{ast.V("x"), ast.CInt(5)}},
+		Body: []ast.Atom{
+			{Neg: true, Rel: ast.V("r"), Peer: ast.CStr("b"), Args: []ast.Term{ast.V("x")}},
+		},
+	}
+	env := Envelope{From: "a", To: "b", Seq: 1, Msg: DelegationMsg{RuleID: "r1", Rules: []ast.Rule{rule}}}
+	b, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := got.Msg.(DelegationMsg)
+	if dm.RuleID != "r1" || len(dm.Rules) != 1 {
+		t.Fatalf("msg = %+v", dm)
+	}
+	if !dm.Rules[0].Equal(rule) || dm.Rules[0].Op != ast.Delete || dm.Rules[0].Origin != "a" {
+		t.Errorf("rule corrupted: %v vs %v", dm.Rules[0], rule)
+	}
+}
+
+func TestWithdrawalEncodesEmptyRules(t *testing.T) {
+	env := Envelope{From: "a", To: "b", Msg: DelegationMsg{RuleID: "r1"}}
+	b, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm := got.Msg.(DelegationMsg); len(dm.Rules) != 0 {
+		t.Errorf("withdrawal decoded with rules: %v", dm.Rules)
+	}
+}
+
+func TestControlMsgRoundTrip(t *testing.T) {
+	for _, kind := range []ControlKind{ControlPing, ControlPong, ControlBye} {
+		env := Envelope{From: "a", To: "b", Msg: ControlMsg{Kind: kind, Token: 7}}
+		b, err := Encode(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeEnvelope(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm := got.Msg.(ControlMsg)
+		if cm.Kind != kind || cm.Token != 7 {
+			t.Errorf("control = %+v", cm)
+		}
+	}
+}
+
+func TestEnvelopeString(t *testing.T) {
+	env := Envelope{From: "a", To: "b", Seq: 9, Msg: FactsMsg{}}
+	if got := env.String(); got == "" {
+		t.Error("empty String()")
+	}
+	d := FactDelta{Delete: true, Fact: ast.NewFact("r", "p", value.Int(1))}
+	if got := d.String(); got != "-r@p(1)" {
+		t.Errorf("delta string = %q", got)
+	}
+}

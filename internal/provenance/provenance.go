@@ -1,0 +1,125 @@
+// Package provenance records why-provenance for facts derived by the
+// engine: for each derived fact, the rule that produced it and the ground
+// body facts that supported the derivation. The paper's access-control
+// sketch (§2) derives default view policies "automatically from the
+// provenance of the base relations"; the acl package consumes this store
+// through its ProvenanceSource interface.
+package provenance
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/ast"
+)
+
+// Derivation is one way a fact was produced.
+type Derivation struct {
+	RuleID   string
+	Rule     string // rendered rule text
+	Supports []ast.Fact
+}
+
+// Store accumulates derivations. It implements engine.Tracer, so plugging a
+// *Store into engine.Options.Tracer records provenance for every stage.
+// Because intensional relations are recomputed every stage, the peer resets
+// the store at each stage start.
+type Store struct {
+	mu      sync.RWMutex
+	entries map[string][]Derivation // fact key -> derivations
+	facts   map[string]ast.Fact     // fact key -> fact (for enumeration)
+}
+
+// NewStore creates an empty provenance store.
+func NewStore() *Store {
+	return &Store{
+		entries: make(map[string][]Derivation),
+		facts:   make(map[string]ast.Fact),
+	}
+}
+
+// OnDerive implements engine.Tracer.
+func (s *Store) OnDerive(head ast.Fact, rule *ast.Rule, supports []ast.Fact) {
+	d := Derivation{RuleID: rule.ID, Rule: rule.String(), Supports: supports}
+	key := head.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[key] = append(s.entries[key], d)
+	s.facts[key] = head
+}
+
+// Reset clears all recorded derivations (called at stage start).
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[string][]Derivation)
+	s.facts = make(map[string]ast.Fact)
+}
+
+// Len returns the number of distinct derived facts recorded.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Why returns the direct derivations of f (empty for base facts).
+func (s *Store) Why(f ast.Fact) []Derivation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Derivation, len(s.entries[f.Key()]))
+	copy(out, s.entries[f.Key()])
+	return out
+}
+
+// IsDerived reports whether f has at least one recorded derivation.
+func (s *Store) IsDerived(f ast.Fact) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries[f.Key()]) > 0
+}
+
+// BaseSupports returns the set of *base* facts (facts with no recorded
+// derivation of their own) transitively supporting f, deduplicated and
+// sorted by key. A fact with no derivations supports itself. Cycles in the
+// support graph (possible with recursive rules) are handled by marking.
+func (s *Store) BaseSupports(f ast.Fact) []ast.Fact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []ast.Fact
+	var walk func(f ast.Fact)
+	walk = func(f ast.Fact) {
+		key := f.Key()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		ds := s.entries[key]
+		if len(ds) == 0 {
+			out = append(out, f)
+			return
+		}
+		for _, d := range ds {
+			for _, sup := range d.Supports {
+				walk(sup)
+			}
+		}
+	}
+	walk(f)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// DerivedFacts returns all facts with recorded derivations, sorted by key
+// (for deterministic introspection output).
+func (s *Store) DerivedFacts() []ast.Fact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ast.Fact, 0, len(s.facts))
+	for _, f := range s.facts {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

@@ -1,0 +1,112 @@
+package provenance
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+func fct(rel string, v string) ast.Fact {
+	return ast.NewFact(rel, "p", value.Str(v))
+}
+
+func rule(id string) *ast.Rule {
+	return &ast.Rule{ID: id, Head: ast.NewAtom("h", "p", ast.V("x"))}
+}
+
+func TestWhyAndIsDerived(t *testing.T) {
+	s := NewStore()
+	head := fct("view", "a")
+	base := fct("base", "a")
+	s.OnDerive(head, rule("r1"), []ast.Fact{base})
+	if !s.IsDerived(head) || s.IsDerived(base) {
+		t.Error("IsDerived wrong")
+	}
+	why := s.Why(head)
+	if len(why) != 1 || why[0].RuleID != "r1" || len(why[0].Supports) != 1 {
+		t.Fatalf("why = %v", why)
+	}
+	if len(s.Why(base)) != 0 {
+		t.Error("base fact has derivations")
+	}
+}
+
+func TestMultipleDerivations(t *testing.T) {
+	s := NewStore()
+	head := fct("view", "a")
+	s.OnDerive(head, rule("r1"), []ast.Fact{fct("b1", "x")})
+	s.OnDerive(head, rule("r2"), []ast.Fact{fct("b2", "y")})
+	if got := s.Why(head); len(got) != 2 {
+		t.Fatalf("why = %v, want 2 derivations", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1 distinct fact", s.Len())
+	}
+}
+
+func TestBaseSupportsTransitive(t *testing.T) {
+	s := NewStore()
+	b1, b2, b3 := fct("base", "1"), fct("base", "2"), fct("base", "3")
+	mid1, mid2 := fct("mid", "1"), fct("mid", "2")
+	top := fct("top", "1")
+	s.OnDerive(mid1, rule("r1"), []ast.Fact{b1, b2})
+	s.OnDerive(mid2, rule("r1"), []ast.Fact{b3})
+	s.OnDerive(top, rule("r2"), []ast.Fact{mid1, mid2})
+	got := s.BaseSupports(top)
+	if len(got) != 3 {
+		t.Fatalf("base supports = %v, want 3 base facts", got)
+	}
+	for _, f := range got {
+		if f.Rel != "base" {
+			t.Errorf("non-base support %v", f)
+		}
+	}
+	// A base fact supports itself.
+	if got := s.BaseSupports(b1); len(got) != 1 || !got[0].Equal(b1) {
+		t.Errorf("base self-support = %v", got)
+	}
+}
+
+func TestBaseSupportsCycleSafe(t *testing.T) {
+	s := NewStore()
+	a, b := fct("x", "a"), fct("x", "b")
+	base := fct("base", "z")
+	// Mutually supporting derived facts (possible with recursion).
+	s.OnDerive(a, rule("r"), []ast.Fact{b, base})
+	s.OnDerive(b, rule("r"), []ast.Fact{a})
+	got := s.BaseSupports(a)
+	if len(got) != 1 || !got[0].Equal(base) {
+		t.Errorf("cyclic supports = %v, want just the base fact", got)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	s := NewStore()
+	s.OnDerive(fct("v", "1"), rule("r"), nil)
+	s.Reset()
+	if s.Len() != 0 || len(s.DerivedFacts()) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestDerivedFactsSorted(t *testing.T) {
+	s := NewStore()
+	s.OnDerive(fct("v", "zz"), rule("r"), nil)
+	s.OnDerive(fct("v", "aa"), rule("r"), nil)
+	got := s.DerivedFacts()
+	if len(got) != 2 || got[0].Key() > got[1].Key() {
+		t.Errorf("derived facts = %v", got)
+	}
+}
+
+func TestWhyReturnsCopy(t *testing.T) {
+	s := NewStore()
+	head := fct("v", "1")
+	s.OnDerive(head, rule("r"), []ast.Fact{fct("b", "1")})
+	why := s.Why(head)
+	why[0].RuleID = "mutated"
+	if s.Why(head)[0].RuleID != "r" {
+		t.Error("Why exposes internal storage")
+	}
+}

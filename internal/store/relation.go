@@ -1,0 +1,396 @@
+// Package store implements the tuple storage layer of a WebdamLog peer:
+// named relations holding sets of tuples, lazily-built hash indexes over
+// column subsets, and optional durability through a write-ahead log with
+// snapshots (wal.go).
+//
+// A Store holds all relations known at one peer, both the peer's own
+// relations and locally-materialized images of remote relations' schemas.
+// Extensional relations persist across computation stages; intensional
+// relations are cleared at the start of each stage and re-derived.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// Schema describes one relation: its name, owning peer, kind and columns.
+type Schema struct {
+	Name string
+	Peer string
+	Kind ast.RelKind
+	Cols []string
+}
+
+// Arity returns the number of columns.
+func (s Schema) Arity() int { return len(s.Cols) }
+
+// ID returns the canonical "name@peer" identifier.
+func (s Schema) ID() string { return s.Name + "@" + s.Peer }
+
+// String renders the schema as a declaration.
+func (s Schema) String() string {
+	return ast.RelationDecl{Name: s.Name, Peer: s.Peer, Kind: s.Kind, Cols: s.Cols}.String()
+}
+
+// ColMask is a bitmask over column positions (bit i set = column i bound).
+// Relations support at most 64 columns, far beyond anything the paper uses.
+type ColMask uint64
+
+// MaskOf builds a mask with the given column positions set.
+func MaskOf(cols ...int) ColMask {
+	var m ColMask
+	for _, c := range cols {
+		m |= 1 << uint(c)
+	}
+	return m
+}
+
+// Has reports whether column i is set in the mask.
+func (m ColMask) Has(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// Relation is a set of tuples of fixed arity with lazily-maintained hash
+// indexes keyed by subsets of columns. It is safe for concurrent use; the
+// engine holds it on a single goroutine but UIs may read concurrently.
+type Relation struct {
+	schema Schema
+
+	mu      sync.RWMutex
+	tuples  map[string]value.Tuple // key = Tuple.Key()
+	indexes map[ColMask]map[string][]value.Tuple
+	version uint64 // bumped on every mutation
+}
+
+// NewRelation creates an empty relation with the given schema.
+func NewRelation(schema Schema) *Relation {
+	if len(schema.Cols) > 64 {
+		panic(fmt.Sprintf("store: relation %s has %d columns; max 64", schema.ID(), len(schema.Cols)))
+	}
+	return &Relation{
+		schema:  schema,
+		tuples:  make(map[string]value.Tuple),
+		indexes: make(map[ColMask]map[string][]value.Tuple),
+	}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Name returns the relation name (without the peer part).
+func (r *Relation) Name() string { return r.schema.Name }
+
+// Kind returns Extensional or Intensional.
+func (r *Relation) Kind() ast.RelKind { return r.schema.Kind }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tuples)
+}
+
+// Version returns a counter bumped on every mutation, usable for
+// cheap change detection.
+func (r *Relation) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// Insert adds t to the relation. It returns true if the tuple was new.
+// The tuple must match the relation's arity.
+func (r *Relation) Insert(t value.Tuple) bool {
+	if len(t) != r.schema.Arity() {
+		panic(fmt.Sprintf("store: arity mismatch inserting %d-tuple into %s(%d)",
+			len(t), r.schema.ID(), r.schema.Arity()))
+	}
+	key := t.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.tuples[key]; dup {
+		return false
+	}
+	t = t.Clone()
+	r.tuples[key] = t
+	for mask, idx := range r.indexes {
+		ik := indexKey(t, mask)
+		idx[ik] = append(idx[ik], t)
+	}
+	r.version++
+	return true
+}
+
+// Delete removes t from the relation. It returns true if the tuple existed.
+func (r *Relation) Delete(t value.Tuple) bool {
+	key := t.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tuples[key]; !ok {
+		return false
+	}
+	delete(r.tuples, key)
+	for mask, idx := range r.indexes {
+		ik := indexKey(t, mask)
+		bucket := idx[ik]
+		for i := range bucket {
+			if bucket[i].Equal(t) {
+				bucket[i] = bucket[len(bucket)-1]
+				bucket = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(idx, ik)
+		} else {
+			idx[ik] = bucket
+		}
+	}
+	r.version++
+	return true
+}
+
+// Contains reports whether t is in the relation.
+func (r *Relation) Contains(t value.Tuple) bool {
+	key := t.Key()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.tuples[key]
+	return ok
+}
+
+// Clear removes all tuples (used for intensional relations at stage start).
+func (r *Relation) Clear() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.tuples) == 0 {
+		return
+	}
+	r.tuples = make(map[string]value.Tuple)
+	for mask := range r.indexes {
+		r.indexes[mask] = make(map[string][]value.Tuple)
+	}
+	r.version++
+}
+
+// Iterate calls fn for every tuple until fn returns false. The iteration
+// order is unspecified. fn sees a snapshot of the relation taken when
+// Iterate is called, so fn may insert into or delete from the relation
+// (recursive rules do exactly that); such mutations are not reflected in
+// the ongoing iteration.
+func (r *Relation) Iterate(fn func(value.Tuple) bool) {
+	r.mu.RLock()
+	snap := make([]value.Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		snap = append(snap, t)
+	}
+	r.mu.RUnlock()
+	for _, t := range snap {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Tuples returns all tuples, sorted lexicographically (a stable snapshot).
+func (r *Relation) Tuples() []value.Tuple {
+	r.mu.RLock()
+	out := make([]value.Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	r.mu.RUnlock()
+	value.SortTuples(out)
+	return out
+}
+
+// EnsureIndex builds (if absent) a hash index over the columns in mask.
+func (r *Relation) EnsureIndex(mask ColMask) {
+	if mask == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ensureIndexLocked(mask)
+}
+
+func (r *Relation) ensureIndexLocked(mask ColMask) map[string][]value.Tuple {
+	if idx, ok := r.indexes[mask]; ok {
+		return idx
+	}
+	idx := make(map[string][]value.Tuple, len(r.tuples))
+	for _, t := range r.tuples {
+		ik := indexKey(t, mask)
+		idx[ik] = append(idx[ik], t)
+	}
+	r.indexes[mask] = idx
+	return idx
+}
+
+// IndexCount returns the number of materialized indexes (for introspection).
+func (r *Relation) IndexCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.indexes)
+}
+
+// Lookup calls fn for every tuple whose columns in mask equal the
+// corresponding values in bound (bound has one entry per set bit of mask, in
+// ascending column order). If useIndex is true an index over mask is built
+// on first use; otherwise the relation is scanned. fn sees a snapshot taken
+// at call time and may mutate the relation (inserts during recursive rule
+// evaluation). Iteration stops when fn returns false.
+func (r *Relation) Lookup(mask ColMask, bound []value.Value, useIndex bool, fn func(value.Tuple) bool) {
+	if mask == 0 {
+		r.Iterate(fn)
+		return
+	}
+	if useIndex {
+		r.mu.Lock()
+		idx := r.ensureIndexLocked(mask)
+		bucket := idx[boundKey(bound)]
+		// The bucket's backing array is only mutated in place by Delete's
+		// swap-remove; the engine never deletes mid-join, and appends during
+		// recursive insertion reallocate rather than alias, so iterating the
+		// snapshot reference after unlocking is safe.
+		r.mu.Unlock()
+		for _, t := range bucket {
+			if !fn(t) {
+				return
+			}
+		}
+		return
+	}
+	r.mu.RLock()
+	snap := make([]value.Tuple, 0, len(r.tuples))
+scan:
+	for _, t := range r.tuples {
+		bi := 0
+		for c := 0; c < len(t); c++ {
+			if mask.Has(c) {
+				if !t[c].Equal(bound[bi]) {
+					continue scan
+				}
+				bi++
+			}
+		}
+		snap = append(snap, t)
+	}
+	r.mu.RUnlock()
+	for _, t := range snap {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+func indexKey(t value.Tuple, mask ColMask) string {
+	var dst []byte
+	for c := 0; c < len(t); c++ {
+		if mask.Has(c) {
+			dst = t[c].AppendKey(dst)
+		}
+	}
+	return string(dst)
+}
+
+func boundKey(bound []value.Value) string {
+	var dst []byte
+	for _, v := range bound {
+		dst = v.AppendKey(dst)
+	}
+	return string(dst)
+}
+
+// Store is the catalog of relations at one peer.
+type Store struct {
+	mu   sync.RWMutex
+	rels map[string]*Relation // key = name@peer
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{rels: make(map[string]*Relation)}
+}
+
+// Declare creates the relation if it does not exist, and returns it. If a
+// relation with the same id exists, its schema must agree on kind and arity.
+func (s *Store) Declare(schema Schema) (*Relation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := schema.ID()
+	if r, ok := s.rels[id]; ok {
+		have := r.Schema()
+		if have.Kind != schema.Kind || have.Arity() != schema.Arity() {
+			return nil, fmt.Errorf("store: conflicting redeclaration of %s: have %s, want %s",
+				id, have, schema)
+		}
+		return r, nil
+	}
+	r := NewRelation(schema)
+	s.rels[id] = r
+	return r, nil
+}
+
+// Get returns the relation called name at peer, or nil if undeclared.
+func (s *Store) Get(name, peer string) *Relation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rels[name+"@"+peer]
+}
+
+// MustGet is Get but panics on undeclared relations (programming errors).
+func (s *Store) MustGet(name, peer string) *Relation {
+	r := s.Get(name, peer)
+	if r == nil {
+		panic("store: undeclared relation " + name + "@" + peer)
+	}
+	return r
+}
+
+// Relations returns all relations sorted by id (a stable snapshot).
+func (s *Store) Relations() []*Relation {
+	s.mu.RLock()
+	out := make([]*Relation, 0, len(s.rels))
+	for _, r := range s.rels {
+		out = append(out, r)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].schema.ID() < out[j].schema.ID() })
+	return out
+}
+
+// RelationsOf returns all relations owned by the given peer, sorted by name.
+func (s *Store) RelationsOf(peer string) []*Relation {
+	var out []*Relation
+	for _, r := range s.Relations() {
+		if r.schema.Peer == peer {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ClearIntensional clears every intensional relation (stage start).
+func (s *Store) ClearIntensional() {
+	for _, r := range s.Relations() {
+		if r.Kind() == ast.Intensional {
+			r.Clear()
+		}
+	}
+}
+
+// Facts returns every tuple in every relation owned by peer as facts,
+// sorted for stable output.
+func (s *Store) Facts(peer string) []ast.Fact {
+	var out []ast.Fact
+	for _, r := range s.RelationsOf(peer) {
+		for _, t := range r.Tuples() {
+			out = append(out, ast.Fact{Rel: r.Name(), Peer: peer, Args: t})
+		}
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// WAL provides durability for a peer's extensional relations: every
+// declaration, insert and delete is appended to a log file, and Snapshot
+// compacts the log into a full dump. Recover replays snapshot + log.
+//
+// The paper's system keeps peer state in the Bud runtime's persistent
+// collections; this is our equivalent storage substrate.
+type WAL struct {
+	dir string
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	records int // appended since the last snapshot
+	closed  bool
+}
+
+const (
+	logName  = "wal.log"
+	snapName = "snapshot.json"
+	snapTmp  = "snapshot.json.tmp"
+)
+
+type walRecord struct {
+	Op   string        `json:"op"` // "decl", "ins", "del"
+	Rel  string        `json:"rel"`
+	Peer string        `json:"peer"`
+	Kind ast.RelKind   `json:"kind,omitempty"`
+	Cols []string      `json:"cols,omitempty"`
+	Args []value.Value `json:"args,omitempty"`
+}
+
+type snapshotFile struct {
+	Relations []snapshotRelation `json:"relations"`
+}
+
+type snapshotRelation struct {
+	Rel    string          `json:"rel"`
+	Peer   string          `json:"peer"`
+	Kind   ast.RelKind     `json:"kind"`
+	Cols   []string        `json:"cols"`
+	Tuples [][]value.Value `json:"tuples"`
+}
+
+// OpenWAL opens (creating if needed) the log in dir.
+func OpenWAL(dir string) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: opening wal dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening wal: %w", err)
+	}
+	return &WAL{dir: dir, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Dir returns the directory holding the log and snapshot.
+func (w *WAL) Dir() string { return w.dir }
+
+// Records returns the number of records appended since the last snapshot.
+func (w *WAL) Records() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+func (w *WAL) append(rec walRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("store: wal is closed")
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding wal record: %w", err)
+	}
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("store: appending wal record: %w", err)
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("store: appending wal record: %w", err)
+	}
+	w.records++
+	return nil
+}
+
+// LogDeclare records a relation declaration.
+func (w *WAL) LogDeclare(schema Schema) error {
+	return w.append(walRecord{Op: "decl", Rel: schema.Name, Peer: schema.Peer, Kind: schema.Kind, Cols: schema.Cols})
+}
+
+// LogInsert records an insert into rel@peer.
+func (w *WAL) LogInsert(rel, peer string, t value.Tuple) error {
+	return w.append(walRecord{Op: "ins", Rel: rel, Peer: peer, Args: t})
+}
+
+// LogDelete records a delete from rel@peer.
+func (w *WAL) LogDelete(rel, peer string, t value.Tuple) error {
+	return w.append(walRecord{Op: "del", Rel: rel, Peer: peer, Args: t})
+}
+
+// Sync flushes buffered records and fsyncs the log file.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("store: wal is closed")
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("store: flushing wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing wal: %w", err)
+	}
+	return nil
+}
+
+// Snapshot writes a full dump of every extensional relation in s owned by
+// peer, then truncates the log. On success the on-disk state equals s.
+func (w *WAL) Snapshot(s *Store, peer string) error {
+	var snap snapshotFile
+	for _, r := range s.RelationsOf(peer) {
+		if r.Kind() != ast.Extensional {
+			continue
+		}
+		sr := snapshotRelation{
+			Rel:  r.Schema().Name,
+			Peer: r.Schema().Peer,
+			Kind: r.Kind(),
+			Cols: r.Schema().Cols,
+		}
+		for _, t := range r.Tuples() {
+			sr.Tuples = append(sr.Tuples, t)
+		}
+		snap.Relations = append(snap.Relations, sr)
+	}
+	b, err := json.Marshal(&snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("store: wal is closed")
+	}
+	tmp := filepath.Join(w.dir, snapTmp)
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapName)); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	// Truncate the log: reopen with O_TRUNC.
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("store: flushing wal before truncate: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: closing wal before truncate: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(w.dir, logName), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: truncating wal: %w", err)
+	}
+	w.f = f
+	w.w = bufio.NewWriter(f)
+	w.records = 0
+	return nil
+}
+
+// Recover loads the snapshot (if any) and replays the log into s. It is
+// meant to be called once, on an empty or freshly-created store, before any
+// new records are appended.
+func (w *WAL) Recover(s *Store) error {
+	snapPath := filepath.Join(w.dir, snapName)
+	if b, err := os.ReadFile(snapPath); err == nil {
+		var snap snapshotFile
+		if err := json.Unmarshal(b, &snap); err != nil {
+			return fmt.Errorf("store: decoding snapshot: %w", err)
+		}
+		for _, sr := range snap.Relations {
+			rel, err := s.Declare(Schema{Name: sr.Rel, Peer: sr.Peer, Kind: sr.Kind, Cols: sr.Cols})
+			if err != nil {
+				return err
+			}
+			for _, t := range sr.Tuples {
+				rel.Insert(value.Tuple(t))
+			}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: reading snapshot: %w", err)
+	}
+
+	logPath := filepath.Join(w.dir, logName)
+	f, err := os.Open(logPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading wal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// A torn final record after a crash is expected; anything else
+			// mid-file is corruption.
+			if isLastLine(sc) {
+				break
+			}
+			return fmt.Errorf("store: corrupt wal record at line %d: %w", line, err)
+		}
+		switch rec.Op {
+		case "decl":
+			if _, err := s.Declare(Schema{Name: rec.Rel, Peer: rec.Peer, Kind: rec.Kind, Cols: rec.Cols}); err != nil {
+				return err
+			}
+		case "ins":
+			rel := s.Get(rec.Rel, rec.Peer)
+			if rel == nil {
+				return fmt.Errorf("store: wal insert into undeclared relation %s@%s", rec.Rel, rec.Peer)
+			}
+			rel.Insert(value.Tuple(rec.Args))
+		case "del":
+			rel := s.Get(rec.Rel, rec.Peer)
+			if rel == nil {
+				return fmt.Errorf("store: wal delete from undeclared relation %s@%s", rec.Rel, rec.Peer)
+			}
+			rel.Delete(value.Tuple(rec.Args))
+		default:
+			return fmt.Errorf("store: unknown wal op %q at line %d", rec.Op, line)
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("store: scanning wal: %w", err)
+	}
+	return nil
+}
+
+// isLastLine reports whether the scanner has no further lines.
+func isLastLine(sc *bufio.Scanner) bool {
+	return !sc.Scan()
+}
+
+// Close flushes and closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("store: flushing wal on close: %w", err)
+	}
+	return w.f.Close()
+}

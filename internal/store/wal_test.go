@@ -1,0 +1,231 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+func TestWALRecoverEmptyDir(t *testing.T) {
+	w, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	s := New()
+	if err := w.Recover(s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Relations()) != 0 {
+		t.Error("fresh recovery produced relations")
+	}
+}
+
+func TestWALLogAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := Schema{Name: "pics", Peer: "alice", Kind: ast.Extensional, Cols: []string{"id", "name"}}
+	if err := w.LogDeclare(sch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogInsert("pics", "alice", value.Tuple{value.Int(1), value.Str("a.jpg")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogInsert("pics", "alice", value.Tuple{value.Int(2), value.Str("b.jpg")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogDelete("pics", "alice", value.Tuple{value.Int(1), value.Str("a.jpg")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	s := New()
+	if err := w2.Recover(s); err != nil {
+		t.Fatal(err)
+	}
+	rel := s.Get("pics", "alice")
+	if rel == nil {
+		t.Fatal("relation not recovered")
+	}
+	if rel.Len() != 1 || !rel.Contains(value.Tuple{value.Int(2), value.Str("b.jpg")}) {
+		t.Errorf("recovered contents: %v", rel.Tuples())
+	}
+	if rel.Kind() != ast.Extensional || rel.Schema().Arity() != 2 {
+		t.Errorf("recovered schema: %v", rel.Schema())
+	}
+}
+
+func TestWALSnapshotCompactsLog(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	sch := Schema{Name: "r", Peer: "p", Kind: ast.Extensional, Cols: []string{"a"}}
+	rel, _ := s.Declare(sch)
+	if err := w.LogDeclare(sch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tp := value.Tuple{value.Int(int64(i))}
+		rel.Insert(tp)
+		if err := w.LogInsert("r", "p", tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Records() != 11 {
+		t.Errorf("records = %d, want 11", w.Records())
+	}
+	if err := w.Snapshot(s, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 0 {
+		t.Errorf("records after snapshot = %d, want 0", w.Records())
+	}
+	// A post-snapshot mutation must still recover on top of the snapshot.
+	tp := value.Tuple{value.Int(100)}
+	rel.Insert(tp)
+	if err := w.LogInsert("r", "p", tp); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	s2 := New()
+	if err := w2.Recover(s2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Get("r", "p").Len(); got != 11 {
+		t.Errorf("recovered %d tuples, want 11", got)
+	}
+}
+
+func TestWALTornFinalRecordTolerated(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := Schema{Name: "r", Peer: "p", Kind: ast.Extensional, Cols: []string{"a"}}
+	if err := w.LogDeclare(sch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogInsert("r", "p", value.Tuple{value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a truncated JSON line at the end.
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"ins","rel":"r","pe`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	s := New()
+	if err := w2.Recover(s); err != nil {
+		t.Fatalf("torn tail must be tolerated: %v", err)
+	}
+	if got := s.Get("r", "p").Len(); got != 1 {
+		t.Errorf("recovered %d tuples, want 1", got)
+	}
+}
+
+func TestWALInsertIntoUndeclaredFails(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogInsert("ghost", "p", value.Tuple{value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if err := w2.Recover(New()); err == nil {
+		t.Error("recovery of insert into undeclared relation must fail")
+	}
+}
+
+func TestWALClosedRejectsAppends(t *testing.T) {
+	w, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogInsert("r", "p", value.Tuple{value.Int(1)}); err == nil {
+		t.Error("append after close must fail")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double close must be a no-op: %v", err)
+	}
+}
+
+func TestWALSnapshotOnlyExtensional(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	s := New()
+	ext, _ := s.Declare(Schema{Name: "e", Peer: "p", Kind: ast.Extensional, Cols: []string{"a"}})
+	idb, _ := s.Declare(Schema{Name: "i", Peer: "p", Kind: ast.Intensional, Cols: []string{"a"}})
+	ext.Insert(value.Tuple{value.Int(1)})
+	idb.Insert(value.Tuple{value.Int(2)})
+	if err := w.Snapshot(s, "p"); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if err := w2.Recover(s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Get("i", "p") != nil {
+		t.Error("intensional relation leaked into snapshot")
+	}
+	if got := s2.Get("e", "p"); got == nil || got.Len() != 1 {
+		t.Error("extensional relation missing from snapshot")
+	}
+}

@@ -1,0 +1,287 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// TCPEndpoint is a peer's attachment to a TCP network of peers. Every peer
+// listens on its own address; outgoing connections are dialed lazily per
+// destination and kept open (one FIFO link per peer pair, like the paper's
+// deployment). Envelopes are gob-encoded and length-prefixed on the wire.
+type TCPEndpoint struct {
+	name string
+	ln   net.Listener
+
+	mu        sync.Mutex
+	directory map[string]string   // peer name -> dial address
+	conns     map[string]*tcpConn // open outgoing links
+	accepted  map[net.Conn]bool   // open inbound links (closed on shutdown)
+	queue     []protocol.Envelope
+	seq       uint64
+	closed    bool
+	notify    chan struct{}
+	wg        sync.WaitGroup
+
+	// DialTimeout bounds outgoing connection establishment.
+	DialTimeout time.Duration
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+type tcpConn struct {
+	c net.Conn
+	w *bufio.Writer
+}
+
+// ListenTCP starts a TCP endpoint for peer name on addr (e.g. ":7001" or
+// "127.0.0.1:0"). directory maps remote peer names to their dial addresses;
+// it may be extended later with AddPeer as new peers are discovered (the
+// paper: "peers may discover new peers").
+func ListenTCP(name, addr string, directory map[string]string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	ep := &TCPEndpoint{
+		name:        name,
+		ln:          ln,
+		directory:   make(map[string]string, len(directory)),
+		conns:       make(map[string]*tcpConn),
+		accepted:    make(map[net.Conn]bool),
+		notify:      make(chan struct{}, 1),
+		DialTimeout: 5 * time.Second,
+	}
+	for k, v := range directory {
+		ep.directory[k] = v
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Name returns the endpoint's peer name.
+func (e *TCPEndpoint) Name() string { return e.name }
+
+// Addr returns the bound listen address (useful with ":0").
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// AddPeer registers (or updates) the dial address for a remote peer.
+func (e *TCPEndpoint) AddPeer(name, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.directory[name] != addr {
+		e.directory[name] = addr
+		if old, ok := e.conns[name]; ok {
+			old.c.Close()
+			delete(e.conns, name)
+		}
+	}
+}
+
+// Peers returns the names in the directory.
+func (e *TCPEndpoint) Peers() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.directory))
+	for name := range e.directory {
+		out = append(out, name)
+	}
+	return out
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.accepted[c] = true
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(c net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		c.Close()
+		e.mu.Lock()
+		delete(e.accepted, c)
+		e.mu.Unlock()
+	}()
+	r := bufio.NewReader(c)
+	for {
+		env, err := readFrame(r)
+		if err != nil {
+			return // EOF or peer failure: the link is dropped, sender redials
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		e.queue = append(e.queue, env)
+		e.mu.Unlock()
+		select {
+		case e.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// frame layout: 4-byte little-endian length, then the gob-encoded envelope.
+const maxFrame = 256 << 20 // 256 MiB: far beyond any sane batch, guards corruption
+
+func readFrame(r io.Reader) (protocol.Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return protocol.Envelope{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return protocol.Envelope{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return protocol.Envelope{}, err
+	}
+	return protocol.DecodeEnvelope(body)
+}
+
+func writeFrame(w *bufio.Writer, env protocol.Envelope) error {
+	body, err := protocol.Encode(env)
+	if err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(body)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func (e *TCPEndpoint) link(to string) (*tcpConn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if conn, ok := e.conns[to]; ok {
+		return conn, nil
+	}
+	addr, ok := e.directory[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	c, err := net.DialTimeout("tcp", addr, e.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %s at %s: %w", to, addr, err)
+	}
+	conn := &tcpConn{c: c, w: bufio.NewWriter(c)}
+	e.conns[to] = conn
+	return conn, nil
+}
+
+func (e *TCPEndpoint) dropLink(to string, conn *tcpConn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur, ok := e.conns[to]; ok && cur == conn {
+		cur.c.Close()
+		delete(e.conns, to)
+	}
+}
+
+// Send transmits msg to peer to, dialing or redialing the link as needed.
+// One transient link failure is retried with a fresh connection.
+func (e *TCPEndpoint) Send(to string, msg protocol.Payload) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.seq++
+	env := protocol.Envelope{From: e.name, To: to, Seq: e.seq, Msg: msg}
+	e.mu.Unlock()
+
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := e.link(to)
+		if err != nil {
+			return err
+		}
+		// Serialize writers on the same link.
+		e.mu.Lock()
+		err = writeFrame(conn.w, env)
+		e.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		e.dropLink(to, conn)
+	}
+	return fmt.Errorf("transport: sending to %s: %w", to, lastErr)
+}
+
+// Drain removes and returns all pending envelopes.
+func (e *TCPEndpoint) Drain() []protocol.Envelope {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := e.queue
+	e.queue = nil
+	return out
+}
+
+// Pending returns the number of queued envelopes.
+func (e *TCPEndpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
+// Notify returns the wakeup channel.
+func (e *TCPEndpoint) Notify() <-chan struct{} { return e.notify }
+
+// Close shuts down the listener and all links.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for name, conn := range e.conns {
+		conn.c.Close()
+		delete(e.conns, name)
+	}
+	for c := range e.accepted {
+		c.Close()
+	}
+	e.mu.Unlock()
+	err := e.ln.Close()
+	e.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}

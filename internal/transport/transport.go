@@ -1,0 +1,194 @@
+// Package transport moves protocol envelopes between peers. Two
+// implementations are provided: an in-process Bus with deterministic FIFO
+// queues (used by tests, benchmarks and single-process deployments such as
+// the demo's "run everything on one laptop" mode), and a TCP transport
+// (tcp.go) for genuinely distributed peers, mirroring the paper's deployment
+// of peers on two laptops and the Webdam cloud.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// ErrUnknownPeer is returned when sending to a peer the transport cannot
+// route to.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// ErrClosed is returned after an endpoint has been closed.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Endpoint is one peer's attachment to a transport.
+//
+// Send enqueues a payload for a destination peer. Drain removes and returns
+// all envelopes received so far (in per-sender FIFO order). Notify returns a
+// channel that receives a token whenever new envelopes become available
+// (edge-triggered with one-slot coalescing, so receivers never miss a wakeup
+// but may see spurious ones).
+type Endpoint interface {
+	Name() string
+	Send(to string, msg protocol.Payload) error
+	Drain() []protocol.Envelope
+	Pending() int
+	Notify() <-chan struct{}
+	Close() error
+}
+
+// Stats aggregates transport counters for benchmarks and monitoring.
+type Stats struct {
+	MessagesSent      uint64
+	MessagesDelivered uint64
+}
+
+// Bus is an in-process transport connecting any number of endpoints by
+// name. It is safe for concurrent use and delivers in per-sender FIFO
+// order. Delivery is synchronous: Send appends directly to the receiver's
+// queue, so after Send returns the message is visible to the receiver's
+// next Drain — which makes multi-peer unit tests deterministic.
+type Bus struct {
+	mu    sync.Mutex
+	nodes map[string]*BusEndpoint
+	stats Stats
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus {
+	return &Bus{nodes: make(map[string]*BusEndpoint)}
+}
+
+// Endpoint attaches (or returns the existing) endpoint named name.
+func (b *Bus) Endpoint(name string) *BusEndpoint {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n, ok := b.nodes[name]; ok {
+		return n
+	}
+	n := &BusEndpoint{bus: b, name: name, notify: make(chan struct{}, 1)}
+	b.nodes[name] = n
+	return n
+}
+
+// Peers returns the names of all attached endpoints, sorted.
+func (b *Bus) Peers() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.nodes))
+	for name := range b.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a snapshot of the bus counters.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Quiescent reports whether no endpoint has undelivered messages.
+func (b *Bus) Quiescent() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, n := range b.nodes {
+		n.mu.Lock()
+		pending := len(n.queue)
+		n.mu.Unlock()
+		if pending > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BusEndpoint is an endpoint attached to a Bus.
+type BusEndpoint struct {
+	bus  *Bus
+	name string
+
+	mu     sync.Mutex
+	queue  []protocol.Envelope
+	seq    uint64
+	closed bool
+	notify chan struct{}
+}
+
+var _ Endpoint = (*BusEndpoint)(nil)
+
+// Name returns the endpoint's peer name.
+func (n *BusEndpoint) Name() string { return n.name }
+
+// Send enqueues msg for peer to. It fails if to has never attached to the
+// bus, so misrouted names surface as errors rather than silent drops.
+func (n *BusEndpoint) Send(to string, msg protocol.Payload) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	n.seq++
+	seq := n.seq
+	n.mu.Unlock()
+
+	n.bus.mu.Lock()
+	dst, ok := n.bus.nodes[to]
+	if ok {
+		n.bus.stats.MessagesSent++
+	}
+	n.bus.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+
+	env := protocol.Envelope{From: n.name, To: to, Seq: seq, Msg: msg}
+	dst.mu.Lock()
+	if dst.closed {
+		dst.mu.Unlock()
+		return fmt.Errorf("transport: peer %q is closed", to)
+	}
+	dst.queue = append(dst.queue, env)
+	dst.mu.Unlock()
+	select {
+	case dst.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Drain removes and returns all pending envelopes.
+func (n *BusEndpoint) Drain() []protocol.Envelope {
+	n.mu.Lock()
+	out := n.queue
+	n.queue = nil
+	n.mu.Unlock()
+	if len(out) > 0 {
+		n.bus.mu.Lock()
+		n.bus.stats.MessagesDelivered += uint64(len(out))
+		n.bus.mu.Unlock()
+	}
+	return out
+}
+
+// Pending returns the number of queued envelopes.
+func (n *BusEndpoint) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue)
+}
+
+// Notify returns the wakeup channel.
+func (n *BusEndpoint) Notify() <-chan struct{} { return n.notify }
+
+// Close detaches the endpoint; subsequent sends to or from it fail.
+func (n *BusEndpoint) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	n.queue = nil
+	return nil
+}

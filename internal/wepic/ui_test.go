@@ -1,0 +1,219 @@
+package wepic
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// uiFixture runs one attendee's UI over the full demo network.
+func uiFixture(t *testing.T) (*demoNetwork, *UI, *httptest.Server) {
+	t.Helper()
+	d := newDemo(t)
+	run := func() error {
+		_, _, err := d.net.RunToQuiescence(300)
+		return err
+	}
+	ui := NewUI(d.jules, run)
+	srv := httptest.NewServer(ui.Handler())
+	t.Cleanup(srv.Close)
+	return d, ui, srv
+}
+
+func getBody(t *testing.T, srv *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func postForm(t *testing.T, srv *httptest.Server, path string, form url.Values) *http.Response {
+	t.Helper()
+	resp, err := srv.Client().PostForm(srv.URL+path, form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestUIHomeRenders(t *testing.T) {
+	_, _, srv := uiFixture(t)
+	body := getBody(t, srv, "/")
+	for _, want := range []string{"Wepic", "jules", "Attendee pictures", "My pictures", "Query"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("home page missing %q", want)
+		}
+	}
+}
+
+func TestUIUploadFlow(t *testing.T) {
+	d, _, srv := uiFixture(t)
+	resp := postForm(t, srv, "/upload", url.Values{"name": {"ui.jpg"}, "data": {"bytes"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+	pics := d.jules.Pictures()
+	if len(pics) != 1 || pics[0].Name != "ui.jpg" {
+		t.Fatalf("pictures after upload = %+v", pics)
+	}
+	if !strings.Contains(getBody(t, srv, "/"), "ui.jpg") {
+		t.Error("uploaded picture not rendered")
+	}
+}
+
+func TestUIUploadValidation(t *testing.T) {
+	_, _, srv := uiFixture(t)
+	resp := postForm(t, srv, "/upload", url.Values{"name": {""}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty name: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestUIRulesPageAndCustomization(t *testing.T) {
+	d, _, srv := uiFixture(t)
+	body := getBody(t, srv, "/rules")
+	if !strings.Contains(body, RuleViewAttendeePictures) {
+		t.Errorf("rules page missing the view rule:\n%s", body)
+	}
+	// Replace the view rule through the form endpoint.
+	resp := postForm(t, srv, "/rules/replace", url.Values{
+		"id": {RuleViewAttendeePictures},
+		"rule": {`attendeePictures@jules($id,$name,$owner,$data) :-
+			selectedAttendee@jules($attendee),
+			pictures@$attendee($id,$name,$owner,$data),
+			rate@$owner($id, 5);`},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replace status %d", resp.StatusCode)
+	}
+	found := false
+	for _, r := range d.jules.Peer().Rules() {
+		if r.ID == RuleViewAttendeePictures && strings.Contains(r.String(), "rate@$owner") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("rule not replaced")
+	}
+	// A broken rule is rejected with 400.
+	resp = postForm(t, srv, "/rules/add", url.Values{"rule": {"not valid ::-"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad rule: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestUIDelegationApproval(t *testing.T) {
+	d, _, srv := uiFixture(t)
+	if _, err := d.jules.Upload("p.jpg", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.emilien.SelectAttendee("jules"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.net.RunToQuiescence(300); err != nil {
+		t.Fatal(err)
+	}
+	pend := d.jules.PendingDelegations()
+	if len(pend) == 0 {
+		t.Fatal("no pending delegations to approve")
+	}
+	body := getBody(t, srv, "/rules")
+	if !strings.Contains(body, "Pending delegations") || !strings.Contains(body, "emilien") {
+		t.Errorf("pending queue not rendered:\n%s", body)
+	}
+	for _, pd := range pend {
+		resp := postForm(t, srv, "/delegations/accept", url.Values{"id": {itoa(pd.ID)}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("accept status %d", resp.StatusCode)
+		}
+	}
+	if len(d.jules.PendingDelegations()) != 0 {
+		t.Error("queue not drained after accepts")
+	}
+	if len(d.jules.Peer().DelegatedRules()["emilien"]) == 0 {
+		t.Error("delegations not installed after UI approval")
+	}
+}
+
+func TestUISelectAndProtocol(t *testing.T) {
+	d, _, srv := uiFixture(t)
+	postForm(t, srv, "/select", url.Values{"attendee": {"emilien"}})
+	if got := d.jules.Peer().Query("selectedAttendee"); len(got) != 1 {
+		t.Fatalf("selectedAttendee = %v", got)
+	}
+	postForm(t, srv, "/protocol", url.Values{"protocol": {"email"}})
+	if got := d.jules.Peer().Query("communicate"); len(got) != 1 || got[0][0].StringVal() != "email" {
+		t.Fatalf("communicate = %v", got)
+	}
+	postForm(t, srv, "/deselect", url.Values{"attendee": {"emilien"}})
+	if got := d.jules.Peer().Query("selectedAttendee"); len(got) != 0 {
+		t.Fatalf("selectedAttendee after deselect = %v", got)
+	}
+}
+
+func TestUIQueryTab(t *testing.T) {
+	d, _, srv := uiFixture(t)
+	if _, err := d.jules.Upload("q.jpg", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.net.RunToQuiescence(300); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().PostForm(srv.URL+"/query", url.Values{
+		"rule": {`qresult@jules($n) :- pictures@jules($i,$n,$o,$d);`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "q.jpg") {
+		t.Errorf("query result missing q.jpg:\n%s", string(b))
+	}
+	// The throwaway query rule must be removed again.
+	for _, r := range d.jules.Peer().Rules() {
+		if strings.Contains(r.String(), "qresult") {
+			t.Error("query rule leaked into the program")
+		}
+	}
+}
+
+func TestUIRateValidation(t *testing.T) {
+	_, _, srv := uiFixture(t)
+	resp := postForm(t, srv, "/rate", url.Values{"id": {"1"}, "stars": {"9"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("stars=9: status %d, want 400", resp.StatusCode)
+	}
+	resp = postForm(t, srv, "/rate", url.Values{"id": {"x"}, "stars": {"3"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("id=x: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[pos:])
+}

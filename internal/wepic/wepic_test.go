@@ -1,0 +1,377 @@
+package wepic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/acl"
+	"repro/internal/email"
+	"repro/internal/facebook"
+	"repro/internal/peer"
+	"repro/internal/wrappers"
+)
+
+// demoNetwork reproduces the Figure 2 topology: attendee peers emilien and
+// jules, the sigmod hub, the SigmodFB Facebook-group wrapper, and the mail
+// wrapper.
+type demoNetwork struct {
+	net     *peer.Network
+	emilien *App
+	jules   *App
+	hub     *Hub
+	fb      *facebook.Service
+	fbGroup *wrappers.FacebookGroupPeer
+	mail    *email.Server
+	mailHub *wrappers.EmailPeer
+}
+
+func newDemo(t *testing.T) *demoNetwork {
+	t.Helper()
+	d := &demoNetwork{net: peer.NewNetwork(), fb: facebook.NewService(), mail: email.NewServer()}
+
+	if err := d.fb.AddUser("emilien", "Emilien"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.fb.AddUser("jules", "Jules"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.fb.Befriend("emilien", "jules"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.fb.CreateGroup("sigmodgroup", "SIGMOD 2013"); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"emilien", "jules"} {
+		if err := d.fb.JoinGroup(u, "sigmodgroup"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var err error
+	d.fbGroup, err = wrappers.NewFacebookGroupPeer(d.net, "sigmodfb", d.fb, "sigmodgroup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.mailHub, err = wrappers.NewEmailPeer(d.net, "mailhub", d.mail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.hub, err = NewHub(d.net, "sigmod", HubOptions{FacebookPeer: "sigmodfb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Hub: "sigmod", MailPeer: "mailhub", Policy: acl.NewTrustPolicy("sigmod")}
+	d.emilien, err = New(d.net, "emilien", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.jules, err = New(d.net, "jules", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []string{"emilien", "jules"} {
+		if err := d.hub.Register(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.quiesce(t)
+	return d
+}
+
+func (d *demoNetwork) quiesce(t *testing.T) {
+	t.Helper()
+	if _, _, err := d.net.RunToQuiescence(300); err != nil {
+		t.Fatalf("network did not quiesce: %v", err)
+	}
+}
+
+// acceptAll approves every pending delegation at both attendees (the demo
+// user clicking "accept" in the UI).
+func (d *demoNetwork) acceptAll(t *testing.T) {
+	t.Helper()
+	for {
+		accepted := false
+		for _, app := range []*App{d.emilien, d.jules} {
+			for _, pd := range app.PendingDelegations() {
+				if err := app.AcceptDelegation(pd.ID); err != nil {
+					t.Fatal(err)
+				}
+				accepted = true
+			}
+		}
+		if !accepted {
+			return
+		}
+		d.quiesce(t)
+	}
+}
+
+func TestUploadAndViewOwnPictures(t *testing.T) {
+	d := newDemo(t)
+	if _, err := d.emilien.Upload("sea.jpg", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	d.quiesce(t)
+	pics := d.emilien.Pictures()
+	if len(pics) != 1 || pics[0].Name != "sea.jpg" || pics[0].Owner != "emilien" {
+		t.Fatalf("pictures = %+v", pics)
+	}
+	if !bytes.Equal(pics[0].Data, []byte{1, 2, 3}) {
+		t.Errorf("picture data corrupted: %v", pics[0].Data)
+	}
+}
+
+func TestViewSelectedAttendeePictures(t *testing.T) {
+	// §3 item 2: "View pictures provided by a particular attendee" — via
+	// the delegation rule. Delegations from jules to emilien require
+	// approval since only sigmod is trusted.
+	d := newDemo(t)
+	if _, err := d.emilien.Upload("sea.jpg", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.jules.SelectAttendee("emilien"); err != nil {
+		t.Fatal(err)
+	}
+	d.quiesce(t)
+	// The view rule's delegation is pending at emilien (the transfer rule
+	// delegates too, since its body also starts with selectedAttendee).
+	var sawView bool
+	for _, pd := range d.emilien.PendingDelegations() {
+		if pd.RuleID == RuleViewAttendeePictures {
+			sawView = true
+		}
+	}
+	if !sawView {
+		t.Fatalf("view-rule delegation not pending at emilien: %v", d.emilien.PendingDelegations())
+	}
+	if got := d.jules.AttendeePictures(); len(got) != 0 {
+		t.Fatalf("view populated before approval: %+v", got)
+	}
+	d.acceptAll(t)
+	got := d.jules.AttendeePictures()
+	if len(got) != 1 || got[0].Name != "sea.jpg" {
+		t.Fatalf("attendeePictures = %+v, want sea.jpg", got)
+	}
+}
+
+func TestPublicationChainToFacebook(t *testing.T) {
+	// §4 "Interaction via Facebook": "a photo uploaded by Émilien into his
+	// local relation pictures@Émilien is instantly published to
+	// pictures@sigmod, and then propagated to pictures@SigmodFB."
+	d := newDemo(t)
+	id, err := d.emilien.Upload("boat.jpg", []byte{4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.emilien.Authorize("sigmod", id); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.emilien.Authorize("facebook", id); err != nil {
+		t.Fatal(err)
+	}
+	d.quiesce(t)
+	d.acceptAll(t) // sigmod's authorization-check delegation to emilien
+
+	// pictures@sigmod
+	hubPics := d.hub.Pictures()
+	if len(hubPics) != 1 || hubPics[0].Name != "boat.jpg" {
+		t.Fatalf("hub pictures = %+v", hubPics)
+	}
+	// pictures@SigmodFB — i.e. the photo is on the Facebook service.
+	photos, err := d.fb.Photos("sigmodgroup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(photos) != 1 || photos[0].Name != "boat.jpg" || photos[0].Owner != "emilien" {
+		t.Fatalf("facebook photos = %+v", photos)
+	}
+}
+
+func TestFacebookCommentsFlowBack(t *testing.T) {
+	// §4: "the sigmod peer will automatically retrieve the pictures with
+	// their comments and tags from the Facebook group".
+	d := newDemo(t)
+	id, err := d.emilien.Upload("boat.jpg", []byte{4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.emilien.Authorize("sigmod", id); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.emilien.Authorize("facebook", id); err != nil {
+		t.Fatal(err)
+	}
+	d.quiesce(t)
+	d.acceptAll(t)
+	photos, err := d.fb.Photos("sigmodgroup")
+	if err != nil || len(photos) != 1 {
+		t.Fatalf("photos = %v, err = %v", photos, err)
+	}
+	// A Facebook-side user comments and tags on the service directly.
+	if err := d.fb.AddComment("sigmodgroup", photos[0].ID, "jules", "great shot"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.fb.AddTag("sigmodgroup", photos[0].ID, "Emilien"); err != nil {
+		t.Fatal(err)
+	}
+	d.fbGroup.Sync()
+	d.quiesce(t)
+
+	comments := d.hub.Peer().Query("comments")
+	if len(comments) != 1 || comments[0][2].StringVal() != "great shot" {
+		t.Fatalf("hub comments = %v", comments)
+	}
+	tags := d.hub.Peer().Query("tags")
+	if len(tags) != 1 || tags[0][1].StringVal() != "Emilien" {
+		t.Fatalf("hub tags = %v", tags)
+	}
+}
+
+func TestFacebookNativePhotoReachesHub(t *testing.T) {
+	// A photo posted directly on Facebook must surface in pictures@sigmod
+	// ("the system thus allows any Wepic user to see … pictures in SigmodFB
+	// even without having a Facebook account").
+	d := newDemo(t)
+	if _, err := d.fb.PostPhoto("sigmodgroup", "gerome", "keynote.jpg", []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	d.fbGroup.Sync()
+	d.quiesce(t)
+	pics := d.hub.Pictures()
+	if len(pics) != 1 || pics[0].Name != "keynote.jpg" || pics[0].Owner != "gerome" {
+		t.Fatalf("hub pictures = %+v", pics)
+	}
+}
+
+func TestTransferViaWepicProtocol(t *testing.T) {
+	// §3 item 3a: send selected pictures to another Wepic peer using the
+	// recipient's preferred protocol.
+	d := newDemo(t)
+	id, err := d.jules.Upload("dinner.jpg", []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.emilien.SetProtocol("wepic"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.jules.SelectAttendee("emilien"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.jules.SelectPicture("dinner.jpg", id, "jules"); err != nil {
+		t.Fatal(err)
+	}
+	d.quiesce(t)
+	d.acceptAll(t) // communicate@emilien lookup + fetch-announced delegations
+	pics := d.emilien.Pictures()
+	if len(pics) != 1 || pics[0].Name != "dinner.jpg" || pics[0].Owner != "jules" {
+		t.Fatalf("emilien pictures = %+v, want dinner.jpg from jules", pics)
+	}
+}
+
+func TestTransferViaEmailProtocol(t *testing.T) {
+	// §3 item 3a: "send them by email".
+	d := newDemo(t)
+	id, err := d.jules.Upload("slides.jpg", []byte{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.emilien.SetProtocol("email"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.jules.SelectAttendee("emilien"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.jules.SelectPicture("slides.jpg", id, "jules"); err != nil {
+		t.Fatal(err)
+	}
+	d.quiesce(t)
+	d.acceptAll(t)
+	inbox, err := d.mail.Inbox("emilien")
+	if err != nil {
+		t.Fatalf("no mailbox for emilien: %v", err)
+	}
+	if len(inbox) != 1 || inbox[0].Subject != "slides.jpg" || inbox[0].From != "jules" {
+		t.Fatalf("emilien inbox = %+v", inbox)
+	}
+}
+
+func TestAnnotationAndRanking(t *testing.T) {
+	// §3 items 4 and 5: annotate with ratings/comments/tags, then rank.
+	d := newDemo(t)
+	id1, _ := d.emilien.Upload("a.jpg", []byte{1})
+	id2, _ := d.emilien.Upload("b.jpg", []byte{2})
+	// Jules rates emilien's pictures: facts are routed to emilien's peer.
+	if err := d.jules.Rate("emilien", id1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.jules.Rate("emilien", id2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.jules.Comment("emilien", id2, "blurry"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.jules.Tag("emilien", id1, "Serge"); err != nil {
+		t.Fatal(err)
+	}
+	d.quiesce(t)
+	ranked := d.emilien.Ranked()
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %+v", ranked)
+	}
+	if ranked[0].ID != id1 || ranked[0].AvgStars != 5 {
+		t.Errorf("top picture = %+v, want a.jpg with 5 stars", ranked[0])
+	}
+	if ranked[1].Comments != 1 {
+		t.Errorf("b.jpg comments = %d, want 1", ranked[1].Comments)
+	}
+	if len(ranked[0].Tags) != 1 || ranked[0].Tags[0] != "Serge" {
+		t.Errorf("a.jpg tags = %v", ranked[0].Tags)
+	}
+}
+
+func TestCustomizedRatingRule(t *testing.T) {
+	// §4 "Customizing rules": only rating-5 pictures in the view.
+	d := newDemo(t)
+	id1, _ := d.emilien.Upload("a.jpg", []byte{1})
+	id2, _ := d.emilien.Upload("b.jpg", []byte{2})
+	if err := d.emilien.Rate("emilien", id1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.emilien.Rate("emilien", id2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.jules.SelectAttendee("emilien"); err != nil {
+		t.Fatal(err)
+	}
+	d.quiesce(t)
+	d.acceptAll(t)
+	if got := d.jules.AttendeePictures(); len(got) != 2 {
+		t.Fatalf("default view = %+v, want both pictures", got)
+	}
+	// Customize the rule exactly as in the paper.
+	err := d.jules.Peer().ReplaceRule(RuleViewAttendeePictures, `
+		attendeePictures@jules($id,$name,$owner,$data) :-
+			selectedAttendee@jules($attendee),
+			pictures@$attendee($id,$name,$owner,$data),
+			rate@$owner($id, 5);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.quiesce(t)
+	d.acceptAll(t)
+	got := d.jules.AttendeePictures()
+	if len(got) != 1 || got[0].Name != "a.jpg" {
+		t.Fatalf("customized view = %+v, want only a.jpg", got)
+	}
+}
+
+func TestProgramTextShowsWepicRules(t *testing.T) {
+	d := newDemo(t)
+	text := d.jules.Peer().ProgramText()
+	for _, want := range []string{"attendeePictures@jules", "selectedAttendee@jules", "communicate@$attendee"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("program text missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package wrappers
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/email"
+	"repro/internal/facebook"
+	"repro/internal/peer"
+	"repro/internal/value"
+)
+
+func quiesce(t *testing.T, n *peer.Network) {
+	t.Helper()
+	if _, _, err := n.RunToQuiescence(200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacebookGroupPullAndPush(t *testing.T) {
+	n := peer.NewNetwork()
+	svc := facebook.NewService()
+	if err := svc.AddUser("emilien", "Emilien"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CreateGroup("g", "Group"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewFacebookGroupPeer(n, "fbg", svc, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pull: a service-side photo appears as a fact.
+	if _, err := svc.PostPhoto("g", "emilien", "native.jpg", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Sync()
+	quiesce(t, n)
+	pics := w.Peer().Query("pictures")
+	if len(pics) != 1 || pics[0][1].StringVal() != "native.jpg" {
+		t.Fatalf("pulled pictures = %v", pics)
+	}
+
+	// Push: a fact inserted into the wrapper's relation lands on the service.
+	err = w.Peer().Insert(factPic(w.Peer().Name(), 99, "pushed.jpg", "jules", []byte{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+	photos, err := svc.Photos("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(photos) != 2 {
+		t.Fatalf("service photos = %v", photos)
+	}
+	var found bool
+	for _, ph := range photos {
+		if ph.Name == "pushed.jpg" && ph.Owner == "jules" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pushed photo missing from service: %v", photos)
+	}
+	// The pushed row keeps its WebdamLog id in the relations (stable
+	// identity), and no duplicate row under the service id appears.
+	quiesce(t, n)
+	pics = w.Peer().Query("pictures")
+	if len(pics) != 2 {
+		t.Fatalf("mirrored pictures = %v", pics)
+	}
+	var saw99 bool
+	for _, p := range pics {
+		if p[0].IntVal() == 99 {
+			saw99 = true
+		}
+	}
+	if !saw99 {
+		t.Errorf("pushed photo lost its original id: %v", pics)
+	}
+}
+
+func TestFacebookGroupCommentsAndTagsRoundTrip(t *testing.T) {
+	n := peer.NewNetwork()
+	svc := facebook.NewService()
+	if err := svc.AddUser("u", "U"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CreateGroup("g", "G"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := svc.PostPhoto("g", "u", "x.jpg", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewFacebookGroupPeer(n, "fbg", svc, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Service-side comment pulls in.
+	if err := svc.AddComment("g", id, "u", "hi"); err != nil {
+		t.Fatal(err)
+	}
+	w.Sync()
+	quiesce(t, n)
+	if got := w.Peer().Query("comments"); len(got) != 1 {
+		t.Fatalf("comments = %v", got)
+	}
+	// Relation-side tag pushes out.
+	err = w.Peer().Insert(factTag(w.Peer().Name(), id, "Serge"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+	tags, err := svc.Tags("g")
+	if err != nil || len(tags) != 1 || tags[0].Person != "Serge" {
+		t.Fatalf("service tags = %v (%v)", tags, err)
+	}
+}
+
+func TestFacebookUserWrapperExportsPaperRelations(t *testing.T) {
+	// The paper: "our wrapper will simulate a peer ÉmilienFB with two
+	// relations: friends@ÉmilienFB($userID,$friendName) and
+	// pictures@ÉmilienFB($picID,$owner,$URL)".
+	n := peer.NewNetwork()
+	svc := facebook.NewService()
+	for _, u := range [][2]string{{"emilien", "Emilien"}, {"jules", "Jules"}} {
+		if err := svc.AddUser(u[0], u[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Befriend("emilien", "jules"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CreateGroup("g", "G"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.PostPhoto("g", "jules", "p.jpg", nil); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewFacebookUserPeer(n, "emilienfb", svc, "emilien", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Sync()
+	quiesce(t, n)
+	friends := w.Peer().Query("friends")
+	if len(friends) != 1 || friends[0][1].StringVal() != "Jules" {
+		t.Fatalf("friends = %v", friends)
+	}
+	pics := w.Peer().Query("pictures")
+	if len(pics) != 1 || pics[0][1].StringVal() != "jules" {
+		t.Fatalf("pictures = %v", pics)
+	}
+	if pics[0][2].StringVal() == "" {
+		t.Error("picture URL empty")
+	}
+}
+
+func TestEmailWrapperSendsAndMirrors(t *testing.T) {
+	n := peer.NewNetwork()
+	svc := email.NewServer()
+	w, err := NewEmailPeer(n, "mailhub", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Peer().Insert(factMail("mailhub", "emilien", "subj", "pic.jpg", 3, "jules"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+	msgs, err := svc.Inbox("emilien")
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("inbox = %v (%v)", msgs, err)
+	}
+	if msgs[0].From != "jules" || msgs[0].Subject != "subj" {
+		t.Errorf("message = %+v", msgs[0])
+	}
+	// The inbox mirror fills on the next sync.
+	w.Sync()
+	quiesce(t, n)
+	mirror := w.Peer().Query("inbox")
+	if len(mirror) != 1 || mirror[0][0].StringVal() != "emilien" {
+		t.Fatalf("inbox mirror = %v", mirror)
+	}
+}
+
+func factPic(peerName string, id int64, name, owner string, data []byte) ast.Fact {
+	return ast.Fact{Rel: "pictures", Peer: peerName, Args: value.Tuple{
+		value.Int(id), value.Str(name), value.Str(owner), value.Blob(data)}}
+}
+
+func factTag(peerName string, id int64, person string) ast.Fact {
+	return ast.Fact{Rel: "tags", Peer: peerName, Args: value.Tuple{value.Int(id), value.Str(person)}}
+}
+
+func factMail(peerName, to, subject, name string, id int64, owner string) ast.Fact {
+	return ast.Fact{Rel: "mail", Peer: peerName, Args: value.Tuple{
+		value.Str(to), value.Str(subject), value.Str(name), value.Int(id), value.Str(owner)}}
+}

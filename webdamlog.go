@@ -1,0 +1,120 @@
+// Package webdamlog is the public facade of this reproduction of
+// "Rule-Based Application Development using Webdamlog" (SIGMOD 2013): a
+// datalog-style language and distributed runtime in which autonomous peers
+// exchange both facts and rules (delegations).
+//
+// # Quick start
+//
+//	sys := webdamlog.NewSystem()
+//	err := sys.LoadSource(`
+//	    peer emilien;
+//	    relation extensional pictures@emilien(id, name, owner, data);
+//	    pictures@emilien(1, "sea.jpg", "emilien", 0xCAFE);
+//
+//	    peer jules;
+//	    relation extensional selectedAttendee@jules(attendee);
+//	    relation intensional attendeePictures@jules(id, name, owner, data);
+//	    selectedAttendee@jules("emilien");
+//	    attendeePictures@jules($id,$name,$owner,$data) :-
+//	        selectedAttendee@jules($attendee),
+//	        pictures@$attendee($id,$name,$owner,$data);
+//	`)
+//	// …
+//	sys.MustRun() // run all peers to quiescence
+//	for _, t := range sys.Peer("jules").Query("attendeePictures") {
+//	    fmt.Println(t)
+//	}
+//
+// The deeper layers are available directly: internal/engine (fixpoint
+// evaluation and delegation splitting), internal/peer (the stage loop and
+// transports), internal/acl (delegation control), internal/wepic (the demo
+// application), internal/wrappers with internal/facebook and internal/email
+// (the simulated external services).
+package webdamlog
+
+import (
+	"repro/internal/acl"
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/parser"
+	"repro/internal/peer"
+	"repro/internal/value"
+)
+
+// System is an in-process WebdamLog deployment; see internal/core.
+type System = core.System
+
+// Peer is one WebdamLog peer; see internal/peer.
+type Peer = peer.Peer
+
+// Network is a deterministic in-process peer network.
+type Network = peer.Network
+
+// PeerConfig configures a peer created directly on a Network.
+type PeerConfig = peer.Config
+
+// Rule, Fact and Program are the WebdamLog AST types.
+type (
+	Rule    = ast.Rule
+	Fact    = ast.Fact
+	Program = ast.Program
+)
+
+// Value and Tuple are the data model types.
+type (
+	Value = value.Value
+	Tuple = value.Tuple
+)
+
+// EngineOptions configures evaluation (semi-naive vs naive, indexes).
+type EngineOptions = engine.Options
+
+// PeerOption customizes peer creation in a System.
+type PeerOption = core.PeerOption
+
+// Re-exported peer options.
+var (
+	WithPolicy        = core.WithPolicy
+	WithEngineOptions = core.WithEngineOptions
+	WithWAL           = core.WithWAL
+	WithProvenance    = core.WithProvenance
+)
+
+// NewSystem creates an empty in-process WebdamLog system.
+func NewSystem() *System { return core.NewSystem() }
+
+// NewNetwork creates a bare peer network (lower-level than System).
+func NewNetwork() *Network { return peer.NewNetwork() }
+
+// Parse parses a WebdamLog program.
+func Parse(src string) (*Program, error) { return parser.Parse(src) }
+
+// ParseRule parses a single rule.
+func ParseRule(src string) (Rule, error) { return parser.ParseRule(src) }
+
+// ParseFact parses a single ground fact.
+func ParseFact(src string) (Fact, error) { return parser.ParseFact(src) }
+
+// DefaultEngineOptions returns the production evaluation configuration.
+func DefaultEngineOptions() EngineOptions { return engine.DefaultOptions() }
+
+// NewTrustPolicy builds the demo's delegation policy: delegations from the
+// listed peers are accepted, everything else waits for explicit approval.
+func NewTrustPolicy(trusted ...string) *acl.TrustPolicy {
+	return acl.NewTrustPolicy(trusted...)
+}
+
+// Value constructors.
+var (
+	Str   = value.Str
+	Int   = value.Int
+	Float = value.Float
+	Bool  = value.Bool
+	Blob  = value.Blob
+)
+
+// NewFact builds a ground fact rel@peer(args...).
+func NewFact(rel, peerName string, args ...Value) Fact {
+	return ast.NewFact(rel, peerName, args...)
+}
