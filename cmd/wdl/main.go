@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -79,7 +80,10 @@ func cmdRun(args []string) error {
 	if err := sys.LoadSource(string(src)); err != nil {
 		return err
 	}
-	r, stages, err := sys.Run(*rounds)
+	// ^C cancels the run mid-way instead of killing the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	r, stages, err := sys.Run(ctx, *rounds)
 	if err != nil {
 		return err
 	}
@@ -144,7 +148,9 @@ func cmdServe(args []string) error {
 	if *name == "" {
 		return fmt.Errorf("serve: -name is required")
 	}
-	ep, err := transport.ListenTCP(*name, *listen, peers)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ep, err := transport.ListenTCP(ctx, *name, *listen, peers)
 	if err != nil {
 		return err
 	}
@@ -174,8 +180,6 @@ func cmdServe(args []string) error {
 	}
 	fmt.Printf("peer %s listening on %s\n", *name, ep.Addr())
 
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	go func() {
 		if err := p.Run(ctx); err != nil && ctx.Err() == nil {
 			fmt.Fprintln(os.Stderr, "peer loop:", err)
@@ -188,7 +192,13 @@ func cmdServe(args []string) error {
 
 // repl is the interactive console of a served peer.
 func repl(p *peer.Peer) {
-	fmt.Println(`commands: +FACT | -FACT | rule RULE | drop ID | dump [REL] | rules | pending | accept N | reject N | stats | quit`)
+	fmt.Println(`commands: +FACT | -FACT | rule RULE | drop ID | dump [REL] | watch REL | unwatch REL | rules | pending | accept N | reject N | stats | quit`)
+	watches := map[string]context.CancelFunc{}
+	defer func() {
+		for _, cancel := range watches {
+			cancel()
+		}
+	}()
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("wdl> ")
@@ -228,6 +238,33 @@ func repl(p *peer.Peer) {
 			relName := strings.TrimSpace(strings.TrimPrefix(line, "dump "))
 			for _, t := range p.Query(relName) {
 				fmt.Printf("  %s\n", t)
+			}
+		case strings.HasPrefix(line, "watch "):
+			relName := strings.TrimSpace(strings.TrimPrefix(line, "watch "))
+			if _, dup := watches[relName]; dup {
+				fmt.Println("already watching", relName)
+				break
+			}
+			wctx, cancel := context.WithCancel(context.Background())
+			var deltas <-chan peer.Delta
+			deltas, err = p.Subscribe(wctx, relName)
+			if err != nil {
+				cancel()
+				break
+			}
+			watches[relName] = cancel
+			go func(rel string, ch <-chan peer.Delta) {
+				for d := range ch {
+					fmt.Printf("\n[%s] %s\nwdl> ", rel, d)
+				}
+			}(relName, deltas)
+		case strings.HasPrefix(line, "unwatch "):
+			relName := strings.TrimSpace(strings.TrimPrefix(line, "unwatch "))
+			if cancel, ok := watches[relName]; ok {
+				cancel()
+				delete(watches, relName)
+			} else {
+				fmt.Println("not watching", relName)
 			}
 		case line == "pending":
 			for _, pd := range p.Controller().Pending() {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"html/template"
@@ -58,7 +59,7 @@ func main() {
 		mu.Lock()
 		defer mu.Unlock()
 		fbGroup.Sync()
-		_, _, err := net.RunToQuiescence(500)
+		_, _, err := net.RunToQuiescence(context.Background(), 500)
 		return err
 	}
 

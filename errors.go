@@ -1,0 +1,54 @@
+package webdamlog
+
+import "repro/internal/errdefs"
+
+// The public error taxonomy. Every layer wraps its failures around these
+// sentinels, so callers branch with errors.Is/As instead of matching
+// message strings:
+//
+//	if errors.Is(err, webdamlog.ErrNoQuiescence) {
+//	    var q *webdamlog.QuiescenceError
+//	    if errors.As(err, &q) { log.Printf("gave up after %d rounds", q.Rounds) }
+//	}
+var (
+	// ErrUnknownRelation: an operation named a relation that is not declared
+	// at the peer (e.g. Subscribe before the declaration is loaded).
+	ErrUnknownRelation = errdefs.ErrUnknownRelation
+
+	// ErrUnknownPeer: a message was routed to a peer the transport has no
+	// address for.
+	ErrUnknownPeer = errdefs.ErrUnknownPeer
+
+	// ErrArity: a fact's width does not match its relation's declared
+	// columns.
+	ErrArity = errdefs.ErrArity
+
+	// ErrPolicyDenied: a delegation was dropped by the access-control
+	// policy.
+	ErrPolicyDenied = errdefs.ErrPolicyDenied
+
+	// ErrNoQuiescence: a run exhausted its round budget without the network
+	// settling; errors.As against *QuiescenceError recovers the budget.
+	ErrNoQuiescence = errdefs.ErrNoQuiescence
+
+	// ErrWAL: the write-ahead log backing a durable peer failed to open or
+	// write.
+	ErrWAL = errdefs.ErrWAL
+
+	// ErrClosed: use of a peer or transport endpoint after Close.
+	ErrClosed = errdefs.ErrClosed
+
+	// ErrDuplicateRule: AddRule with an id that is already taken.
+	ErrDuplicateRule = errdefs.ErrDuplicateRule
+
+	// ErrUnknownRule: RemoveRule/ReplaceRule with an id that does not exist.
+	ErrUnknownRule = errdefs.ErrUnknownRule
+
+	// ErrSchemaConflict: a relation redeclaration disagreed with the
+	// existing schema on kind or arity.
+	ErrSchemaConflict = errdefs.ErrSchemaConflict
+
+	// ErrSlowSubscriber: a subscription was closed because its consumer fell
+	// further behind than the channel buffer allows.
+	ErrSlowSubscriber = errdefs.ErrSlowSubscriber
+)

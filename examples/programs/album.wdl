@@ -1,0 +1,28 @@
+// The paper's Wepic album scenario as a standalone program: Emilien's
+// pictures and ratings live at his peer; Jules selects him as an attendee
+// and derives both the full album view and the five-star subset. Evaluating
+// jules' rules delegates the residuals to emilien at run time (§2).
+
+peer emilien;
+relation extensional pictures@emilien(id, name, owner, data);
+relation extensional rate@emilien(id, stars);
+pictures@emilien(1, "sea.jpg",    "emilien", 0xCAFE);
+pictures@emilien(2, "boat.jpg",   "emilien", 0xBEEF);
+pictures@emilien(3, "dinner.jpg", "emilien", 0x0099);
+rate@emilien(1, 5);
+rate@emilien(2, 5);
+rate@emilien(3, 3);
+
+peer jules;
+relation extensional selectedAttendee@jules(attendee);
+relation intensional attendeePictures@jules(id, name, owner, data);
+relation intensional fiveStar@jules(id, name);
+selectedAttendee@jules("emilien");
+
+attendeePictures@jules($id,$name,$owner,$data) :-
+    selectedAttendee@jules($attendee),
+    pictures@$attendee($id,$name,$owner,$data);
+
+fiveStar@jules($id,$name) :-
+    attendeePictures@jules($id,$name,$owner,$data),
+    rate@$owner($id, 5);

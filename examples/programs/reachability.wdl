@@ -1,0 +1,15 @@
+// Distributed reachability: peer p owns the edge relation, peer q computes
+// the transitive closure over it. The recursive rule's body reads edges@p,
+// so q delegates the residual rules to p — only derived reach facts travel.
+
+peer p;
+relation extensional edges@p(a, b);
+edges@p("a", "b");
+edges@p("b", "c");
+edges@p("x", "y");
+edges@p("u", "v");
+
+peer q;
+relation intensional reach@q(a, b);
+reach@q($x,$y) :- edges@p($x,$y);
+reach@q($x,$z) :- reach@q($x,$y), edges@p($y,$z);

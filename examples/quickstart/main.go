@@ -1,25 +1,30 @@
-// Quickstart: two peers, one delegation — the paper's §2 example in ~40
-// lines of API use. Jules' rule reads a relation at whichever peer the data
-// names; evaluating it delegates the residual rule to emilien, who then
-// streams his pictures to jules.
+// Quickstart: two peers, one delegation — the paper's §2 example on the v2
+// API. Jules' rule reads a relation at whichever peer the data names;
+// evaluating it delegates the residual rule to emilien, who then streams
+// his pictures to jules. The example drives the three v2 primitives: a
+// context-bound Run, an atomic Batch upload, and a streaming Subscribe on
+// the derived view.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
 
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
 	sys := webdamlog.NewSystem()
 	err := sys.LoadSource(`
 		peer emilien;
 		relation extensional pictures@emilien(id, name, owner, data);
-		pictures@emilien(1, "sea.jpg",  "emilien", 0xCAFE);
-		pictures@emilien(2, "boat.jpg", "emilien", 0xBEEF);
 
 		peer jules;
 		relation extensional selectedAttendee@jules(attendee);
@@ -37,13 +42,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rounds, stages, err := sys.Run(0)
+
+	// Watch jules' derived view: every fixpoint that changes it streams
+	// insert/delete deltas here.
+	deltas, err := sys.Peer("jules").Subscribe(ctx, "attendeePictures")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Upload both pictures as one atomic batch: one store transaction, one
+	// fixpoint stage at emilien.
+	batch := webdamlog.NewBatch().
+		Insert(webdamlog.NewFact("pictures", "emilien",
+			webdamlog.Int(1), webdamlog.Str("sea.jpg"), webdamlog.Str("emilien"), webdamlog.Blob([]byte{0xCA, 0xFE}))).
+		Insert(webdamlog.NewFact("pictures", "emilien",
+			webdamlog.Int(2), webdamlog.Str("boat.jpg"), webdamlog.Str("emilien"), webdamlog.Blob([]byte{0xBE, 0xEF})))
+	if err := sys.Peer("emilien").Apply(ctx, batch); err != nil {
+		log.Fatal(err)
+	}
+
+	rounds, stages, err := sys.Run(ctx, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("network quiesced after %d rounds (%d peer stages)\n\n", rounds, stages)
 
-	fmt.Println("attendeePictures@jules:")
+	fmt.Println("streamed deltas on attendeePictures@jules:")
+	for len(deltas) > 0 {
+		fmt.Println("  ", <-deltas)
+	}
+
+	fmt.Println("\nattendeePictures@jules:")
 	for _, t := range sys.Peer("jules").Query("attendeePictures") {
 		fmt.Println("  ", t)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,7 +65,7 @@ func main() {
 		log.Fatal(err)
 	}
 	run := func() {
-		if _, _, err := net.RunToQuiescence(200); err != nil {
+		if _, _, err := net.RunToQuiescence(context.Background(), 200); err != nil {
 			log.Fatal(err)
 		}
 	}

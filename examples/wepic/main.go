@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,7 +60,7 @@ func main() {
 	must(hub.Register("emilien"))
 	must(hub.Register("jules"))
 	run := func() {
-		if _, _, err := net.RunToQuiescence(500); err != nil {
+		if _, _, err := net.RunToQuiescence(context.Background(), 500); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -154,7 +155,7 @@ func RunDelegationFanout(nPeers, factsPerPeer int) (FanoutResult, error) {
 		return FanoutResult{}, err
 	}
 	start := time.Now()
-	rounds, stages, err := net.RunToQuiescence(0)
+	rounds, stages, err := net.RunToQuiescence(context.Background(), 0)
 	if err != nil {
 		return FanoutResult{}, err
 	}
@@ -185,7 +186,7 @@ func RunPreinstalledFanout(nPeers, factsPerPeer int) (FanoutResult, error) {
 		}
 	}
 	start := time.Now()
-	rounds, stages, err := net.RunToQuiescence(0)
+	rounds, stages, err := net.RunToQuiescence(context.Background(), 0)
 	if err != nil {
 		return FanoutResult{}, err
 	}
@@ -268,7 +269,7 @@ func RunDistributedJoin(nPeers, factsPerPeer, wantedPerPeer int) (DistributionRe
 		return DistributionResult{}, err
 	}
 	start := time.Now()
-	if _, _, err := net.RunToQuiescence(0); err != nil {
+	if _, _, err := net.RunToQuiescence(context.Background(), 0); err != nil {
 		return DistributionResult{}, err
 	}
 	return DistributionResult{
@@ -302,7 +303,7 @@ func RunCentralizedJoin(nPeers, factsPerPeer, wantedPerPeer int) (DistributionRe
 		return DistributionResult{}, err
 	}
 	start := time.Now()
-	if _, _, err := net.RunToQuiescence(0); err != nil {
+	if _, _, err := net.RunToQuiescence(context.Background(), 0); err != nil {
 		return DistributionResult{}, err
 	}
 	return DistributionResult{
@@ -366,7 +367,7 @@ func RunBusThroughput(n, payload int) (TransportResult, error) {
 	msg := makeMsg(payload)
 	start := time.Now()
 	for i := 0; i < n; i++ {
-		if err := a.Send("b", msg); err != nil {
+		if err := a.Send(context.Background(), "b", msg); err != nil {
 			return TransportResult{}, err
 		}
 	}
@@ -380,12 +381,12 @@ func RunBusThroughput(n, payload int) (TransportResult, error) {
 // RunTCPThroughput pushes n fact messages of the given payload size through
 // a localhost TCP link, including gob encode/decode.
 func RunTCPThroughput(n, payload int) (TransportResult, error) {
-	a, err := transport.ListenTCP("a", "127.0.0.1:0", nil)
+	a, err := transport.ListenTCP(context.Background(), "a", "127.0.0.1:0", nil)
 	if err != nil {
 		return TransportResult{}, err
 	}
 	defer a.Close()
-	b, err := transport.ListenTCP("b", "127.0.0.1:0", nil)
+	b, err := transport.ListenTCP(context.Background(), "b", "127.0.0.1:0", nil)
 	if err != nil {
 		return TransportResult{}, err
 	}
@@ -394,7 +395,7 @@ func RunTCPThroughput(n, payload int) (TransportResult, error) {
 	msg := makeMsg(payload)
 	start := time.Now()
 	for i := 0; i < n; i++ {
-		if err := a.Send("b", msg); err != nil {
+		if err := a.Send(context.Background(), "b", msg); err != nil {
 			return TransportResult{}, err
 		}
 	}
@@ -502,6 +503,143 @@ func RunWALAblation(n int, dir string) (WALAblation, error) {
 		return WALAblation{}, err
 	}
 	return WALAblation{Facts: n, WAL: dir != "", Duration: d}, nil
+}
+
+// BatchResult measures the insert path of the v2 API: n facts staged either
+// one Insert call at a time or as a single atomic Batch.
+type BatchResult struct {
+	Facts    int
+	Stages   uint64
+	Duration time.Duration
+}
+
+// RunInsertPath stages n facts at one live peer — per-fact when batched is
+// false, as one Batch otherwise — and waits until the peer's stage loop has
+// ingested them all. The peer runs its production loop (peer.Run), so the
+// per-fact path pays what it pays in deployment: one lock acquisition and
+// one scheduler wakeup per call, with each wakeup liable to trigger a
+// fixpoint stage over whatever arrived. The batched path takes the lock
+// once, wakes the loop once, and applies the facts through the store's
+// grouped InsertMany.
+func RunInsertPath(n int, batched bool) (BatchResult, error) {
+	net := peer.NewNetwork()
+	p, err := net.NewPeer(peer.Config{Name: "p"})
+	if err != nil {
+		return BatchResult{}, err
+	}
+	// The workload mirrors wdlbench's stage experiments: every ingested
+	// fact feeds a derived view, so each fixpoint stage costs real work and
+	// stage amplification on the per-fact path is visible.
+	if err := p.LoadSource(`
+		relation extensional data@p(id, payload);
+		relation intensional view@p(id, payload);
+		view@p($i,$s) :- data@p($i,$s);
+	`); err != nil {
+		return BatchResult{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = p.Run(ctx)
+	}()
+
+	start := time.Now()
+	if batched {
+		b := engine.NewBatch()
+		for i := 0; i < n; i++ {
+			b.Insert(ast.NewFact("data", "p", value.Int(int64(i)), value.Str("payload")))
+		}
+		if err := p.Apply(ctx, b); err != nil {
+			return BatchResult{}, err
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			err := p.Insert(ast.NewFact("data", "p", value.Int(int64(i)), value.Str("payload")))
+			if err != nil {
+				return BatchResult{}, err
+			}
+		}
+	}
+	rel := p.Store().Get("data", "p")
+	deadline := time.Now().Add(60 * time.Second)
+	for rel.Len() < n {
+		if time.Now().After(deadline) {
+			return BatchResult{}, fmt.Errorf("bench: insert path: %d of %d facts ingested", rel.Len(), n)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	d := time.Since(start)
+	cancel()
+	<-done
+	return BatchResult{Facts: n, Stages: p.Stats().Stages, Duration: d}, nil
+}
+
+// RunRemoteInsertPath measures the wire half of batching: peer a stages n
+// facts owned by peer b over a localhost TCP link — n framed gob messages
+// on the per-fact path, one on the batched path — and waits for b's stage
+// loop to ingest them.
+func RunRemoteInsertPath(n int, batched bool) (BatchResult, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	epA, err := transport.ListenTCP(ctx, "a", "127.0.0.1:0", nil)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	defer epA.Close()
+	epB, err := transport.ListenTCP(ctx, "b", "127.0.0.1:0", nil)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	defer epB.Close()
+	epA.AddPeer("b", epB.Addr())
+	a, err := peer.New(peer.Config{Name: "a"}, epA)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	b, err := peer.New(peer.Config{Name: "b"}, epB)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	if err := b.DeclareRelation("data", ast.Extensional, "id", "payload"); err != nil {
+		return BatchResult{}, err
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = b.Run(ctx)
+	}()
+
+	start := time.Now()
+	if batched {
+		batch := engine.NewBatch()
+		for i := 0; i < n; i++ {
+			batch.Insert(ast.NewFact("data", "b", value.Int(int64(i)), value.Str("payload")))
+		}
+		if err := a.Apply(ctx, batch); err != nil {
+			return BatchResult{}, err
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			err := a.Insert(ast.NewFact("data", "b", value.Int(int64(i)), value.Str("payload")))
+			if err != nil {
+				return BatchResult{}, err
+			}
+		}
+	}
+	rel := b.Store().Get("data", "b")
+	deadline := time.Now().Add(60 * time.Second)
+	for rel.Len() < n {
+		if time.Now().After(deadline) {
+			return BatchResult{}, fmt.Errorf("bench: remote insert path: %d of %d facts ingested", rel.Len(), n)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	d := time.Since(start)
+	cancel()
+	<-done
+	return BatchResult{Facts: n, Stages: b.Stats().Stages, Duration: d}, nil
 }
 
 func mustRule(id, src string) ast.Rule {

@@ -12,12 +12,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"os"
 
 	"repro/internal/acl"
 	"repro/internal/ast"
 	"repro/internal/engine"
+	"repro/internal/errdefs"
 	"repro/internal/parser"
 	"repro/internal/peer"
 	"repro/internal/store"
@@ -51,15 +52,14 @@ func WithEngineOptions(o engine.Options) PeerOption {
 }
 
 // WithWAL makes the peer durable: state is logged to dir and recovered from
-// it at creation.
+// it at creation. If the WAL cannot be opened, AddPeer fails with an error
+// wrapping errdefs.ErrWAL — a peer configured for durability never silently
+// comes up volatile.
 func WithWAL(dir string) PeerOption {
 	return func(c *peer.Config) {
 		w, err := store.OpenWAL(dir)
 		if err != nil {
-			// Surface the problem at AddPeer time through a sentinel config;
-			// peer.New validates WAL presence. Creating the WAL rarely fails
-			// (mkdir + open); report on stderr for CLI users.
-			fmt.Fprintf(os.Stderr, "webdamlog: opening WAL in %s: %v\n", dir, err)
+			c.WALErr = fmt.Errorf("opening WAL in %s: %w", dir, err)
 			return
 		}
 		c.WAL = w
@@ -173,14 +173,41 @@ func (s *System) LoadProgram(prog *ast.Program) error {
 // Run drives every peer until the system quiesces (no peer has work, no
 // message is in flight), bounded by maxRounds (<=0 uses the default). It
 // returns the number of scheduler rounds and stages executed.
-func (s *System) Run(maxRounds int) (rounds, stages int, err error) {
-	return s.net.RunToQuiescence(maxRounds)
+//
+// The context is honored between peer stages: cancellation or a deadline
+// makes Run return promptly with the context's error (typically
+// context.Canceled or context.DeadlineExceeded); hitting the round budget
+// returns an error matching errdefs.ErrNoQuiescence.
+func (s *System) Run(ctx context.Context, maxRounds int) (rounds, stages int, err error) {
+	return s.net.RunToQuiescence(ctx, maxRounds)
 }
 
 // MustRun is Run for examples and tests: it panics if the system fails to
 // quiesce.
 func (s *System) MustRun() {
-	if _, _, err := s.Run(0); err != nil {
+	if _, _, err := s.Run(context.Background(), 0); err != nil {
 		panic(err)
 	}
+}
+
+// Apply routes a batch through the owning peers: operations are grouped by
+// destination and each group is applied atomically at its peer (see
+// peer.Apply). Unknown local peers fail with errdefs.ErrUnknownPeer.
+func (s *System) Apply(ctx context.Context, b *engine.Batch) error {
+	if b == nil || b.Empty() {
+		return nil
+	}
+	// Hand the whole batch to the first named peer; peer.Apply routes
+	// remote shares itself, one message per destination.
+	var origin *peer.Peer
+	for _, op := range b.Ops() {
+		if p := s.net.Peer(op.Fact.Peer); p != nil {
+			origin = p
+			break
+		}
+	}
+	if origin == nil {
+		return fmt.Errorf("core: %w: no batch destination is registered", errdefs.ErrUnknownPeer)
+	}
+	return origin.Apply(ctx, b)
 }

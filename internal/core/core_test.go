@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestLoadSourceMultiPeer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rounds, stages, err := sys.Run(0)
+	rounds, stages, err := sys.Run(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,57 @@
+// Package errdefs is the leaf package holding the typed error taxonomy of
+// the public API. Every layer (store, transport, acl, peer, core) wraps its
+// failures around these sentinels so callers can branch with errors.Is/As
+// instead of matching message strings; the root webdamlog package re-exports
+// them verbatim.
+//
+// The sentinels deliberately carry no context of their own: sites that
+// return them wrap with fmt.Errorf("...: %w", Err...) so the chain keeps
+// both the taxonomy entry and the human-readable specifics.
+package errdefs
+
+import "errors"
+
+var (
+	// ErrUnknownRelation reports an operation against a relation that is not
+	// declared at the peer (e.g. subscribing to a relation before its
+	// `relation ...` declaration has been loaded).
+	ErrUnknownRelation = errors.New("webdamlog: unknown relation")
+
+	// ErrUnknownPeer reports a message routed to a peer the transport has no
+	// address for.
+	ErrUnknownPeer = errors.New("webdamlog: unknown peer")
+
+	// ErrArity reports a fact or tuple whose width does not match the
+	// relation's declared columns.
+	ErrArity = errors.New("webdamlog: arity mismatch")
+
+	// ErrPolicyDenied reports a delegation dropped by the peer's
+	// access-control policy.
+	ErrPolicyDenied = errors.New("webdamlog: delegation denied by policy")
+
+	// ErrNoQuiescence reports that a run hit its round budget without the
+	// network settling — usually an oscillating program.
+	ErrNoQuiescence = errors.New("webdamlog: no quiescence")
+
+	// ErrWAL reports a failure opening or writing the write-ahead log that
+	// backs a durable peer.
+	ErrWAL = errors.New("webdamlog: write-ahead log failure")
+
+	// ErrClosed reports use of a peer or transport endpoint after Close.
+	ErrClosed = errors.New("webdamlog: closed")
+
+	// ErrDuplicateRule reports adding a rule whose id is already taken.
+	ErrDuplicateRule = errors.New("webdamlog: duplicate rule id")
+
+	// ErrUnknownRule reports removing or replacing a rule id that does not
+	// exist at the peer.
+	ErrUnknownRule = errors.New("webdamlog: unknown rule id")
+
+	// ErrSchemaConflict reports a relation redeclaration that disagrees with
+	// the existing schema on kind or arity.
+	ErrSchemaConflict = errors.New("webdamlog: conflicting relation schema")
+
+	// ErrSlowSubscriber reports a subscription channel that was closed
+	// because its consumer fell further behind than its buffer allows.
+	ErrSlowSubscriber = errors.New("webdamlog: subscriber too slow")
+)

@@ -1,11 +1,13 @@
 package peer
 
 import (
-	"strings"
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/ast"
 	"repro/internal/engine"
+	"repro/internal/errdefs"
 	"repro/internal/parser"
 	"repro/internal/transport"
 	"repro/internal/value"
@@ -79,11 +81,11 @@ func TestRemoveUnknownRule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.RemoveRule("nope"); err == nil || !strings.Contains(err.Error(), "no rule") {
-		t.Errorf("err = %v", err)
+	if err := p.RemoveRule("nope"); !errors.Is(err, errdefs.ErrUnknownRule) {
+		t.Errorf("err = %v, want ErrUnknownRule", err)
 	}
-	if err := p.ReplaceRule("nope", `a@alice($x) :- b@alice($x);`); err == nil {
-		t.Error("replace of unknown rule accepted")
+	if err := p.ReplaceRule("nope", `a@alice($x) :- b@alice($x);`); !errors.Is(err, errdefs.ErrUnknownRule) {
+		t.Errorf("replace of unknown rule: err = %v, want ErrUnknownRule", err)
 	}
 }
 
@@ -125,27 +127,15 @@ func TestQuiescenceBudget(t *testing.T) {
 	`); err != nil {
 		t.Fatal(err)
 	}
-	_, _, err := n.RunToQuiescence(20)
+	_, _, err := n.RunToQuiescence(context.Background(), 20)
 	if err == nil {
 		t.Skip("oscillator reached a fixpoint on this schedule; budget path not exercised")
 	}
-	var nq *ErrNoQuiescence
-	if !errorsAs(err, &nq) {
+	if !errors.Is(err, errdefs.ErrNoQuiescence) {
 		t.Errorf("err = %v, want ErrNoQuiescence", err)
 	}
-}
-
-func errorsAs[T error](err error, target *T) bool {
-	for err != nil {
-		if e, ok := err.(T); ok {
-			*target = e
-			return true
-		}
-		u, ok := err.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		err = u.Unwrap()
+	var nq *QuiescenceError
+	if !errors.As(err, &nq) || nq.Rounds != 20 {
+		t.Errorf("err = %v, want QuiescenceError{Rounds: 20}", err)
 	}
-	return false
 }

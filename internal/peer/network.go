@@ -1,10 +1,12 @@
 package peer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
+	"repro/internal/errdefs"
 	"repro/internal/transport"
 )
 
@@ -71,23 +73,34 @@ func (n *Network) Peers() []*Peer {
 	return out
 }
 
-// ErrNoQuiescence reports that RunToQuiescence hit its round budget, which
+// QuiescenceError reports that RunToQuiescence hit its round budget, which
 // usually means the program oscillates (e.g. rules that insert and delete
-// the same fact forever).
-type ErrNoQuiescence struct {
+// the same fact forever). It wraps errdefs.ErrNoQuiescence, so
+// errors.Is(err, webdamlog.ErrNoQuiescence) matches and errors.As recovers
+// the round count.
+type QuiescenceError struct {
 	Rounds int
 }
 
 // Error implements the error interface.
-func (e *ErrNoQuiescence) Error() string {
+func (e *QuiescenceError) Error() string {
 	return fmt.Sprintf("peer: network did not quiesce within %d rounds", e.Rounds)
 }
+
+// Unwrap ties the error into the public taxonomy.
+func (e *QuiescenceError) Unwrap() error { return errdefs.ErrNoQuiescence }
 
 // RunToQuiescence repeatedly runs a stage on every peer that has work, in
 // name order, until no peer has work (and hence no messages are in flight —
 // the bus delivers synchronously). It returns the number of rounds and the
-// total number of stages that actually ran. maxRounds bounds the loop.
-func (n *Network) RunToQuiescence(maxRounds int) (rounds, stages int, err error) {
+// total number of stages that actually ran. maxRounds bounds the loop
+// (<=0 uses the default of 1000 rounds).
+//
+// The context is checked before every peer stage: cancellation makes the
+// call return promptly with ctx's error, leaving already-completed stages
+// committed (stages are atomic; the run as a whole is resumable by simply
+// calling RunToQuiescence again).
+func (n *Network) RunToQuiescence(ctx context.Context, maxRounds int) (rounds, stages int, err error) {
 	if maxRounds <= 0 {
 		maxRounds = 1000
 	}
@@ -95,6 +108,9 @@ func (n *Network) RunToQuiescence(maxRounds int) (rounds, stages int, err error)
 	for r := 0; r < maxRounds; r++ {
 		progressed := false
 		for _, p := range peers {
+			if err := ctx.Err(); err != nil {
+				return rounds, stages, err
+			}
 			if p.HasWork() {
 				rep := p.RunStage()
 				progressed = true
@@ -108,7 +124,7 @@ func (n *Network) RunToQuiescence(maxRounds int) (rounds, stages int, err error)
 		}
 		rounds = r + 1
 	}
-	return rounds, stages, &ErrNoQuiescence{Rounds: maxRounds}
+	return rounds, stages, &QuiescenceError{Rounds: maxRounds}
 }
 
 // StageAll runs exactly one stage on every peer that has work, in name

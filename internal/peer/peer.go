@@ -14,6 +14,7 @@
 package peer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/acl"
 	"repro/internal/ast"
 	"repro/internal/engine"
+	"repro/internal/errdefs"
 	"repro/internal/parser"
 	"repro/internal/protocol"
 	"repro/internal/provenance"
@@ -40,6 +42,12 @@ type Config struct {
 	Engine *engine.Options
 	// WAL, when non-nil, makes the peer's extensional relations durable.
 	WAL *store.WAL
+	// WALErr records a failure to open the WAL this config asked for.
+	// Options that open the WAL on the caller's behalf (core.WithWAL) store
+	// the error here instead of swallowing it; New refuses the config with
+	// an error wrapping errdefs.ErrWAL, so a peer that was meant to be
+	// durable can never silently come up volatile.
+	WALErr error
 	// Policy controls incoming delegations; nil accepts everything.
 	Policy acl.Policy
 	// Provenance enables why-provenance tracking of derived facts.
@@ -131,6 +139,10 @@ type Peer struct {
 	stats         Stats
 	stageNo       uint64
 	wake          chan struct{}
+
+	subSeq int
+	subs   map[int]*subscription
+	closed bool
 }
 
 // New creates a peer attached to the given transport endpoint. If cfg.WAL
@@ -144,6 +156,13 @@ func New(cfg Config, ep transport.Endpoint) (*Peer, error) {
 	}
 	if ep.Name() != cfg.Name {
 		return nil, fmt.Errorf("peer: endpoint is named %q, peer %q", ep.Name(), cfg.Name)
+	}
+	if cfg.WALErr != nil {
+		err := cfg.WALErr
+		if !errors.Is(err, errdefs.ErrWAL) {
+			err = fmt.Errorf("%w: %v", errdefs.ErrWAL, err)
+		}
+		return nil, fmt.Errorf("peer %s: %w", cfg.Name, err)
 	}
 	db := store.New()
 	if cfg.WAL != nil {
@@ -164,6 +183,7 @@ func New(cfg Config, ep transport.Endpoint) (*Peer, error) {
 		delegated:     make(map[delegationKey][]ast.Rule),
 		lastSentDeleg: make(map[string]map[string]string),
 		wake:          make(chan struct{}, 1),
+		subs:          make(map[int]*subscription),
 	}
 	if cfg.Provenance {
 		p.prov = provenance.NewStore()
@@ -268,7 +288,7 @@ func (p *Peer) AddRuleAST(r ast.Rule) (string, error) {
 	}
 	for _, have := range p.ownRules {
 		if have.ID == r.ID {
-			return "", fmt.Errorf("peer %s: duplicate rule id %q", p.name, r.ID)
+			return "", fmt.Errorf("peer %s: %w: %q", p.name, errdefs.ErrDuplicateRule, r.ID)
 		}
 	}
 	if r.Origin == "" {
@@ -293,7 +313,7 @@ func (p *Peer) RemoveRule(id string) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("peer %s: no rule with id %q", p.name, id)
+	return fmt.Errorf("peer %s: %w: %q", p.name, errdefs.ErrUnknownRule, id)
 }
 
 // ReplaceRule atomically swaps the rule with the given id for a new rule
@@ -318,7 +338,7 @@ func (p *Peer) ReplaceRule(id, src string) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("peer %s: no rule with id %q", p.name, id)
+	return fmt.Errorf("peer %s: %w: %q", p.name, errdefs.ErrUnknownRule, id)
 }
 
 // Rules returns the peer's own rules (copies), in insertion order.
@@ -420,11 +440,62 @@ func sameRules(a, b []ast.Rule) bool {
 
 // Insert stages the insertion of a fact. Facts for this peer are applied at
 // the start of the next local stage; facts for other peers are sent to them
-// immediately.
+// immediately. For more than a handful of facts, build a Batch and use
+// Apply: it takes the peer lock once, wakes the stage loop once, and ships
+// one wire message per destination.
 func (p *Peer) Insert(f ast.Fact) error { return p.update(ast.Derive, f) }
 
 // Delete stages the deletion of a fact, with the same routing as Insert.
 func (p *Peer) Delete(f ast.Fact) error { return p.update(ast.Delete, f) }
+
+// Apply stages every operation of the batch atomically: operations on this
+// peer's relations are buffered as one unit and applied in a single
+// ingest+fixpoint stage (one store transaction, one WAL append run, one
+// scheduler wakeup); operations on remote relations are grouped into one
+// FactsMsg per destination peer, so each destination also ingests its share
+// in a single stage. The context bounds the remote sends.
+//
+// Operations keep their relative order, so an insert followed by a delete
+// of the same fact inside one batch nets out to the delete.
+func (p *Peer) Apply(ctx context.Context, b *engine.Batch) error {
+	if b == nil || b.Empty() {
+		return nil
+	}
+	var local []engine.FactOp
+	remote := make(map[string]*protocol.FactsMsg)
+	var order []string
+	for _, op := range b.Ops() {
+		if op.Fact.Peer == p.name {
+			local = append(local, op)
+			continue
+		}
+		m := remote[op.Fact.Peer]
+		if m == nil {
+			m = &protocol.FactsMsg{}
+			remote[op.Fact.Peer] = m
+			order = append(order, op.Fact.Peer)
+		}
+		m.Append(op.Op == ast.Delete, op.Fact)
+	}
+	var errs []error
+	for _, dst := range order {
+		if err := p.ep.Send(ctx, dst, *remote[dst]); err != nil {
+			errs = append(errs, fmt.Errorf("peer %s: sending batch of %d to %s: %w",
+				p.name, remote[dst].Len(), dst, err))
+		}
+	}
+	if len(local) > 0 {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return fmt.Errorf("peer %s: %w", p.name, errdefs.ErrClosed)
+		}
+		p.pendingOps = append(p.pendingOps, local...)
+		p.mu.Unlock()
+		p.kick()
+	}
+	return errors.Join(errs...)
+}
 
 // InsertString parses a fact in concrete syntax and stages its insertion.
 func (p *Peer) InsertString(src string) error {
@@ -447,13 +518,17 @@ func (p *Peer) DeleteString(src string) error {
 func (p *Peer) update(op ast.UpdateOp, f ast.Fact) error {
 	if f.Peer != p.name {
 		del := op == ast.Delete
-		err := p.ep.Send(f.Peer, protocol.FactsMsg{Ops: []protocol.FactDelta{{Delete: del, Fact: f}}})
+		err := p.ep.Send(context.Background(), f.Peer, protocol.FactsMsg{Ops: []protocol.FactDelta{{Delete: del, Fact: f}}})
 		if err != nil {
 			return fmt.Errorf("peer %s: sending update for %s: %w", p.name, f.String(), err)
 		}
 		return nil
 	}
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("peer %s: %w", p.name, errdefs.ErrClosed)
+	}
 	p.pendingOps = append(p.pendingOps, engine.FactOp{Op: op, Fact: f})
 	p.mu.Unlock()
 	p.kick()
@@ -546,8 +621,21 @@ func (p *Peer) CompileErrors() []error {
 	return out
 }
 
-// Close flushes durable state and detaches from the transport.
+// Close flushes durable state, closes all subscription channels and
+// detaches from the transport.
 func (p *Peer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	subs := p.subs
+	p.subs = make(map[int]*subscription)
+	p.mu.Unlock()
+	for _, s := range subs {
+		close(s.ch)
+	}
 	var errs []error
 	if p.wal != nil {
 		if err := p.wal.Sync(); err != nil {

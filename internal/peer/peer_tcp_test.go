@@ -14,11 +14,11 @@ import (
 // real TCP endpoints and asynchronous peer loops — the deployment mode of
 // the demo (two laptops + cloud), shrunk to two peers on localhost.
 func TestDistributedDeploymentOverTCP(t *testing.T) {
-	epE, err := transport.ListenTCP("emilien", "127.0.0.1:0", nil)
+	epE, err := transport.ListenTCP(context.Background(), "emilien", "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	epJ, err := transport.ListenTCP("jules", "127.0.0.1:0", nil)
+	epJ, err := transport.ListenTCP(context.Background(), "jules", "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestPeerWALRecovery(t *testing.T) {
 	`); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := n1.RunToQuiescence(50); err != nil {
+	if _, _, err := n1.RunToQuiescence(context.Background(), 50); err != nil {
 		t.Fatal(err)
 	}
 	if err := p1.Close(); err != nil {
@@ -132,7 +132,7 @@ func TestPeerWALRecovery(t *testing.T) {
 	if err := p2.DeleteString(`pics@alice(1);`); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := n2.RunToQuiescence(50); err != nil {
+	if _, _, err := n2.RunToQuiescence(context.Background(), 50); err != nil {
 		t.Fatal(err)
 	}
 	if err := p2.Close(); err != nil {
@@ -166,7 +166,7 @@ func TestPeerWALSnapshotRecovery(t *testing.T) {
 	`); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := n.RunToQuiescence(50); err != nil {
+	if _, _, err := n.RunToQuiescence(context.Background(), 50); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Snapshot(p.Store(), "alice"); err != nil {
@@ -175,7 +175,7 @@ func TestPeerWALSnapshotRecovery(t *testing.T) {
 	if err := p.InsertString(`pics@alice(2);`); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := n.RunToQuiescence(50); err != nil {
+	if _, _, err := n.RunToQuiescence(context.Background(), 50); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.Close(); err != nil {

@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func newTestNetwork(t *testing.T, names ...string) (*Network, map[string]*Peer) 
 
 func quiesce(t *testing.T, n *Network) int {
 	t.Helper()
-	_, stages, err := n.RunToQuiescence(200)
+	_, stages, err := n.RunToQuiescence(context.Background(), 200)
 	if err != nil {
 		t.Fatalf("RunToQuiescence: %v", err)
 	}

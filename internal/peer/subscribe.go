@@ -1,0 +1,176 @@
+package peer
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/errdefs"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Delta is one observed change to a subscribed relation: the insertion
+// (default) or deletion of a tuple, as committed by a fixpoint stage.
+type Delta struct {
+	Rel    string
+	Delete bool
+	Tuple  value.Tuple
+}
+
+// String renders the delta for logs.
+func (d Delta) String() string {
+	if d.Delete {
+		return "-" + d.Rel + d.Tuple.String()
+	}
+	return "+" + d.Rel + d.Tuple.String()
+}
+
+// SubscribeBuffer is the capacity of a subscription's delta channel. A
+// consumer that falls more than a full buffer behind is disconnected (its
+// channel is closed and an errdefs.ErrSlowSubscriber is recorded on the
+// stage report) rather than allowed to wedge the stage loop.
+const SubscribeBuffer = 256
+
+type subscription struct {
+	id   int
+	rel  *store.Relation
+	ch   chan Delta
+	prev map[string]value.Tuple // relation contents at the last emit
+	vers uint64                 // relation version at the last emit
+	fp   uint64                 // relation content fingerprint at the last emit
+}
+
+// Subscribe streams changes to the named local relation: every time a stage
+// commits, the tuples that appeared are delivered as insert deltas and the
+// tuples that vanished as delete deltas, in sorted order, deletions first.
+// This is the primitive a live UI (the Wepic photo wall) or any serving
+// frontend polls-free view maintenance builds on.
+//
+// The baseline is the relation's contents at Subscribe time: only
+// subsequent changes stream. Works for extensional and rule-derived
+// (intensional) relations alike — a derived view that is cleared and
+// re-derived to the same contents produces no deltas.
+//
+// The channel is closed when ctx is cancelled, when the peer is closed, or
+// if the consumer falls further behind than SubscribeBuffer deltas. The
+// relation must already be declared; subscribing to an unknown relation
+// returns an error wrapping errdefs.ErrUnknownRelation.
+func (p *Peer) Subscribe(ctx context.Context, relName string) (<-chan Delta, error) {
+	rel := p.db.Get(relName, p.name)
+	if rel == nil {
+		return nil, fmt.Errorf("peer %s: %w: %s", p.name, errdefs.ErrUnknownRelation, relName)
+	}
+	// Build the baseline under p.mu: stages also hold p.mu, so the snapshot
+	// cannot tear against a concurrently-committing fixpoint (a delta
+	// between Tuples and Version would otherwise be lost forever).
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("peer %s: %w", p.name, errdefs.ErrClosed)
+	}
+	prev := make(map[string]value.Tuple)
+	for _, t := range rel.Tuples() {
+		prev[t.Key()] = t
+	}
+	sub := &subscription{
+		rel:  rel,
+		ch:   make(chan Delta, SubscribeBuffer),
+		prev: prev,
+		vers: rel.Version(),
+		fp:   rel.Fingerprint(),
+	}
+	p.subSeq++
+	sub.id = p.subSeq
+	p.subs[sub.id] = sub
+	p.mu.Unlock()
+
+	if ctx.Done() != nil {
+		go func() {
+			<-ctx.Done()
+			p.removeSub(sub.id)
+		}()
+	}
+	return sub.ch, nil
+}
+
+// Subscribers returns the number of live subscriptions (introspection).
+func (p *Peer) Subscribers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.subs)
+}
+
+// removeSub unregisters and closes a subscription; idempotent.
+func (p *Peer) removeSub(id int) {
+	p.mu.Lock()
+	sub, ok := p.subs[id]
+	if ok {
+		delete(p.subs, id)
+	}
+	p.mu.Unlock()
+	if ok {
+		close(sub.ch)
+	}
+}
+
+// emitSubscriptionsLocked diffs every subscribed relation against its last
+// emitted state and delivers the deltas. Called at the end of each stage
+// that ran, with p.mu held.
+func (p *Peer) emitSubscriptionsLocked(rep *StageReport) {
+	var dropped []int
+	for id, sub := range p.subs {
+		v := sub.rel.Version()
+		if v == sub.vers {
+			continue // untouched since the last emit
+		}
+		fp := sub.rel.Fingerprint()
+		if fp == sub.fp {
+			// Mutated but content-identical — the common case for an
+			// intensional view cleared and re-derived to the same tuples.
+			// Skipping here keeps subscriptions O(1) per quiescent stage.
+			sub.vers = v
+			continue
+		}
+		cur := sub.rel.Tuples() // sorted snapshot
+		curKeys := make(map[string]value.Tuple, len(cur))
+		for _, t := range cur {
+			curKeys[t.Key()] = t
+		}
+		var deltas []Delta
+		removed := make([]value.Tuple, 0)
+		for k, t := range sub.prev {
+			if _, still := curKeys[k]; !still {
+				removed = append(removed, t)
+			}
+		}
+		value.SortTuples(removed)
+		for _, t := range removed {
+			deltas = append(deltas, Delta{Rel: sub.rel.Name(), Delete: true, Tuple: t})
+		}
+		for _, t := range cur {
+			if _, had := sub.prev[t.Key()]; !had {
+				deltas = append(deltas, Delta{Rel: sub.rel.Name(), Tuple: t})
+			}
+		}
+		sub.prev = curKeys
+		sub.vers = v
+		sub.fp = fp
+	deliver:
+		for i, d := range deltas {
+			select {
+			case sub.ch <- d:
+			default:
+				rep.Errors = append(rep.Errors, fmt.Errorf(
+					"peer %s: %w: %s subscription dropped %d deltas",
+					p.name, errdefs.ErrSlowSubscriber, sub.rel.Name(), len(deltas)-i))
+				dropped = append(dropped, id)
+				break deliver
+			}
+		}
+	}
+	for _, id := range dropped {
+		sub := p.subs[id]
+		delete(p.subs, id)
+		close(sub.ch)
+	}
+}

@@ -1,0 +1,223 @@
+package peer
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/errdefs"
+	"repro/internal/value"
+)
+
+// drainDeltas reads everything currently buffered on ch.
+func drainDeltas(ch <-chan Delta) []Delta {
+	var out []Delta
+	for {
+		select {
+		case d, ok := <-ch:
+			if !ok {
+				return out
+			}
+			out = append(out, d)
+		default:
+			return out
+		}
+	}
+}
+
+// TestSubscribeDerivedAcrossPeers is the acceptance case: a subscription on
+// jules' rule-derived view streams deltas caused by changes at emilien —
+// including the deletion when the supporting fact is retracted.
+func TestSubscribeDerivedAcrossPeers(t *testing.T) {
+	n, ps := newTestNetwork(t, "jules", "emilien")
+	jules, emilien := ps["jules"], ps["emilien"]
+	if err := emilien.LoadSource(`
+		relation extensional pictures@emilien(id, name);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := jules.LoadSource(`
+		relation extensional selectedAttendee@jules(attendee);
+		relation intensional attendeePictures@jules(id, name);
+		selectedAttendee@jules("emilien");
+		attendeePictures@jules($id,$name) :-
+			selectedAttendee@jules($a), pictures@$a($id,$name);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	deltas, err := jules.Subscribe(ctx, "attendeePictures")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An upload at emilien flows through the delegated rule into jules'
+	// view and out of the subscription.
+	if err := emilien.InsertString(`pictures@emilien(1, "sea.jpg");`); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+	got := drainDeltas(deltas)
+	if len(got) != 1 || got[0].Delete || got[0].Rel != "attendeePictures" ||
+		got[0].Tuple[1].StringVal() != "sea.jpg" {
+		t.Fatalf("deltas after upload = %v, want one insert of sea.jpg", got)
+	}
+
+	// Quiescent re-derivation produces no deltas.
+	quiesce(t, n)
+	if got := drainDeltas(deltas); len(got) != 0 {
+		t.Fatalf("spurious deltas with no change: %v", got)
+	}
+
+	// Retracting the selection empties the view: one delete delta.
+	if err := jules.DeleteString(`selectedAttendee@jules("emilien");`); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+	got = drainDeltas(deltas)
+	if len(got) != 1 || !got[0].Delete {
+		t.Fatalf("deltas after retraction = %v, want one delete", got)
+	}
+}
+
+// TestSubscribeExtensional: local inserts and deletes stream too, with the
+// Subscribe-time contents as the baseline.
+func TestSubscribeExtensional(t *testing.T) {
+	n, ps := newTestNetwork(t, "alice")
+	alice := ps["alice"]
+	if err := alice.LoadSource(`
+		relation extensional data@alice(x);
+		data@alice("pre");
+	`); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+	deltas, err := alice.Subscribe(context.Background(), "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pre-existing tuple is baseline, not a delta.
+	if got := drainDeltas(deltas); len(got) != 0 {
+		t.Fatalf("baseline leaked as deltas: %v", got)
+	}
+	if err := alice.InsertString(`data@alice("new");`); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.DeleteString(`data@alice("pre");`); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+	got := drainDeltas(deltas)
+	if len(got) != 2 {
+		t.Fatalf("deltas = %v, want delete(pre)+insert(new)", got)
+	}
+	// Deletions are delivered before insertions.
+	if !got[0].Delete || got[0].Tuple[0].StringVal() != "pre" {
+		t.Errorf("first delta = %v, want -data(pre)", got[0])
+	}
+	if got[1].Delete || got[1].Tuple[0].StringVal() != "new" {
+		t.Errorf("second delta = %v, want +data(new)", got[1])
+	}
+}
+
+// TestSubscribeUnknownRelation returns the typed error.
+func TestSubscribeUnknownRelation(t *testing.T) {
+	_, ps := newTestNetwork(t, "alice")
+	_, err := ps["alice"].Subscribe(context.Background(), "ghost")
+	if !errors.Is(err, errdefs.ErrUnknownRelation) {
+		t.Errorf("err = %v, want ErrUnknownRelation", err)
+	}
+}
+
+// TestSubscribeCancelClosesChannel: cancelling the context closes the
+// stream promptly.
+func TestSubscribeCancelClosesChannel(t *testing.T) {
+	_, ps := newTestNetwork(t, "alice")
+	alice := ps["alice"]
+	if err := alice.DeclareRelation("data", ast.Extensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	deltas, err := alice.Subscribe(ctx, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alice.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want 1", alice.Subscribers())
+	}
+	cancel()
+	select {
+	case _, ok := <-deltas:
+		if ok {
+			t.Error("got a delta instead of close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("channel not closed after cancel")
+	}
+	if alice.Subscribers() != 0 {
+		t.Errorf("subscribers = %d after cancel, want 0", alice.Subscribers())
+	}
+}
+
+// TestSubscribeCloseOnPeerClose: closing the peer ends all streams.
+func TestSubscribeCloseOnPeerClose(t *testing.T) {
+	_, ps := newTestNetwork(t, "alice")
+	alice := ps["alice"]
+	if err := alice.DeclareRelation("data", ast.Extensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := alice.Subscribe(context.Background(), "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-deltas; ok {
+		t.Error("channel still open after peer close")
+	}
+	if _, err := alice.Subscribe(context.Background(), "data"); !errors.Is(err, errdefs.ErrClosed) {
+		t.Errorf("subscribe after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestSubscribeSlowConsumerDropped: a consumer that never reads is
+// disconnected instead of wedging the stage loop.
+func TestSubscribeSlowConsumerDropped(t *testing.T) {
+	n, ps := newTestNetwork(t, "alice")
+	alice := ps["alice"]
+	if err := alice.DeclareRelation("data", ast.Extensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+	deltas, err := alice.Subscribe(context.Background(), "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the buffer in one stage without ever reading.
+	b := engine.NewBatch()
+	for i := 0; i < SubscribeBuffer+10; i++ {
+		b.Insert(ast.NewFact("data", "alice", value.Int(int64(i))))
+	}
+	if err := alice.Apply(context.Background(), b); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+	if alice.Subscribers() != 0 {
+		t.Fatalf("slow subscriber not dropped: %d live", alice.Subscribers())
+	}
+	// The channel still drains what fit, then closes.
+	n2 := 0
+	for range deltas {
+		n2++
+	}
+	if n2 != SubscribeBuffer {
+		t.Errorf("drained %d buffered deltas, want %d", n2, SubscribeBuffer)
+	}
+}

@@ -30,9 +30,21 @@ func (d FactDelta) String() string {
 // Deltas for extensional relations are durable updates; deltas for
 // intensional relations are transient facts that hold for the destination's
 // next stage only.
+//
+// FactsMsg is the wire unit of atomicity: everything it carries is ingested
+// by the destination in a single stage, so senders batching N updates into
+// one message get one remote fixpoint instead of up to N.
 type FactsMsg struct {
 	Ops []FactDelta
 }
+
+// Append adds one delta, for accumulating per-destination batches.
+func (m *FactsMsg) Append(del bool, f ast.Fact) {
+	m.Ops = append(m.Ops, FactDelta{Delete: del, Fact: f})
+}
+
+// Len returns the number of deltas carried.
+func (m FactsMsg) Len() int { return len(m.Ops) }
 
 // DelegationMsg installs, at the destination, the current residual-rule set
 // for one source rule of the sender. It *replaces* any set previously

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/ast"
+	"repro/internal/errdefs"
 	"repro/internal/value"
 )
 
@@ -63,6 +64,21 @@ type Relation struct {
 	tuples  map[string]value.Tuple // key = Tuple.Key()
 	indexes map[ColMask]map[string][]value.Tuple
 	version uint64 // bumped on every mutation
+	fp      uint64 // XOR of member-tuple hashes: content fingerprint
+}
+
+// tupleHash is FNV-64a over a tuple's canonical key. XOR-folding these per
+// member gives an order-independent, incrementally-maintainable content
+// fingerprint: two relations with the same tuples have the same value no
+// matter how they got there (clear + re-derivation included).
+func tupleHash(key string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
 }
 
 // NewRelation creates an empty relation with the given schema.
@@ -101,6 +117,17 @@ func (r *Relation) Version() uint64 {
 	return r.version
 }
 
+// Fingerprint returns the content fingerprint: equal contents yield equal
+// fingerprints regardless of mutation history, so a cleared-and-rederived
+// view that ends up identical is recognizably unchanged. (Distinct contents
+// colliding requires an XOR collision over 64-bit FNV hashes —
+// vanishingly unlikely; users are change *detectors*, not integrity checks.)
+func (r *Relation) Fingerprint() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.fp
+}
+
 // Insert adds t to the relation. It returns true if the tuple was new.
 // The tuple must match the relation's arity.
 func (r *Relation) Insert(t value.Tuple) bool {
@@ -121,7 +148,83 @@ func (r *Relation) Insert(t value.Tuple) bool {
 		idx[ik] = append(idx[ik], t)
 	}
 	r.version++
+	r.fp ^= tupleHash(key)
 	return true
+}
+
+// InsertMany adds all tuples under a single lock acquisition — the store
+// half of an atomic batch. It returns the tuples that were actually new (in
+// input order), which is exactly what the caller must log to a WAL. Every
+// tuple must match the relation's arity.
+func (r *Relation) InsertMany(ts []value.Tuple) []value.Tuple {
+	if len(ts) == 0 {
+		return nil
+	}
+	var added []value.Tuple
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range ts {
+		if len(t) != r.schema.Arity() {
+			panic(fmt.Sprintf("store: arity mismatch inserting %d-tuple into %s(%d)",
+				len(t), r.schema.ID(), r.schema.Arity()))
+		}
+		key := t.Key()
+		if _, dup := r.tuples[key]; dup {
+			continue
+		}
+		t = t.Clone()
+		r.tuples[key] = t
+		for mask, idx := range r.indexes {
+			ik := indexKey(t, mask)
+			idx[ik] = append(idx[ik], t)
+		}
+		r.fp ^= tupleHash(key)
+		added = append(added, t)
+	}
+	if len(added) > 0 {
+		r.version++
+	}
+	return added
+}
+
+// DeleteMany removes all tuples under a single lock acquisition, returning
+// the tuples that actually existed (in input order).
+func (r *Relation) DeleteMany(ts []value.Tuple) []value.Tuple {
+	if len(ts) == 0 {
+		return nil
+	}
+	var removed []value.Tuple
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range ts {
+		key := t.Key()
+		if _, ok := r.tuples[key]; !ok {
+			continue
+		}
+		delete(r.tuples, key)
+		for mask, idx := range r.indexes {
+			ik := indexKey(t, mask)
+			bucket := idx[ik]
+			for i := range bucket {
+				if bucket[i].Equal(t) {
+					bucket[i] = bucket[len(bucket)-1]
+					bucket = bucket[:len(bucket)-1]
+					break
+				}
+			}
+			if len(bucket) == 0 {
+				delete(idx, ik)
+			} else {
+				idx[ik] = bucket
+			}
+		}
+		r.fp ^= tupleHash(key)
+		removed = append(removed, t)
+	}
+	if len(removed) > 0 {
+		r.version++
+	}
+	return removed
 }
 
 // Delete removes t from the relation. It returns true if the tuple existed.
@@ -150,6 +253,7 @@ func (r *Relation) Delete(t value.Tuple) bool {
 		}
 	}
 	r.version++
+	r.fp ^= tupleHash(key)
 	return true
 }
 
@@ -174,6 +278,7 @@ func (r *Relation) Clear() {
 		r.indexes[mask] = make(map[string][]value.Tuple)
 	}
 	r.version++
+	r.fp = 0
 }
 
 // Iterate calls fn for every tuple until fn returns false. The iteration
@@ -325,8 +430,8 @@ func (s *Store) Declare(schema Schema) (*Relation, error) {
 	if r, ok := s.rels[id]; ok {
 		have := r.Schema()
 		if have.Kind != schema.Kind || have.Arity() != schema.Arity() {
-			return nil, fmt.Errorf("store: conflicting redeclaration of %s: have %s, want %s",
-				id, have, schema)
+			return nil, fmt.Errorf("store: %w: redeclaration of %s: have %s, want %s",
+				errdefs.ErrSchemaConflict, id, have, schema)
 		}
 		return r, nil
 	}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/ast"
+	"repro/internal/errdefs"
 	"repro/internal/value"
 )
 
@@ -57,14 +58,15 @@ type snapshotRelation struct {
 	Tuples [][]value.Value `json:"tuples"`
 }
 
-// OpenWAL opens (creating if needed) the log in dir.
+// OpenWAL opens (creating if needed) the log in dir. Failures wrap
+// errdefs.ErrWAL so callers can detect them with errors.Is.
 func OpenWAL(dir string) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: opening wal dir: %w", err)
+		return nil, fmt.Errorf("store: %w: opening wal dir: %w", errdefs.ErrWAL, err)
 	}
 	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("store: opening wal: %w", err)
+		return nil, fmt.Errorf("store: %w: opening wal: %w", errdefs.ErrWAL, err)
 	}
 	return &WAL{dir: dir, f: f, w: bufio.NewWriter(f)}, nil
 }
@@ -82,20 +84,44 @@ func (w *WAL) Records() int {
 func (w *WAL) append(rec walRecord) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.appendLocked(rec)
+}
+
+func (w *WAL) appendLocked(rec walRecord) error {
 	if w.closed {
-		return errors.New("store: wal is closed")
+		return fmt.Errorf("store: %w: wal is closed", errdefs.ErrWAL)
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("store: encoding wal record: %w", err)
+		return fmt.Errorf("store: %w: encoding wal record: %w", errdefs.ErrWAL, err)
 	}
 	if _, err := w.w.Write(b); err != nil {
-		return fmt.Errorf("store: appending wal record: %w", err)
+		return fmt.Errorf("store: %w: appending wal record: %w", errdefs.ErrWAL, err)
 	}
 	if err := w.w.WriteByte('\n'); err != nil {
-		return fmt.Errorf("store: appending wal record: %w", err)
+		return fmt.Errorf("store: %w: appending wal record: %w", errdefs.ErrWAL, err)
 	}
 	w.records++
+	return nil
+}
+
+// LogMany appends one insert (or delete, when del is set) record per tuple
+// under a single lock acquisition — the durability half of an atomic batch.
+func (w *WAL) LogMany(del bool, rel, peer string, ts []value.Tuple) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	op := "ins"
+	if del {
+		op = "del"
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, t := range ts {
+		if err := w.appendLocked(walRecord{Op: op, Rel: rel, Peer: peer, Args: t}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -119,13 +145,13 @@ func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return errors.New("store: wal is closed")
+		return fmt.Errorf("store: %w: wal is closed", errdefs.ErrWAL)
 	}
 	if err := w.w.Flush(); err != nil {
-		return fmt.Errorf("store: flushing wal: %w", err)
+		return fmt.Errorf("store: %w: flushing wal: %w", errdefs.ErrWAL, err)
 	}
 	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("store: syncing wal: %w", err)
+		return fmt.Errorf("store: %w: syncing wal: %w", errdefs.ErrWAL, err)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -29,9 +30,11 @@ type TCPEndpoint struct {
 	seq       uint64
 	closed    bool
 	notify    chan struct{}
+	done      chan struct{} // closed by Close; releases the ctx watcher
 	wg        sync.WaitGroup
 
-	// DialTimeout bounds outgoing connection establishment.
+	// DialTimeout bounds outgoing connection establishment when the Send
+	// context carries no earlier deadline.
 	DialTimeout time.Duration
 }
 
@@ -46,8 +49,16 @@ type tcpConn struct {
 // "127.0.0.1:0"). directory maps remote peer names to their dial addresses;
 // it may be extended later with AddPeer as new peers are discovered (the
 // paper: "peers may discover new peers").
-func ListenTCP(name, addr string, directory map[string]string) (*TCPEndpoint, error) {
-	ln, err := net.Listen("tcp", addr)
+//
+// ctx governs the endpoint's lifetime: cancelling it closes the listener
+// and all links, exactly as Close does. Pass context.Background() for an
+// endpoint managed only by Close.
+func ListenTCP(ctx context.Context, name, addr string, directory map[string]string) (*TCPEndpoint, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var lc net.ListenConfig
+	ln, err := lc.Listen(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
@@ -58,6 +69,7 @@ func ListenTCP(name, addr string, directory map[string]string) (*TCPEndpoint, er
 		conns:       make(map[string]*tcpConn),
 		accepted:    make(map[net.Conn]bool),
 		notify:      make(chan struct{}, 1),
+		done:        make(chan struct{}),
 		DialTimeout: 5 * time.Second,
 	}
 	for k, v := range directory {
@@ -65,6 +77,15 @@ func ListenTCP(name, addr string, directory map[string]string) (*TCPEndpoint, er
 	}
 	ep.wg.Add(1)
 	go ep.acceptLoop()
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				ep.Close()
+			case <-ep.done:
+			}
+		}()
+	}
 	return ep, nil
 }
 
@@ -181,7 +202,7 @@ func writeFrame(w *bufio.Writer, env protocol.Envelope) error {
 	return w.Flush()
 }
 
-func (e *TCPEndpoint) link(to string) (*tcpConn, error) {
+func (e *TCPEndpoint) link(ctx context.Context, to string) (*tcpConn, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -194,7 +215,8 @@ func (e *TCPEndpoint) link(to string) (*tcpConn, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, to)
 	}
-	c, err := net.DialTimeout("tcp", addr, e.DialTimeout)
+	d := net.Dialer{Timeout: e.DialTimeout}
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dialing %s at %s: %w", to, addr, err)
 	}
@@ -213,8 +235,13 @@ func (e *TCPEndpoint) dropLink(to string, conn *tcpConn) {
 }
 
 // Send transmits msg to peer to, dialing or redialing the link as needed.
-// One transient link failure is retried with a fresh connection.
-func (e *TCPEndpoint) Send(to string, msg protocol.Payload) error {
+// One transient link failure is retried with a fresh connection. The
+// context bounds both the dial and the write: a deadline becomes the
+// connection's write deadline, and cancellation aborts before each attempt.
+func (e *TCPEndpoint) Send(ctx context.Context, to string, msg protocol.Payload) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -226,12 +253,20 @@ func (e *TCPEndpoint) Send(to string, msg protocol.Payload) error {
 
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		conn, err := e.link(to)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := e.link(ctx, to)
 		if err != nil {
 			return err
 		}
 		// Serialize writers on the same link.
 		e.mu.Lock()
+		if deadline, ok := ctx.Deadline(); ok {
+			conn.c.SetWriteDeadline(deadline)
+		} else {
+			conn.c.SetWriteDeadline(time.Time{})
+		}
 		err = writeFrame(conn.w, env)
 		e.mu.Unlock()
 		if err == nil {
@@ -270,6 +305,7 @@ func (e *TCPEndpoint) Close() error {
 		return nil
 	}
 	e.closed = true
+	close(e.done)
 	for name, conn := range e.conns {
 		conn.c.Close()
 		delete(e.conns, name)

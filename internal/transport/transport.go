@@ -7,31 +7,35 @@
 package transport
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
+	"repro/internal/errdefs"
 	"repro/internal/protocol"
 )
 
 // ErrUnknownPeer is returned when sending to a peer the transport cannot
-// route to.
-var ErrUnknownPeer = errors.New("transport: unknown peer")
+// route to. It aliases the public taxonomy entry, so
+// errors.Is(err, webdamlog.ErrUnknownPeer) works across layers.
+var ErrUnknownPeer = errdefs.ErrUnknownPeer
 
 // ErrClosed is returned after an endpoint has been closed.
-var ErrClosed = errors.New("transport: endpoint closed")
+var ErrClosed = errdefs.ErrClosed
 
 // Endpoint is one peer's attachment to a transport.
 //
-// Send enqueues a payload for a destination peer. Drain removes and returns
-// all envelopes received so far (in per-sender FIFO order). Notify returns a
+// Send enqueues a payload for a destination peer; the context bounds
+// connection establishment and the write itself (the in-process bus ignores
+// it beyond an up-front cancellation check). Drain removes and returns all
+// envelopes received so far (in per-sender FIFO order). Notify returns a
 // channel that receives a token whenever new envelopes become available
 // (edge-triggered with one-slot coalescing, so receivers never miss a wakeup
 // but may see spurious ones).
 type Endpoint interface {
 	Name() string
-	Send(to string, msg protocol.Payload) error
+	Send(ctx context.Context, to string, msg protocol.Payload) error
 	Drain() []protocol.Envelope
 	Pending() int
 	Notify() <-chan struct{}
@@ -125,7 +129,11 @@ func (n *BusEndpoint) Name() string { return n.name }
 
 // Send enqueues msg for peer to. It fails if to has never attached to the
 // bus, so misrouted names surface as errors rather than silent drops.
-func (n *BusEndpoint) Send(to string, msg protocol.Payload) error {
+// Delivery is synchronous, so ctx only gates entry.
+func (n *BusEndpoint) Send(ctx context.Context, to string, msg protocol.Payload) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -22,7 +23,7 @@ func TestBusDelivery(t *testing.T) {
 	bus := NewBus()
 	a := bus.Endpoint("a")
 	b := bus.Endpoint("b")
-	if err := a.Send("b", factMsg(1)); err != nil {
+	if err := a.Send(context.Background(), "b", factMsg(1)); err != nil {
 		t.Fatal(err)
 	}
 	envs := b.Drain()
@@ -39,7 +40,7 @@ func TestBusFIFOPerSender(t *testing.T) {
 	a := bus.Endpoint("a")
 	b := bus.Endpoint("b")
 	for i := 0; i < 100; i++ {
-		if err := a.Send("b", factMsg(i)); err != nil {
+		if err := a.Send(context.Background(), "b", factMsg(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -58,7 +59,7 @@ func TestBusFIFOPerSender(t *testing.T) {
 func TestBusUnknownPeer(t *testing.T) {
 	bus := NewBus()
 	a := bus.Endpoint("a")
-	err := a.Send("ghost", factMsg(1))
+	err := a.Send(context.Background(), "ghost", factMsg(1))
 	if !errors.Is(err, ErrUnknownPeer) {
 		t.Errorf("err = %v, want ErrUnknownPeer", err)
 	}
@@ -71,10 +72,10 @@ func TestBusClosedEndpoint(t *testing.T) {
 	if err := b.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send("b", factMsg(1)); err == nil {
+	if err := a.Send(context.Background(), "b", factMsg(1)); err == nil {
 		t.Error("send to closed endpoint must fail")
 	}
-	if err := b.Send("a", factMsg(1)); !errors.Is(err, ErrClosed) {
+	if err := b.Send(context.Background(), "a", factMsg(1)); !errors.Is(err, ErrClosed) {
 		t.Errorf("send from closed endpoint: %v", err)
 	}
 }
@@ -83,7 +84,7 @@ func TestBusNotify(t *testing.T) {
 	bus := NewBus()
 	a := bus.Endpoint("a")
 	b := bus.Endpoint("b")
-	if err := a.Send("b", factMsg(1)); err != nil {
+	if err := a.Send(context.Background(), "b", factMsg(1)); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -100,7 +101,7 @@ func TestBusStatsAndQuiescence(t *testing.T) {
 	if !bus.Quiescent() {
 		t.Error("fresh bus must be quiescent")
 	}
-	if err := a.Send("b", factMsg(1)); err != nil {
+	if err := a.Send(context.Background(), "b", factMsg(1)); err != nil {
 		t.Fatal(err)
 	}
 	if bus.Quiescent() {
@@ -127,7 +128,7 @@ func TestBusConcurrentSenders(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
-				if err := ep.Send("dst", factMsg(i)); err != nil {
+				if err := ep.Send(context.Background(), "dst", factMsg(i)); err != nil {
 					t.Error(err)
 					return
 				}
@@ -149,12 +150,12 @@ func TestBusConcurrentSenders(t *testing.T) {
 }
 
 func TestTCPRoundTrip(t *testing.T) {
-	a, err := ListenTCP("a", "127.0.0.1:0", nil)
+	a, err := ListenTCP(context.Background(), "a", "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	b, err := ListenTCP("b", "127.0.0.1:0", nil)
+	b, err := ListenTCP(context.Background(), "b", "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	a.AddPeer("b", b.Addr())
 	b.AddPeer("a", a.Addr())
 
-	if err := a.Send("b", factMsg(42)); err != nil {
+	if err := a.Send(context.Background(), "b", factMsg(42)); err != nil {
 		t.Fatal(err)
 	}
 	env := waitForOne(t, b)
@@ -175,7 +176,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	}
 
 	// And the reverse direction over a separate link.
-	if err := b.Send("a", factMsg(7)); err != nil {
+	if err := b.Send(context.Background(), "a", factMsg(7)); err != nil {
 		t.Fatal(err)
 	}
 	env = waitForOne(t, a)
@@ -201,12 +202,12 @@ func waitForOne(t *testing.T, ep Endpoint) protocol.Envelope {
 }
 
 func TestTCPOrderPreserved(t *testing.T) {
-	a, err := ListenTCP("a", "127.0.0.1:0", nil)
+	a, err := ListenTCP(context.Background(), "a", "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	b, err := ListenTCP("b", "127.0.0.1:0", nil)
+	b, err := ListenTCP(context.Background(), "b", "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestTCPOrderPreserved(t *testing.T) {
 	a.AddPeer("b", b.Addr())
 	const n = 200
 	for i := 0; i < n; i++ {
-		if err := a.Send("b", factMsg(i)); err != nil {
+		if err := a.Send(context.Background(), "b", factMsg(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -236,29 +237,29 @@ func TestTCPOrderPreserved(t *testing.T) {
 }
 
 func TestTCPUnknownPeer(t *testing.T) {
-	a, err := ListenTCP("a", "127.0.0.1:0", nil)
+	a, err := ListenTCP(context.Background(), "a", "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	if err := a.Send("ghost", factMsg(1)); !errors.Is(err, ErrUnknownPeer) {
+	if err := a.Send(context.Background(), "ghost", factMsg(1)); !errors.Is(err, ErrUnknownPeer) {
 		t.Errorf("err = %v, want ErrUnknownPeer", err)
 	}
 }
 
 func TestTCPReconnectAfterPeerRestart(t *testing.T) {
-	a, err := ListenTCP("a", "127.0.0.1:0", nil)
+	a, err := ListenTCP(context.Background(), "a", "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	b1, err := ListenTCP("b", "127.0.0.1:0", nil)
+	b1, err := ListenTCP(context.Background(), "b", "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	addr := b1.Addr()
 	a.AddPeer("b", addr)
-	if err := a.Send("b", factMsg(1)); err != nil {
+	if err := a.Send(context.Background(), "b", factMsg(1)); err != nil {
 		t.Fatal(err)
 	}
 	waitForOne(t, b1)
@@ -271,14 +272,14 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	// arrives (plain TCP gives at-most-once delivery per send), so the
 	// sender retries — exactly what the peer layer's per-stage maintenance
 	// does for delegations and updates.
-	b2, err := ListenTCP("b", addr, nil)
+	b2, err := ListenTCP(context.Background(), "b", addr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer b2.Close()
 	deadline := time.After(10 * time.Second)
 	for {
-		_ = a.Send("b", factMsg(2)) // may land in the dead socket once
+		_ = a.Send(context.Background(), "b", factMsg(2)) // may land in the dead socket once
 		if envs := b2.Drain(); len(envs) > 0 {
 			if envs[0].Msg.(protocol.FactsMsg).Ops[0].Fact.Args[0].IntVal() != 2 {
 				t.Errorf("payload after restart = %#v", envs[0].Msg)
@@ -294,14 +295,14 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 }
 
 func TestTCPSendAfterClose(t *testing.T) {
-	a, err := ListenTCP("a", "127.0.0.1:0", nil)
+	a, err := ListenTCP(context.Background(), "a", "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send("b", factMsg(1)); !errors.Is(err, ErrClosed) {
+	if err := a.Send(context.Background(), "b", factMsg(1)); !errors.Is(err, ErrClosed) {
 		t.Errorf("err = %v, want ErrClosed", err)
 	}
 	if err := a.Close(); err != nil {

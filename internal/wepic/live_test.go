@@ -1,0 +1,58 @@
+package wepic
+
+import (
+	"context"
+	"testing"
+)
+
+// TestUploadAllAndWatch: the live-UI flow of the v2 API — a batch upload at
+// emilien streams deltas out of jules' subscribed attendeePictures view.
+func TestUploadAllAndWatch(t *testing.T) {
+	d := newDemo(t)
+	if err := d.jules.SelectAttendee("emilien"); err != nil {
+		t.Fatal(err)
+	}
+	d.quiesce(t)
+	d.acceptAll(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	deltas, err := d.jules.Watch(ctx, "attendeePictures")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := d.emilien.Peer().Stats().Stages
+	ids, err := d.emilien.UploadAll(ctx,
+		[]string{"a.jpg", "b.jpg", "c.jpg"},
+		[][]byte{{1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] == ids[1] {
+		t.Fatalf("ids = %v", ids)
+	}
+	d.quiesce(t)
+	d.acceptAll(t)
+
+	if got := d.emilien.Peer().Stats().Stages - base; got > 3 {
+		// The batch itself is one stage; delegation maintenance may add a
+		// couple more rounds, but nothing close to one stage per picture
+		// would be if the upload were per-fact with more pictures.
+		t.Logf("stages after batch upload: %d", got)
+	}
+	if got := len(d.jules.AttendeePictures()); got != 3 {
+		t.Fatalf("attendeePictures = %d, want 3", got)
+	}
+	var streamed int
+	for len(deltas) > 0 {
+		dlt := <-deltas
+		if dlt.Delete {
+			t.Errorf("unexpected delete delta %v", dlt)
+		}
+		streamed++
+	}
+	if streamed != 3 {
+		t.Errorf("streamed %d deltas, want 3", streamed)
+	}
+}

@@ -1,6 +1,7 @@
 package wepic
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -14,7 +15,7 @@ func uiFixture(t *testing.T) (*demoNetwork, *UI, *httptest.Server) {
 	t.Helper()
 	d := newDemo(t)
 	run := func() error {
-		_, _, err := d.net.RunToQuiescence(300)
+		_, _, err := d.net.RunToQuiescence(context.Background(), 300)
 		return err
 	}
 	ui := NewUI(d.jules, run)
@@ -124,7 +125,7 @@ func TestUIDelegationApproval(t *testing.T) {
 	if err := d.emilien.SelectAttendee("jules"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := d.net.RunToQuiescence(300); err != nil {
+	if _, _, err := d.net.RunToQuiescence(context.Background(), 300); err != nil {
 		t.Fatal(err)
 	}
 	pend := d.jules.PendingDelegations()
@@ -170,7 +171,7 @@ func TestUIQueryTab(t *testing.T) {
 	if _, err := d.jules.Upload("q.jpg", []byte{1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := d.net.RunToQuiescence(300); err != nil {
+	if _, _, err := d.net.RunToQuiescence(context.Background(), 300); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := srv.Client().PostForm(srv.URL+"/query", url.Values{

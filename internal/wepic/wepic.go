@@ -23,6 +23,7 @@
 package wepic
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -30,6 +31,7 @@ import (
 
 	"repro/internal/acl"
 	"repro/internal/ast"
+	"repro/internal/engine"
 	"repro/internal/peer"
 	"repro/internal/value"
 )
@@ -216,6 +218,36 @@ func (a *App) Upload(name string, data []byte) (int64, error) {
 		return 0, err
 	}
 	return id, nil
+}
+
+// UploadAll adds several pictures as one atomic batch — one store
+// transaction and one fixpoint stage instead of one per picture — and
+// returns their assigned ids in order.
+func (a *App) UploadAll(ctx context.Context, names []string, datas [][]byte) ([]int64, error) {
+	if len(names) != len(datas) {
+		return nil, fmt.Errorf("wepic: %d names for %d payloads", len(names), len(datas))
+	}
+	ids := make([]int64, len(names))
+	b := engine.NewBatch()
+	a.mu.Lock()
+	for i, name := range names {
+		a.seq++
+		ids[i] = a.seq
+		b.Insert(ast.NewFact("pictures", a.Name(),
+			value.Int(ids[i]), value.Str(name), value.Str(a.Name()), value.Blob(datas[i])))
+	}
+	a.mu.Unlock()
+	if err := a.p.Apply(ctx, b); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// Watch streams changes to one of the app's relations ("pictures",
+// "attendeePictures", …) as fixpoints commit — the live-UI primitive: a
+// photo wall repaints on deltas instead of polling Pictures().
+func (a *App) Watch(ctx context.Context, rel string) (<-chan peer.Delta, error) {
+	return a.p.Subscribe(ctx, rel)
 }
 
 // Authorize records that picture id owned by this attendee may be published

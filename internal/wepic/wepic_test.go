@@ -2,6 +2,7 @@ package wepic
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -81,7 +82,7 @@ func newDemo(t *testing.T) *demoNetwork {
 
 func (d *demoNetwork) quiesce(t *testing.T) {
 	t.Helper()
-	if _, _, err := d.net.RunToQuiescence(300); err != nil {
+	if _, _, err := d.net.RunToQuiescence(context.Background(), 300); err != nil {
 		t.Fatalf("network did not quiesce: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package wrappers
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ast"
@@ -12,7 +13,7 @@ import (
 
 func quiesce(t *testing.T, n *peer.Network) {
 	t.Helper()
-	if _, _, err := n.RunToQuiescence(200); err != nil {
+	if _, _, err := n.RunToQuiescence(context.Background(), 200); err != nil {
 		t.Fatal(err)
 	}
 }

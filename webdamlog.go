@@ -3,7 +3,10 @@
 // datalog-style language and distributed runtime in which autonomous peers
 // exchange both facts and rules (delegations).
 //
-// # Quick start
+// # Quick start (v2 API)
+//
+// Load a multi-peer program, run it to quiescence under a context, and
+// query the derived view:
 //
 //	sys := webdamlog.NewSystem()
 //	err := sys.LoadSource(`
@@ -20,10 +23,42 @@
 //	        pictures@$attendee($id,$name,$owner,$data);
 //	`)
 //	// …
-//	sys.MustRun() // run all peers to quiescence
+//	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+//	defer cancel()
+//	if _, _, err := sys.Run(ctx, 0); err != nil { … }
 //	for _, t := range sys.Peer("jules").Query("attendeePictures") {
 //	    fmt.Println(t)
 //	}
+//
+// # Atomic batches
+//
+// N calls to Insert take the peer lock N times, wake the scheduler N times
+// and, over TCP, ship N messages. A Batch applies as one unit — one store
+// transaction and one fixpoint stage locally, one wire message per remote
+// destination:
+//
+//	b := webdamlog.NewBatch()
+//	for _, pic := range pics {
+//	    b.Insert(webdamlog.NewFact("pictures", "emilien", pic...))
+//	}
+//	err := sys.Peer("emilien").Apply(ctx, b)
+//
+// # Streaming subscriptions
+//
+// Subscribe streams a relation's changes as they commit — the primitive a
+// live UI or serving frontend builds on instead of polling Query:
+//
+//	deltas, err := sys.Peer("jules").Subscribe(ctx, "attendeePictures")
+//	for d := range deltas {
+//	    // d.Delete says whether d.Tuple appeared or vanished.
+//	}
+//
+// # Typed errors
+//
+// Failures wrap the sentinels in errors.go (ErrUnknownRelation, ErrArity,
+// ErrPolicyDenied, ErrNoQuiescence, ErrWAL, …); branch on them with
+// errors.Is and recover details (e.g. QuiescenceError.Rounds) with
+// errors.As.
 //
 // The deeper layers are available directly: internal/engine (fixpoint
 // evaluation and delegation splitting), internal/peer (the stage loop and
@@ -67,6 +102,20 @@ type (
 	Tuple = value.Tuple
 )
 
+// Batch accumulates inserts and deletes that apply atomically; see
+// Peer.Apply and System.Apply.
+type Batch = engine.Batch
+
+// Update is one staged fact operation inside a Batch.
+type Update = engine.FactOp
+
+// Delta is one streamed change from Peer.Subscribe.
+type Delta = peer.Delta
+
+// QuiescenceError is the concrete error behind ErrNoQuiescence; errors.As
+// recovers the exhausted round budget.
+type QuiescenceError = peer.QuiescenceError
+
 // EngineOptions configures evaluation (semi-naive vs naive, indexes).
 type EngineOptions = engine.Options
 
@@ -86,6 +135,9 @@ func NewSystem() *System { return core.NewSystem() }
 
 // NewNetwork creates a bare peer network (lower-level than System).
 func NewNetwork() *Network { return peer.NewNetwork() }
+
+// NewBatch creates an empty atomic batch.
+func NewBatch() *Batch { return engine.NewBatch() }
 
 // Parse parses a WebdamLog program.
 func Parse(src string) (*Program, error) { return parser.Parse(src) }

@@ -1,6 +1,7 @@
 package webdamlog_test
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -85,7 +86,7 @@ func TestSamplePrograms(t *testing.T) {
 			if err := sys.LoadSource(string(src)); err != nil {
 				t.Fatal(err)
 			}
-			if _, _, err := sys.Run(0); err != nil {
+			if _, _, err := sys.Run(context.Background(), 0); err != nil {
 				t.Fatal(err)
 			}
 			got := sys.Peer(c.peer).Query(c.rel)

@@ -1,0 +1,130 @@
+package webdamlog_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	webdamlog "repro"
+)
+
+// TestFacadeBatchAndSubscribe drives the whole v2 surface through the root
+// package: context-bound Run, an atomic Batch, and a Subscribe stream over
+// a rule-derived relation fed from another peer.
+func TestFacadeBatchAndSubscribe(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	sys := webdamlog.NewSystem()
+	err := sys.LoadSource(`
+		peer emilien;
+		relation extensional pictures@emilien(id, name);
+
+		peer jules;
+		relation extensional selectedAttendee@jules(attendee);
+		relation intensional attendeePictures@jules(id, name);
+		selectedAttendee@jules("emilien");
+		attendeePictures@jules($id,$name) :-
+			selectedAttendee@jules($a), pictures@$a($id,$name);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Run(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	deltas, err := sys.Peer("jules").Subscribe(ctx, "attendeePictures")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch := webdamlog.NewBatch().
+		Insert(webdamlog.NewFact("pictures", "emilien", webdamlog.Int(1), webdamlog.Str("sea.jpg"))).
+		Insert(webdamlog.NewFact("pictures", "emilien", webdamlog.Int(2), webdamlog.Str("boat.jpg")))
+	if err := sys.Peer("emilien").Apply(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Run(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []webdamlog.Delta
+	for len(deltas) > 0 {
+		got = append(got, <-deltas)
+	}
+	if len(got) != 2 || got[0].Delete || got[1].Delete {
+		t.Fatalf("deltas = %v, want two inserts", got)
+	}
+	if len(sys.Peer("jules").Query("attendeePictures")) != 2 {
+		t.Error("derived view incomplete")
+	}
+}
+
+// TestTypedErrorsAcrossFacade checks that failures from every layer match
+// the re-exported sentinels with errors.Is.
+func TestTypedErrorsAcrossFacade(t *testing.T) {
+	sys := webdamlog.NewSystem()
+	p, err := sys.AddPeer("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := p.Subscribe(context.Background(), "ghost"); !errors.Is(err, webdamlog.ErrUnknownRelation) {
+		t.Errorf("Subscribe: %v, want ErrUnknownRelation", err)
+	}
+	if err := p.RemoveRule("nope"); !errors.Is(err, webdamlog.ErrUnknownRule) {
+		t.Errorf("RemoveRule: %v, want ErrUnknownRule", err)
+	}
+	if err := p.Insert(webdamlog.NewFact("r", "ghost", webdamlog.Int(1))); !errors.Is(err, webdamlog.ErrUnknownPeer) {
+		t.Errorf("Insert to ghost peer: %v, want ErrUnknownPeer", err)
+	}
+	if err := p.DeclareRelation("r", 0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeclareRelation("r", 0, "a", "b"); !errors.Is(err, webdamlog.ErrSchemaConflict) {
+		t.Errorf("redeclare: %v, want ErrSchemaConflict", err)
+	}
+
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AddPeer("bob", webdamlog.WithWAL(filepath.Join(blocker, "wal"))); !errors.Is(err, webdamlog.ErrWAL) {
+		t.Errorf("WithWAL: %v, want ErrWAL", err)
+	}
+}
+
+// TestRunCancellationViaFacade: the acceptance criterion — canceling the
+// context passed to System.Run returns promptly with context.Canceled.
+func TestRunCancellationViaFacade(t *testing.T) {
+	sys := webdamlog.NewSystem()
+	if err := sys.LoadSource(`peer a; rel@a(1);`); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, _, err := sys.Run(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancellation was not prompt")
+	}
+}
+
+// TestQuiescenceErrorAs: the round budget error is both Is-able and As-able.
+func TestQuiescenceErrorAs(t *testing.T) {
+	err := error(&webdamlog.QuiescenceError{Rounds: 7})
+	if !errors.Is(err, webdamlog.ErrNoQuiescence) {
+		t.Error("QuiescenceError does not match ErrNoQuiescence")
+	}
+	var q *webdamlog.QuiescenceError
+	if !errors.As(err, &q) || q.Rounds != 7 {
+		t.Errorf("errors.As failed: %v", err)
+	}
+}
