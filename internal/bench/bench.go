@@ -642,6 +642,199 @@ func RunRemoteInsertPath(n int, batched bool) (BatchResult, error) {
 	return BatchResult{Facts: n, Stages: b.Stats().Stages, Duration: d}, nil
 }
 
+// IncrementalResult measures experiment I1: the latency of single-fact
+// updates against a large materialized view, with incremental maintenance
+// versus naive per-stage recomputation.
+type IncrementalResult struct {
+	Facts     int
+	Rounds    int
+	Setup     time.Duration // initial materialization of the view
+	PerUpdate time.Duration // mean latency of one insert+delete round
+	ViewRows  int
+	ViewFP    uint64 // content fingerprint, for cross-mode agreement checks
+}
+
+// RunIncrementalUpdate loads n base facts into a two-level join view,
+// materializes it, then applies `rounds` single-fact update batches (one
+// insert plus one delete each) measuring the stage latency per update. With
+// incremental=false the peer recomputes the views from scratch every stage
+// (the ablation baseline); both modes must converge to identical view
+// contents — the caller compares ViewRows/ViewFP.
+func RunIncrementalUpdate(n, rounds int, incremental bool) (IncrementalResult, error) {
+	opts := engine.DefaultOptions()
+	opts.Incremental = incremental
+	net := peer.NewNetwork()
+	p, err := net.NewPeer(peer.Config{Name: "p", Engine: &opts})
+	if err != nil {
+		return IncrementalResult{}, err
+	}
+	if err := p.LoadSource(`
+		relation extensional data@p(id, grp);
+		relation extensional meta@p(grp, label);
+		relation intensional view@p(id, grp, label);
+		relation intensional hot@p(id);
+		view@p($i,$g,$l) :- data@p($i,$g), meta@p($g,$l);
+		hot@p($i) :- view@p($i,$g,"hot");
+	`); err != nil {
+		return IncrementalResult{}, err
+	}
+	const groups = 100
+	b := engine.NewBatch()
+	for g := 0; g < groups; g++ {
+		label := "cold"
+		if g%2 == 0 {
+			label = "hot"
+		}
+		b.Insert(ast.NewFact("meta", "p", value.Int(int64(g)), value.Str(label)))
+	}
+	for i := 0; i < n; i++ {
+		b.Insert(ast.NewFact("data", "p", value.Int(int64(i)), value.Int(int64(i%groups))))
+	}
+	if err := p.Apply(context.Background(), b); err != nil {
+		return IncrementalResult{}, err
+	}
+	start := time.Now()
+	if _, _, err := net.RunToQuiescence(context.Background(), 0); err != nil {
+		return IncrementalResult{}, err
+	}
+	// Warm-up round (unmeasured): the first deletion builds the head-bound
+	// rederivation indexes, a one-time cost that belongs to setup.
+	w := engine.NewBatch()
+	w.Insert(ast.NewFact("data", "p", value.Int(-1), value.Int(0)))
+	if err := p.Apply(context.Background(), w); err != nil {
+		return IncrementalResult{}, err
+	}
+	if _, _, err := net.RunToQuiescence(context.Background(), 0); err != nil {
+		return IncrementalResult{}, err
+	}
+	w = engine.NewBatch()
+	w.Delete(ast.NewFact("data", "p", value.Int(-1), value.Int(0)))
+	if err := p.Apply(context.Background(), w); err != nil {
+		return IncrementalResult{}, err
+	}
+	if _, _, err := net.RunToQuiescence(context.Background(), 0); err != nil {
+		return IncrementalResult{}, err
+	}
+	setup := time.Since(start)
+
+	// Update rounds: retire one fact, admit one fact, settle the stage.
+	start = time.Now()
+	for r := 0; r < rounds; r++ {
+		u := engine.NewBatch()
+		u.Delete(ast.NewFact("data", "p", value.Int(int64(r)), value.Int(int64(r%groups))))
+		u.Insert(ast.NewFact("data", "p", value.Int(int64(n+r)), value.Int(int64((n+r)%groups))))
+		if err := p.Apply(context.Background(), u); err != nil {
+			return IncrementalResult{}, err
+		}
+		if _, _, err := net.RunToQuiescence(context.Background(), 0); err != nil {
+			return IncrementalResult{}, err
+		}
+	}
+	total := time.Since(start)
+
+	view := p.Store().Get("view", "p")
+	hot := p.Store().Get("hot", "p")
+	return IncrementalResult{
+		Facts:     n,
+		Rounds:    rounds,
+		Setup:     setup,
+		PerUpdate: total / time.Duration(rounds),
+		ViewRows:  view.Len() + hot.Len(),
+		ViewFP:    view.Fingerprint() ^ (hot.Fingerprint() * 31),
+	}, nil
+}
+
+// RunIncrementalAgreement drives the same random insert/delete script
+// through an incremental and a naive-recompute peer over a recursive
+// (transitive closure) program and reports whether the materialized views
+// agree after every batch — the property behind experiment I1's correctness
+// column. It returns the number of steps checked.
+func RunIncrementalAgreement(steps int, seed int64) (int, error) {
+	build := func(incremental bool) (*peer.Network, *peer.Peer, error) {
+		opts := engine.DefaultOptions()
+		opts.Incremental = incremental
+		net := peer.NewNetwork()
+		p, err := net.NewPeer(peer.Config{Name: "p", Engine: &opts})
+		if err != nil {
+			return nil, nil, err
+		}
+		err = p.LoadSource(`
+			relation extensional edge@p(a, b);
+			relation intensional tc@p(a, b);
+			tc@p($x,$y) :- edge@p($x,$y);
+			tc@p($x,$z) :- tc@p($x,$y), edge@p($y,$z);
+		`)
+		if err != nil {
+			return nil, nil, err
+		}
+		return net, p, nil
+	}
+	netI, pI, err := build(true)
+	if err != nil {
+		return 0, err
+	}
+	netN, pN, err := build(false)
+	if err != nil {
+		return 0, err
+	}
+	rnd := seed
+	next := func(mod int64) int64 {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		v := (rnd >> 33) % mod
+		if v < 0 {
+			v += mod
+		}
+		return v
+	}
+	live := map[[2]int64]bool{}
+	for s := 0; s < steps; s++ {
+		var f ast.Fact
+		del := len(live) > 0 && next(3) == 0
+		if del {
+			// Deterministic victim: the smallest live edge, so a fixed seed
+			// reproduces the exact script (map iteration order would not).
+			var victim [2]int64
+			first := true
+			for e := range live {
+				if first || e[0] < victim[0] || (e[0] == victim[0] && e[1] < victim[1]) {
+					victim = e
+					first = false
+				}
+			}
+			f = ast.NewFact("edge", "p", value.Int(victim[0]), value.Int(victim[1]))
+			delete(live, victim)
+		} else {
+			a, b := next(12), next(12)
+			live[[2]int64{a, b}] = true
+			f = ast.NewFact("edge", "p", value.Int(a), value.Int(b))
+		}
+		for _, p := range []*peer.Peer{pI, pN} {
+			var err error
+			if del {
+				err = p.Delete(f)
+			} else {
+				err = p.Insert(f)
+			}
+			if err != nil {
+				return s, err
+			}
+		}
+		if _, _, err := netI.RunToQuiescence(context.Background(), 0); err != nil {
+			return s, err
+		}
+		if _, _, err := netN.RunToQuiescence(context.Background(), 0); err != nil {
+			return s, err
+		}
+		ti := pI.Store().Get("tc", "p")
+		tn := pN.Store().Get("tc", "p")
+		if ti.Len() != tn.Len() || ti.Fingerprint() != tn.Fingerprint() {
+			return s, fmt.Errorf("bench: step %d: incremental tc (%d rows) != naive tc (%d rows)",
+				s, ti.Len(), tn.Len())
+		}
+	}
+	return steps, nil
+}
+
 func mustRule(id, src string) ast.Rule {
 	r, err := parseRule(src)
 	if err != nil {

@@ -166,6 +166,7 @@ func (e *Engine) CompileProgram(rules []ast.Rule) (*Program, error) {
 	if err := e.stratify(prog); err != nil {
 		return nil, err
 	}
+	e.classify(prog)
 	return prog, nil
 }
 
@@ -188,5 +189,6 @@ func (e *Engine) CompileRules(rules []ast.Rule) (*Program, []error) {
 		errs = append(errs, err)
 		return nil, errs
 	}
+	e.classify(prog)
 	return prog, errs
 }

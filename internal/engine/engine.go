@@ -34,13 +34,23 @@ type Options struct {
 	UseIndexes bool
 	// MaxIterations bounds fixpoint iterations as a safety net.
 	MaxIterations int
-	// Tracer, when non-nil, observes every successful derivation.
+	// Incremental keeps derived relations materialized between stages and
+	// maintains them from each stage's base-fact deltas (inserts through the
+	// semi-naive machinery, deletions through an over-delete/rederive pass),
+	// instead of recomputing every view from scratch per stage. When false —
+	// the naive-recompute ablation — or when the program is not
+	// incrementally maintainable (negation in a view rule, a Tracer
+	// attached), every stage rebuilds the views. See incremental.go.
+	Incremental bool
+	// Tracer, when non-nil, observes every successful derivation. A tracer
+	// implies per-stage recomputation (provenance is rebuilt each stage), so
+	// it disables Incremental.
 	Tracer Tracer
 }
 
 // DefaultOptions returns the production configuration.
 func DefaultOptions() Options {
-	return Options{SemiNaive: true, UseIndexes: true, MaxIterations: 1_000_000}
+	return Options{SemiNaive: true, UseIndexes: true, Incremental: true, MaxIterations: 1_000_000}
 }
 
 // Tracer observes derivations for provenance tracking and debugging.
@@ -73,19 +83,51 @@ func (f FactOp) Key() string {
 	return "+" + f.Fact.Key()
 }
 
+// ViewDelta is the net change one stage made to a materialized local view:
+// the tuples that appeared and the tuples that vanished, with no overlap.
+type ViewDelta struct {
+	Ins []value.Tuple
+	Del []value.Tuple
+}
+
+// RemoteOp is one fact delta bound for a remote peer. Maint distinguishes
+// maintained view deltas (the sender starts/stops deriving the fact and will
+// keep the receiver posted) from one-shot updates produced by explicit
+// deletion rules; see protocol.FactDelta.
+type RemoteOp struct {
+	Op    ast.UpdateOp
+	Maint bool
+	Fact  ast.Fact
+}
+
 // Result collects the outputs of one stage's fixpoint.
 type Result struct {
 	// LocalUpdates are +/- updates to local extensional relations, to be
 	// applied at the beginning of the next local stage.
 	LocalUpdates []FactOp
-	// Remote maps destination peer name to the facts to send it.
+	// Remote maps destination peer name to every fact the stage derived for
+	// it — the full per-stage emission set, before delta maintenance.
 	Remote map[string][]FactOp
+	// RemoteOut maps destination peer name to the deltas to actually ship:
+	// maintained inserts for newly derived facts, maintained deletes for
+	// facts whose last derivation disappeared, and pass-through one-shot
+	// deletion-rule updates. Populated by RunStageIncremental and
+	// RunStageFull (which maintain the engine's per-destination remote
+	// view), not by bare RunStage.
+	RemoteOut map[string][]RemoteOp
+	// Views maps "rel@peer" to the net change an incremental stage made to
+	// that materialized local view. Populated only by RunStageIncremental;
+	// full recomputations leave it nil (consumers diff snapshots instead).
+	Views map[string]*ViewDelta
 	// Delegations maps source rule ID -> target peer -> residual rules.
 	// The set for a (rule, target) pair replaces whatever that pair
 	// delegated in previous stages (delegation maintenance).
 	Delegations map[string]map[string][]ast.Rule
 	// Derived counts new intensional facts derived in this stage.
 	Derived int
+	// Retracted counts intensional facts deleted by this stage's deletion
+	// pass (net of rederivations).
+	Retracted int
 	// Iterations counts fixpoint iterations across all strata.
 	Iterations int
 	// Errors collects non-fatal runtime semantic errors (e.g. a deletion
@@ -93,11 +135,14 @@ type Result struct {
 	Errors []error
 }
 
-// RemotePeers returns the destinations with pending facts, sorted.
+// RemotePeers returns the destinations with outgoing deltas, sorted — the
+// emission order the peer layer uses.
 func (r *Result) RemotePeers() []string {
-	out := make([]string, 0, len(r.Remote))
-	for p := range r.Remote {
-		out = append(out, p)
+	out := make([]string, 0, len(r.RemoteOut))
+	for p := range r.RemoteOut {
+		if len(r.RemoteOut[p]) > 0 {
+			out = append(out, p)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -108,6 +153,12 @@ type Engine struct {
 	local string
 	db    *store.Store
 	opts  Options
+
+	// remoteView is the maintained per-destination image of every fact the
+	// program currently derives for remote peers (Derive-op heads only).
+	// RunStageIncremental and RunStageFull diff each stage's emission set
+	// against it to produce Result.RemoteOut.
+	remoteView map[string]map[string]ast.Fact
 }
 
 // New creates an engine for the peer named local over db.
@@ -160,6 +211,20 @@ type CompiledRule struct {
 	Head      cAtom
 	Body      []cAtom
 	Stratum   int
+
+	// Event marks rules outside the incremental view-maintenance fast path:
+	// deletion rules, rules whose head is (or may be) remote or extensional,
+	// and rules whose body may leave the local peer (delegation). Event
+	// rules are evaluated in full every stage, which preserves the paper's
+	// continuous emission and delegation-maintenance semantics; non-event
+	// ("view") rules are maintained from deltas. See classify in
+	// incremental.go.
+	Event bool
+	// MaybeView marks rules whose head could land in a local intensional
+	// relation (every view rule, plus event rules with a variable head
+	// relation or peer). Only these participate in the deletion pass and in
+	// rederivation checks.
+	MaybeView bool
 }
 
 // String renders the original rule.
@@ -169,6 +234,12 @@ func (c *CompiledRule) String() string { return c.Rule.String() }
 type Program struct {
 	Rules  []*CompiledRule
 	Strata [][]*CompiledRule
+
+	// Incremental reports that this program can be maintained by
+	// RunStageIncremental: Options.Incremental is on, no tracer is
+	// attached, and no rule that may derive into a local view uses
+	// negation. Otherwise every stage must recompute (RunStageFull).
+	Incremental bool
 }
 
 // RuleCount returns the number of rules in the program.

@@ -24,6 +24,9 @@ type stageState struct {
 	delta       deltaSet
 	supports    []ast.Fact // ground body atoms on the current evaluation path
 	errCount    int
+	// incr is non-nil during RunStageIncremental: produce() additionally
+	// maintains the net view-delta bookkeeping (incremental.go).
+	incr *incrState
 }
 
 func newStageState() *stageState {
@@ -138,6 +141,65 @@ func (e *Engine) evalRule(cr *CompiledRule, st *stageState, deltaPos int, prevDe
 	e.evalFrom(cr, 0, env, bound, st, deltaPos, prevDelta)
 }
 
+// bindAtomArgs unifies t against the atom's argument terms, binding free
+// variable slots. On a match it returns true plus the slots newly bound —
+// the caller must clear them (unbind) after its continuation returns. On a
+// mismatch (including arity) every partial binding is already undone.
+func bindAtomArgs(a *cAtom, t value.Tuple, env []value.Value, bound []bool) (bool, []int) {
+	if len(t) != len(a.args) {
+		return false, nil
+	}
+	var newlyBound []int
+	for k, arg := range a.args {
+		if arg.isVar {
+			if bound[arg.slot] {
+				if !env[arg.slot].Equal(t[k]) {
+					unbind(bound, newlyBound)
+					return false, nil
+				}
+			} else {
+				env[arg.slot] = t[k]
+				bound[arg.slot] = true
+				newlyBound = append(newlyBound, arg.slot)
+			}
+		} else if !arg.val.Equal(t[k]) {
+			unbind(bound, newlyBound)
+			return false, nil
+		}
+	}
+	return true, newlyBound
+}
+
+// unbind clears the given slots.
+func unbind(bound []bool, slots []int) {
+	for _, s := range slots {
+		bound[s] = false
+	}
+}
+
+// lookupMask computes the bound-column mask and values for an indexed
+// lookup of atom a against rel under the current bindings. A zero mask
+// (atom arity mismatch, or nothing bound) means "scan".
+func lookupMask(a *cAtom, rel *store.Relation, env []value.Value, bound []bool) (store.ColMask, []value.Value) {
+	var mask store.ColMask
+	var boundVals []value.Value
+	if len(a.args) != rel.Schema().Arity() {
+		return 0, nil
+	}
+	for k, arg := range a.args {
+		if arg.isVar {
+			if bound[arg.slot] {
+				mask |= 1 << uint(k)
+				boundVals = append(boundVals, env[arg.slot])
+			}
+		} else {
+			mask |= 1 << uint(k)
+			boundVals = append(boundVals, arg.val)
+		}
+	}
+	return mask, boundVals
+}
+
 // resolveName resolves a compiled relation/peer term to its string name.
 func resolveName(t termRef, env []value.Value) (string, bool) {
 	var v value.Value
@@ -208,28 +270,7 @@ func (e *Engine) evalFrom(cr *CompiledRule, i int, env []value.Value, bound []bo
 
 	// Positive atom: join against the relation (or the delta at deltaPos).
 	unifyAndRecurse := func(t value.Tuple) bool {
-		if len(t) != len(a.args) {
-			return true // arity mismatch: no match, keep scanning
-		}
-		var newlyBound []int
-		okTuple := true
-		for k, arg := range a.args {
-			if arg.isVar {
-				if bound[arg.slot] {
-					if !env[arg.slot].Equal(t[k]) {
-						okTuple = false
-						break
-					}
-				} else {
-					env[arg.slot] = t[k]
-					bound[arg.slot] = true
-					newlyBound = append(newlyBound, arg.slot)
-				}
-			} else if !arg.val.Equal(t[k]) {
-				okTuple = false
-				break
-			}
-		}
+		okTuple, newlyBound := bindAtomArgs(a, t, env, bound)
 		if okTuple {
 			if e.opts.Tracer != nil {
 				st.supports = append(st.supports, ast.Fact{Rel: relName, Peer: peerName, Args: t})
@@ -238,11 +279,9 @@ func (e *Engine) evalFrom(cr *CompiledRule, i int, env []value.Value, bound []bo
 			} else {
 				e.evalFrom(cr, i+1, env, bound, st, deltaPos, prevDelta)
 			}
+			unbind(bound, newlyBound)
 		}
-		for _, s := range newlyBound {
-			bound[s] = false
-		}
-		return true
+		return true // keep scanning
 	}
 
 	if i == deltaPos {
@@ -254,22 +293,7 @@ func (e *Engine) evalFrom(cr *CompiledRule, i int, env []value.Value, bound []bo
 	if rel == nil {
 		return // unknown local relation: empty
 	}
-	// Compute the bound-column mask for an indexed lookup.
-	var mask store.ColMask
-	var boundVals []value.Value
-	if len(a.args) == rel.Schema().Arity() {
-		for k, arg := range a.args {
-			if arg.isVar {
-				if bound[arg.slot] {
-					mask |= 1 << uint(k)
-					boundVals = append(boundVals, env[arg.slot])
-				}
-			} else {
-				mask |= 1 << uint(k)
-				boundVals = append(boundVals, arg.val)
-			}
-		}
-	}
+	mask, boundVals := lookupMask(a, rel, env, bound)
 	rel.Lookup(mask, boundVals, e.opts.UseIndexes, unifyAndRecurse)
 }
 
@@ -338,6 +362,21 @@ func (e *Engine) produce(cr *CompiledRule, env []value.Value, st *stageState) {
 			st.out.Derived++
 			id := headRel + "@" + headPeer
 			st.delta[id] = append(st.delta[id], t)
+			if ic := st.incr; ic != nil {
+				key := t.Key()
+				if m := ic.marked[id]; m[key] != nil {
+					delete(m, key) // deleted then rederived this stage: net zero
+					// Un-ghost so a later deletion round can re-target it.
+					delete(ic.ghosts[id], key)
+				} else if !ic.isSeeded(id, key) {
+					in := ic.insNew[id]
+					if in == nil {
+						in = map[string]value.Tuple{}
+						ic.insNew[id] = in
+					}
+					in[key] = t
+				}
+			}
 			e.trace(st, fact, cr)
 		}
 		return

@@ -1,0 +1,888 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Incremental stage evaluation: materialized views maintained across stages.
+//
+// Bare RunStage recomputes every intensional relation from scratch, so the
+// cost of a stage grows with the size of the database rather than the size
+// of the change. This file carries the semi-naive deltas *across* stages
+// instead: derived relations stay materialized between stages, each stage's
+// base-fact batch enters the fixpoint as the initial delta, and deletions
+// are handled DRed-style — over-delete everything that may depend on a
+// deleted fact, then rederive what still has an alternative derivation, so
+// retracting one support never kills a tuple that has another.
+//
+// Rules are split statically (classify):
+//
+//   - view rules — head is a declared local intensional relation, body fully
+//     local and positive. These are the materialized views and take the
+//     delta path.
+//   - event rules — everything else: deletion rules, rules with remote or
+//     extensional or variable heads, rules whose body can leave the peer
+//     (delegation). Event rules are evaluated in full every stage, exactly
+//     as RunStage would, which preserves the paper's delegation-maintenance
+//     and update-emission semantics unchanged. Because all remote emissions
+//     and delegations come from event rules, Result.Remote and
+//     Result.Delegations stay complete per stage.
+//
+// Remote Derive-op emissions are additionally diffed against the engine's
+// maintained remoteView, producing true insert/retract deltas
+// (Result.RemoteOut) instead of re-shipping the full set every stage.
+
+// StageInput describes the base-fact deltas of one peer stage. All tuples in
+// Ins are already present in the store (the peer applied extensional updates
+// and seeded intensional facts during ingestion); all tuples in Del are
+// already removed. Cand holds intensional deletion candidates — tuples whose
+// external support just vanished — which are still in the store: the
+// evaluator deletes them unless a local derivation (or a seed in Ins) keeps
+// them alive.
+type StageInput struct {
+	Ins  map[string][]value.Tuple // relID -> tuples inserted before the stage
+	Del  map[string][]value.Tuple // relID -> extensional tuples removed before the stage
+	Cand map[string][]value.Tuple // relID -> intensional tuples that lost external support
+}
+
+// Empty reports whether the input carries no deltas at all.
+func (in *StageInput) Empty() bool {
+	return in == nil || (len(in.Ins) == 0 && len(in.Del) == 0 && len(in.Cand) == 0)
+}
+
+// incrState carries the per-stage bookkeeping of an incremental run.
+type incrState struct {
+	in *StageInput
+	// seeded marks the tuples of StageInput.Ins: externally present this
+	// stage, so rederivation keeps them regardless of rule support.
+	seeded map[string]map[string]bool
+	// ghosts holds every tuple deleted during this stage (base deletions and
+	// over-deletions), giving the deletion pass the pre-deletion database:
+	// non-delta join positions range over relation ∪ ghosts.
+	ghosts map[string]map[string]value.Tuple
+	// ghostIdx lazily indexes a relation's ghost set by bound-column mask so
+	// the sweep at a non-delta join position probes O(1) instead of
+	// scanning every deleted tuple per binding (which made a D-fact batch
+	// delete quadratic in D). An index is rebuilt when the ghost set grew;
+	// a snapshot going stale mid-round is sound because every newly
+	// ghosted tuple gets its own delta round in the over-delete fixpoint.
+	ghostIdx map[string]map[store.ColMask]*ghostIndex
+	// marked holds over-deleted view tuples not (yet) rederived. What
+	// remains at the end of the stage is the net deletion set.
+	marked map[string]map[string]value.Tuple
+	// insNew holds tuples newly inserted into views this stage, net of
+	// same-stage deletions.
+	insNew map[string]map[string]value.Tuple
+	// frontier accumulates the next round of the over-delete fixpoint.
+	frontier deltaSet
+	// pending holds deletion candidates (StageInput.Cand) marked before the
+	// strata run; the first deletion phase folds them into its rederivation
+	// pass so a candidate with a surviving local derivation is restored.
+	pending []relTuple
+	// stageIns / stageDel accumulate all insertions / deletions seen so far
+	// this stage, seeding the delta passes of later strata.
+	stageIns deltaSet
+	stageDel deltaSet
+}
+
+func (ic *incrState) ghost(relID string, t value.Tuple) {
+	g := ic.ghosts[relID]
+	if g == nil {
+		g = map[string]value.Tuple{}
+		ic.ghosts[relID] = g
+	}
+	g[t.Key()] = t
+}
+
+func (ic *incrState) mark(relID string, t value.Tuple) {
+	m := ic.marked[relID]
+	if m == nil {
+		m = map[string]value.Tuple{}
+		ic.marked[relID] = m
+	}
+	m[t.Key()] = t
+}
+
+func (ic *incrState) isSeeded(relID, key string) bool {
+	return ic.seeded[relID][key]
+}
+
+// ghostIndex is one mask's hash index over a ghost-set snapshot.
+type ghostIndex struct {
+	size    int // ghost-set size at build time; rebuilt when it grows
+	buckets map[string][]value.Tuple
+}
+
+// sweepGhosts calls fn for every ghost of relID matching the bound columns,
+// through a lazily built (and size-invalidated) per-mask index.
+func (ic *incrState) sweepGhosts(relID string, mask store.ColMask, boundVals []value.Value, fn func(value.Tuple)) {
+	g := ic.ghosts[relID]
+	if len(g) == 0 {
+		return
+	}
+	if mask == 0 {
+		for _, t := range g {
+			fn(t)
+		}
+		return
+	}
+	byMask := ic.ghostIdx[relID]
+	if byMask == nil {
+		byMask = map[store.ColMask]*ghostIndex{}
+		if ic.ghostIdx == nil {
+			ic.ghostIdx = map[string]map[store.ColMask]*ghostIndex{}
+		}
+		ic.ghostIdx[relID] = byMask
+	}
+	idx := byMask[mask]
+	if idx == nil || idx.size != len(g) {
+		idx = &ghostIndex{size: len(g), buckets: make(map[string][]value.Tuple, len(g))}
+		var keyBuf []byte
+		for _, t := range g {
+			keyBuf = keyBuf[:0]
+			for c := 0; c < len(t); c++ {
+				if mask.Has(c) {
+					keyBuf = t[c].AppendKey(keyBuf)
+				}
+			}
+			idx.buckets[string(keyBuf)] = append(idx.buckets[string(keyBuf)], t)
+		}
+		byMask[mask] = idx
+	}
+	var keyBuf []byte
+	for _, v := range boundVals {
+		keyBuf = v.AppendKey(keyBuf)
+	}
+	for _, t := range idx.buckets[string(keyBuf)] {
+		fn(t)
+	}
+}
+
+// classify fills the Event / MaybeView flags of every rule and decides
+// whether the program as a whole is incrementally maintainable. Called after
+// stratification (CompileProgram / CompileRules).
+func (e *Engine) classify(prog *Program) {
+	idb := e.localIntensional()
+	ok := e.opts.Incremental && e.opts.Tracer == nil
+	for _, cr := range prog.Rules {
+		localBody := true
+		hasNeg := false
+		for i := range cr.Body {
+			a := &cr.Body[i]
+			if a.peer.isVar {
+				localBody = false
+				if a.neg {
+					hasNeg = true
+				}
+				continue
+			}
+			pn := ""
+			if a.peer.val.Kind() == value.KindString {
+				pn = a.peer.val.StringVal()
+			}
+			if pn == BuiltinPeer {
+				continue // built-ins are pure filters, negated or not
+			}
+			if pn != e.local {
+				localBody = false
+			}
+			if a.neg {
+				hasNeg = true
+			}
+		}
+		headPeerLocal := !cr.Head.peer.isVar &&
+			cr.Head.peer.val.Kind() == value.KindString &&
+			cr.Head.peer.val.StringVal() == e.local
+		headPeerMaybeLocal := cr.Head.peer.isVar || headPeerLocal
+		headRelIntensional := false
+		if !cr.Head.rel.isVar && cr.Head.rel.val.Kind() == value.KindString {
+			headRelIntensional = idb[cr.Head.rel.val.StringVal()]
+		}
+		cr.MaybeView = cr.Rule.Op == ast.Derive && headPeerMaybeLocal &&
+			(cr.Head.rel.isVar || headRelIntensional)
+		isView := cr.Rule.Op == ast.Derive && localBody &&
+			headPeerLocal && !cr.Head.rel.isVar && headRelIntensional
+		cr.Event = !isView
+		if cr.MaybeView && hasNeg {
+			// Deleting through negation would need insert deltas to feed
+			// view deletions and vice versa; fall back to recomputation.
+			ok = false
+		}
+	}
+	prog.Incremental = ok
+}
+
+// RunStageFull recomputes every view from scratch — the path for the first
+// stage, program changes, and programs (or engines) that are not
+// incrementally maintainable. It clears the intensional relations, re-seeds
+// the externally supported and transient tuples the caller passes in, runs
+// the ordinary fixpoint, and diffs the remote emission set against the
+// maintained remote view so that Result.RemoteOut still carries deltas.
+func (e *Engine) RunStageFull(prog *Program, seeds map[string][]value.Tuple) *Result {
+	e.db.ClearIntensional()
+	for relID, ts := range seeds {
+		rel := relByID(e.db, relID)
+		if rel == nil {
+			continue
+		}
+		for _, t := range ts {
+			if len(t) == rel.Schema().Arity() {
+				rel.Insert(t)
+			}
+		}
+	}
+	var res *Result
+	if prog != nil {
+		res = e.RunStage(prog)
+	} else {
+		res = &Result{Remote: map[string][]FactOp{}, Delegations: map[string]map[string][]ast.Rule{}}
+	}
+	res.RemoteOut = e.diffRemote(res.Remote)
+	return res
+}
+
+// RunStageIncremental maintains the materialized views from the stage's
+// base-fact deltas. Per stratum it (1) runs the over-delete/rederive pass
+// for the accumulated deletions, (2) runs semi-naive delta iterations of the
+// view rules over the accumulated insertions, and (3) evaluates the event
+// rules in full, cascading any local derivations they add back through the
+// view rules. The caller must have run a full stage for this program before
+// (the views must be materialized and consistent).
+func (e *Engine) RunStageIncremental(prog *Program, in *StageInput) *Result {
+	st := newStageState()
+	ic := &incrState{
+		in:       in,
+		seeded:   map[string]map[string]bool{},
+		ghosts:   map[string]map[string]value.Tuple{},
+		marked:   map[string]map[string]value.Tuple{},
+		insNew:   map[string]map[string]value.Tuple{},
+		stageIns: deltaSet{},
+		stageDel: deltaSet{},
+	}
+	st.incr = ic
+	if in != nil {
+		for relID, ts := range in.Ins {
+			ic.stageIns[relID] = append(ic.stageIns[relID], ts...)
+			s := map[string]bool{}
+			for _, t := range ts {
+				s[t.Key()] = true
+			}
+			ic.seeded[relID] = s
+		}
+		for relID, ts := range in.Del {
+			for _, t := range ts {
+				ic.ghost(relID, t)
+			}
+			ic.stageDel[relID] = append(ic.stageDel[relID], ts...)
+		}
+		// Deletion candidates: remove now, mark for rederivation. A
+		// candidate's external support is gone, so a same-stage maintained
+		// seed must not shield it — the peer already cancels candidates
+		// that were re-supported later in the stage. A candidate that was
+		// also inserted this stage (coalesced maintained +/-) must leave
+		// the insertion delta too, or the insert phase would derive from a
+		// tuple that no longer exists.
+		for relID, ts := range in.Cand {
+			rel := relByID(e.db, relID)
+			if rel == nil {
+				continue
+			}
+			for _, t := range ts {
+				key := t.Key()
+				if s := ic.seeded[relID]; s[key] {
+					delete(s, key)
+					ic.stageIns[relID] = dropTuple(ic.stageIns[relID], key)
+				}
+				if rel.Delete(t) {
+					ic.ghost(relID, t)
+					ic.mark(relID, t)
+					ic.stageDel[relID] = append(ic.stageDel[relID], t)
+					ic.pending = append(ic.pending, relTuple{relID, t})
+				}
+			}
+		}
+	}
+
+	for _, stratum := range prog.Strata {
+		if len(stratum) == 0 {
+			continue
+		}
+		e.deletePhase(prog, stratum, st)
+		e.insertPhase(stratum, st, copyDelta(ic.stageIns))
+		// Event rules run on the maintained state. Their local derivations
+		// (variable-head rules) cascade back through the view rules until
+		// nothing new appears; emission dedup keeps outputs exact.
+		for {
+			st.delta = deltaSet{}
+			for _, cr := range stratum {
+				if cr.Event {
+					e.evalRule(cr, st, -1, nil)
+				}
+			}
+			st.out.Iterations++
+			if len(st.delta) == 0 {
+				break
+			}
+			newly := st.delta
+			for relID, ts := range newly {
+				ic.stageIns[relID] = append(ic.stageIns[relID], ts...)
+			}
+			e.insertPhase(stratum, st, newly)
+			if st.out.Iterations >= e.opts.MaxIterations {
+				st.errf("engine: fixpoint exceeded %d iterations; aborting stratum", e.opts.MaxIterations)
+				break
+			}
+		}
+	}
+
+	// Candidates not consumed by any rule stratum (rule-less programs, or
+	// strata with no rules) still get their rederivation check — external
+	// support added back by a later coalesced message must restore them.
+	if len(ic.pending) > 0 {
+		e.rederive(prog, st, ic.pending)
+		ic.pending = nil
+	}
+
+	// Net view deltas.
+	views := map[string]*ViewDelta{}
+	for relID, m := range ic.insNew {
+		if len(m) == 0 {
+			continue
+		}
+		vd := viewDeltaFor(views, relID)
+		for _, t := range m {
+			vd.Ins = append(vd.Ins, t)
+		}
+	}
+	for relID, m := range ic.marked {
+		if len(m) == 0 {
+			continue
+		}
+		vd := viewDeltaFor(views, relID)
+		for _, t := range m {
+			vd.Del = append(vd.Del, t)
+			st.out.Retracted++
+		}
+	}
+	for _, vd := range views {
+		value.SortTuples(vd.Ins)
+		value.SortTuples(vd.Del)
+	}
+	if len(views) > 0 {
+		st.out.Views = views
+	}
+	st.out.RemoteOut = e.diffRemote(st.out.Remote)
+	return st.out
+}
+
+func viewDeltaFor(views map[string]*ViewDelta, relID string) *ViewDelta {
+	vd := views[relID]
+	if vd == nil {
+		vd = &ViewDelta{}
+		views[relID] = vd
+	}
+	return vd
+}
+
+// insertPhase runs the semi-naive delta iterations of the stratum's view
+// rules, seeded with the given delta, accumulating every new derivation into
+// the stage-wide insertion set.
+func (e *Engine) insertPhase(stratum []*CompiledRule, st *stageState, seed deltaSet) {
+	if len(seed) == 0 {
+		return
+	}
+	st.delta = seed
+	for len(st.delta) > 0 {
+		if st.out.Iterations >= e.opts.MaxIterations {
+			st.errf("engine: fixpoint exceeded %d iterations; aborting stratum", e.opts.MaxIterations)
+			return
+		}
+		prev := st.delta
+		st.delta = deltaSet{}
+		for _, cr := range stratum {
+			if cr.Event {
+				continue
+			}
+			for j := range cr.Body {
+				a := &cr.Body[j]
+				if a.neg {
+					continue
+				}
+				if !a.rel.isVar && !a.peer.isVar {
+					id := a.rel.val.StringVal() + "@" + a.peer.val.StringVal()
+					if len(prev[id]) == 0 {
+						continue
+					}
+				}
+				e.evalRule(cr, st, j, prev)
+			}
+		}
+		for relID, ts := range st.delta {
+			st.incr.stageIns[relID] = append(st.incr.stageIns[relID], ts...)
+		}
+		st.out.Iterations++
+	}
+}
+
+// deletePhase implements DRed for one stratum: over-delete everything whose
+// derivation may have used a deleted tuple (joining the delta position over
+// the deletion frontier and the remaining positions over the pre-deletion
+// database, i.e. relation ∪ ghosts), then rederive the over-deleted tuples
+// that still have standing support.
+func (e *Engine) deletePhase(prog *Program, stratum []*CompiledRule, st *stageState) {
+	ic := st.incr
+	frontier := copyDelta(ic.stageDel)
+	// Candidates marked before the strata ran must be rederivation-checked
+	// too: a tuple that lost its external support but still has a local
+	// derivation stays. (Checked in the first stratum; a check against
+	// not-yet-maintained later strata self-corrects — a wrongly kept tuple
+	// is re-marked when its support is over-deleted, a wrongly deleted one
+	// is re-derived by the insert pass.)
+	newMarks := ic.pending
+	ic.pending = nil
+	for len(frontier) > 0 {
+		if st.out.Iterations >= e.opts.MaxIterations {
+			st.errf("engine: deletion pass exceeded %d iterations; aborting stratum", e.opts.MaxIterations)
+			return
+		}
+		ic.frontier = deltaSet{}
+		for _, cr := range stratum {
+			if !cr.MaybeView || cr.Rule.Op != ast.Derive {
+				continue
+			}
+			for j := range cr.Body {
+				a := &cr.Body[j]
+				if a.neg {
+					continue
+				}
+				if !a.rel.isVar && !a.peer.isVar {
+					id := a.rel.val.StringVal() + "@" + a.peer.val.StringVal()
+					if len(frontier[id]) == 0 {
+						continue
+					}
+				}
+				env := make([]value.Value, cr.NumSlots)
+				bound := make([]bool, cr.NumSlots)
+				e.deleteFrom(cr, 0, env, bound, st, j, frontier)
+			}
+		}
+		st.out.Iterations++
+		for relID, ts := range ic.frontier {
+			ic.stageDel[relID] = append(ic.stageDel[relID], ts...)
+			for _, t := range ts {
+				newMarks = append(newMarks, relTuple{relID, t})
+			}
+		}
+		frontier = ic.frontier
+	}
+	e.rederive(prog, st, newMarks)
+}
+
+// relTuple pairs a relation id with a tuple.
+type relTuple struct {
+	relID string
+	tuple value.Tuple
+}
+
+// rederive restores over-deleted tuples that still have support: an external
+// (remote-maintained) supporter, a seed from this stage's input, or a rule
+// derivation from the remaining database. Restorations can support one
+// another, so the pass iterates to fixpoint.
+func (e *Engine) rederive(prog *Program, st *stageState, marks []relTuple) {
+	ic := st.incr
+	for changed := true; changed; {
+		changed = false
+		for i := range marks {
+			m := &marks[i]
+			if m.relID == "" {
+				continue // already restored
+			}
+			if ic.marked[m.relID][m.tuple.Key()] == nil {
+				m.relID = ""
+				continue
+			}
+			rel := relByID(e.db, m.relID)
+			if rel == nil {
+				continue
+			}
+			name, peerName := store.SplitID(m.relID)
+			keep := ic.isSeeded(m.relID, m.tuple.Key()) ||
+				rel.HasExternalSupport(m.tuple) ||
+				e.rederivable(prog, name, peerName, m.tuple)
+			if keep {
+				rel.Insert(m.tuple)
+				key := m.tuple.Key()
+				delete(ic.marked[m.relID], key)
+				// Un-ghost: the tuple is back in the relation (the
+				// pre-deletion union view still sees it there), and a later
+				// stratum whose over-delete targets it again must not be
+				// stopped by the "already processed" check.
+				delete(ic.ghosts[m.relID], key)
+				// Let the insert phase re-check derivations downstream of
+				// the restoration; existing heads dedupe to no-ops.
+				ic.stageIns[m.relID] = append(ic.stageIns[m.relID], m.tuple)
+				m.relID = ""
+				changed = true
+			}
+		}
+	}
+}
+
+// rederivable reports whether some rule of the program derives rel@peer(t)
+// from the current database. The head is unified with the target tuple first
+// so the body walk is driven by bound values (indexable lookups).
+func (e *Engine) rederivable(prog *Program, relName, peerName string, t value.Tuple) bool {
+	for _, cr := range prog.Rules {
+		if !cr.MaybeView || cr.Rule.Op != ast.Derive {
+			continue
+		}
+		env := make([]value.Value, cr.NumSlots)
+		bound := make([]bool, cr.NumSlots)
+		if !unifyHead(cr, relName, peerName, t, env, bound) {
+			continue
+		}
+		if e.matchFrom(cr, 0, env, bound) {
+			return true
+		}
+	}
+	return false
+}
+
+// unifyHead binds the rule's head against the target fact; false if the head
+// cannot produce it.
+func unifyHead(cr *CompiledRule, relName, peerName string, t value.Tuple, env []value.Value, bound []bool) bool {
+	if len(cr.Head.args) != len(t) {
+		return false
+	}
+	bindTerm := func(term termRef, v value.Value) bool {
+		if term.isVar {
+			if bound[term.slot] {
+				return env[term.slot].Equal(v)
+			}
+			env[term.slot] = v
+			bound[term.slot] = true
+			return true
+		}
+		return term.val.Equal(v)
+	}
+	if !bindTerm(cr.Head.rel, value.Str(relName)) {
+		return false
+	}
+	if !bindTerm(cr.Head.peer, value.Str(peerName)) {
+		return false
+	}
+	for k, arg := range cr.Head.args {
+		if !bindTerm(arg, t[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchFrom reports whether the rule body from atom i has at least one
+// satisfying local valuation under the current bindings — the existence
+// check behind rederivation. Atoms that resolve to remote peers fail the
+// branch: a delegated suffix is not a local derivation.
+func (e *Engine) matchFrom(cr *CompiledRule, i int, env []value.Value, bound []bool) bool {
+	if i == len(cr.Body) {
+		return true
+	}
+	a := &cr.Body[i]
+	peerName, ok := resolveName(a.peer, env)
+	if !ok {
+		return false
+	}
+	if peerName == BuiltinPeer {
+		relName, ok := resolveName(a.rel, env)
+		if !ok {
+			return false
+		}
+		holds, err := evalBuiltin(relName, a, env)
+		if err != nil {
+			return false
+		}
+		return holds != a.neg && e.matchFrom(cr, i+1, env, bound)
+	}
+	if peerName != e.local {
+		return false
+	}
+	relName, ok := resolveName(a.rel, env)
+	if !ok {
+		return false
+	}
+	rel := e.db.Get(relName, peerName)
+	if a.neg {
+		t := make(value.Tuple, len(a.args))
+		for k, arg := range a.args {
+			if arg.isVar {
+				t[k] = env[arg.slot]
+			} else {
+				t[k] = arg.val
+			}
+		}
+		if rel == nil || len(a.args) != rel.Schema().Arity() || !rel.Contains(t) {
+			return e.matchFrom(cr, i+1, env, bound)
+		}
+		return false
+	}
+	if rel == nil {
+		return false
+	}
+	found := false
+	match := func(t value.Tuple) bool {
+		okTuple, newlyBound := bindAtomArgs(a, t, env, bound)
+		if okTuple {
+			if e.matchFrom(cr, i+1, env, bound) {
+				found = true
+			}
+			unbind(bound, newlyBound)
+		}
+		return !found // stop scanning once satisfied
+	}
+	mask, boundVals := lookupMask(a, rel, env, bound)
+	rel.Lookup(mask, boundVals, e.opts.UseIndexes, match)
+	return found
+}
+
+// deleteFrom is the over-delete analogue of evalFrom: body position deltaPos
+// ranges over the deletion frontier, every other positive position over the
+// pre-deletion database (relation ∪ ghosts), and a fully matched body marks
+// the produced head as over-deleted.
+func (e *Engine) deleteFrom(cr *CompiledRule, i int, env []value.Value, bound []bool, st *stageState, deltaPos int, frontier deltaSet) {
+	if i == len(cr.Body) {
+		e.produceDelete(cr, env, st)
+		return
+	}
+	a := &cr.Body[i]
+	peerName, ok := resolveName(a.peer, env)
+	if !ok {
+		return
+	}
+	if peerName == BuiltinPeer {
+		relName, ok := resolveName(a.rel, env)
+		if !ok {
+			return
+		}
+		holds, err := evalBuiltin(relName, a, env)
+		if err != nil {
+			return
+		}
+		if holds != a.neg {
+			e.deleteFrom(cr, i+1, env, bound, st, deltaPos, frontier)
+		}
+		return
+	}
+	if peerName != e.local {
+		return // delegated suffixes never derived locally
+	}
+	relName, ok := resolveName(a.rel, env)
+	if !ok {
+		return
+	}
+	relID := relName + "@" + peerName
+	rel := e.db.Get(relName, peerName)
+	if a.neg {
+		// MaybeView rules with negation force full recomputation (classify),
+		// so this is unreachable on the incremental path; keep the
+		// conservative membership check for safety.
+		t := make(value.Tuple, len(a.args))
+		for k, arg := range a.args {
+			if arg.isVar {
+				t[k] = env[arg.slot]
+			} else {
+				t[k] = arg.val
+			}
+		}
+		if rel == nil || len(a.args) != rel.Schema().Arity() || !rel.Contains(t) {
+			e.deleteFrom(cr, i+1, env, bound, st, deltaPos, frontier)
+		}
+		return
+	}
+
+	unify := func(t value.Tuple) bool {
+		okTuple, newlyBound := bindAtomArgs(a, t, env, bound)
+		if okTuple {
+			e.deleteFrom(cr, i+1, env, bound, st, deltaPos, frontier)
+			unbind(bound, newlyBound)
+		}
+		return true // keep scanning
+	}
+
+	if i == deltaPos {
+		for _, t := range frontier[relID] {
+			unify(t)
+		}
+		return
+	}
+	var mask store.ColMask
+	var boundVals []value.Value
+	if rel != nil {
+		mask, boundVals = lookupMask(a, rel, env, bound)
+		rel.Lookup(mask, boundVals, e.opts.UseIndexes, unify)
+	}
+	// The pre-deletion database includes everything deleted this stage.
+	st.incr.sweepGhosts(relID, mask, boundVals, func(t value.Tuple) { unify(t) })
+}
+
+// produceDelete marks the head tuple under the current bindings as
+// over-deleted if it is a currently materialized local view tuple. All other
+// head shapes (remote, extensional, already deleted) are ignored here: event
+// rules re-emit their outputs in full and the remote view diff handles
+// retraction.
+func (e *Engine) produceDelete(cr *CompiledRule, env []value.Value, st *stageState) {
+	ic := st.incr
+	headPeer, ok := resolveName(cr.Head.peer, env)
+	if !ok || headPeer != e.local {
+		return
+	}
+	headRel, ok := resolveName(cr.Head.rel, env)
+	if !ok {
+		return
+	}
+	rel := e.db.Get(headRel, headPeer)
+	if rel == nil || rel.Kind() != ast.Intensional {
+		return
+	}
+	t := make(value.Tuple, len(cr.Head.args))
+	for k, arg := range cr.Head.args {
+		if arg.isVar {
+			t[k] = env[arg.slot]
+		} else {
+			t[k] = arg.val
+		}
+	}
+	if len(t) != rel.Schema().Arity() {
+		return
+	}
+	relID := headRel + "@" + headPeer
+	key := t.Key()
+	if ic.ghosts[relID][key] != nil {
+		return // already processed this stage
+	}
+	if !rel.Delete(t) {
+		return
+	}
+	ic.ghost(relID, t)
+	ic.mark(relID, t)
+	ic.frontier[relID] = append(ic.frontier[relID], t)
+}
+
+// diffRemote diffs the stage's full Derive-op emission set against the
+// maintained remote view: newly derived facts ship as maintained inserts,
+// facts no longer derived as maintained deletes, and explicit deletion-rule
+// emissions pass through unchanged. The remote view is updated in place.
+func (e *Engine) diffRemote(remote map[string][]FactOp) map[string][]RemoteOp {
+	out := map[string][]RemoteOp{}
+	cur := map[string]map[string]ast.Fact{}
+	oneShotDel := map[string]map[string]bool{}
+	for dst, ops := range remote {
+		for _, op := range ops {
+			if op.Op == ast.Delete {
+				out[dst] = append(out[dst], RemoteOp{Op: ast.Delete, Fact: op.Fact})
+				if oneShotDel[dst] == nil {
+					oneShotDel[dst] = map[string]bool{}
+				}
+				oneShotDel[dst][op.Fact.Key()] = true
+				continue
+			}
+			m := cur[dst]
+			if m == nil {
+				m = map[string]ast.Fact{}
+				cur[dst] = m
+			}
+			key := op.Fact.Key()
+			m[key] = op.Fact
+			if _, had := e.remoteView[dst][key]; !had {
+				out[dst] = append(out[dst], RemoteOp{Op: ast.Derive, Maint: true, Fact: op.Fact})
+			}
+		}
+	}
+	// A one-shot deletion-rule emission undoes the fact at the receiver, so
+	// it must leave the maintained view too: if the fact is still derived,
+	// the next stage re-ships it as a maintained insert (the paper's
+	// continuous-update semantics, one stage later), instead of the view
+	// silently claiming the receiver still has it.
+	for dst, keys := range oneShotDel {
+		for key := range keys {
+			delete(cur[dst], key)
+		}
+	}
+	for dst, facts := range e.remoteView {
+		for key, f := range facts {
+			if _, still := cur[dst][key]; !still {
+				out[dst] = append(out[dst], RemoteOp{Op: ast.Delete, Maint: true, Fact: f})
+			}
+		}
+	}
+	if e.remoteView == nil {
+		e.remoteView = map[string]map[string]ast.Fact{}
+	}
+	for dst := range e.remoteView {
+		if len(cur[dst]) == 0 {
+			delete(e.remoteView, dst)
+		}
+	}
+	for dst, m := range cur {
+		if len(m) > 0 { // don't re-install emptied destinations
+			e.remoteView[dst] = m
+		}
+	}
+	for _, ops := range out {
+		sortRemoteOps(ops)
+	}
+	return out
+}
+
+// sortRemoteOps orders deletes first, then inserts, each sorted by fact
+// key, for deterministic wire contents. Keys are precomputed: a torn-down
+// remote view can put its whole contents through here at once.
+func sortRemoteOps(ops []RemoteOp) {
+	keys := make([]string, len(ops))
+	for i, o := range ops {
+		r := "1"
+		if o.Op == ast.Delete {
+			r = "0"
+		}
+		keys[i] = r + o.Fact.Key()
+	}
+	sort.Sort(&remoteOpSorter{ops: ops, keys: keys})
+}
+
+type remoteOpSorter struct {
+	ops  []RemoteOp
+	keys []string
+}
+
+func (s *remoteOpSorter) Len() int           { return len(s.ops) }
+func (s *remoteOpSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *remoteOpSorter) Swap(i, j int) {
+	s.ops[i], s.ops[j] = s.ops[j], s.ops[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// dropTuple removes every tuple with the given key from the slice.
+func dropTuple(ts []value.Tuple, key string) []value.Tuple {
+	out := ts[:0]
+	for _, t := range ts {
+		if t.Key() != key {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func copyDelta(d deltaSet) deltaSet {
+	out := make(deltaSet, len(d))
+	for k, v := range d {
+		out[k] = append([]value.Tuple(nil), v...)
+	}
+	return out
+}
+
+func relByID(db *store.Store, relID string) *store.Relation {
+	return db.GetID(relID)
+}

@@ -80,9 +80,12 @@ type Stats struct {
 
 // StageReport describes one RunStage call.
 type StageReport struct {
-	Stage      uint64
-	Ran        bool // false when the stage was skipped (inputs changed nothing)
-	Derived    int
+	Stage   uint64
+	Ran     bool // false when the stage was skipped (inputs changed nothing)
+	Derived int
+	// Retracted counts derived facts deleted by this stage's incremental
+	// deletion pass (facts that lost their last derivation).
+	Retracted  int
 	Iterations int
 	// Applied counts extensional updates applied during ingestion.
 	Applied int
@@ -131,6 +134,16 @@ type Peer struct {
 	compileErr []error
 
 	pendingOps []engine.FactOp // buffered updates for the next stage
+
+	// needRebuild forces the next stage to recompute the materialized views
+	// from scratch (first stage, program changes). Incremental maintenance
+	// resumes afterwards.
+	needRebuild bool
+	// transient holds "rel@peer" -> key -> tuple for transient intensional
+	// seeds awaiting expiry at the next stage that runs; freshTransient
+	// collects the marks of the ingestion in progress.
+	transient      map[string]map[string]value.Tuple
+	freshTransient map[string]map[string]value.Tuple
 
 	lastSentDeleg map[string]map[string]string // ruleID -> target -> set fingerprint
 	ranOnce       bool
@@ -184,6 +197,7 @@ func New(cfg Config, ep transport.Endpoint) (*Peer, error) {
 		lastSentDeleg: make(map[string]map[string]string),
 		wake:          make(chan struct{}, 1),
 		subs:          make(map[int]*subscription),
+		needRebuild:   true,
 	}
 	if cfg.Provenance {
 		p.prov = provenance.NewStore()

@@ -15,11 +15,112 @@ import (
 	"repro/internal/value"
 )
 
+// ingestOp is one fact operation entering the peer: from the local API
+// (pendingOps), or from the wire with the sender and the maintenance flag
+// attached.
+type ingestOp struct {
+	del   bool
+	maint bool
+	src   string
+	fact  ast.Fact
+}
+
+// stageDeltas collects the net base-fact changes of one ingestion, keyed by
+// "rel@peer". A tuple is recorded as inserted iff it was absent when the
+// stage began and present afterwards (and symmetrically for deletions), so
+// an insert-then-delete inside one batch nets out to nothing. These deltas
+// seed the engine's incremental evaluation and the subscription streams.
+type stageDeltas struct {
+	ins  map[string]map[string]value.Tuple
+	del  map[string]map[string]value.Tuple
+	cand map[string]map[string]value.Tuple // intensional tuples that lost support
+}
+
+func newStageDeltas() *stageDeltas {
+	return &stageDeltas{
+		ins:  map[string]map[string]value.Tuple{},
+		del:  map[string]map[string]value.Tuple{},
+		cand: map[string]map[string]value.Tuple{},
+	}
+}
+
+func (d *stageDeltas) record(relID string, t value.Tuple, del bool) {
+	key := t.Key()
+	if del {
+		if m := d.ins[relID]; m[key] != nil {
+			delete(m, key) // inserted earlier this stage: net zero
+			return
+		}
+		putTuple(d.del, relID, key, t)
+		return
+	}
+	if m := d.del[relID]; m[key] != nil {
+		delete(m, key) // deleted earlier this stage: net zero
+		return
+	}
+	putTuple(d.ins, relID, key, t)
+}
+
+func (d *stageDeltas) addCand(relID string, t value.Tuple) {
+	putTuple(d.cand, relID, t.Key(), t)
+}
+
+// removeCand cancels a pending deletion candidate — a later operation in the
+// same stage re-supported the tuple. Reports whether one was cancelled.
+func (d *stageDeltas) removeCand(relID, key string) bool {
+	if m := d.cand[relID]; m[key] != nil {
+		delete(m, key)
+		return true
+	}
+	return false
+}
+
+func putTuple(m map[string]map[string]value.Tuple, relID, key string, t value.Tuple) {
+	inner := m[relID]
+	if inner == nil {
+		inner = map[string]value.Tuple{}
+		m[relID] = inner
+	}
+	inner[key] = t
+}
+
+// engineInput converts the collected deltas into the engine's stage input.
+func (d *stageDeltas) engineInput() *engine.StageInput {
+	in := &engine.StageInput{
+		Ins:  map[string][]value.Tuple{},
+		Del:  map[string][]value.Tuple{},
+		Cand: map[string][]value.Tuple{},
+	}
+	for relID, m := range d.ins {
+		for _, t := range m {
+			in.Ins[relID] = append(in.Ins[relID], t)
+		}
+	}
+	for relID, m := range d.del {
+		for _, t := range m {
+			in.Del[relID] = append(in.Del[relID], t)
+		}
+	}
+	for relID, m := range d.cand {
+		for _, t := range m {
+			in.Cand[relID] = append(in.Cand[relID], t)
+		}
+	}
+	return in
+}
+
 // RunStage executes one computation stage: ingest inputs, run the fixpoint,
 // emit outputs. If ingestion changed nothing (all inbox messages were
 // no-ops, no staged updates, no program change), the fixpoint and emission
 // are skipped — the previous stage's outputs already reflect this state,
 // which is what lets a network of peers reach quiescence.
+//
+// When the program is incrementally maintainable (engine.Options.Incremental
+// and no tracer, hooks or negation-through-views), derived relations stay
+// materialized between stages and the engine maintains them from this
+// stage's base-fact deltas; otherwise the stage recomputes the views from
+// scratch, re-seeding externally supported and freshly arrived transient
+// facts.
 func (p *Peer) RunStage() *StageReport {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -28,10 +129,8 @@ func (p *Peer) RunStage() *StageReport {
 	startIngest := time.Now()
 	p.poked = false
 
-	changed := p.ingestLocked(rep)
-	if p.prov != nil {
-		p.prov.Reset()
-	}
+	d := newStageDeltas()
+	changed := p.ingestLocked(rep, d)
 	if hooks := p.hooks; hooks != nil {
 		// Wrapper pull hook: let the external service refresh the wrapper's
 		// relations. Detect changes via relation version counters, since the
@@ -49,6 +148,7 @@ func (p *Peer) RunStage() *StageReport {
 	}
 	if p.progDirty {
 		p.compileLocked(rep)
+		p.needRebuild = true
 		changed = true
 	}
 	if !p.ranOnce {
@@ -58,6 +158,10 @@ func (p *Peer) RunStage() *StageReport {
 
 	if !changed {
 		p.stats.StagesSkipped++
+		// Transient marks collected by this skipped stage stay *fresh*: no
+		// fixpoint has observed them yet, so they must live through the
+		// next stage that actually runs and expire only at the one after.
+		// freshTransient simply keeps accumulating until a stage runs.
 		return rep
 	}
 
@@ -66,22 +170,33 @@ func (p *Peer) RunStage() *StageReport {
 	p.ranOnce = true
 	rep.Ran = true
 
-	// Step 2: fixpoint. Intensional relations are recomputed from scratch
-	// each stage; seeds ingested above were inserted after the clear.
+	// Step 2: fixpoint — incremental view maintenance on the fast path,
+	// recompute-from-scratch on the first stage, after program changes, and
+	// for peers outside the incremental envelope (hooks, provenance tracer,
+	// negation through views, Options.Incremental off).
 	startFix := time.Now()
+	incremental := p.prog != nil && p.prog.Incremental && !p.needRebuild && p.hooks == nil
 	var res *engine.Result
-	if p.prog != nil {
-		res = p.eng.RunStage(p.prog)
+	if incremental {
+		p.expireTransientsLocked(d)
+		res = p.eng.RunStageIncremental(p.prog, d.engineInput())
 	} else {
-		res = &engine.Result{}
+		if p.prov != nil {
+			p.prov.Reset()
+		}
+		res = p.eng.RunStageFull(p.prog, p.rebuildSeedsLocked())
 	}
+	p.transient = p.freshTransient
+	p.freshTransient = nil
+	p.needRebuild = false
 	rep.Fixpoint = time.Since(startFix)
 	rep.Derived = res.Derived
+	rep.Retracted = res.Retracted
 	rep.Iterations = res.Iterations
 	rep.Errors = append(rep.Errors, res.Errors...)
 
-	// Step 3: emit. Local updates buffer for the next stage; remote facts
-	// and delegations go out now.
+	// Step 3: emit. Local updates buffer for the next stage; remote fact
+	// deltas and delegations go out now.
 	startEmit := time.Now()
 	p.pendingOps = append(p.pendingOps, res.LocalUpdates...)
 	p.emitFactsLocked(res, rep)
@@ -93,7 +208,7 @@ func (p *Peer) RunStage() *StageReport {
 	p.stats.RuntimeErrors += uint64(len(res.Errors))
 
 	// Stream the stage's net effect to subscribers before hooks observe it.
-	p.emitSubscriptionsLocked(rep)
+	p.emitSubscriptionsLocked(rep, d, res, incremental)
 
 	if hooks := p.hooks; hooks != nil {
 		// Run the hook outside the lock: it may call back into the peer.
@@ -107,18 +222,66 @@ func (p *Peer) RunStage() *StageReport {
 	return rep
 }
 
-// ingestLocked performs step 1 of the stage and reports whether anything
-// about the peer's state actually changed.
-func (p *Peer) ingestLocked(rep *StageReport) bool {
+// expireTransientsLocked turns the previous stage's transient seeds into
+// deletion candidates — unless the same fact was re-seeded this stage. A
+// candidate with surviving support (a rule derivation, a remote maintainer)
+// is kept by the engine's rederivation pass; the paper's "facts received in
+// intensional relations hold for one stage" semantics falls out for the
+// rest.
+func (p *Peer) expireTransientsLocked(d *stageDeltas) {
+	for relID, marks := range p.transient {
+		rel := p.db.GetID(relID)
+		if rel == nil {
+			continue
+		}
+		for key, t := range marks {
+			if p.freshTransient[relID][key] != nil {
+				continue
+			}
+			if rel.Contains(t) {
+				d.addCand(relID, t)
+			}
+		}
+	}
+	p.transient = nil
+}
+
+// rebuildSeedsLocked returns the facts a from-scratch recomputation must
+// re-insert after clearing the views: tuples maintained by remote senders
+// and transient seeds that arrived for this stage.
+func (p *Peer) rebuildSeedsLocked() map[string][]value.Tuple {
+	seeds := map[string][]value.Tuple{}
+	for _, rel := range p.db.RelationsOf(p.name) {
+		if rel.Kind() != ast.Intensional {
+			continue
+		}
+		if ts := rel.ExternallySupported(); len(ts) > 0 {
+			relID := rel.Schema().ID()
+			seeds[relID] = append(seeds[relID], ts...)
+		}
+	}
+	for relID, marks := range p.freshTransient {
+		for _, t := range marks {
+			seeds[relID] = append(seeds[relID], t)
+		}
+	}
+	return seeds
+}
+
+// ingestLocked performs step 1 of the stage — applying staged local
+// operations and draining the transport inbox — recording the net deltas in
+// d, and reports whether anything about the peer's state actually changed.
+func (p *Peer) ingestLocked(rep *StageReport, d *stageDeltas) bool {
 	changed := false
 
-	// Clear the per-stage views before seeding them.
-	p.db.ClearIntensional()
-
 	// Apply updates staged by the previous stage and by the local API.
-	ops := p.pendingOps
+	staged := p.pendingOps
 	p.pendingOps = nil
-	if p.applyOpsLocked(ops, rep) {
+	ops := make([]ingestOp, len(staged))
+	for i, op := range staged {
+		ops[i] = ingestOp{del: op.Op == ast.Delete, src: p.name, fact: op.Fact}
+	}
+	if p.applyOpsLocked(ops, rep, d) {
 		changed = true
 	}
 
@@ -127,21 +290,17 @@ func (p *Peer) ingestLocked(rep *StageReport) bool {
 	for _, env := range envs {
 		switch msg := env.Msg.(type) {
 		case protocol.FactsMsg:
-			batch := make([]engine.FactOp, 0, len(msg.Ops))
-			for _, d := range msg.Ops {
+			batch := make([]ingestOp, 0, len(msg.Ops))
+			for _, fd := range msg.Ops {
 				p.stats.FactsIn++
-				if d.Fact.Peer != p.name {
+				if fd.Fact.Peer != p.name {
 					rep.Errors = append(rep.Errors, fmt.Errorf(
-						"peer %s: misrouted fact %s from %s", p.name, d.Fact.String(), env.From))
+						"peer %s: misrouted fact %s from %s", p.name, fd.Fact.String(), env.From))
 					continue
 				}
-				op := ast.Derive
-				if d.Delete {
-					op = ast.Delete
-				}
-				batch = append(batch, engine.FactOp{Op: op, Fact: d.Fact})
+				batch = append(batch, ingestOp{del: fd.Delete, maint: fd.Maint, src: env.From, fact: fd.Fact})
 			}
-			if p.applyOpsLocked(batch, rep) {
+			if p.applyOpsLocked(batch, rep, d) {
 				changed = true
 			}
 		case protocol.DelegationMsg:
@@ -176,21 +335,24 @@ func (p *Peer) ingestLocked(rep *StageReport) bool {
 	return changed
 }
 
-// applyOpsLocked applies a sequence of fact operations, reporting whether
-// any changed the peer's state. Consecutive runs of the same operation on
-// the same declared extensional relation take a batched path — one store
-// lock acquisition and one WAL append run per group instead of one per
-// fact — which is what makes a 1000-fact Batch a single cheap transaction.
-// Anything irregular (undeclared relations, intensional seeds, arity
-// mismatches, alternating ops) falls back to the per-fact path, preserving
-// operation order either way.
-func (p *Peer) applyOpsLocked(ops []engine.FactOp, rep *StageReport) bool {
+// applyOpsLocked applies a sequence of fact operations, recording the net
+// deltas and reporting whether any changed the peer's state. Consecutive
+// runs of the same operation on the same declared extensional relation take
+// a batched path — one store lock acquisition and one WAL append run per
+// group instead of one per fact — which is what makes a 1000-fact Batch a
+// single cheap transaction. Anything irregular (undeclared relations,
+// intensional facts, arity mismatches, alternating ops, maintained
+// retractions) falls back to the per-fact path, preserving operation order
+// either way.
+func (p *Peer) applyOpsLocked(ops []ingestOp, rep *StageReport, d *stageDeltas) bool {
 	changed := false
 	for i := 0; i < len(ops); {
-		f := ops[i].Fact
+		op := ops[i]
+		f := op.fact
 		rel := p.db.Get(f.Rel, p.name)
-		if rel == nil || rel.Kind() != ast.Extensional || len(f.Args) != rel.Schema().Arity() {
-			if p.applyFactLocked(ops[i].Op == ast.Delete, f, rep) {
+		if rel == nil || rel.Kind() != ast.Extensional || len(f.Args) != rel.Schema().Arity() ||
+			(op.maint && op.del) {
+			if p.applyFactLocked(op, rep, d) {
 				changed = true
 			}
 			i++
@@ -199,13 +361,14 @@ func (p *Peer) applyOpsLocked(ops []engine.FactOp, rep *StageReport) bool {
 		// Extend the run while the op and relation stay the same.
 		j := i + 1
 		for j < len(ops) &&
-			ops[j].Op == ops[i].Op &&
-			ops[j].Fact.Rel == f.Rel &&
-			len(ops[j].Fact.Args) == rel.Schema().Arity() {
+			ops[j].del == op.del &&
+			!(ops[j].maint && ops[j].del) &&
+			ops[j].fact.Rel == f.Rel &&
+			len(ops[j].fact.Args) == rel.Schema().Arity() {
 			j++
 		}
 		if j-i == 1 {
-			if p.applyFactLocked(ops[i].Op == ast.Delete, f, rep) {
+			if p.applyFactLocked(op, rep, d) {
 				changed = true
 			}
 			i++
@@ -213,11 +376,10 @@ func (p *Peer) applyOpsLocked(ops []engine.FactOp, rep *StageReport) bool {
 		}
 		tuples := make([]value.Tuple, j-i)
 		for k := i; k < j; k++ {
-			tuples[k-i] = ops[k].Fact.Args
+			tuples[k-i] = ops[k].fact.Args
 		}
-		del := ops[i].Op == ast.Delete
 		var applied []value.Tuple
-		if del {
+		if op.del {
 			applied = rel.DeleteMany(tuples)
 		} else {
 			applied = rel.InsertMany(tuples)
@@ -226,8 +388,12 @@ func (p *Peer) applyOpsLocked(ops []engine.FactOp, rep *StageReport) bool {
 			changed = true
 			rep.Applied += len(applied)
 			p.stats.UpdatesApplied += uint64(len(applied))
+			relID := rel.Schema().ID()
+			for _, t := range applied {
+				d.record(relID, t, op.del)
+			}
 			if p.wal != nil {
-				if err := p.wal.LogMany(del, f.Rel, p.name, applied); err != nil {
+				if err := p.wal.LogMany(op.del, f.Rel, p.name, applied); err != nil {
 					rep.Errors = append(rep.Errors, err)
 				}
 			}
@@ -237,13 +403,17 @@ func (p *Peer) applyOpsLocked(ops []engine.FactOp, rep *StageReport) bool {
 	return changed
 }
 
-// applyFactLocked routes one fact delta: extensional relations are updated
-// durably now; intensional facts become transient seeds for this stage.
-// It returns true if the peer's state changed.
-func (p *Peer) applyFactLocked(del bool, f ast.Fact, rep *StageReport) bool {
+// applyFactLocked routes one fact delta. Extensional relations are updated
+// durably now (maintained retractions of durable updates are ignored).
+// Intensional facts are transient seeds when unmaintained — they hold until
+// the next stage that runs — and per-sender supported tuples when
+// maintained. It returns true if the peer's state changed in a way the
+// fixpoint must observe.
+func (p *Peer) applyFactLocked(op ingestOp, rep *StageReport, d *stageDeltas) bool {
+	f := op.fact
 	rel := p.db.Get(f.Rel, p.name)
 	if rel == nil {
-		if del {
+		if op.del {
 			return false // deleting from an unknown relation: nothing to do
 		}
 		// "Peers may discover … new relations": auto-declare extensional.
@@ -265,31 +435,69 @@ func (p *Peer) applyFactLocked(del bool, f ast.Fact, rep *StageReport) bool {
 			"peer %s: %w: fact %s has wrong arity for %s", p.name, errdefs.ErrArity, f.String(), rel.Schema().ID()))
 		return false
 	}
+	relID := rel.Schema().ID()
 	if rel.Kind() == ast.Intensional {
-		if del {
+		if op.maint {
+			if op.del {
+				// The sender no longer derives the fact: drop its support.
+				// The tuple becomes a deletion candidate only when the last
+				// supporter goes; a local derivation can still keep it. A
+				// transient seed from this very stage shields it until the
+				// normal expiry decides.
+				if rel.DropExternalSupport(f.Args, op.src) && rel.Contains(f.Args) &&
+					p.freshTransient[relID][f.Args.Key()] == nil {
+					d.addCand(relID, f.Args)
+					return true
+				}
+				return false
+			}
+			rel.AddExternalSupport(f.Args, op.src)
+			// Re-supporting a tuple cancels a same-stage deletion candidate
+			// (a maintained insert/retract/insert run coalesced into one
+			// ingestion nets out to "supported").
+			cancelled := d.removeCand(relID, f.Args.Key())
+			if rel.Insert(f.Args) {
+				d.record(relID, f.Args, false)
+				rep.Seeds++
+				return true
+			}
+			return cancelled
+		}
+		if op.del {
 			rep.Errors = append(rep.Errors, fmt.Errorf(
 				"peer %s: cannot delete transient fact %s from intensional relation", p.name, f.String()))
 			return false
 		}
-		// Transient: hold for one stage. Seeding happens in ingestLocked
-		// after the intensional clear, so stash directly into the relation
-		// if we are mid-ingest; seeds queued between stages land in p.seeds.
-		rel.Insert(f.Args)
-		rep.Seeds++
-		return true
+		// Transient seed: hold until the next stage that runs. It also
+		// shields the tuple from a same-stage support-loss candidate.
+		if p.freshTransient == nil {
+			p.freshTransient = map[string]map[string]value.Tuple{}
+		}
+		putTuple(p.freshTransient, relID, f.Args.Key(), f.Args)
+		cancelled := d.removeCand(relID, f.Args.Key())
+		if rel.Insert(f.Args) {
+			d.record(relID, f.Args, false)
+			rep.Seeds++
+			return true
+		}
+		return cancelled
+	}
+	if op.maint && op.del {
+		return false // durable updates are never unwound by lost derivations
 	}
 	var changed bool
-	if del {
+	if op.del {
 		changed = rel.Delete(f.Args)
 	} else {
 		changed = rel.Insert(f.Args)
 	}
 	if changed {
+		d.record(relID, f.Args, op.del)
 		rep.Applied++
 		p.stats.UpdatesApplied++
 		if p.wal != nil {
 			var err error
-			if del {
+			if op.del {
 				err = p.wal.LogDelete(f.Rel, f.Peer, f.Args)
 			} else {
 				err = p.wal.LogInsert(f.Rel, f.Peer, f.Args)
@@ -338,12 +546,16 @@ func (p *Peer) compileLocked(rep *StageReport) {
 	p.progDirty = false
 }
 
+// emitFactsLocked ships the engine's remote deltas: maintained inserts for
+// newly derived facts, maintained deletes for facts whose last derivation
+// vanished, and pass-through one-shot deletion-rule updates — one FactsMsg
+// per destination instead of re-sending every derived fact every stage.
 func (p *Peer) emitFactsLocked(res *engine.Result, rep *StageReport) {
 	for _, dst := range res.RemotePeers() {
-		ops := res.Remote[dst]
+		ops := res.RemoteOut[dst]
 		deltas := make([]protocol.FactDelta, len(ops))
 		for i, op := range ops {
-			deltas[i] = protocol.FactDelta{Delete: op.Op == ast.Delete, Fact: op.Fact}
+			deltas[i] = protocol.FactDelta{Delete: op.Op == ast.Delete, Maint: op.Maint, Fact: op.Fact}
 		}
 		if err := p.ep.Send(context.Background(), dst, protocol.FactsMsg{Ops: deltas}); err != nil {
 			rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: sending facts to %s: %w", p.name, dst, err))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/errdefs"
 	"repro/internal/store"
 	"repro/internal/value"
@@ -113,52 +114,38 @@ func (p *Peer) removeSub(id int) {
 	}
 }
 
-// emitSubscriptionsLocked diffs every subscribed relation against its last
-// emitted state and delivers the deltas. Called at the end of each stage
-// that ran, with p.mu held.
-func (p *Peer) emitSubscriptionsLocked(rep *StageReport) {
+// emitSubscriptionsLocked streams the stage's net effect to every
+// subscription. Called at the end of each stage that ran, with p.mu held.
+//
+// On incremental stages the deltas are exact and already known — the
+// extensional changes recorded during ingestion plus the engine's view
+// deltas — so delivery is O(deltas) with no snapshotting. Recomputation
+// stages (rebuilds, wrapper-hook peers whose relations are mutated out of
+// band) fall back to diffing the relation against the last emitted state.
+func (p *Peer) emitSubscriptionsLocked(rep *StageReport, d *stageDeltas, res *engine.Result, incremental bool) {
 	var dropped []int
 	for id, sub := range p.subs {
-		v := sub.rel.Version()
-		if v == sub.vers {
-			continue // untouched since the last emit
-		}
-		fp := sub.rel.Fingerprint()
-		if fp == sub.fp {
-			// Mutated but content-identical — the common case for an
-			// intensional view cleared and re-derived to the same tuples.
-			// Skipping here keeps subscriptions O(1) per quiescent stage.
-			sub.vers = v
-			continue
-		}
-		cur := sub.rel.Tuples() // sorted snapshot
-		curKeys := make(map[string]value.Tuple, len(cur))
-		for _, t := range cur {
-			curKeys[t.Key()] = t
-		}
 		var deltas []Delta
-		removed := make([]value.Tuple, 0)
-		for k, t := range sub.prev {
-			if _, still := curKeys[k]; !still {
-				removed = append(removed, t)
+		if incremental {
+			deltas = sub.collectDeltas(p.name, d, res)
+			if len(deltas) > 0 {
+				for _, dl := range deltas {
+					if dl.Delete {
+						delete(sub.prev, dl.Tuple.Key())
+					} else {
+						sub.prev[dl.Tuple.Key()] = dl.Tuple
+					}
+				}
 			}
+			sub.vers = sub.rel.Version()
+			sub.fp = sub.rel.Fingerprint()
+		} else {
+			deltas = sub.diffDeltas()
 		}
-		value.SortTuples(removed)
-		for _, t := range removed {
-			deltas = append(deltas, Delta{Rel: sub.rel.Name(), Delete: true, Tuple: t})
-		}
-		for _, t := range cur {
-			if _, had := sub.prev[t.Key()]; !had {
-				deltas = append(deltas, Delta{Rel: sub.rel.Name(), Tuple: t})
-			}
-		}
-		sub.prev = curKeys
-		sub.vers = v
-		sub.fp = fp
 	deliver:
-		for i, d := range deltas {
+		for i, dl := range deltas {
 			select {
-			case sub.ch <- d:
+			case sub.ch <- dl:
 			default:
 				rep.Errors = append(rep.Errors, fmt.Errorf(
 					"peer %s: %w: %s subscription dropped %d deltas",
@@ -173,4 +160,112 @@ func (p *Peer) emitSubscriptionsLocked(rep *StageReport) {
 		delete(p.subs, id)
 		close(sub.ch)
 	}
+}
+
+// collectDeltas assembles an incremental stage's exact deltas for this
+// subscription: deletions first, then insertions, each sorted.
+func (sub *subscription) collectDeltas(peerName string, d *stageDeltas, res *engine.Result) []Delta {
+	relID := sub.rel.Name() + "@" + peerName
+	var dels, ins []value.Tuple
+	for _, t := range d.del[relID] {
+		dels = append(dels, t)
+	}
+	for _, t := range d.ins[relID] {
+		ins = append(ins, t)
+	}
+	if vd := res.Views[relID]; vd != nil {
+		dels = append(dels, vd.Del...)
+		ins = append(ins, vd.Ins...)
+	}
+	dels, ins = netTuples(dels, ins)
+	if len(dels) == 0 && len(ins) == 0 {
+		return nil
+	}
+	value.SortTuples(dels)
+	value.SortTuples(ins)
+	out := make([]Delta, 0, len(dels)+len(ins))
+	for _, t := range dels {
+		out = append(out, Delta{Rel: sub.rel.Name(), Delete: true, Tuple: t})
+	}
+	for _, t := range ins {
+		out = append(out, Delta{Rel: sub.rel.Name(), Tuple: t})
+	}
+	return out
+}
+
+// netTuples cancels same-key delete/insert pairs: a tuple seeded and
+// retracted within one stage (coalesced maintained deltas) produces no
+// observable change.
+func netTuples(dels, ins []value.Tuple) ([]value.Tuple, []value.Tuple) {
+	if len(dels) == 0 || len(ins) == 0 {
+		return dels, ins
+	}
+	insKeys := make(map[string]bool, len(ins))
+	for _, t := range ins {
+		insKeys[t.Key()] = true
+	}
+	var cancelled map[string]bool
+	keptDels := dels[:0]
+	for _, t := range dels {
+		if insKeys[t.Key()] {
+			if cancelled == nil {
+				cancelled = map[string]bool{}
+			}
+			cancelled[t.Key()] = true
+			continue
+		}
+		keptDels = append(keptDels, t)
+	}
+	if cancelled == nil {
+		return keptDels, ins
+	}
+	keptIns := ins[:0]
+	for _, t := range ins {
+		if !cancelled[t.Key()] {
+			keptIns = append(keptIns, t)
+		}
+	}
+	return keptDels, keptIns
+}
+
+// diffDeltas computes deltas by diffing the relation against the last
+// emitted state — the recomputation-stage fallback.
+func (sub *subscription) diffDeltas() []Delta {
+	v := sub.rel.Version()
+	if v == sub.vers {
+		return nil // untouched since the last emit
+	}
+	fp := sub.rel.Fingerprint()
+	if fp == sub.fp {
+		// Mutated but content-identical — the common case for a view
+		// cleared and re-derived to the same tuples. Skipping here keeps
+		// subscriptions O(1) per quiescent stage.
+		sub.vers = v
+		return nil
+	}
+	cur := sub.rel.Tuples() // sorted snapshot
+	curKeys := make(map[string]value.Tuple, len(cur))
+	for _, t := range cur {
+		curKeys[t.Key()] = t
+	}
+	var deltas []Delta
+	removed := make([]value.Tuple, 0)
+	for k, t := range sub.prev {
+		if _, still := curKeys[k]; !still {
+			removed = append(removed, t)
+		}
+	}
+	value.SortTuples(removed)
+	for _, t := range removed {
+		deltas = append(deltas, Delta{Rel: sub.rel.Name(), Delete: true, Tuple: t})
+	}
+	for _, t := range cur {
+		if _, had := sub.prev[t.Key()]; !had {
+			deltas = append(deltas, Delta{Rel: sub.rel.Name(), Tuple: t})
+		}
+	}
+	sub.prev = curKeys
+	sub.vers = v
+	sub.fp = fp
+	return deltas
 }

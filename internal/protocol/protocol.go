@@ -13,8 +13,19 @@ import (
 
 // FactDelta is one fact transmission: an insertion (default) or a deletion
 // of a fact in a relation at the destination peer.
+//
+// Maint marks a *maintained* delta: the sender's rule program currently
+// derives (insert) or no longer derives (delete) the fact, and will send the
+// opposite delta when that changes. At the destination, maintained deltas
+// into an intensional relation add or drop per-sender support for the tuple
+// (store support bookkeeping) instead of acting like one-shot updates; a
+// maintained delete of a tuple that still has another derivation leaves it
+// standing. Non-maintained deltas keep their historical meaning: durable
+// updates for extensional relations, transient one-stage seeds for
+// intensional ones.
 type FactDelta struct {
 	Delete bool
+	Maint  bool
 	Fact   ast.Fact
 }
 
@@ -27,9 +38,10 @@ func (d FactDelta) String() string {
 }
 
 // FactsMsg carries a batch of fact deltas for relations at the destination.
-// Deltas for extensional relations are durable updates; deltas for
-// intensional relations are transient facts that hold for the destination's
-// next stage only.
+// Deltas for extensional relations are durable updates. Non-maintained
+// deltas for intensional relations are transient facts that hold for the
+// destination's next stage only; maintained deltas (FactDelta.Maint) add or
+// drop standing per-sender support instead.
 //
 // FactsMsg is the wire unit of atomicity: everything it carries is ingested
 // by the destination in a single stage, so senders batching N updates into

@@ -33,6 +33,23 @@ func (s Schema) Arity() int { return len(s.Cols) }
 // ID returns the canonical "name@peer" identifier.
 func (s Schema) ID() string { return s.Name + "@" + s.Peer }
 
+// SplitID splits a canonical "name@peer" identifier back into its parts —
+// the single definition of the convention Schema.ID encodes.
+func SplitID(id string) (name, peer string) {
+	for i := 0; i < len(id); i++ {
+		if id[i] == '@' {
+			return id[:i], id[i+1:]
+		}
+	}
+	return id, ""
+}
+
+// GetID returns the relation with the canonical "name@peer" id, or nil.
+func (s *Store) GetID(id string) *Relation {
+	name, peer := SplitID(id)
+	return s.Get(name, peer)
+}
+
 // String renders the schema as a declaration.
 func (s Schema) String() string {
 	return ast.RelationDecl{Name: s.Name, Peer: s.Peer, Kind: s.Kind, Cols: s.Cols}.String()
@@ -54,6 +71,22 @@ func MaskOf(cols ...int) ColMask {
 // Has reports whether column i is set in the mask.
 func (m ColMask) Has(i int) bool { return m&(1<<uint(i)) != 0 }
 
+// maxIndexBucket is the bucket size past which an index is checked for
+// degeneracy. An index one of whose buckets holds both more than this many
+// tuples and more than a quarter of the whole relation (degenerateBucket)
+// is barely selective — think a constant or two-valued column: lookups
+// through it degenerate to scans, and every Delete pays a linear probe of
+// the giant bucket. Such indexes are dropped and remembered as degraded so
+// they are not rebuilt; Lookup falls back to scanning for those masks. A
+// merely *hot* bucket in an otherwise selective index (skew) is kept.
+const maxIndexBucket = 1024
+
+// degenerateBucket reports whether a bucket of size n in a relation of size
+// total marks its index as not worth keeping.
+func degenerateBucket(n, total int) bool {
+	return n > maxIndexBucket && n*4 > total
+}
+
 // Relation is a set of tuples of fixed arity with lazily-maintained hash
 // indexes keyed by subsets of columns. It is safe for concurrent use; the
 // engine holds it on a single goroutine but UIs may read concurrently.
@@ -65,6 +98,19 @@ type Relation struct {
 	indexes map[ColMask]map[string][]value.Tuple
 	version uint64 // bumped on every mutation
 	fp      uint64 // XOR of member-tuple hashes: content fingerprint
+
+	// extSup tracks which remote senders currently maintain each tuple
+	// (support.go). Deliberately untouched by Clear: support outlives a view
+	// rebuild.
+	extSup map[string]*extSupport
+
+	// degraded remembers masks whose index was dropped as degenerate
+	// (degenerateBucket), mapped to the relation size at drop time, so it
+	// is not rebuilt on the next Lookup. A drop during a transiently
+	// skewed prefix (a bulk load arriving grouped by the indexed column)
+	// must not be forever: once the relation's size changes by 2x either
+	// way, the verdict is re-evaluated.
+	degraded map[ColMask]int
 }
 
 // tupleHash is FNV-64a over a tuple's canonical key. XOR-folding these per
@@ -145,11 +191,26 @@ func (r *Relation) Insert(t value.Tuple) bool {
 	r.tuples[key] = t
 	for mask, idx := range r.indexes {
 		ik := indexKey(t, mask)
-		idx[ik] = append(idx[ik], t)
+		bucket := append(idx[ik], t)
+		if degenerateBucket(len(bucket), len(r.tuples)) {
+			r.dropIndexLocked(mask)
+			continue
+		}
+		idx[ik] = bucket
 	}
 	r.version++
 	r.fp ^= tupleHash(key)
 	return true
+}
+
+// dropIndexLocked removes a barely selective index and remembers not to
+// rebuild it until the relation changes size substantially.
+func (r *Relation) dropIndexLocked(mask ColMask) {
+	delete(r.indexes, mask)
+	if r.degraded == nil {
+		r.degraded = make(map[ColMask]int)
+	}
+	r.degraded[mask] = len(r.tuples)
 }
 
 // InsertMany adds all tuples under a single lock acquisition — the store
@@ -176,7 +237,12 @@ func (r *Relation) InsertMany(ts []value.Tuple) []value.Tuple {
 		r.tuples[key] = t
 		for mask, idx := range r.indexes {
 			ik := indexKey(t, mask)
-			idx[ik] = append(idx[ik], t)
+			bucket := append(idx[ik], t)
+			if degenerateBucket(len(bucket), len(r.tuples)) {
+				r.dropIndexLocked(mask)
+				continue
+			}
+			idx[ik] = bucket
 		}
 		r.fp ^= tupleHash(key)
 		added = append(added, t)
@@ -322,14 +388,27 @@ func (r *Relation) EnsureIndex(mask ColMask) {
 	r.ensureIndexLocked(mask)
 }
 
+// ensureIndexLocked builds (or returns) the index over mask, or nil when the
+// mask is degraded — too unselective to be worth maintaining.
 func (r *Relation) ensureIndexLocked(mask ColMask) map[string][]value.Tuple {
 	if idx, ok := r.indexes[mask]; ok {
 		return idx
 	}
+	if at, deg := r.degraded[mask]; deg {
+		if len(r.tuples) <= at*2 && len(r.tuples)*2 >= at {
+			return nil // size unchanged since the degeneracy verdict
+		}
+		delete(r.degraded, mask) // 2x growth or shrinkage: re-evaluate below
+	}
 	idx := make(map[string][]value.Tuple, len(r.tuples))
 	for _, t := range r.tuples {
 		ik := indexKey(t, mask)
-		idx[ik] = append(idx[ik], t)
+		bucket := append(idx[ik], t)
+		if degenerateBucket(len(bucket), len(r.tuples)) {
+			r.dropIndexLocked(mask) // records the degradation
+			return nil
+		}
+		idx[ik] = bucket
 	}
 	r.indexes[mask] = idx
 	return idx
@@ -356,18 +435,27 @@ func (r *Relation) Lookup(mask ColMask, bound []value.Value, useIndex bool, fn f
 	if useIndex {
 		r.mu.Lock()
 		idx := r.ensureIndexLocked(mask)
-		bucket := idx[boundKey(bound)]
-		// The bucket's backing array is only mutated in place by Delete's
-		// swap-remove; the engine never deletes mid-join, and appends during
-		// recursive insertion reallocate rather than alias, so iterating the
-		// snapshot reference after unlocking is safe.
-		r.mu.Unlock()
-		for _, t := range bucket {
-			if !fn(t) {
-				return
+		if idx != nil {
+			bucket := idx[boundKey(bound)]
+			// The bucket's backing array is mutated in place only by Delete's
+			// swap-remove; appends during recursive insertion reallocate
+			// rather than alias. The engine's insert paths never delete
+			// mid-join, and its deletion pass (over-delete) may delete head
+			// tuples while a Lookup is in flight but records every deletion
+			// in its ghost set and re-sweeps ghosts after the Lookup, so a
+			// tuple skipped by the in-place swap is still visited. Any new
+			// caller that deletes during iteration must provide an
+			// equivalent re-sweep.
+			r.mu.Unlock()
+			for _, t := range bucket {
+				if !fn(t) {
+					return
+				}
 			}
+			return
 		}
-		return
+		// Degraded mask: fall through to the scan path.
+		r.mu.Unlock()
 	}
 	r.mu.RLock()
 	snap := make([]value.Tuple, 0, len(r.tuples))

@@ -273,3 +273,33 @@ func TestRelationMatchesReferenceModel(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDegradedIndexReevaluatedOnGrowth: an index dropped as degenerate
+// during a transiently skewed prefix (a load grouped by the indexed column)
+// is re-evaluated once the relation changes size substantially, instead of
+// forcing scans forever.
+func TestDegradedIndexReevaluatedOnGrowth(t *testing.T) {
+	r := NewRelation(Schema{Name: "t", Peer: "p", Kind: ast.Extensional, Cols: []string{"k", "v"}})
+	// Build an index, then bulk-load grouped by k: the first group's bucket
+	// exceeds the threshold while it is most of the relation.
+	r.EnsureIndex(MaskOf(0))
+	for i := 0; i < 1500; i++ {
+		r.Insert(value.Tuple{value.Int(0), value.Int(int64(i))})
+	}
+	if r.IndexCount() != 0 {
+		t.Fatalf("index not dropped during skewed prefix (count=%d)", r.IndexCount())
+	}
+	// The rest of the load is perfectly selective.
+	for i := 0; i < 20000; i++ {
+		r.Insert(value.Tuple{value.Int(int64(i + 1)), value.Int(int64(i))})
+	}
+	// A lookup after 2x growth re-evaluates the verdict and rebuilds.
+	n := 0
+	r.Lookup(MaskOf(0), []value.Value{value.Int(5)}, true, func(value.Tuple) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("lookup found %d tuples, want 1", n)
+	}
+	if r.IndexCount() != 1 {
+		t.Errorf("index not rebuilt after growth (count=%d)", r.IndexCount())
+	}
+}

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"repro/internal/value"
+)
+
+// External support bookkeeping for derived relations.
+//
+// A tuple of an intensional relation can be held alive by sources other than
+// the local rule program: remote peers whose (delegated) rules derive it and
+// ship it here as a maintained fact. The incremental evaluator must know, when
+// a tuple loses one support, whether another is still standing — retracting
+// one derivation must not kill a tuple that has an alternative. The store
+// records that per-sender bookkeeping here, keyed by tuple, orthogonally to
+// relation membership: Clear (a view rebuild) does not forget who supports
+// what, so a rebuild can re-seed exactly the externally supported tuples.
+
+// AddExternalSupport records that src currently derives t at a remote peer
+// and maintains it here. It does not insert t into the relation — membership
+// and support are separate ledgers. It returns true if this is a new
+// (tuple, src) support pair.
+func (r *Relation) AddExternalSupport(t value.Tuple, src string) bool {
+	key := t.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.extSup == nil {
+		r.extSup = make(map[string]*extSupport)
+	}
+	s := r.extSup[key]
+	if s == nil {
+		s = &extSupport{tuple: t.Clone(), srcs: make(map[string]struct{}, 1)}
+		r.extSup[key] = s
+	}
+	if _, dup := s.srcs[src]; dup {
+		return false
+	}
+	s.srcs[src] = struct{}{}
+	return true
+}
+
+// DropExternalSupport removes src's support for t. It returns true if the
+// support existed and the tuple is now externally unsupported — the signal
+// that the tuple became a deletion candidate (it may still have local rule
+// derivations; the evaluator decides).
+func (r *Relation) DropExternalSupport(t value.Tuple, src string) bool {
+	key := t.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.extSup[key]
+	if s == nil {
+		return false
+	}
+	if _, ok := s.srcs[src]; !ok {
+		return false
+	}
+	delete(s.srcs, src)
+	if len(s.srcs) > 0 {
+		return false
+	}
+	delete(r.extSup, key)
+	return true
+}
+
+// HasExternalSupport reports whether any remote sender currently maintains t.
+func (r *Relation) HasExternalSupport(t value.Tuple) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := r.extSup[t.Key()]
+	return s != nil && len(s.srcs) > 0
+}
+
+// ExternallySupported returns all tuples with at least one external
+// supporter, sorted — the set a view rebuild must re-seed after clearing the
+// relation.
+func (r *Relation) ExternallySupported() []value.Tuple {
+	r.mu.RLock()
+	out := make([]value.Tuple, 0, len(r.extSup))
+	for _, s := range r.extSup {
+		if len(s.srcs) > 0 {
+			out = append(out, s.tuple)
+		}
+	}
+	r.mu.RUnlock()
+	value.SortTuples(out)
+	return out
+}
+
+// extSupport is the per-tuple ledger of remote senders maintaining it.
+type extSupport struct {
+	tuple value.Tuple
+	srcs  map[string]struct{}
+}

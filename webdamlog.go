@@ -60,6 +60,20 @@
 // errors.Is and recover details (e.g. QuiescenceError.Rounds) with
 // errors.As.
 //
+// # Incremental view maintenance
+//
+// Derived (intensional) relations are materialized and maintained
+// incrementally: each stage feeds its base-fact deltas through the
+// semi-naive fixpoint machinery, and deletions run an over-delete/rederive
+// pass, so retracting one support never kills a tuple with an alternative
+// derivation and single-fact updates cost the size of the change rather
+// than the size of the database. Remote derivations ship as maintained
+// insert/retract deltas with per-sender support tracked at the receiver.
+// EngineOptions.Incremental turns the machinery off (the recompute-per-
+// stage ablation, measured by `wdlbench -exp i1`); programs with negation
+// through a view, provenance-traced peers and wrapper-hook peers fall back
+// to recomputation automatically. See docs/architecture.md.
+//
 // The deeper layers are available directly: internal/engine (fixpoint
 // evaluation and delegation splitting), internal/peer (the stage loop and
 // transports), internal/acl (delegation control), internal/wepic (the demo
