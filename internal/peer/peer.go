@@ -145,6 +145,12 @@ type Peer struct {
 	transient      map[string]map[string]value.Tuple
 	freshTransient map[string]map[string]value.Tuple
 
+	// unsentFacts holds remote fact deltas whose send failed, keyed by
+	// destination. The engine's maintained remoteView already counts them as
+	// delivered, so dropping them would permanently diverge the receiver;
+	// the next stage retries them ahead of its fresh output.
+	unsentFacts map[string][]protocol.FactDelta
+
 	lastSentDeleg map[string]map[string]string // ruleID -> target -> set fingerprint
 	ranOnce       bool
 	poked         bool
@@ -611,7 +617,7 @@ func (p *Peer) HasWork() bool {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.pendingOps) > 0 || p.progDirty || !p.ranOnce || p.poked
+	return len(p.pendingOps) > 0 || p.progDirty || !p.ranOnce || p.poked || len(p.unsentFacts) > 0
 }
 
 // Poke schedules a stage attempt even though no inputs are queued. Wrappers

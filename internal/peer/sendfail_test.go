@@ -1,0 +1,87 @@
+package peer
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/transport"
+)
+
+// TestRemoteDeltaSurvivesSendFailure is the regression test for the headline
+// delivery bug: a maintained remote delta emitted while the receiver's TCP
+// listener is down used to be recorded as an error and *dropped* — and since
+// the engine's maintained remoteView already counted it as delivered, the
+// sender would never re-derive it, permanently diverging the receiver. The
+// delta must instead be retried until the listener comes back.
+func TestRemoteDeltaSurvivesSendFailure(t *testing.T) {
+	// Reserve a port for the receiver, then leave it dead: the sender's
+	// first emission hits a closed port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx := context.Background()
+	epS, err := transport.ListenTCP(ctx, "sender", "127.0.0.1:0", map[string]string{"rcv": addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epS.DialTimeout = 500 * time.Millisecond
+	sender, err := New(Config{Name: "sender"}, epS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	if err := sender.LoadSource(`
+		relation extensional src@sender(x);
+		view@rcv($x) :- src@sender($x);
+		src@sender(1);
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage with the listener down: the emission fails. The stage must
+	// report the failure but keep the delta queued for retry.
+	rep := sender.RunStage()
+	if len(rep.Errors) == 0 {
+		t.Fatalf("stage against a dead listener reported no error")
+	}
+	if !sender.HasWork() {
+		t.Fatalf("failed send left the peer with no work: the delta was dropped")
+	}
+
+	// Restart the listener on the same address and attach the receiver.
+	epR, err := transport.ListenTCP(ctx, "rcv", addr, nil)
+	if err != nil {
+		t.Fatalf("restarting listener on %s: %v", addr, err)
+	}
+	rcv, err := New(Config{Name: "rcv"}, epR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	if err := rcv.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive both peers until the maintained view reconverges.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if sender.HasWork() {
+			sender.RunStage()
+		}
+		if rcv.HasWork() {
+			rcv.RunStage()
+		}
+		if got := rcv.Query("view"); len(got) == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("view never reconverged after listener restart: view@rcv = %v", rcv.Query("view"))
+}

@@ -154,6 +154,12 @@ func (p *Peer) RunStage() *StageReport {
 	if !p.ranOnce {
 		changed = true
 	}
+	if len(p.unsentFacts) > 0 {
+		// Deltas from an earlier stage are still awaiting delivery; run the
+		// stage (the fixpoint sees an empty input and is cheap) so emission
+		// retries them.
+		changed = true
+	}
 	rep.Ingest = time.Since(startIngest)
 
 	if !changed {
@@ -550,15 +556,39 @@ func (p *Peer) compileLocked(rep *StageReport) {
 // newly derived facts, maintained deletes for facts whose last derivation
 // vanished, and pass-through one-shot deletion-rule updates — one FactsMsg
 // per destination instead of re-sending every derived fact every stage.
+//
+// A failed send must not lose the deltas: the engine's maintained remoteView
+// already counts them as delivered and will never re-derive them, so they
+// are requeued on the peer and retried by the next stage, oldest first.
 func (p *Peer) emitFactsLocked(res *engine.Result, rep *StageReport) {
+	pending := p.unsentFacts
+	p.unsentFacts = nil
+	dsts := make(map[string]bool, len(pending))
+	for dst := range pending {
+		dsts[dst] = true
+	}
 	for _, dst := range res.RemotePeers() {
-		ops := res.RemoteOut[dst]
-		deltas := make([]protocol.FactDelta, len(ops))
-		for i, op := range ops {
-			deltas[i] = protocol.FactDelta{Delete: op.Op == ast.Delete, Maint: op.Maint, Fact: op.Fact}
+		dsts[dst] = true
+	}
+	order := make([]string, 0, len(dsts))
+	for dst := range dsts {
+		order = append(order, dst)
+	}
+	sort.Strings(order)
+	for _, dst := range order {
+		deltas := pending[dst]
+		for _, op := range res.RemoteOut[dst] {
+			deltas = append(deltas, protocol.FactDelta{Delete: op.Op == ast.Delete, Maint: op.Maint, Fact: op.Fact})
+		}
+		if len(deltas) == 0 {
+			continue
 		}
 		if err := p.ep.Send(context.Background(), dst, protocol.FactsMsg{Ops: deltas}); err != nil {
 			rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: sending facts to %s: %w", p.name, dst, err))
+			if p.unsentFacts == nil {
+				p.unsentFacts = map[string][]protocol.FactDelta{}
+			}
+			p.unsentFacts[dst] = deltas
 			continue
 		}
 		rep.FactsSent += len(deltas)
