@@ -84,6 +84,7 @@ func TestBatchRemoteWireBatching(t *testing.T) {
 	sent := n.Bus().Stats().MessagesSent
 	stages1, stages2 := ps["b1"].Stats().Stages, ps["b2"].Stats().Stages
 
+	enqueued := ps["src"].Stats().OutboxEnqueued
 	b := engine.NewBatch()
 	for i := 0; i < 50; i++ {
 		b.Insert(ast.NewFact("inbox", "b1", value.Int(int64(i))))
@@ -92,10 +93,15 @@ func TestBatchRemoteWireBatching(t *testing.T) {
 	if err := ps["src"].Apply(context.Background(), b); err != nil {
 		t.Fatal(err)
 	}
-	if got := n.Bus().Stats().MessagesSent - sent; got != 2 {
-		t.Errorf("batch shipped %d messages, want 2 (one per destination)", got)
+	if got := ps["src"].Stats().OutboxEnqueued - enqueued; got != 2 {
+		t.Errorf("batch enqueued %d messages, want 2 (one per destination)", got)
 	}
 	quiesce(t, n)
+	// On the wire: one sequenced data message per destination plus their
+	// acknowledgments — never one frame per fact.
+	if got := n.Bus().Stats().MessagesSent - sent; got > 6 {
+		t.Errorf("batch shipped %d bus messages, want at most 6 (2 data + acks)", got)
+	}
 	for _, name := range []string{"b1", "b2"} {
 		if got := len(ps[name].Query("inbox")); got != 50 {
 			t.Errorf("%s inbox = %d tuples, want 50", name, got)

@@ -3,36 +3,70 @@ package peer
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/errdefs"
 	"repro/internal/transport"
 )
 
 // Network is an in-process collection of peers connected by a transport.Bus,
-// with deterministic round-based scheduling and quiescence detection. It is
-// the harness used by tests, benchmarks, the examples and the single-process
-// demo mode ("launch their own Wepic peer" on one machine).
+// with round-based scheduling and quiescence detection. It is the harness
+// used by tests, benchmarks, the examples and the single-process demo mode
+// ("launch their own Wepic peer" on one machine).
+//
+// By default independent peers' stages run concurrently on a bounded worker
+// pool (each peer's own lock serializes its stages). NewSequentialNetwork
+// builds the deterministic variant: name-ordered sequential stages and
+// synchronous outbox flushes, the mode deterministic multi-peer tests rely
+// on.
 type Network struct {
 	bus *transport.Bus
 
 	mu    sync.Mutex
 	peers map[string]*Peer
 	order []string
+
+	sequential bool
+	workers    int
 }
 
-// NewNetwork creates an empty network over a fresh bus.
+// NewNetwork creates an empty network over a fresh bus with the concurrent
+// scheduler.
 func NewNetwork() *Network {
 	return &Network{bus: transport.NewBus(), peers: make(map[string]*Peer)}
+}
+
+// NewSequentialNetwork creates a network whose scheduler runs stages one at
+// a time in peer-name order and whose peers (created via NewPeer) flush
+// their outboxes synchronously at the end of each stage — fully
+// deterministic, at the price of stages blocking on emission.
+func NewSequentialNetwork() *Network {
+	n := NewNetwork()
+	n.sequential = true
+	return n
 }
 
 // Bus returns the underlying transport bus.
 func (n *Network) Bus() *transport.Bus { return n.bus }
 
+// SetWorkers bounds the concurrent scheduler's worker pool (default:
+// GOMAXPROCS). It has no effect on a sequential network.
+func (n *Network) SetWorkers(k int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.workers = k
+}
+
 // NewPeer creates a peer with the given config, attached to the network's
-// bus, and registers it.
+// bus, and registers it. On a sequential network the peer is created in
+// sync-emit mode (see Config.SyncEmit).
 func (n *Network) NewPeer(cfg Config) (*Peer, error) {
+	if n.sequential {
+		cfg.SyncEmit = true
+	}
 	ep := n.bus.Endpoint(cfg.Name)
 	p, err := New(cfg, ep)
 	if err != nil {
@@ -90,24 +124,43 @@ func (e *QuiescenceError) Error() string {
 // Unwrap ties the error into the public taxonomy.
 func (e *QuiescenceError) Unwrap() error { return errdefs.ErrNoQuiescence }
 
-// RunToQuiescence repeatedly runs a stage on every peer that has work, in
-// name order, until no peer has work (and hence no messages are in flight —
-// the bus delivers synchronously). It returns the number of rounds and the
-// total number of stages that actually ran. maxRounds bounds the loop
-// (<=0 uses the default of 1000 rounds).
+// RunToQuiescence drives stages until the network quiesces: no peer has
+// work, every outbox is drained (all sequenced messages acknowledged), and
+// hence no message or ack is in flight. It returns the number of scheduler
+// rounds and the stages that actually ran. maxRounds bounds the loop (<=0
+// uses the default of 1000 rounds).
 //
-// The context is checked before every peer stage: cancellation makes the
-// call return promptly with ctx's error, leaving already-completed stages
+// The peer set is re-snapshotted every round, so a peer added mid-run (e.g.
+// discovered via delegation) is scheduled as soon as it appears.
+//
+// Outbox entries whose destination is currently unreachable (every delivery
+// attempt failing, retrying under backoff) do not prevent quiescence: the
+// call returns with the entries still queued — their flushers keep retrying
+// in the background, and a later RunToQuiescence resumes driving the stages
+// their delivery triggers.
+//
+// The context is checked between peer stages: cancellation makes the call
+// return promptly with ctx's error, leaving already-completed stages
 // committed (stages are atomic; the run as a whole is resumable by simply
 // calling RunToQuiescence again).
 func (n *Network) RunToQuiescence(ctx context.Context, maxRounds int) (rounds, stages int, err error) {
 	if maxRounds <= 0 {
 		maxRounds = 1000
 	}
-	peers := n.Peers()
+	if n.sequential {
+		return n.runSequential(ctx, maxRounds)
+	}
+	return n.runConcurrent(ctx, maxRounds)
+}
+
+// runSequential is the deterministic scheduler: one stage at a time, peers
+// in name order, outboxes flushed inline after every stage so each message
+// is visible to the receiver within the round it was emitted.
+func (n *Network) runSequential(ctx context.Context, maxRounds int) (rounds, stages int, err error) {
 	for r := 0; r < maxRounds; r++ {
 		progressed := false
-		for _, p := range peers {
+		delivered := false
+		for _, p := range n.Peers() { // fresh snapshot: peers may join mid-run
 			if err := ctx.Err(); err != nil {
 				return rounds, stages, err
 			}
@@ -118,23 +171,154 @@ func (n *Network) RunToQuiescence(ctx context.Context, maxRounds int) (rounds, s
 					stages++
 				}
 			}
+			// Flush regardless of HasWork: sync-emit peers flushed in
+			// RunStage (no-op here), async peers attached to a sequential
+			// network get their delivery driven by the scheduler.
+			if p.FlushOutbox() {
+				delivered = true
+			}
 		}
 		if !progressed {
-			return r, stages, nil
+			if n.outboxesDrained() {
+				return r, stages, nil
+			}
+			if !delivered {
+				// Undelivered entries with every attempt failing: quiescent
+				// as far as this network can drive it. The entries stay
+				// queued for retry.
+				return r, stages, nil
+			}
 		}
 		rounds = r + 1
 	}
 	return rounds, stages, &QuiescenceError{Rounds: maxRounds}
 }
 
-// StageAll runs exactly one stage on every peer that has work, in name
-// order. It returns the reports of the stages that ran.
-func (n *Network) StageAll() []*StageReport {
-	var out []*StageReport
+// runConcurrent is the default scheduler: each round stages every peer with
+// work on a bounded worker pool, then accelerates outbox delivery inline.
+func (n *Network) runConcurrent(ctx context.Context, maxRounds int) (rounds, stages int, err error) {
+	workers := n.workerCount()
+	for r := 0; r < maxRounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return rounds, stages, err
+		}
+		peers := n.Peers() // fresh snapshot: peers may join mid-run
+		var work []*Peer
+		for _, p := range peers {
+			if p.HasWork() {
+				work = append(work, p)
+			}
+		}
+		if len(work) == 0 {
+			delivered := false
+			for _, p := range peers {
+				if p.FlushOutbox() {
+					delivered = true
+				}
+			}
+			if !n.anyWork() {
+				total, stalled := n.outboxTotals()
+				if total == 0 {
+					return r, stages, nil
+				}
+				if !delivered && total == stalled {
+					// Every pending entry is behind a failing destination's
+					// backoff gate: unreachable peers must not wedge the
+					// scheduler. Background flushers keep retrying.
+					return r, stages, nil
+				}
+				if !delivered {
+					// In-flight flushers (or backoff gates about to expire):
+					// give them a moment rather than spinning.
+					select {
+					case <-ctx.Done():
+						return rounds, stages, ctx.Err()
+					case <-time.After(200 * time.Microsecond):
+					}
+				}
+			}
+			rounds = r + 1
+			continue
+		}
+
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for _, p := range work {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(p *Peer) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				rep := p.RunStage()
+				if rep.Ran {
+					mu.Lock()
+					stages++
+					mu.Unlock()
+				}
+			}(p)
+		}
+		wg.Wait()
+		for _, p := range peers {
+			p.FlushOutbox()
+		}
+		rounds = r + 1
+	}
+	return rounds, stages, &QuiescenceError{Rounds: maxRounds}
+}
+
+func (n *Network) workerCount() int {
+	n.mu.Lock()
+	k := n.workers
+	n.mu.Unlock()
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	return k
+}
+
+func (n *Network) anyWork() bool {
 	for _, p := range n.Peers() {
 		if p.HasWork() {
-			out = append(out, p.RunStage())
+			return true
 		}
 	}
-	return out
+	return false
+}
+
+func (n *Network) outboxesDrained() bool {
+	total, _ := n.outboxTotals()
+	return total == 0
+}
+
+func (n *Network) outboxTotals() (total, stalled int) {
+	for _, p := range n.Peers() {
+		t, s := p.OutboxPending()
+		total += t
+		stalled += s
+	}
+	return total, stalled
+}
+
+// StageAll runs at most one stage on every peer that has work — including
+// peers that gain work (or are registered) while the pass is running. It
+// returns the reports of the stages that ran.
+func (n *Network) StageAll() []*StageReport {
+	var out []*StageReport
+	staged := map[string]bool{}
+	for {
+		progressed := false
+		for _, p := range n.Peers() {
+			if staged[p.Name()] || !p.HasWork() {
+				continue
+			}
+			staged[p.Name()] = true
+			out = append(out, p.RunStage())
+			p.FlushOutbox()
+			progressed = true
+		}
+		if !progressed {
+			return out
+		}
+	}
 }

@@ -1,0 +1,607 @@
+package peer
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+// The outbox is the peer's durable boundary between stage commits and the
+// network: stages enqueue sequence-numbered envelopes (facts, delegations,
+// withdrawals) and commit immediately; delivery happens out of band, off the
+// peer lock, with retry and backoff, until the destination acknowledges the
+// sequence number. Together with the receiver-side dedup in ingestion this
+// gives at-least-once delivery with exactly-once application — the
+// correctness obligation that delta shipping (PR 2) created.
+//
+// Two flush modes:
+//
+//   - async (the default): one flusher goroutine per destination drains the
+//     queue, retransmits unacked entries after ackTimeout, and backs off
+//     exponentially while the destination is unreachable. Stage latency is
+//     thereby decoupled from destination RTT and dial stalls (experiment
+//     P7).
+//   - sync (Config.SyncEmit, used by NewSequentialNetwork): no goroutines;
+//     the queue is flushed synchronously at the end of every RunStage and
+//     by the network scheduler, which keeps in-process multi-peer tests
+//     deterministic. Failed entries stay queued and are retried at the next
+//     flush.
+//
+// Entries with a sequence number are retained until acked. Control traffic
+// (acks of the peer's own inbox, pongs) is best-effort: sent after the data
+// flush, dropped on failure (the protocol regenerates it).
+
+// outboxDefaults tuning; tests shrink these for fast fault convergence.
+const (
+	defaultAckTimeout  = 200 * time.Millisecond
+	defaultBaseBackoff = 10 * time.Millisecond
+	defaultMaxBackoff  = 2 * time.Second
+	defaultSendTimeout = 10 * time.Second
+)
+
+// outEntry is one sequenced payload awaiting acknowledgment.
+type outEntry struct {
+	seq  uint64
+	msg  protocol.Payload
+	sent bool // transmitted in the current epoch (cleared to retransmit)
+}
+
+// destQueue is the per-destination delivery state.
+type destQueue struct {
+	dst string
+
+	// enqMu serializes enqueuers across the assign-seq / persist / publish
+	// sequence, so the durable log always records an entry before a flusher
+	// can transmit it and entries publish in sequence order.
+	enqMu sync.Mutex
+
+	mu         sync.Mutex
+	entries    []outEntry // unacked, in sequence order
+	nextSeq    uint64     // last assigned sequence number
+	acked      uint64     // highest cumulative ack received
+	ackEpoch   uint64     // stream epoch of the pending inbound ack
+	pendingAck uint64     // highest inbox seq to acknowledge back to dst (0 = none)
+	controls   []protocol.Payload
+	flushing   bool          // a flusher (goroutine or inline) is mid-send
+	stalled    bool          // the last flush attempt failed
+	backoff    time.Duration // current backoff step (doubles per failure)
+	nextTry    time.Time     // backoff gate for retries after a failure
+
+	wake chan struct{} // one-slot: new work or ack arrived
+}
+
+func (dq *destQueue) signal() {
+	select {
+	case dq.wake <- struct{}{}:
+	default:
+	}
+}
+
+// outbox owns every destination queue of one peer.
+type outbox struct {
+	ep   transport.Endpoint
+	ctx  context.Context // peer lifetime: cancellation stops flushers and aborts dials
+	sync bool            // Config.SyncEmit: no flusher goroutines
+	logf func(string, ...any)
+
+	// epoch identifies this outbox's message streams (protocol.DataMsg):
+	// random per instance for volatile peers, overridden with the persisted
+	// value for WAL-backed peers. Stale acks (wrong epoch) are ignored.
+	epoch uint64
+
+	ackTimeout  time.Duration
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+	sendTimeout time.Duration
+
+	mu     sync.Mutex
+	queues map[string]*destQueue
+	order  []string
+	closed bool
+	wg     sync.WaitGroup
+
+	// persistMu serializes enqueue persistence (shared) against log
+	// compaction (exclusive): a compaction snapshot must never race an
+	// append that already reached the old log file, or the rename would
+	// silently drop a durable entry.
+	persistMu sync.RWMutex
+
+	// onEnqueue/onAck, when set, persist outbox transitions (WAL-backed
+	// peers); see store.OutboxLog. onPreFlush runs before a flush cycle
+	// transmits data entries: durable peers sync the log there, off the
+	// stage path, preserving the invariant that a transmitted sequence
+	// number is always recoverable.
+	onEnqueue  func(dst string, seq uint64, msg protocol.Payload)
+	onAck      func(dst string, seq uint64)
+	onPreFlush func() error
+
+	enqueued    atomic.Uint64
+	delivered   atomic.Uint64 // entries acknowledged by their destination
+	retransmits atomic.Uint64
+	sendErrors  atomic.Uint64
+}
+
+func newOutbox(ep transport.Endpoint, ctx context.Context, syncMode bool, logf func(string, ...any)) *outbox {
+	return &outbox{
+		ep:          ep,
+		ctx:         ctx,
+		sync:        syncMode,
+		logf:        logf,
+		epoch:       newEpoch(),
+		ackTimeout:  defaultAckTimeout,
+		baseBackoff: defaultBaseBackoff,
+		maxBackoff:  defaultMaxBackoff,
+		sendTimeout: defaultSendTimeout,
+		queues:      make(map[string]*destQueue),
+	}
+}
+
+// newEpoch picks a nonzero random stream epoch.
+func newEpoch() uint64 {
+	for {
+		if e := rand.Uint64(); e != 0 {
+			return e
+		}
+	}
+}
+
+// queue returns (creating if needed) the destination's queue, starting its
+// flusher goroutine in async mode.
+func (o *outbox) queue(dst string) *destQueue {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if dq, ok := o.queues[dst]; ok {
+		return dq
+	}
+	dq := &destQueue{dst: dst, wake: make(chan struct{}, 1)}
+	o.queues[dst] = dq
+	o.order = append(o.order, dst)
+	if !o.sync && !o.closed {
+		o.wg.Add(1)
+		go o.flusher(dq)
+	}
+	return dq
+}
+
+// snapshot returns the queues in creation order.
+func (o *outbox) snapshot() []*destQueue {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*destQueue, 0, len(o.order))
+	for _, dst := range o.order {
+		out = append(out, o.queues[dst])
+	}
+	return out
+}
+
+// EnqueueData appends a sequenced payload for dst and returns its sequence
+// number. The payload is retained until dst acknowledges it. Never fails:
+// delivery trouble is the flusher's problem, not the committing stage's.
+// For durable peers the entry is persisted before it becomes visible to a
+// flusher, so a crash can never have transmitted an unlogged sequence.
+func (o *outbox) EnqueueData(dst string, msg protocol.Payload) uint64 {
+	dq := o.queue(dst)
+	dq.enqMu.Lock()
+	o.persistMu.RLock()
+	dq.mu.Lock()
+	dq.nextSeq++
+	seq := dq.nextSeq
+	dq.mu.Unlock()
+	if o.onEnqueue != nil {
+		o.onEnqueue(dst, seq, msg)
+	}
+	dq.mu.Lock()
+	dq.entries = append(dq.entries, outEntry{seq: seq, msg: msg})
+	dq.stalled = false // fresh work deserves a fresh attempt
+	dq.nextTry = time.Time{}
+	dq.mu.Unlock()
+	o.persistMu.RUnlock()
+	dq.enqMu.Unlock()
+	o.enqueued.Add(1)
+	dq.signal()
+	return seq
+}
+
+// EnqueueAck schedules a cumulative acknowledgment of the peer's own inbox
+// back to dst, for the given inbound stream epoch. Acks coalesce: only the
+// highest sequence of the current epoch is kept (a new epoch supersedes).
+func (o *outbox) EnqueueAck(dst string, epoch, seq uint64) {
+	dq := o.queue(dst)
+	dq.mu.Lock()
+	if epoch != dq.ackEpoch {
+		dq.ackEpoch = epoch
+		dq.pendingAck = seq
+	} else if seq > dq.pendingAck {
+		dq.pendingAck = seq
+	}
+	dq.mu.Unlock()
+	dq.signal()
+}
+
+// EnqueueControl schedules a best-effort unsequenced payload (pong). It is
+// dropped if its send fails.
+func (o *outbox) EnqueueControl(dst string, msg protocol.Payload) {
+	dq := o.queue(dst)
+	dq.mu.Lock()
+	dq.controls = append(dq.controls, msg)
+	dq.mu.Unlock()
+	dq.signal()
+}
+
+// Ack processes a cumulative acknowledgment from dst: every entry with
+// sequence <= seq is delivered and dropped. Acks for a different epoch are
+// stale (sent for a stream a previous incarnation of this peer ran) and
+// are ignored — they must not drop entries of the current stream.
+func (o *outbox) Ack(dst string, epoch, seq uint64) {
+	if epoch != o.epoch {
+		return
+	}
+	o.mu.Lock()
+	dq := o.queues[dst]
+	o.mu.Unlock()
+	if dq == nil {
+		return // ack for nothing we track
+	}
+	dq.mu.Lock()
+	if seq > dq.acked {
+		dq.acked = seq
+	}
+	kept := dq.entries[:0]
+	dropped := 0
+	for _, e := range dq.entries {
+		if e.seq <= seq {
+			dropped++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	dq.entries = kept
+	if dropped > 0 {
+		// The link evidently works; clear any failure state.
+		dq.stalled = false
+		dq.nextTry = time.Time{}
+	}
+	dq.mu.Unlock()
+	if dropped > 0 {
+		o.delivered.Add(uint64(dropped))
+		if o.onAck != nil {
+			o.onAck(dst, seq)
+		}
+		dq.signal()
+	}
+}
+
+// send transmits one payload, bounding the attempt with the peer-lifetime
+// context plus a per-attempt timeout so a black-holed link cannot wedge a
+// flusher (or Close) forever.
+func (o *outbox) send(dst string, msg protocol.Payload) error {
+	ctx, cancel := context.WithTimeout(o.ctx, o.sendTimeout)
+	defer cancel()
+	return o.ep.Send(ctx, dst, msg)
+}
+
+// flushQueue pushes everything currently sendable for one destination:
+// unsent data entries in sequence order, then the pending ack, then control
+// messages. Reports whether anything was transmitted, whether a send
+// failed, and whether another flush of the same queue was already in
+// progress (busy — this call did nothing). Respects the queue's backoff
+// gate.
+func (o *outbox) flushQueue(dq *destQueue) (sent, failed, busy bool) {
+	dq.mu.Lock()
+	if dq.flushing {
+		dq.mu.Unlock()
+		return false, false, true
+	}
+	if !dq.nextTry.IsZero() && time.Now().Before(dq.nextTry) {
+		dq.mu.Unlock()
+		return false, false, false
+	}
+	dq.flushing = true
+	dq.mu.Unlock()
+	defer func() {
+		dq.mu.Lock()
+		dq.flushing = false
+		if failed {
+			dq.stalled = true
+			// Exponential backoff: double the gate on consecutive failures.
+			if dq.backoff == 0 {
+				dq.backoff = o.baseBackoff
+			} else {
+				dq.backoff *= 2
+				if dq.backoff > o.maxBackoff {
+					dq.backoff = o.maxBackoff
+				}
+			}
+			dq.nextTry = time.Now().Add(dq.backoff)
+			// A failure invalidates the epoch: retransmit everything once the
+			// link recovers, oldest first (the receiver dedups replays).
+			for i := range dq.entries {
+				dq.entries[i].sent = false
+			}
+		} else {
+			dq.backoff = 0
+			dq.nextTry = time.Time{}
+			if sent {
+				dq.stalled = false
+			}
+		}
+		dq.mu.Unlock()
+	}()
+
+	synced := false
+	for {
+		dq.mu.Lock()
+		var seq uint64
+		var msg protocol.Payload
+		for i := range dq.entries {
+			if !dq.entries[i].sent {
+				seq = dq.entries[i].seq
+				msg = dq.entries[i].msg
+				break
+			}
+		}
+		if msg != nil && !synced && o.onPreFlush != nil {
+			// Durable peers: the entry's log record must be on disk before
+			// the first transmission of this cycle — otherwise a crash could
+			// reuse an already-transmitted sequence number for a different
+			// message, which the receiver would silently drop as a replay.
+			dq.mu.Unlock()
+			if err := o.onPreFlush(); err != nil {
+				o.sendErrors.Add(1)
+				o.debugf("outbox %s: pre-flush sync: %v", dq.dst, err)
+				return sent, true, false
+			}
+			synced = true
+			continue
+		}
+		if msg == nil {
+			ack := dq.pendingAck
+			ackEpoch := dq.ackEpoch
+			controls := dq.controls
+			dq.controls = nil
+			dq.mu.Unlock()
+			if ack > 0 {
+				if err := o.send(dq.dst, protocol.AckMsg{Epoch: ackEpoch, Seq: ack}); err != nil {
+					o.sendErrors.Add(1)
+					o.debugf("outbox %s: ack send: %v", dq.dst, err)
+					return sent, true, false
+				}
+				sent = true
+				dq.mu.Lock()
+				if dq.pendingAck == ack {
+					dq.pendingAck = 0
+				}
+				dq.mu.Unlock()
+			}
+			for _, c := range controls {
+				if err := o.send(dq.dst, c); err != nil {
+					o.sendErrors.Add(1)
+					o.debugf("outbox %s: control send: %v", dq.dst, err)
+					return sent, true, false // remaining controls dropped: best-effort
+				}
+				sent = true
+			}
+			return sent, false, false
+		}
+		dq.mu.Unlock()
+
+		if err := o.send(dq.dst, protocol.DataMsg{Epoch: o.epoch, Seq: seq, Msg: msg}); err != nil {
+			o.sendErrors.Add(1)
+			o.debugf("outbox %s: seq %d send: %v", dq.dst, seq, err)
+			return sent, true, false
+		}
+		sent = true
+		dq.mu.Lock()
+		for i := range dq.entries {
+			if dq.entries[i].seq == seq {
+				dq.entries[i].sent = true
+				break
+			}
+		}
+		dq.mu.Unlock()
+	}
+}
+
+// flusher is the per-destination delivery goroutine (async mode): it drains
+// the queue whenever work arrives, retransmits unacked entries after
+// ackTimeout, and sleeps under the backoff gate while the destination is
+// unreachable.
+func (o *outbox) flusher(dq *destQueue) {
+	defer o.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-o.ctx.Done():
+			return
+		default:
+		}
+		_, failed, busy := o.flushQueue(dq)
+
+		dq.mu.Lock()
+		pendingData := len(dq.entries) > 0
+		unsent := false
+		for i := range dq.entries {
+			if !dq.entries[i].sent {
+				unsent = true
+				break
+			}
+		}
+		pendingOther := dq.pendingAck > 0 || len(dq.controls) > 0
+		gate := dq.nextTry
+		dq.mu.Unlock()
+
+		var wait time.Duration
+		switch {
+		case busy:
+			// Another flusher (the scheduler's inline FlushAll) is mid-send;
+			// wait for a signal or a beat instead of spinning on its lock.
+			wait = o.baseBackoff
+		case failed || (!gate.IsZero() && time.Now().Before(gate)):
+			// Unreachable: sleep out the backoff gate (an ack or new work
+			// wakes us early — an ack means the link recovered).
+			wait = time.Until(gate)
+			if wait <= 0 {
+				wait = o.baseBackoff
+			}
+		case unsent || pendingOther:
+			// More to push right now (raced an enqueue): loop immediately.
+			continue
+		case pendingData:
+			// Everything sent, awaiting acks: retransmit after ackTimeout.
+			wait = o.ackTimeout
+		default:
+			// Idle: wait for work.
+			wait = 0
+		}
+
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-o.ctx.Done():
+				if !timer.Stop() {
+					<-timer.C
+				}
+				return
+			case <-dq.wake:
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-timer.C:
+				if pendingData && !failed {
+					// Ack timeout: invalidate the epoch so flushQueue
+					// retransmits everything unacked.
+					dq.mu.Lock()
+					resend := false
+					for i := range dq.entries {
+						if dq.entries[i].sent {
+							dq.entries[i].sent = false
+							resend = true
+						}
+					}
+					dq.mu.Unlock()
+					if resend {
+						o.retransmits.Add(1)
+					}
+				}
+			}
+			continue
+		}
+		select {
+		case <-o.ctx.Done():
+			return
+		case <-dq.wake:
+		}
+	}
+}
+
+// FlushAll synchronously attempts one flush of every queue (sync mode after
+// a stage, and the network scheduler accelerating delivery). Reports whether
+// anything was transmitted.
+func (o *outbox) FlushAll() bool {
+	sent := false
+	for _, dq := range o.snapshot() {
+		s, _, _ := o.flushQueue(dq)
+		sent = sent || s
+	}
+	return sent
+}
+
+// Pending returns the number of unacknowledged sequenced entries and how
+// many of them sit in queues whose last delivery attempt failed (stalled —
+// retrying under backoff). The network scheduler's quiescence condition is
+// "no peer has work and no outbox entry is pending", with stalled entries
+// exempt so an unreachable destination cannot wedge RunToQuiescence.
+func (o *outbox) Pending() (total, stalled int) {
+	for _, dq := range o.snapshot() {
+		dq.mu.Lock()
+		total += len(dq.entries)
+		if dq.stalled || (!dq.nextTry.IsZero() && time.Now().Before(dq.nextTry)) {
+			stalled += len(dq.entries)
+		}
+		dq.mu.Unlock()
+	}
+	return total, stalled
+}
+
+// seed restores recovered delivery state (WAL-backed peers): pending entries
+// re-enter the queue unsent and the sequence counters resume past the
+// highest logged value.
+func (o *outbox) seed(dst string, nextSeq, acked uint64, entries []outEntry) {
+	dq := o.queue(dst)
+	dq.mu.Lock()
+	dq.nextSeq = nextSeq
+	dq.acked = acked
+	dq.entries = append(dq.entries, entries...)
+	dq.mu.Unlock()
+	dq.signal()
+}
+
+// compactTo rewrites the log to the outbox's live state plus the given
+// applied watermarks, excluding concurrent enqueuers for the duration so a
+// logged-but-unsnapshotted entry can never be dropped by the rewrite.
+func (o *outbox) compactTo(log *store.OutboxLog, applied map[string]store.AppliedMark) error {
+	o.persistMu.Lock()
+	defer o.persistMu.Unlock()
+	st, err := o.collectState(protocol.EncodePayload)
+	if err != nil {
+		return err
+	}
+	st.Epoch = o.epoch
+	for from, mark := range applied {
+		st.Applied[from] = mark
+	}
+	return log.Compact(st)
+}
+
+// collectState snapshots the live delivery state for log compaction,
+// encoding retained payloads with encode. Applied watermarks are the
+// peer's, merged in by the caller.
+func (o *outbox) collectState(encode func(protocol.Payload) ([]byte, error)) (*store.OutboxState, error) {
+	st := &store.OutboxState{
+		Pending: map[string][]store.OutboxEntry{},
+		NextSeq: map[string]uint64{},
+		Acked:   map[string]uint64{},
+		Applied: map[string]store.AppliedMark{},
+	}
+	for _, dq := range o.snapshot() {
+		dq.mu.Lock()
+		entries := make([]outEntry, len(dq.entries))
+		copy(entries, dq.entries)
+		nextSeq, acked := dq.nextSeq, dq.acked
+		dq.mu.Unlock()
+		st.NextSeq[dq.dst] = nextSeq
+		st.Acked[dq.dst] = acked
+		for _, e := range entries {
+			b, err := encode(e.msg)
+			if err != nil {
+				return nil, err
+			}
+			st.Pending[dq.dst] = append(st.Pending[dq.dst], store.OutboxEntry{Seq: e.seq, Payload: b})
+		}
+	}
+	return st, nil
+}
+
+// Shutdown stops the flushers and waits for them; call after cancelling the
+// peer context and closing the endpoint (both unblock in-flight sends).
+func (o *outbox) Shutdown() {
+	o.mu.Lock()
+	o.closed = true
+	o.mu.Unlock()
+	o.wg.Wait()
+}
+
+func (o *outbox) debugf(format string, args ...any) {
+	if o.logf != nil {
+		o.logf(format, args...)
+	}
+}

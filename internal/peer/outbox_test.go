@@ -1,0 +1,300 @@
+package peer
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// TestDataMsgReplayIsDeduplicated: a retransmitted DataMsg must be re-acked
+// but not re-applied — the receiver's watermark gives exactly-once
+// application under at-least-once delivery.
+func TestDataMsgReplayIsDeduplicated(t *testing.T) {
+	n := NewSequentialNetwork()
+	p, err := n.NewPeer(Config{Name: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeclareRelation("data", ast.Extensional, "id"); err != nil {
+		t.Fatal(err)
+	}
+	fake := n.Bus().Endpoint("fake")
+	msg := protocol.DataMsg{Seq: 1, Msg: protocol.FactsMsg{Ops: []protocol.FactDelta{
+		{Fact: ast.NewFact("data", "alice", value.Int(7))},
+	}}}
+	if err := fake.Send(context.Background(), "alice", msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.RunToQuiescence(context.Background(), 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := tuples(p, "data"); len(got) != 1 {
+		t.Fatalf("data = %v, want 1 tuple", got)
+	}
+	// The ack must have come back.
+	acked := false
+	for _, env := range fake.Drain() {
+		if a, ok := env.Msg.(protocol.AckMsg); ok && a.Seq == 1 {
+			acked = true
+		}
+	}
+	if !acked {
+		t.Fatalf("no ack for seq 1")
+	}
+
+	// The fact is deleted locally; a replay of seq 1 must not resurrect it.
+	if err := p.DeleteString(`data@alice(7);`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.RunToQuiescence(context.Background(), 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := fake.Send(context.Background(), "alice", msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.RunToQuiescence(context.Background(), 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := tuples(p, "data"); len(got) != 0 {
+		t.Fatalf("replayed DataMsg was re-applied: data = %v", got)
+	}
+	// And the replay is re-acked so the sender can drop it.
+	acked = false
+	for _, env := range fake.Drain() {
+		if a, ok := env.Msg.(protocol.AckMsg); ok && a.Seq == 1 {
+			acked = true
+		}
+	}
+	if !acked {
+		t.Fatalf("replay was not re-acked")
+	}
+}
+
+// TestDataMsgGapIsDroppedUntilRetransmit: an out-of-order DataMsg (gap) is
+// dropped without an ack; delivery resumes once the missing predecessor
+// arrives and the successor is retransmitted — in-order application no
+// matter how the transport reorders.
+func TestDataMsgGapIsDroppedUntilRetransmit(t *testing.T) {
+	n := NewSequentialNetwork()
+	p, err := n.NewPeer(Config{Name: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeclareRelation("data", ast.Extensional, "id"); err != nil {
+		t.Fatal(err)
+	}
+	fake := n.Bus().Endpoint("fake")
+	mk := func(seq uint64, id int64) protocol.DataMsg {
+		return protocol.DataMsg{Seq: seq, Msg: protocol.FactsMsg{Ops: []protocol.FactDelta{
+			{Fact: ast.NewFact("data", "alice", value.Int(id))},
+		}}}
+	}
+	ctx := context.Background()
+	// Seq 2 arrives first: must not apply.
+	if err := fake.Send(ctx, "alice", mk(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.RunToQuiescence(ctx, 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := tuples(p, "data"); len(got) != 0 {
+		t.Fatalf("gap applied out of order: data = %v", got)
+	}
+	// Retransmission in order: 1 then 2.
+	if err := fake.Send(ctx, "alice", mk(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fake.Send(ctx, "alice", mk(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.RunToQuiescence(ctx, 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := tuples(p, "data"); len(got) != 2 {
+		t.Fatalf("after in-order retransmit, data = %v, want 2 tuples", got)
+	}
+}
+
+// addPeerHook registers a new peer (with staged work) on the network from
+// inside another peer's stage — the "peer discovered mid-run" scenario.
+type addPeerHook struct {
+	n     *Network
+	added bool
+	err   error
+}
+
+func (h *addPeerHook) BeforeStage(p *Peer) error { return nil }
+
+func (h *addPeerHook) AfterStage(p *Peer, rep *StageReport) error {
+	if h.added {
+		return nil
+	}
+	h.added = true
+	late, err := h.n.NewPeer(Config{Name: "late"})
+	if err != nil {
+		h.err = err
+		return err
+	}
+	if err := late.DeclareRelation("data", ast.Extensional, "id"); err != nil {
+		h.err = err
+		return err
+	}
+	return late.InsertString(`data@late(1);`)
+}
+
+// TestPeerAddedMidRunIsScheduled: RunToQuiescence re-snapshots the peer set
+// every round, so a peer registered while the run is in progress gets its
+// stages driven by the same call — on both schedulers.
+func TestPeerAddedMidRunIsScheduled(t *testing.T) {
+	for _, mode := range []string{"concurrent", "sequential"} {
+		t.Run(mode, func(t *testing.T) {
+			n := NewNetwork()
+			if mode == "sequential" {
+				n = NewSequentialNetwork()
+			}
+			first, err := n.NewPeer(Config{Name: "first"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := &addPeerHook{n: n}
+			first.SetHooks(h)
+			if err := first.InsertString(`seed@first(0);`); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := n.RunToQuiescence(context.Background(), 100); err != nil {
+				t.Fatal(err)
+			}
+			if h.err != nil {
+				t.Fatal(h.err)
+			}
+			late := n.Peer("late")
+			if late == nil {
+				t.Fatal("late peer not registered")
+			}
+			if got := len(late.Query("data")); got != 1 {
+				t.Errorf("late peer was never scheduled: data has %d tuples", got)
+			}
+		})
+	}
+}
+
+// TestStageAllSchedulesMidPassWork: StageAll offers a stage to peers that
+// gain work while the pass runs (here: the receiver of another stage's
+// emission).
+func TestStageAllSchedulesMidPassWork(t *testing.T) {
+	n := NewSequentialNetwork()
+	zed, err := n.NewPeer(Config{Name: "zed"}) // name-sorts after its receiver
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.NewPeer(Config{Name: "abe"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := zed.LoadSource(`
+		relation extensional src@zed(x);
+		sink@abe($x) :- src@zed($x);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.RunToQuiescence(context.Background(), 50); err != nil {
+		t.Fatal(err)
+	}
+	// Now only zed has work; its stage hands abe work mid-pass.
+	if err := zed.InsertString(`src@zed(1);`); err != nil {
+		t.Fatal(err)
+	}
+	reps := n.StageAll()
+	if len(reps) < 2 {
+		t.Fatalf("StageAll ran %d stages; the receiver gaining work mid-pass was skipped", len(reps))
+	}
+	if got := len(n.Peer("abe").Query("sink")); got != 1 {
+		t.Errorf("sink@abe = %d tuples, want 1", got)
+	}
+}
+
+// TestSequentialNetworkDeterministic: two identical runs over sequential
+// networks produce identical round/stage counts and identical bus traffic —
+// the property deterministic tests rely on.
+func TestSequentialNetworkDeterministic(t *testing.T) {
+	run := func() (int, int, uint64, string) {
+		n := NewSequentialNetwork()
+		jules, err := n.NewPeer(Config{Name: "jules"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		emilien, err := n.NewPeer(Config{Name: "emilien"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := emilien.LoadSource(`
+			relation extensional pictures@emilien(id);
+			pictures@emilien(1);
+			pictures@emilien(2);
+		`); err != nil {
+			t.Fatal(err)
+		}
+		if err := jules.LoadSource(`
+			relation extensional sel@jules(a);
+			relation intensional view@jules(id);
+			sel@jules("emilien");
+			view@jules($id) :- sel@jules($a), pictures@$a($id);
+		`); err != nil {
+			t.Fatal(err)
+		}
+		rounds, stages, err := n.RunToQuiescence(context.Background(), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rounds, stages, n.Bus().Stats().MessagesSent, fmt.Sprint(jules.Query("view"))
+	}
+	r1, s1, m1, v1 := run()
+	r2, s2, m2, v2 := run()
+	if r1 != r2 || s1 != s2 || m1 != m2 || v1 != v2 {
+		t.Errorf("sequential runs diverged: (%d,%d,%d,%s) vs (%d,%d,%d,%s)", r1, s1, m1, v1, r2, s2, m2, v2)
+	}
+	if v1 != "[(1) (2)]" {
+		t.Errorf("view = %s, want [(1) (2)]", v1)
+	}
+}
+
+// TestCloseCancelsInFlightDial: closing a peer aborts an outbox dial to a
+// black-holed destination promptly instead of hanging to DialTimeout.
+func TestCloseCancelsInFlightDial(t *testing.T) {
+	ctx := context.Background()
+	// 192.0.2.0/24 (TEST-NET-1) black-holes SYNs on most systems; the dial
+	// hangs until its timeout.
+	ep, err := transport.ListenTCP(ctx, "sender", "127.0.0.1:0", map[string]string{"rcv": "192.0.2.1:9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.DialTimeout = 30 * time.Second
+	p, err := New(Config{Name: "sender"}, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadSource(`
+		relation extensional src@sender(x);
+		view@rcv($x) :- src@sender($x);
+		src@sender(1);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	p.RunStage() // enqueues; the flusher starts dialing the black hole
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- p.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on an in-flight dial")
+	}
+}

@@ -52,6 +52,21 @@ type Config struct {
 	Policy acl.Policy
 	// Provenance enables why-provenance tracking of derived facts.
 	Provenance bool
+	// SyncEmit disables the outbox's background flusher goroutines: outgoing
+	// messages are flushed synchronously at the end of every RunStage
+	// instead, which keeps in-process multi-peer tests deterministic.
+	// NewSequentialNetwork sets it on the peers it creates. Sync emission
+	// assumes a reliable transport (the in-process bus): failed sends stay
+	// queued and retry at the next flush, but there is no retransmit timer.
+	SyncEmit bool
+	// OutboxAckTimeout overrides the outbox's retransmission timer: how long
+	// a transmitted message may wait for its acknowledgment before the
+	// flusher re-sends it (default 200ms). Zero keeps the default.
+	OutboxAckTimeout time.Duration
+	// OutboxBackoff overrides the outbox's base retry backoff after a
+	// failed delivery attempt; it doubles per consecutive failure up to a
+	// cap of 200x the base (default base 10ms). Zero keeps the default.
+	OutboxBackoff time.Duration
 	// Logf, when non-nil, receives debug log lines.
 	Logf func(format string, args ...any)
 }
@@ -76,6 +91,14 @@ type Stats struct {
 	Derived        uint64
 	UpdatesApplied uint64
 	RuntimeErrors  uint64
+
+	// Outbox delivery counters: messages enqueued for remote destinations,
+	// messages acknowledged by their destination, retransmission epochs
+	// (ack timeouts), and failed send attempts (each retried).
+	OutboxEnqueued    uint64
+	OutboxDelivered   uint64
+	OutboxRetransmits uint64
+	OutboxSendErrors  uint64
 }
 
 // StageReport describes one RunStage call.
@@ -108,6 +131,13 @@ type StageReport struct {
 // Duration returns the total stage latency.
 func (r *StageReport) Duration() time.Duration { return r.Ingest + r.Fixpoint + r.Emit }
 
+// ackItem is one staged acknowledgment (see Peer.pendingAcks).
+type ackItem struct {
+	dst   string
+	epoch uint64
+	seq   uint64
+}
+
 // delegationKey identifies an installed delegation group.
 type delegationKey struct {
 	Origin string
@@ -124,6 +154,17 @@ type Peer struct {
 	prov *provenance.Store
 	ctrl *acl.Controller
 	logf func(string, ...any)
+
+	// ctx is the peer's lifetime: Close cancels it, which stops the outbox
+	// flushers and aborts any in-flight dial instead of letting it run to
+	// DialTimeout.
+	ctx    context.Context
+	cancel context.CancelFunc
+	outbox *outbox
+	// oblog persists outbox state for WAL-backed peers: pending entries
+	// survive a crash and are re-sent on recovery, and the applied-watermark
+	// map suppresses replays of messages applied before the crash.
+	oblog *store.OutboxLog
 
 	mu         sync.Mutex
 	ownRules   []ast.Rule
@@ -145,11 +186,18 @@ type Peer struct {
 	transient      map[string]map[string]value.Tuple
 	freshTransient map[string]map[string]value.Tuple
 
-	// unsentFacts holds remote fact deltas whose send failed, keyed by
-	// destination. The engine's maintained remoteView already counts them as
-	// delivered, so dropping them would permanently diverge the receiver;
-	// the next stage retries them ahead of its fresh output.
-	unsentFacts map[string][]protocol.FactDelta
+	// inSeq is the per-sender DataMsg watermark: the highest outbox sequence
+	// applied from each sender, within the sender's current stream epoch
+	// (inEpoch). Replays at or below it are re-acked without being
+	// re-applied (exactly-once application under at-least-once delivery); a
+	// new epoch starting at sequence 1 resets the watermark (the sender
+	// restarted with a fresh stream).
+	inSeq   map[string]uint64
+	inEpoch map[string]uint64
+	// pendingAcks stages acknowledgments during ingestion; they are released
+	// to the outbox only after everything they certify (applied facts, the
+	// per-sender watermark) has been made durable.
+	pendingAcks []ackItem
 
 	lastSentDeleg map[string]map[string]string // ruleID -> target -> set fingerprint
 	ranOnce       bool
@@ -193,17 +241,36 @@ func New(cfg Config, ep transport.Endpoint) (*Peer, error) {
 	if cfg.Engine != nil {
 		opts = *cfg.Engine
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	p := &Peer{
 		name:          cfg.Name,
 		db:            db,
 		ep:            ep,
 		wal:           cfg.WAL,
 		logf:          cfg.Logf,
+		ctx:           ctx,
+		cancel:        cancel,
+		inSeq:         make(map[string]uint64),
+		inEpoch:       make(map[string]uint64),
 		delegated:     make(map[delegationKey][]ast.Rule),
 		lastSentDeleg: make(map[string]map[string]string),
 		wake:          make(chan struct{}, 1),
 		subs:          make(map[int]*subscription),
 		needRebuild:   true,
+	}
+	p.outbox = newOutbox(ep, ctx, cfg.SyncEmit, p.debugf)
+	if cfg.OutboxAckTimeout > 0 {
+		p.outbox.ackTimeout = cfg.OutboxAckTimeout
+	}
+	if cfg.OutboxBackoff > 0 {
+		p.outbox.baseBackoff = cfg.OutboxBackoff
+		p.outbox.maxBackoff = 200 * cfg.OutboxBackoff
+	}
+	if cfg.WAL != nil {
+		if err := p.openOutboxLog(cfg.WAL.Dir()); err != nil {
+			cancel()
+			return nil, fmt.Errorf("peer %s: %w", cfg.Name, err)
+		}
 	}
 	if cfg.Provenance {
 		p.prov = provenance.NewStore()
@@ -212,6 +279,75 @@ func New(cfg Config, ep transport.Endpoint) (*Peer, error) {
 	p.eng = engine.New(cfg.Name, db, opts)
 	p.ctrl = acl.NewController(cfg.Policy, p.installDelegation)
 	return p, nil
+}
+
+// openOutboxLog attaches durable delivery state to a WAL-backed peer:
+// recover pending entries and watermarks, seed the outbox, and install the
+// persistence hooks. An entry is logged and synced before a flusher can
+// transmit it, so a transmitted sequence number is never reused after a
+// crash.
+func (p *Peer) openOutboxLog(dir string) error {
+	l, err := store.OpenOutboxLog(dir)
+	if err != nil {
+		return err
+	}
+	st, err := l.Recover()
+	if err != nil {
+		l.Close()
+		return err
+	}
+	for from, mark := range st.Applied {
+		p.inSeq[from] = mark.Seq
+		p.inEpoch[from] = mark.Epoch
+	}
+	epoch := st.Epoch
+	if epoch == 0 {
+		// First durable run: pick the stream epoch and persist it so it
+		// stays stable across restarts (receivers keep their watermarks).
+		epoch = newEpoch()
+		if err := l.LogEpoch(epoch); err == nil {
+			err = l.Sync()
+		}
+		if err != nil {
+			l.Close()
+			return err
+		}
+	}
+	p.outbox.epoch = epoch
+	// Install the persistence hooks before seeding: seeding a queue starts
+	// its flusher, which reads them.
+	p.oblog = l
+	p.outbox.onEnqueue = func(dst string, seq uint64, msg protocol.Payload) {
+		// Buffered append only: the fsync happens in onPreFlush, before the
+		// first transmission of a flush cycle, keeping stage commits off
+		// the disk path.
+		b, err := protocol.EncodePayload(msg)
+		if err == nil {
+			err = l.LogEnqueue(dst, seq, b)
+		}
+		if err != nil {
+			p.debugf("outbox log enqueue %s#%d: %v", dst, seq, err)
+		}
+	}
+	p.outbox.onAck = func(dst string, seq uint64) {
+		if err := l.LogAck(dst, seq); err != nil {
+			p.debugf("outbox log ack %s#%d: %v", dst, seq, err)
+		}
+	}
+	p.outbox.onPreFlush = l.Sync
+	for dst, next := range st.NextSeq {
+		var entries []outEntry
+		for _, e := range st.Pending[dst] {
+			msg, err := protocol.DecodePayload(e.Payload)
+			if err != nil {
+				l.Close()
+				return fmt.Errorf("recovering outbox entry %d for %s: %w", e.Seq, dst, err)
+			}
+			entries = append(entries, outEntry{seq: e.Seq, msg: msg})
+		}
+		p.outbox.seed(dst, next, st.Acked[dst], entries)
+	}
+	return nil
 }
 
 // Name returns the peer's name.
@@ -243,8 +379,21 @@ func (p *Peer) SetHooks(h Hooks) {
 // Stats returns a snapshot of lifetime counters.
 func (p *Peer) Stats() Stats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	s := p.stats
+	p.mu.Unlock()
+	s.OutboxEnqueued = p.outbox.enqueued.Load()
+	s.OutboxDelivered = p.outbox.delivered.Load()
+	s.OutboxRetransmits = p.outbox.retransmits.Load()
+	s.OutboxSendErrors = p.outbox.sendErrors.Load()
+	return s
+}
+
+// flushIfSync flushes the outbox immediately in sync-emit mode, where no
+// flusher goroutines exist. Async peers rely on their flushers.
+func (p *Peer) flushIfSync() {
+	if p.outbox.sync {
+		p.outbox.FlushAll()
+	}
 }
 
 func (p *Peer) debugf(format string, args ...any) {
@@ -473,7 +622,9 @@ func (p *Peer) Delete(f ast.Fact) error { return p.update(ast.Delete, f) }
 // ingest+fixpoint stage (one store transaction, one WAL append run, one
 // scheduler wakeup); operations on remote relations are grouped into one
 // FactsMsg per destination peer, so each destination also ingests its share
-// in a single stage. The context bounds the remote sends.
+// in a single stage. Remote shares are committed to the per-destination
+// outbox — delivered at-least-once, out of band — so Apply never blocks on
+// the network; it fails only for unroutable destinations or a closed peer.
 //
 // Operations keep their relative order, so an insert followed by a delete
 // of the same fact inside one batch nets out to the delete.
@@ -498,11 +649,22 @@ func (p *Peer) Apply(ctx context.Context, b *engine.Batch) error {
 		m.Append(op.Op == ast.Delete, op.Fact)
 	}
 	var errs []error
-	for _, dst := range order {
-		if err := p.ep.Send(ctx, dst, *remote[dst]); err != nil {
-			errs = append(errs, fmt.Errorf("peer %s: sending batch of %d to %s: %w",
-				p.name, remote[dst].Len(), dst, err))
+	if len(order) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
+		if p.isClosed() {
+			return fmt.Errorf("peer %s: %w", p.name, errdefs.ErrClosed)
+		}
+		for _, dst := range order {
+			if !p.canRoute(dst) {
+				errs = append(errs, fmt.Errorf("peer %s: sending batch of %d to %s: %w",
+					p.name, remote[dst].Len(), dst, errdefs.ErrUnknownPeer))
+				continue
+			}
+			p.outbox.EnqueueData(dst, *remote[dst])
+		}
+		p.flushIfSync()
 	}
 	if len(local) > 0 {
 		p.mu.Lock()
@@ -537,11 +699,15 @@ func (p *Peer) DeleteString(src string) error {
 
 func (p *Peer) update(op ast.UpdateOp, f ast.Fact) error {
 	if f.Peer != p.name {
-		del := op == ast.Delete
-		err := p.ep.Send(context.Background(), f.Peer, protocol.FactsMsg{Ops: []protocol.FactDelta{{Delete: del, Fact: f}}})
-		if err != nil {
-			return fmt.Errorf("peer %s: sending update for %s: %w", p.name, f.String(), err)
+		if !p.canRoute(f.Peer) {
+			return fmt.Errorf("peer %s: sending update for %s: %w: %q", p.name, f.String(), errdefs.ErrUnknownPeer, f.Peer)
 		}
+		if p.isClosed() {
+			return fmt.Errorf("peer %s: %w", p.name, errdefs.ErrClosed)
+		}
+		del := op == ast.Delete
+		p.outbox.EnqueueData(f.Peer, protocol.FactsMsg{Ops: []protocol.FactDelta{{Delete: del, Fact: f}}})
+		p.flushIfSync()
 		return nil
 	}
 	p.mu.Lock()
@@ -617,7 +783,36 @@ func (p *Peer) HasWork() bool {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.pendingOps) > 0 || p.progDirty || !p.ranOnce || p.poked || len(p.unsentFacts) > 0
+	return len(p.pendingOps) > 0 || p.progDirty || !p.ranOnce || p.poked
+}
+
+// OutboxPending returns the number of outgoing messages not yet acknowledged
+// by their destination, and how many of those sit in queues whose last
+// delivery attempt failed (stalled, retrying under backoff).
+func (p *Peer) OutboxPending() (total, stalled int) {
+	return p.outbox.Pending()
+}
+
+// FlushOutbox synchronously attempts one delivery pass over every outbox
+// queue, reporting whether anything was transmitted. The network scheduler
+// uses it to accelerate delivery between rounds; async peers do not need it.
+func (p *Peer) FlushOutbox() bool {
+	return p.outbox.FlushAll()
+}
+
+func (p *Peer) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// canRoute consults the transport's Router (when implemented) so API-level
+// updates to unknown peers fail synchronously instead of queueing forever.
+func (p *Peer) canRoute(dst string) bool {
+	if r, ok := p.ep.(transport.Router); ok {
+		return r.CanRoute(dst)
+	}
+	return true
 }
 
 // Poke schedules a stage attempt even though no inputs are queued. Wrappers
@@ -656,6 +851,10 @@ func (p *Peer) Close() error {
 	for _, s := range subs {
 		close(s.ch)
 	}
+	// Cancel the peer context first (aborts in-flight dials and stops the
+	// flushers at their next check), then close the endpoint (unblocks any
+	// write in progress), then wait for the flushers to exit.
+	p.cancel()
 	var errs []error
 	if p.wal != nil {
 		if err := p.wal.Sync(); err != nil {
@@ -667,6 +866,15 @@ func (p *Peer) Close() error {
 	}
 	if err := p.ep.Close(); err != nil {
 		errs = append(errs, err)
+	}
+	p.outbox.Shutdown()
+	if p.oblog != nil {
+		if err := p.oblog.Sync(); err != nil {
+			errs = append(errs, err)
+		}
+		if err := p.oblog.Close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	return errors.Join(errs...)
 }

@@ -122,6 +122,15 @@ func (d *stageDeltas) engineInput() *engine.StageInput {
 // scratch, re-seeding externally supported and freshly arrived transient
 // facts.
 func (p *Peer) RunStage() *StageReport {
+	rep := p.runStageLocked()
+	// Sync-emit peers flush everything the stage (or a skipped stage's ack
+	// bookkeeping) enqueued before returning, off the peer lock, so
+	// in-process schedulers observe the old synchronous-delivery semantics.
+	p.flushIfSync()
+	return rep
+}
+
+func (p *Peer) runStageLocked() *StageReport {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
@@ -154,13 +163,11 @@ func (p *Peer) RunStage() *StageReport {
 	if !p.ranOnce {
 		changed = true
 	}
-	if len(p.unsentFacts) > 0 {
-		// Deltas from an earlier stage are still awaiting delivery; run the
-		// stage (the fixpoint sees an empty input and is cheap) so emission
-		// retries them.
-		changed = true
-	}
 	rep.Ingest = time.Since(startIngest)
+
+	if p.oblog != nil && p.oblog.Records() > outboxCompactThreshold {
+		p.compactOutboxLogLocked(rep)
+	}
 
 	if !changed {
 		p.stats.StagesSkipped++
@@ -295,48 +302,171 @@ func (p *Peer) ingestLocked(rep *StageReport, d *stageDeltas) bool {
 	envs := p.ep.Drain()
 	for _, env := range envs {
 		switch msg := env.Msg.(type) {
-		case protocol.FactsMsg:
-			batch := make([]ingestOp, 0, len(msg.Ops))
-			for _, fd := range msg.Ops {
-				p.stats.FactsIn++
-				if fd.Fact.Peer != p.name {
-					rep.Errors = append(rep.Errors, fmt.Errorf(
-						"peer %s: misrouted fact %s from %s", p.name, fd.Fact.String(), env.From))
-					continue
-				}
-				batch = append(batch, ingestOp{del: fd.Delete, maint: fd.Maint, src: env.From, fact: fd.Fact})
-			}
-			if p.applyOpsLocked(batch, rep, d) {
+		case protocol.DataMsg:
+			if p.ingestDataLocked(env.From, msg, rep, d) {
 				changed = true
 			}
-		case protocol.DelegationMsg:
-			p.stats.DelegationsIn++
-			// The controller's install callback takes p.mu; release it for
-			// the duration of the decision.
-			p.mu.Unlock()
-			decision := p.ctrl.OnDelegation(env.From, msg.RuleID, msg.Rules)
-			p.mu.Lock()
-			// installDelegation sets progDirty only on real changes; fold
-			// that into `changed` via the progDirty check in RunStage.
-			if decision == acl.Reject {
-				rep.Errors = append(rep.Errors, fmt.Errorf(
-					"peer %s: %w: delegation %s from %s", p.name, errdefs.ErrPolicyDenied, msg.RuleID, env.From))
-			}
-		case protocol.ControlMsg:
-			if msg.Kind == protocol.ControlPing {
-				if err := p.ep.Send(context.Background(), env.From, protocol.ControlMsg{Kind: protocol.ControlPong, Token: msg.Token}); err != nil {
-					rep.Errors = append(rep.Errors, err)
-				}
-			}
+		case protocol.AckMsg:
+			// Delivery bookkeeping, not peer state: never triggers a stage.
+			p.outbox.Ack(env.From, msg.Epoch, msg.Seq)
 		default:
-			rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: unknown message %T from %s", p.name, env.Msg, env.From))
+			// Bare (unsequenced) payloads: best-effort legacy traffic and
+			// transport-level control. Applied without dedup.
+			if p.ingestPayloadLocked(env.From, env.Msg, rep, d) {
+				changed = true
+			}
 		}
 	}
 
+	durable := true
 	if p.wal != nil && rep.Applied > 0 {
 		if err := p.wal.Sync(); err != nil {
 			rep.Errors = append(rep.Errors, err)
+			durable = false
 		}
+	}
+	// Release the staged acks only once everything they certify is durable:
+	// the applied facts (WAL) and the per-sender watermark (outbox log). On
+	// a persistence failure the acks stay staged — the sender retransmits,
+	// the replay coalesces onto the same staged ack, and the release is
+	// retried by a later ingestion.
+	if p.oblog != nil && len(p.pendingAcks) > 0 && durable {
+		for _, a := range p.pendingAcks {
+			if err := p.oblog.LogApplied(a.dst, a.epoch, a.seq); err != nil {
+				rep.Errors = append(rep.Errors, err)
+				durable = false
+				break
+			}
+		}
+		if durable {
+			if err := p.oblog.Sync(); err != nil {
+				rep.Errors = append(rep.Errors, err)
+				durable = false
+			}
+		}
+	}
+	if durable {
+		for _, a := range p.pendingAcks {
+			p.outbox.EnqueueAck(a.dst, a.epoch, a.seq)
+		}
+		p.pendingAcks = nil
+	}
+	return changed
+}
+
+// ingestDataLocked applies one sequenced message, enforcing exactly-once
+// application: a sender's DataMsgs apply strictly in sequence order. Replays
+// (<= watermark) are re-acked and skipped; gaps (the transport reordered or
+// dropped a predecessor) are dropped unacked, to be retransmitted in order.
+//
+// Acks are *staged* (p.pendingAcks) rather than enqueued directly: they are
+// released at the end of ingestion, after the durable watermark has been
+// synced, so a crash can never leave a sender believing a message was
+// applied when the receiver's recovered watermark says otherwise.
+func (p *Peer) ingestDataLocked(from string, msg protocol.DataMsg, rep *StageReport, d *stageDeltas) bool {
+	epoch, known := p.inEpoch[from]
+	if !known {
+		p.inEpoch[from] = msg.Epoch
+		epoch = msg.Epoch
+	} else if epoch != msg.Epoch {
+		if msg.Seq != 1 {
+			// A stray message from a stale (or not yet adopted) stream.
+			return false
+		}
+		// The sender restarted with a fresh stream: adopt it with a fresh
+		// watermark, so its re-sends apply instead of being misread as
+		// replays of the old stream.
+		p.inEpoch[from] = msg.Epoch
+		p.inSeq[from] = 0
+		epoch = msg.Epoch
+	}
+	last := p.inSeq[from]
+	if msg.Seq <= last {
+		p.stageAckLocked(from, epoch, last)
+		return false
+	}
+	if msg.Seq != last+1 {
+		return false
+	}
+	p.inSeq[from] = msg.Seq
+	p.stageAckLocked(from, epoch, msg.Seq)
+	return p.ingestPayloadLocked(from, msg.Msg, rep, d)
+}
+
+// stageAckLocked records an ack to release once ingestion's durable state
+// has been synced. Acks to the same sender coalesce to the highest seq of
+// the current stream epoch (a new epoch supersedes the old ack).
+func (p *Peer) stageAckLocked(dst string, epoch, seq uint64) {
+	for i := range p.pendingAcks {
+		if p.pendingAcks[i].dst == dst {
+			if epoch != p.pendingAcks[i].epoch {
+				p.pendingAcks[i].epoch = epoch
+				p.pendingAcks[i].seq = seq
+			} else if seq > p.pendingAcks[i].seq {
+				p.pendingAcks[i].seq = seq
+			}
+			return
+		}
+	}
+	p.pendingAcks = append(p.pendingAcks, ackItem{dst: dst, epoch: epoch, seq: seq})
+}
+
+// outboxCompactThreshold is the record count past which the outbox log is
+// rewritten to its live state at the end of a stage.
+const outboxCompactThreshold = 8192
+
+// compactOutboxLogLocked rewrites the outbox log to the live delivery state
+// (acknowledged history dropped). Concurrent enqueuers are excluded for the
+// duration (outbox.compactTo), so no logged entry can fall between the
+// snapshot and the rewrite.
+func (p *Peer) compactOutboxLogLocked(rep *StageReport) {
+	applied := make(map[string]store.AppliedMark, len(p.inSeq))
+	for from, seq := range p.inSeq {
+		applied[from] = store.AppliedMark{Epoch: p.inEpoch[from], Seq: seq}
+	}
+	if err := p.outbox.compactTo(p.oblog, applied); err != nil {
+		rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: compacting outbox log: %w", p.name, err))
+	}
+}
+
+// ingestPayloadLocked routes one protocol payload into the peer, reporting
+// whether it changed state the fixpoint must observe.
+func (p *Peer) ingestPayloadLocked(from string, payload protocol.Payload, rep *StageReport, d *stageDeltas) bool {
+	changed := false
+	switch msg := payload.(type) {
+	case protocol.FactsMsg:
+		batch := make([]ingestOp, 0, len(msg.Ops))
+		for _, fd := range msg.Ops {
+			p.stats.FactsIn++
+			if fd.Fact.Peer != p.name {
+				rep.Errors = append(rep.Errors, fmt.Errorf(
+					"peer %s: misrouted fact %s from %s", p.name, fd.Fact.String(), from))
+				continue
+			}
+			batch = append(batch, ingestOp{del: fd.Delete, maint: fd.Maint, src: from, fact: fd.Fact})
+		}
+		if p.applyOpsLocked(batch, rep, d) {
+			changed = true
+		}
+	case protocol.DelegationMsg:
+		p.stats.DelegationsIn++
+		// The controller's install callback takes p.mu; release it for
+		// the duration of the decision.
+		p.mu.Unlock()
+		decision := p.ctrl.OnDelegation(from, msg.RuleID, msg.Rules)
+		p.mu.Lock()
+		// installDelegation sets progDirty only on real changes; fold
+		// that into `changed` via the progDirty check in RunStage.
+		if decision == acl.Reject {
+			rep.Errors = append(rep.Errors, fmt.Errorf(
+				"peer %s: %w: delegation %s from %s", p.name, errdefs.ErrPolicyDenied, msg.RuleID, from))
+		}
+	case protocol.ControlMsg:
+		if msg.Kind == protocol.ControlPing {
+			p.outbox.EnqueueControl(from, protocol.ControlMsg{Kind: protocol.ControlPong, Token: msg.Token})
+		}
+	default:
+		rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: unknown message %T from %s", p.name, payload, from))
 	}
 	return changed
 }
@@ -557,40 +687,18 @@ func (p *Peer) compileLocked(rep *StageReport) {
 // vanished, and pass-through one-shot deletion-rule updates — one FactsMsg
 // per destination instead of re-sending every derived fact every stage.
 //
-// A failed send must not lose the deltas: the engine's maintained remoteView
-// already counts them as delivered and will never re-derive them, so they
-// are requeued on the peer and retried by the next stage, oldest first.
+// Emission commits to the per-destination outbox and returns immediately:
+// the engine's maintained remoteView counts these deltas as delivered, and
+// the outbox upholds that by retrying until the destination acknowledges
+// them — the stage never blocks on a dial and never loses a delta.
 func (p *Peer) emitFactsLocked(res *engine.Result, rep *StageReport) {
-	pending := p.unsentFacts
-	p.unsentFacts = nil
-	dsts := make(map[string]bool, len(pending))
-	for dst := range pending {
-		dsts[dst] = true
-	}
 	for _, dst := range res.RemotePeers() {
-		dsts[dst] = true
-	}
-	order := make([]string, 0, len(dsts))
-	for dst := range dsts {
-		order = append(order, dst)
-	}
-	sort.Strings(order)
-	for _, dst := range order {
-		deltas := pending[dst]
-		for _, op := range res.RemoteOut[dst] {
-			deltas = append(deltas, protocol.FactDelta{Delete: op.Op == ast.Delete, Maint: op.Maint, Fact: op.Fact})
+		ops := res.RemoteOut[dst]
+		deltas := make([]protocol.FactDelta, len(ops))
+		for i, op := range ops {
+			deltas[i] = protocol.FactDelta{Delete: op.Op == ast.Delete, Maint: op.Maint, Fact: op.Fact}
 		}
-		if len(deltas) == 0 {
-			continue
-		}
-		if err := p.ep.Send(context.Background(), dst, protocol.FactsMsg{Ops: deltas}); err != nil {
-			rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: sending facts to %s: %w", p.name, dst, err))
-			if p.unsentFacts == nil {
-				p.unsentFacts = map[string][]protocol.FactDelta{}
-			}
-			p.unsentFacts[dst] = deltas
-			continue
-		}
+		p.outbox.EnqueueData(dst, protocol.FactsMsg{Ops: deltas})
 		rep.FactsSent += len(deltas)
 		p.stats.FactsOut += uint64(len(deltas))
 	}
@@ -598,7 +706,11 @@ func (p *Peer) emitFactsLocked(res *engine.Result, rep *StageReport) {
 
 // emitDelegationsLocked sends the current residual sets and withdraws the
 // (rule, target) pairs that no longer produce residuals — the paper's
-// delegation maintenance.
+// delegation maintenance. Delegations and withdrawals ride the same
+// sequenced outbox as fact deltas, so the old "retry next stage"
+// bookkeeping for failed sends is gone: once enqueued, delivery is the
+// outbox's guarantee, and ordering with the stage's facts is preserved
+// per destination.
 func (p *Peer) emitDelegationsLocked(res *engine.Result, rep *StageReport) {
 	current := make(map[string]map[string]string, len(res.Delegations))
 	ruleIDs := make([]string, 0, len(res.Delegations))
@@ -624,11 +736,7 @@ func (p *Peer) emitDelegationsLocked(res *engine.Result, rep *StageReport) {
 			if p.lastSentDeleg[ruleID][target] == fp {
 				continue // unchanged since last send
 			}
-			if err := p.ep.Send(context.Background(), target, protocol.DelegationMsg{RuleID: ruleID, Rules: rules}); err != nil {
-				rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: delegating to %s: %w", p.name, target, err))
-				delete(current[ruleID], target) // retry next stage
-				continue
-			}
+			p.outbox.EnqueueData(target, protocol.DelegationMsg{RuleID: ruleID, Rules: rules})
 			rep.DelegationsSent++
 			p.stats.DelegationsOut++
 		}
@@ -639,15 +747,7 @@ func (p *Peer) emitDelegationsLocked(res *engine.Result, rep *StageReport) {
 			if current[ruleID][target] != "" {
 				continue
 			}
-			if err := p.ep.Send(context.Background(), target, protocol.DelegationMsg{RuleID: ruleID, Rules: nil}); err != nil {
-				rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: withdrawing from %s: %w", p.name, target, err))
-				// Keep it recorded so withdrawal is retried next stage.
-				if current[ruleID] == nil {
-					current[ruleID] = map[string]string{}
-				}
-				current[ruleID][target] = targets[target]
-				continue
-			}
+			p.outbox.EnqueueData(target, protocol.DelegationMsg{RuleID: ruleID, Rules: nil})
 			rep.DelegationsSent++
 			p.stats.Withdrawals++
 		}

@@ -68,6 +68,37 @@ type DelegationMsg struct {
 	Rules  []ast.Rule
 }
 
+// DataMsg wraps a payload with a per-(sender, destination) outbox sequence
+// number, starting at 1. It is the unit of the peer layer's at-least-once
+// delivery: the sender's outbox retains the message until the destination
+// acknowledges it (AckMsg), retransmitting on failure or timeout, and the
+// destination applies a sender's DataMsgs strictly in sequence order —
+// replays are re-acknowledged without being re-applied, and gaps are dropped
+// to be retransmitted — so every wrapped payload is applied exactly once no
+// matter how often the transport duplicates, drops or reorders it.
+//
+// Epoch identifies the sender's message stream: random per outbox instance
+// for volatile peers, persisted (and hence stable across restarts) for
+// WAL-backed peers. A receiver seeing a new epoch start at Seq 1 adopts it
+// with a fresh watermark, so a restarted volatile sender's re-sends are
+// applied instead of being misread as replays of the old stream.
+type DataMsg struct {
+	Epoch uint64
+	Seq   uint64
+	Msg   Payload
+}
+
+// AckMsg acknowledges application of every DataMsg from the ack's receiver
+// with sequence number <= Seq (cumulative) in the given stream Epoch.
+// Senders ignore acks for epochs they are not running — a stale ack from
+// before a restart must not drop entries of the new stream. Acks are
+// best-effort: a lost ack merely causes a retransmission, which the
+// destination re-acks.
+type AckMsg struct {
+	Epoch uint64
+	Seq   uint64
+}
+
 // ControlKind enumerates control messages.
 type ControlKind uint8
 
@@ -96,6 +127,8 @@ type Payload interface {
 func (FactsMsg) payload()      {}
 func (DelegationMsg) payload() {}
 func (ControlMsg) payload()    {}
+func (DataMsg) payload()       {}
+func (AckMsg) payload()        {}
 
 // Envelope wraps a payload with routing metadata. Seq is a per-sender
 // sequence number; transports deliver envelopes from one sender in Seq
@@ -116,6 +149,8 @@ func init() {
 	gob.Register(FactsMsg{})
 	gob.Register(DelegationMsg{})
 	gob.Register(ControlMsg{})
+	gob.Register(DataMsg{})
+	gob.Register(AckMsg{})
 }
 
 // Encode serializes an envelope with gob.
@@ -134,4 +169,27 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 		return Envelope{}, fmt.Errorf("protocol: decoding envelope: %w", err)
 	}
 	return env, nil
+}
+
+// payloadBox adapts a bare Payload to gob's interface encoding.
+type payloadBox struct {
+	Msg Payload
+}
+
+// EncodePayload serializes a bare payload (outbox persistence).
+func EncodePayload(p Payload) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&payloadBox{Msg: p}); err != nil {
+		return nil, fmt.Errorf("protocol: encoding payload: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload deserializes a payload produced by EncodePayload.
+func DecodePayload(b []byte) (Payload, error) {
+	var box payloadBox
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&box); err != nil {
+		return nil, fmt.Errorf("protocol: decoding payload: %w", err)
+	}
+	return box.Msg, nil
 }

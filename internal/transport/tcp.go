@@ -42,7 +42,9 @@ var _ Endpoint = (*TCPEndpoint)(nil)
 
 type tcpConn struct {
 	c net.Conn
-	w *bufio.Writer
+
+	mu sync.Mutex // serializes writers on this link
+	w  *bufio.Writer
 }
 
 // ListenTCP starts a TCP endpoint for peer name on addr (e.g. ":7001" or
@@ -106,6 +108,15 @@ func (e *TCPEndpoint) AddPeer(name, addr string) {
 			delete(e.conns, name)
 		}
 	}
+}
+
+// CanRoute reports whether the directory has a dial address for the peer
+// (implements Router).
+func (e *TCPEndpoint) CanRoute(to string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.directory[to]
+	return ok
 }
 
 // Peers returns the names in the directory.
@@ -204,24 +215,42 @@ func writeFrame(w *bufio.Writer, env protocol.Envelope) error {
 
 func (e *TCPEndpoint) link(ctx context.Context, to string) (*tcpConn, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return nil, ErrClosed
 	}
 	if conn, ok := e.conns[to]; ok {
+		e.mu.Unlock()
 		return conn, nil
 	}
 	addr, ok := e.directory[to]
+	e.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, to)
 	}
+	// Dial outside the endpoint lock: a slow or black-holed destination must
+	// not stall sends to other peers (or Drain/Pending) for up to
+	// DialTimeout.
 	d := net.Dialer{Timeout: e.DialTimeout}
 	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dialing %s at %s: %w", to, addr, err)
 	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		c.Close()
+		return nil, ErrClosed
+	}
+	if cur, ok := e.conns[to]; ok {
+		// Lost a dial race; use the established link.
+		e.mu.Unlock()
+		c.Close()
+		return cur, nil
+	}
 	conn := &tcpConn{c: c, w: bufio.NewWriter(c)}
 	e.conns[to] = conn
+	e.mu.Unlock()
 	return conn, nil
 }
 
@@ -260,15 +289,16 @@ func (e *TCPEndpoint) Send(ctx context.Context, to string, msg protocol.Payload)
 		if err != nil {
 			return err
 		}
-		// Serialize writers on the same link.
-		e.mu.Lock()
+		// Serialize writers on the same link only: concurrent sends to
+		// different destinations proceed independently.
+		conn.mu.Lock()
 		if deadline, ok := ctx.Deadline(); ok {
 			conn.c.SetWriteDeadline(deadline)
 		} else {
 			conn.c.SetWriteDeadline(time.Time{})
 		}
 		err = writeFrame(conn.w, env)
-		e.mu.Unlock()
+		conn.mu.Unlock()
 		if err == nil {
 			return nil
 		}

@@ -42,6 +42,15 @@ type Endpoint interface {
 	Close() error
 }
 
+// Router is optionally implemented by endpoints that can cheaply answer
+// whether a destination is currently routable (attached to the bus, present
+// in the TCP dial directory). The peer layer uses it to fail API-level
+// updates to unknown peers synchronously instead of queueing them in the
+// outbox forever. Endpoints without it are assumed to route everything.
+type Router interface {
+	CanRoute(to string) bool
+}
+
 // Stats aggregates transport counters for benchmarks and monitoring.
 type Stats struct {
 	MessagesSent      uint64
@@ -126,6 +135,15 @@ var _ Endpoint = (*BusEndpoint)(nil)
 
 // Name returns the endpoint's peer name.
 func (n *BusEndpoint) Name() string { return n.name }
+
+// CanRoute reports whether a peer with the given name has attached to the
+// bus (implements Router).
+func (n *BusEndpoint) CanRoute(to string) bool {
+	n.bus.mu.Lock()
+	defer n.bus.mu.Unlock()
+	_, ok := n.bus.nodes[to]
+	return ok
+}
 
 // Send enqueues msg for peer to. It fails if to has never attached to the
 // bus, so misrouted names surface as errors rather than silent drops.
