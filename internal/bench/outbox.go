@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/peer"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// OutboxLatencyResult measures experiment P7a: stage commit latency with a
+// slow destination link. The outbox decouples the two — EmitAvg must stay
+// in microseconds while E2EAvg tracks the injected RTT.
+type OutboxLatencyResult struct {
+	Updates int
+	RTT     time.Duration
+	// EmitAvg is the mean stage emit step (enqueue-only under the outbox).
+	EmitAvg time.Duration
+	// StageAvg is the mean full stage latency at the sender.
+	StageAvg time.Duration
+	// E2EAvg is the mean insert-to-converged latency at the receiver.
+	E2EAvg time.Duration
+}
+
+// RunOutboxLatency drives single-fact updates from a sender to a maintained
+// remote view across a link with the given injected RTT, measuring how long
+// the sender's stage takes (commit path) versus how long the update takes
+// to appear at the receiver (delivery path).
+func RunOutboxLatency(updates int, rtt time.Duration) (OutboxLatencyResult, error) {
+	n := peer.NewNetwork()
+	slow := transport.Faulty(n.Bus().Endpoint("sender"), transport.FaultConfig{Latency: rtt})
+	sender, err := peer.New(peer.Config{Name: "sender"}, slow)
+	if err != nil {
+		return OutboxLatencyResult{}, err
+	}
+	defer sender.Close()
+	n.Add(sender)
+	rcv, err := n.NewPeer(peer.Config{Name: "rcv"})
+	if err != nil {
+		return OutboxLatencyResult{}, err
+	}
+	defer rcv.Close()
+	if err := rcv.DeclareRelation("view", ast.Intensional, "id"); err != nil {
+		return OutboxLatencyResult{}, err
+	}
+	if err := sender.LoadSource(`
+		relation extensional src@sender(id);
+		view@rcv($id) :- src@sender($id);
+	`); err != nil {
+		return OutboxLatencyResult{}, err
+	}
+	sender.RunStage()
+
+	var emit, stage, e2e time.Duration
+	for i := 0; i < updates; i++ {
+		if err := sender.Insert(ast.NewFact("src", "sender", value.Int(int64(i)))); err != nil {
+			return OutboxLatencyResult{}, err
+		}
+		start := time.Now()
+		rep := sender.RunStage()
+		stage += rep.Duration()
+		emit += rep.Emit
+		want := i + 1
+		deadline := time.Now().Add(10*time.Second + 4*rtt)
+		for len(rcv.Query("view")) < want {
+			if time.Now().After(deadline) {
+				return OutboxLatencyResult{}, fmt.Errorf("update %d never reached the receiver", i)
+			}
+			if rcv.HasWork() {
+				rcv.RunStage()
+			}
+			if sender.HasWork() {
+				sender.RunStage() // ack processing (skipped stages)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		e2e += time.Since(start)
+		// Settle the ack so the next round starts clean.
+		for sender.HasWork() {
+			sender.RunStage()
+		}
+	}
+	u := time.Duration(updates)
+	return OutboxLatencyResult{
+		Updates:  updates,
+		RTT:      rtt,
+		EmitAvg:  emit / u,
+		StageAvg: stage / u,
+		E2EAvg:   e2e / u,
+	}, nil
+}
+
+// FaultConvergenceResult measures experiment P7b: convergence of a
+// maintained remote view over a faulty link.
+type FaultConvergenceResult struct {
+	Ops       int
+	Converged bool
+	Duration  time.Duration
+	// Delivery work the faults induced.
+	Enqueued    uint64
+	Retransmits uint64
+	SendErrors  uint64
+	Faults      transport.FaultStats
+}
+
+// RunFaultConvergence applies a seeded random insert/delete stream to a
+// base relation feeding a maintained remote view, with both links injecting
+// the given faults, and reports whether (and how fast) the receiver
+// converged to exactly the sender's final contents.
+func RunFaultConvergence(ops int, cfg transport.FaultConfig) (FaultConvergenceResult, error) {
+	n := peer.NewNetwork()
+	tune := peer.Config{OutboxAckTimeout: 10 * time.Millisecond, OutboxBackoff: 2 * time.Millisecond}
+	fa := transport.Faulty(n.Bus().Endpoint("a"), cfg)
+	acfg := tune
+	acfg.Name = "a"
+	a, err := peer.New(acfg, fa)
+	if err != nil {
+		return FaultConvergenceResult{}, err
+	}
+	defer a.Close()
+	n.Add(a)
+	bcfgFault := cfg
+	bcfgFault.Seed = cfg.Seed + 1
+	fb := transport.Faulty(n.Bus().Endpoint("b"), bcfgFault)
+	bcfg := tune
+	bcfg.Name = "b"
+	b, err := peer.New(bcfg, fb)
+	if err != nil {
+		return FaultConvergenceResult{}, err
+	}
+	defer b.Close()
+	n.Add(b)
+
+	if err := a.LoadSource(`
+		relation extensional src@a(x);
+		view@b($x) :- src@a($x);
+	`); err != nil {
+		return FaultConvergenceResult{}, err
+	}
+	if err := b.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+		return FaultConvergenceResult{}, err
+	}
+
+	driveAll := func() {
+		for _, p := range []*peer.Peer{a, b} {
+			if p.HasWork() {
+				p.RunStage()
+			}
+		}
+	}
+
+	start := time.Now()
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	present := map[int64]bool{}
+	for i := 0; i < ops; i++ {
+		k := rng.Int63n(10)
+		var err error
+		if present[k] {
+			err = a.Delete(ast.NewFact("src", "a", value.Int(k)))
+		} else {
+			err = a.Insert(ast.NewFact("src", "a", value.Int(k)))
+		}
+		if err != nil {
+			return FaultConvergenceResult{}, err
+		}
+		present[k] = !present[k]
+		driveAll()
+	}
+	var want []value.Tuple
+	for k, in := range present {
+		if in {
+			want = append(want, value.Tuple{value.Int(k)})
+		}
+	}
+	value.SortTuples(want)
+	expected := fmt.Sprint(want)
+
+	converged := false
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		driveAll()
+		if fmt.Sprint(b.Query("view")) == expected {
+			converged = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := a.Stats()
+	return FaultConvergenceResult{
+		Ops:         ops,
+		Converged:   converged,
+		Duration:    time.Since(start),
+		Enqueued:    st.OutboxEnqueued,
+		Retransmits: st.OutboxRetransmits,
+		SendErrors:  st.OutboxSendErrors,
+		Faults:      fa.Stats(),
+	}, nil
+}
