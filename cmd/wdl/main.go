@@ -284,8 +284,9 @@ func repl(p *peer.Peer) {
 			}
 		case line == "stats":
 			s := p.Stats()
-			fmt.Printf("stages=%d skipped=%d derived=%d facts_in=%d facts_out=%d delegations_in=%d delegations_out=%d withdrawals=%d\n",
-				s.Stages, s.StagesSkipped, s.Derived, s.FactsIn, s.FactsOut, s.DelegationsIn, s.DelegationsOut, s.Withdrawals)
+			fmt.Printf("stages=%d skipped=%d derived=%d facts_in=%d facts_out=%d delegations_in=%d delegations_out=%d withdrawals=%d resync_requested=%d resync_snapshots=%d\n",
+				s.Stages, s.StagesSkipped, s.Derived, s.FactsIn, s.FactsOut, s.DelegationsIn, s.DelegationsOut, s.Withdrawals,
+				s.ResyncRequested, s.ResyncSnapshots)
 		default:
 			fmt.Println("unknown command; try: +FACT -FACT rule drop dump rules pending accept reject stats quit")
 		}

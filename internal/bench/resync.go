@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/peer"
+	"repro/internal/protocol"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// ResyncResult measures experiment P8: recovery of a restarted volatile
+// receiver via anti-entropy resync, and the steady-state cost of the digest
+// protocol versus naively re-sending the full view every period.
+type ResyncResult struct {
+	Ops          int
+	FixpointRows int  // rows of the fault-free fixpoint view
+	Recovered    bool // receiver contents equal the fixpoint after restart
+	RowsAfter    int  // rows at the receiver when the run ended
+	RecoveryTime time.Duration
+
+	// Resync work actually performed.
+	Requests  uint64 // resync requests the receiver sent
+	Snapshots uint64 // repair snapshots the sender served
+
+	// Steady-state anti-entropy cost per period on an *unchanged* view:
+	// what one digest advert costs on the wire versus what naively
+	// re-sending the whole maintained view would cost.
+	DigestBytes   int
+	SnapshotBytes int
+}
+
+// resyncBenchInterval paces the anti-entropy adverts fast enough for a
+// bench run.
+const resyncBenchInterval = 25 * time.Millisecond
+
+// RunReceiverRestart drives a seeded random insert/delete stream into a
+// maintained remote view, converges, kills and restarts the volatile
+// receiver, and — with no further sender-side change — reports whether the
+// receiver recovered the fault-free fixpoint. With resync disabled
+// (the pre-anti-entropy behavior) the run must end diverged: nothing ever
+// re-teaches the restarted receiver.
+func RunReceiverRestart(ops int, resync bool) (ResyncResult, error) {
+	interval := resyncBenchInterval
+	if !resync {
+		interval = -1
+	}
+	n := peer.NewNetwork()
+	mkPeer := func(name string) (*peer.Peer, error) {
+		p, err := peer.New(peer.Config{
+			Name:             name,
+			OutboxAckTimeout: 10 * time.Millisecond,
+			OutboxBackoff:    2 * time.Millisecond,
+			ResyncInterval:   interval,
+		}, n.Bus().Endpoint(name))
+		if err != nil {
+			return nil, err
+		}
+		n.Add(p)
+		return p, nil
+	}
+	a, err := mkPeer("a")
+	if err != nil {
+		return ResyncResult{}, err
+	}
+	defer a.Close()
+	if err := a.LoadSource(`
+		relation extensional src@a(x);
+		view@b($x) :- src@a($x);
+	`); err != nil {
+		return ResyncResult{}, err
+	}
+	b, err := mkPeer("b")
+	if err != nil {
+		return ResyncResult{}, err
+	}
+	if err := b.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+		return ResyncResult{}, err
+	}
+
+	driveAll := func(ps ...*peer.Peer) {
+		for _, p := range ps {
+			if p.HasWork() {
+				p.RunStage()
+			}
+		}
+	}
+	until := func(ps []*peer.Peer, deadline time.Duration, done func() bool) bool {
+		end := time.Now().Add(deadline)
+		for time.Now().Before(end) {
+			driveAll(ps...)
+			if done() {
+				return true
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+		return false
+	}
+
+	// Seeded random update stream; the final present-set is the fixpoint.
+	rng := rand.New(rand.NewSource(20130819))
+	present := map[int64]bool{}
+	for i := 0; i < ops; i++ {
+		k := rng.Int63n(32)
+		var err error
+		if present[k] {
+			err = a.Delete(ast.NewFact("src", "a", value.Int(k)))
+		} else {
+			err = a.Insert(ast.NewFact("src", "a", value.Int(k)))
+		}
+		if err != nil {
+			return ResyncResult{}, err
+		}
+		present[k] = !present[k]
+		driveAll(a, b)
+	}
+	var want []value.Tuple
+	for k, in := range present {
+		if in {
+			want = append(want, value.Tuple{value.Int(k)})
+		}
+	}
+	value.SortTuples(want)
+	res := ResyncResult{Ops: ops, FixpointRows: len(want)}
+
+	// The fault-free fixpoint, as an O(1)-comparable content digest: the
+	// same incrementally maintained fold the receiver's view relation keeps
+	// (store.Relation.Digest), so every convergence poll is a constant-time
+	// compare instead of a sort.
+	var wantDig store.Digest
+	for _, t := range want {
+		wantDig.Add(t.Key())
+	}
+	atFixpoint := func(p *peer.Peer) bool {
+		return p.Store().Get("view", "b").Digest() == wantDig
+	}
+
+	if !until([]*peer.Peer{a, b}, 30*time.Second, func() bool { return atFixpoint(b) }) {
+		return res, fmt.Errorf("p8: pre-crash convergence failed: %v", b.Query("view"))
+	}
+	// Drain every in-flight ack so the crash leaves no retransmission that
+	// would repair the stream as a side effect — the scenario under test is
+	// the idle sender.
+	if !until([]*peer.Peer{a, b}, 10*time.Second, func() bool {
+		total, _ := a.OutboxPending()
+		return total == 0
+	}) {
+		return res, fmt.Errorf("p8: sender outbox never drained")
+	}
+
+	// Steady-state anti-entropy cost on the (now unchanged) view: one
+	// digest advert versus one naive full re-send of the same view.
+	snap := protocol.SnapshotMsg{}
+	for _, t := range want {
+		snap.Ops = append(snap.Ops, protocol.FactDelta{Maint: true, Fact: ast.Fact{Rel: "view", Peer: "b", Args: t}})
+	}
+	advert := protocol.DigestMsg{
+		Epoch:   1,
+		AsOfSeq: uint64(ops),
+		Rels:    map[string]protocol.RelDigest{"view@b": {Hash: wantDig.Hash, Count: wantDig.Count}},
+	}
+	db, err := protocol.EncodePayload(advert)
+	if err != nil {
+		return res, err
+	}
+	sb, err := protocol.EncodePayload(snap)
+	if err != nil {
+		return res, err
+	}
+	res.DigestBytes, res.SnapshotBytes = len(db), len(sb)
+
+	// Kill the receiver; bring up a fresh volatile incarnation. The sender
+	// changes nothing from here on.
+	if err := b.Close(); err != nil {
+		return res, err
+	}
+	b2, err := mkPeer("b")
+	if err != nil {
+		return res, err
+	}
+	defer b2.Close()
+	if err := b2.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+		return res, err
+	}
+
+	start := time.Now()
+	if resync {
+		res.Recovered = until([]*peer.Peer{a, b2}, 30*time.Second, func() bool { return atFixpoint(b2) })
+		res.RecoveryTime = time.Since(start)
+	} else {
+		// Generous grace period: prove that no mechanism kicks in.
+		until([]*peer.Peer{a, b2}, 400*time.Millisecond, func() bool { return false })
+		res.Recovered = atFixpoint(b2)
+	}
+	res.RowsAfter = len(b2.Query("view"))
+	res.Requests = b2.Stats().ResyncRequested
+	res.Snapshots = a.Stats().ResyncSnapshots
+	return res, nil
+}

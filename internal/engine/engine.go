@@ -112,8 +112,8 @@ type Result struct {
 	// maintained inserts for newly derived facts, maintained deletes for
 	// facts whose last derivation disappeared, and pass-through one-shot
 	// deletion-rule updates. Populated by RunStageIncremental and
-	// RunStageFull (which maintain the engine's per-destination remote
-	// view), not by bare RunStage.
+	// RunStageFull (which maintain the caller's RemoteView), not by bare
+	// RunStage.
 	RemoteOut map[string][]RemoteOp
 	// Views maps "rel@peer" to the net change an incremental stage made to
 	// that materialized local view. Populated only by RunStageIncremental;
@@ -149,16 +149,13 @@ func (r *Result) RemotePeers() []string {
 }
 
 // Engine evaluates compiled programs against a store on behalf of a peer.
+// The maintained per-destination remote view is not engine state: the
+// caller owns it (peer session layer) as a RemoteView and passes it to
+// RunStageFull / RunStageIncremental.
 type Engine struct {
 	local string
 	db    *store.Store
 	opts  Options
-
-	// remoteView is the maintained per-destination image of every fact the
-	// program currently derives for remote peers (Derive-op heads only).
-	// RunStageIncremental and RunStageFull diff each stage's emission set
-	// against it to produce Result.RemoteOut.
-	remoteView map[string]map[string]ast.Fact
 }
 
 // New creates an engine for the peer named local over db.

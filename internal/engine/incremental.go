@@ -221,8 +221,9 @@ func (e *Engine) classify(prog *Program) {
 // incrementally maintainable. It clears the intensional relations, re-seeds
 // the externally supported and transient tuples the caller passes in, runs
 // the ordinary fixpoint, and diffs the remote emission set against the
-// maintained remote view so that Result.RemoteOut still carries deltas.
-func (e *Engine) RunStageFull(prog *Program, seeds map[string][]value.Tuple) *Result {
+// caller's maintained remote view so that Result.RemoteOut still carries
+// deltas.
+func (e *Engine) RunStageFull(prog *Program, seeds map[string][]value.Tuple, rv *RemoteView) *Result {
 	e.db.ClearIntensional()
 	for relID, ts := range seeds {
 		rel := relByID(e.db, relID)
@@ -241,7 +242,7 @@ func (e *Engine) RunStageFull(prog *Program, seeds map[string][]value.Tuple) *Re
 	} else {
 		res = &Result{Remote: map[string][]FactOp{}, Delegations: map[string]map[string][]ast.Rule{}}
 	}
-	res.RemoteOut = e.diffRemote(res.Remote)
+	res.RemoteOut = rv.Diff(res.Remote)
 	return res
 }
 
@@ -251,8 +252,9 @@ func (e *Engine) RunStageFull(prog *Program, seeds map[string][]value.Tuple) *Re
 // view rules over the accumulated insertions, and (3) evaluates the event
 // rules in full, cascading any local derivations they add back through the
 // view rules. The caller must have run a full stage for this program before
-// (the views must be materialized and consistent).
-func (e *Engine) RunStageIncremental(prog *Program, in *StageInput) *Result {
+// (the views must be materialized and consistent), and passes the same
+// maintained remote view it passed there.
+func (e *Engine) RunStageIncremental(prog *Program, in *StageInput, rv *RemoteView) *Result {
 	st := newStageState()
 	ic := &incrState{
 		in:       in,
@@ -375,7 +377,7 @@ func (e *Engine) RunStageIncremental(prog *Program, in *StageInput) *Result {
 	if len(views) > 0 {
 		st.out.Views = views
 	}
-	st.out.RemoteOut = e.diffRemote(st.out.Remote)
+	st.out.RemoteOut = rv.Diff(st.out.Remote)
 	return st.out
 }
 
@@ -769,72 +771,6 @@ func (e *Engine) produceDelete(cr *CompiledRule, env []value.Value, st *stageSta
 	ic.ghost(relID, t)
 	ic.mark(relID, t)
 	ic.frontier[relID] = append(ic.frontier[relID], t)
-}
-
-// diffRemote diffs the stage's full Derive-op emission set against the
-// maintained remote view: newly derived facts ship as maintained inserts,
-// facts no longer derived as maintained deletes, and explicit deletion-rule
-// emissions pass through unchanged. The remote view is updated in place.
-func (e *Engine) diffRemote(remote map[string][]FactOp) map[string][]RemoteOp {
-	out := map[string][]RemoteOp{}
-	cur := map[string]map[string]ast.Fact{}
-	oneShotDel := map[string]map[string]bool{}
-	for dst, ops := range remote {
-		for _, op := range ops {
-			if op.Op == ast.Delete {
-				out[dst] = append(out[dst], RemoteOp{Op: ast.Delete, Fact: op.Fact})
-				if oneShotDel[dst] == nil {
-					oneShotDel[dst] = map[string]bool{}
-				}
-				oneShotDel[dst][op.Fact.Key()] = true
-				continue
-			}
-			m := cur[dst]
-			if m == nil {
-				m = map[string]ast.Fact{}
-				cur[dst] = m
-			}
-			key := op.Fact.Key()
-			m[key] = op.Fact
-			if _, had := e.remoteView[dst][key]; !had {
-				out[dst] = append(out[dst], RemoteOp{Op: ast.Derive, Maint: true, Fact: op.Fact})
-			}
-		}
-	}
-	// A one-shot deletion-rule emission undoes the fact at the receiver, so
-	// it must leave the maintained view too: if the fact is still derived,
-	// the next stage re-ships it as a maintained insert (the paper's
-	// continuous-update semantics, one stage later), instead of the view
-	// silently claiming the receiver still has it.
-	for dst, keys := range oneShotDel {
-		for key := range keys {
-			delete(cur[dst], key)
-		}
-	}
-	for dst, facts := range e.remoteView {
-		for key, f := range facts {
-			if _, still := cur[dst][key]; !still {
-				out[dst] = append(out[dst], RemoteOp{Op: ast.Delete, Maint: true, Fact: f})
-			}
-		}
-	}
-	if e.remoteView == nil {
-		e.remoteView = map[string]map[string]ast.Fact{}
-	}
-	for dst := range e.remoteView {
-		if len(cur[dst]) == 0 {
-			delete(e.remoteView, dst)
-		}
-	}
-	for dst, m := range cur {
-		if len(m) > 0 { // don't re-install emptied destinations
-			e.remoteView[dst] = m
-		}
-	}
-	for _, ops := range out {
-		sortRemoteOps(ops)
-	}
-	return out
 }
 
 // sortRemoteOps orders deletes first, then inserts, each sorted by fact

@@ -17,6 +17,7 @@ type incrHarness struct {
 	e    *Engine
 	db   *store.Store
 	prog *Program
+	rv   *RemoteView
 }
 
 func newIncrHarness(t *testing.T, decls []string, rules []ast.Rule) *incrHarness {
@@ -29,9 +30,10 @@ func newIncrHarness(t *testing.T, decls []string, rules []ast.Rule) *incrHarness
 	if !prog.Incremental {
 		t.Fatalf("program unexpectedly not incrementally maintainable")
 	}
-	res := e.RunStageFull(prog, nil)
+	rv := NewRemoteView()
+	res := e.RunStageFull(prog, nil, rv)
 	checkNoErrors(t, res)
-	return &incrHarness{t: t, e: e, db: db, prog: prog}
+	return &incrHarness{t: t, e: e, db: db, prog: prog, rv: rv}
 }
 
 // step applies the given extensional inserts/deletes and runs one
@@ -53,7 +55,7 @@ func (h *incrHarness) step(ins, del []ast.Fact) *Result {
 			in.Del[f.Rel+"@"+f.Peer] = append(in.Del[f.Rel+"@"+f.Peer], f.Args)
 		}
 	}
-	res := h.e.RunStageIncremental(h.prog, in)
+	res := h.e.RunStageIncremental(h.prog, in, h.rv)
 	checkNoErrors(h.t, res)
 	h.checkViewDeltas(before, res)
 	return res
@@ -233,7 +235,7 @@ func TestCandidateWithLocalDerivationSurvives(t *testing.T) {
 
 	// Support lost, but base(1) still derives v(1): the candidate survives.
 	in := &StageInput{Cand: map[string][]value.Tuple{"v@local": {{value.Int(1)}}}}
-	res := h.e.RunStageIncremental(h.prog, in)
+	res := h.e.RunStageIncremental(h.prog, in, h.rv)
 	checkNoErrors(t, res)
 	if res.Retracted != 0 {
 		t.Errorf("retracted %d, want 0: the local derivation still stands", res.Retracted)
@@ -246,7 +248,7 @@ func TestCandidateWithLocalDerivationSurvives(t *testing.T) {
 	h.step(nil, []ast.Fact{ast.NewFact("base", "local", value.Int(1))})
 	h.db.Get("v", "local").Insert(value.Tuple{value.Int(1)}) // simulate a lingering seeded tuple
 	in = &StageInput{Cand: map[string][]value.Tuple{"v@local": {{value.Int(1)}}}}
-	res = h.e.RunStageIncremental(h.prog, in)
+	res = h.e.RunStageIncremental(h.prog, in, h.rv)
 	checkNoErrors(t, res)
 	if got := relContents(h.db, "v", "local"); len(got) != 0 {
 		t.Errorf("v = %v, want empty after the last support is gone", got)
@@ -284,7 +286,7 @@ func TestRestoredTupleReDeletedInLaterStratum(t *testing.T) {
 		Del:  map[string][]value.Tuple{"e@local": {tup}},
 		Cand: map[string][]value.Tuple{"top@local": {tup}},
 	}
-	res := h.e.RunStageIncremental(h.prog, in)
+	res := h.e.RunStageIncremental(h.prog, in, h.rv)
 	checkNoErrors(t, res)
 	for _, rel := range []string{"mid", "mid2", "top"} {
 		if got := relContents(h.db, rel, "local"); len(got) != 0 {
@@ -310,7 +312,7 @@ func TestSameStageSeedAndCandidateNetsOut(t *testing.T) {
 		Ins:  map[string][]value.Tuple{"base@local": {tup}},
 		Cand: map[string][]value.Tuple{"base@local": {tup}},
 	}
-	res := h.e.RunStageIncremental(h.prog, in)
+	res := h.e.RunStageIncremental(h.prog, in, h.rv)
 	checkNoErrors(t, res)
 	if got := relContents(h.db, "base", "local"); len(got) != 0 {
 		t.Errorf("base = %v, want empty", got)
@@ -333,7 +335,8 @@ func TestOneShotRemoteDeleteEvictsRemoteView(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.Get("a", "local").Insert(value.Tuple{value.Str("x")})
-	res := e.RunStageFull(prog, nil)
+	rv := NewRemoteView()
+	res := e.RunStageFull(prog, nil, rv)
 	if got := res.RemoteOut["q"]; len(got) != 1 || got[0].Op != ast.Derive {
 		t.Fatalf("stage 1 RemoteOut = %v, want one maintained insert", got)
 	}
@@ -343,7 +346,7 @@ func TestOneShotRemoteDeleteEvictsRemoteView(t *testing.T) {
 	db.Get("trigger", "local").Insert(value.Tuple{value.Str("x")})
 	res = e.RunStageIncremental(prog, &StageInput{
 		Ins: map[string][]value.Tuple{"trigger@local": {{value.Str("x")}}},
-	})
+	}, rv)
 	sawOneShot := false
 	for _, op := range res.RemoteOut["q"] {
 		if op.Op == ast.Delete && !op.Maint {
@@ -359,7 +362,7 @@ func TestOneShotRemoteDeleteEvictsRemoteView(t *testing.T) {
 	db.Get("trigger", "local").Delete(value.Tuple{value.Str("x")})
 	res = e.RunStageIncremental(prog, &StageInput{
 		Del: map[string][]value.Tuple{"trigger@local": {{value.Str("x")}}},
-	})
+	}, rv)
 	sawInsert := false
 	for _, op := range res.RemoteOut["q"] {
 		if op.Op == ast.Derive && op.Maint {
@@ -382,13 +385,14 @@ func TestIncrementalRemoteDiff(t *testing.T) {
 	}
 	src := db.Get("src", "local")
 	src.Insert(value.Tuple{value.Str("v1")})
-	res := e.RunStageFull(prog, nil)
+	rv := NewRemoteView()
+	res := e.RunStageFull(prog, nil, rv)
 	if got := res.RemoteOut["remote"]; len(got) != 1 || got[0].Op != ast.Derive || !got[0].Maint {
 		t.Fatalf("first stage RemoteOut = %v, want one maintained insert", got)
 	}
 
 	// Unchanged stage: no remote traffic.
-	res = e.RunStageIncremental(prog, &StageInput{})
+	res = e.RunStageIncremental(prog, &StageInput{}, rv)
 	if got := res.RemoteOut["remote"]; len(got) != 0 {
 		t.Fatalf("quiescent RemoteOut = %v, want empty", got)
 	}
@@ -397,7 +401,7 @@ func TestIncrementalRemoteDiff(t *testing.T) {
 	src.Insert(value.Tuple{value.Str("v2")})
 	res = e.RunStageIncremental(prog, &StageInput{
 		Ins: map[string][]value.Tuple{"src@local": {{value.Str("v2")}}},
-	})
+	}, rv)
 	if got := res.RemoteOut["remote"]; len(got) != 1 || got[0].Fact.Args[0].StringVal() != "v2" {
 		t.Fatalf("RemoteOut after insert = %v, want one insert of v2", got)
 	}
@@ -406,7 +410,7 @@ func TestIncrementalRemoteDiff(t *testing.T) {
 	src.Delete(value.Tuple{value.Str("v1")})
 	res = e.RunStageIncremental(prog, &StageInput{
 		Del: map[string][]value.Tuple{"src@local": {{value.Str("v1")}}},
-	})
+	}, rv)
 	got := res.RemoteOut["remote"]
 	if len(got) != 1 || got[0].Op != ast.Delete || !got[0].Maint || got[0].Fact.Args[0].StringVal() != "v1" {
 		t.Fatalf("RemoteOut after delete = %v, want one maintained delete of v1", got)
@@ -441,7 +445,8 @@ func TestIncrementalEquivalentToRecomputeOnRandomSequences(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: compile: %v", trial, err)
 		}
-		res := e.RunStageFull(prog, nil)
+		rv := NewRemoteView()
+		res := e.RunStageFull(prog, nil, rv)
 		if len(res.Errors) > 0 {
 			t.Fatalf("trial %d: %v", trial, res.Errors)
 		}
@@ -469,7 +474,7 @@ func TestIncrementalEquivalentToRecomputeOnRandomSequences(t *testing.T) {
 					live[t0.Key()] = t0
 				}
 			}
-			res := e.RunStageIncremental(prog, in)
+			res := e.RunStageIncremental(prog, in, rv)
 			if len(res.Errors) > 0 {
 				t.Fatalf("trial %d step %d: %v", trial, step, res.Errors)
 			}

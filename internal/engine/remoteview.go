@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/store"
+)
+
+// RemoteView is the maintained per-destination image of every fact a peer's
+// program currently derives for remote peers (Derive-op heads only). It used
+// to be a private field of the Engine; it is now owned by the peer's
+// outbound session layer — it is per-(sender, receiver) stream state, the
+// thing a resync snapshot replays — and passed into RunStageFull /
+// RunStageIncremental, which diff each stage's emission set against it to
+// produce Result.RemoteOut.
+//
+// Alongside the facts, the view keeps per-destination, per-relation digests
+// (store.Digest) of the maintained sets, rebuilt only for destinations whose
+// view actually changed in a stage, so advertising a digest at resync time
+// walks no tuples.
+//
+// A RemoteView is not safe for concurrent use; the peer accesses it under
+// its own lock (stages and resync handling are both serialized there).
+type RemoteView struct {
+	views   map[string]map[string]ast.Fact     // dst -> fact key -> fact
+	digests map[string]map[string]store.Digest // dst -> relID at dst -> digest
+}
+
+// NewRemoteView returns an empty maintained view.
+func NewRemoteView() *RemoteView {
+	return &RemoteView{
+		views:   map[string]map[string]ast.Fact{},
+		digests: map[string]map[string]store.Digest{},
+	}
+}
+
+// Digests returns a copy of the per-relation digests of the facts maintained
+// at dst, empty when nothing is maintained there. O(#relations): the digests
+// themselves are maintained as the view changes.
+func (v *RemoteView) Digests(dst string) map[string]store.Digest {
+	src := v.digests[dst]
+	if len(src) == 0 {
+		return nil
+	}
+	out := make(map[string]store.Digest, len(src))
+	for relID, d := range src {
+		out[relID] = d
+	}
+	return out
+}
+
+// SnapshotFacts returns every fact maintained at dst, sorted by key — the
+// consistent content of a resync snapshot. The slice is the caller's.
+func (v *RemoteView) SnapshotFacts(dst string) []ast.Fact {
+	m := v.views[dst]
+	out := make([]ast.Fact, 0, len(m))
+	for _, f := range m {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Diff diffs one stage's full Derive-op emission set against the maintained
+// view: newly derived facts ship as maintained inserts, facts no longer
+// derived as maintained deletes, and explicit deletion-rule emissions pass
+// through unchanged. The view (and its digests) are updated in place.
+func (v *RemoteView) Diff(remote map[string][]FactOp) map[string][]RemoteOp {
+	out := map[string][]RemoteOp{}
+	cur := map[string]map[string]ast.Fact{}
+	oneShotDel := map[string]map[string]bool{}
+	for dst, ops := range remote {
+		for _, op := range ops {
+			if op.Op == ast.Delete {
+				out[dst] = append(out[dst], RemoteOp{Op: ast.Delete, Fact: op.Fact})
+				if oneShotDel[dst] == nil {
+					oneShotDel[dst] = map[string]bool{}
+				}
+				oneShotDel[dst][op.Fact.Key()] = true
+				continue
+			}
+			m := cur[dst]
+			if m == nil {
+				m = map[string]ast.Fact{}
+				cur[dst] = m
+			}
+			key := op.Fact.Key()
+			m[key] = op.Fact
+			if _, had := v.views[dst][key]; !had {
+				out[dst] = append(out[dst], RemoteOp{Op: ast.Derive, Maint: true, Fact: op.Fact})
+			}
+		}
+	}
+	// A one-shot deletion-rule emission undoes the fact at the receiver, so
+	// it must leave the maintained view too: if the fact is still derived,
+	// the next stage re-ships it as a maintained insert (the paper's
+	// continuous-update semantics, one stage later), instead of the view
+	// silently claiming the receiver still has it.
+	for dst, keys := range oneShotDel {
+		for key := range keys {
+			delete(cur[dst], key)
+		}
+	}
+	for dst, facts := range v.views {
+		for key, f := range facts {
+			if _, still := cur[dst][key]; !still {
+				out[dst] = append(out[dst], RemoteOp{Op: ast.Delete, Maint: true, Fact: f})
+			}
+		}
+	}
+	for dst := range v.views {
+		if len(cur[dst]) == 0 {
+			delete(v.views, dst)
+			delete(v.digests, dst)
+		}
+	}
+	for dst, m := range cur {
+		if len(m) == 0 {
+			continue // don't re-install emptied destinations
+		}
+		v.views[dst] = m
+		d := make(map[string]store.Digest, 1)
+		for _, f := range m {
+			relID := f.Rel + "@" + f.Peer
+			rd := d[relID]
+			rd.Add(f.Args.Key())
+			d[relID] = rd
+		}
+		v.digests[dst] = d
+	}
+	for _, ops := range out {
+		sortRemoteOps(ops)
+	}
+	return out
+}

@@ -77,11 +77,14 @@ func (n *Network) NewPeer(cfg Config) (*Peer, error) {
 }
 
 // Add registers an externally-created peer (it must be attached to this
-// network's bus for messages to flow).
+// network's bus for messages to flow). Registering a peer under a name
+// already present replaces the old registration — a restarted peer takes
+// over its name; close the previous instance first.
 func (n *Network) Add(p *Peer) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, dup := n.peers[p.Name()]; dup {
+		n.peers[p.Name()] = p
 		return
 	}
 	n.peers[p.Name()] = p

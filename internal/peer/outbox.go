@@ -20,7 +20,9 @@ import (
 // gives at-least-once delivery with exactly-once application — the
 // correctness obligation that delta shipping (PR 2) created.
 //
-// Two flush modes:
+// Stream state itself — the per-destination epoch, sequence numbers, entry
+// queue, ack floor — lives in sendSession (session.go); the outbox is the
+// delivery engine that creates and drives the sessions. Two flush modes:
 //
 //   - async (the default): one flusher goroutine per destination drains the
 //     queue, retransmits unacked entries after ackTimeout, and backs off
@@ -34,8 +36,10 @@ import (
 //     flush.
 //
 // Entries with a sequence number are retained until acked. Control traffic
-// (acks of the peer's own inbox, pongs) is best-effort: sent after the data
-// flush, dropped on failure (the protocol regenerates it).
+// (acks of the peer's own inbox, pongs, resync requests) is best-effort:
+// sent after the data flush, dropped on failure (the protocol regenerates
+// it). Anti-entropy digest adverts ride the flush cycle too, on a
+// per-session clock (resyncEvery).
 
 // outboxDefaults tuning; tests shrink these for fast fault convergence.
 const (
@@ -49,59 +53,37 @@ const (
 type outEntry struct {
 	seq  uint64
 	msg  protocol.Payload
-	sent bool // transmitted in the current epoch (cleared to retransmit)
+	sent bool // transmitted in the current cycle (cleared to retransmit)
 }
 
-// destQueue is the per-destination delivery state.
-type destQueue struct {
-	dst string
-
-	// enqMu serializes enqueuers across the assign-seq / persist / publish
-	// sequence, so the durable log always records an entry before a flusher
-	// can transmit it and entries publish in sequence order.
-	enqMu sync.Mutex
-
-	mu         sync.Mutex
-	entries    []outEntry // unacked, in sequence order
-	nextSeq    uint64     // last assigned sequence number
-	acked      uint64     // highest cumulative ack received
-	ackEpoch   uint64     // stream epoch of the pending inbound ack
-	pendingAck uint64     // highest inbox seq to acknowledge back to dst (0 = none)
-	controls   []protocol.Payload
-	flushing   bool          // a flusher (goroutine or inline) is mid-send
-	stalled    bool          // the last flush attempt failed
-	backoff    time.Duration // current backoff step (doubles per failure)
-	nextTry    time.Time     // backoff gate for retries after a failure
-
-	wake chan struct{} // one-slot: new work or ack arrived
-}
-
-func (dq *destQueue) signal() {
-	select {
-	case dq.wake <- struct{}{}:
-	default:
-	}
-}
-
-// outbox owns every destination queue of one peer.
+// outbox owns every send session of one peer.
 type outbox struct {
 	ep   transport.Endpoint
 	ctx  context.Context // peer lifetime: cancellation stops flushers and aborts dials
 	sync bool            // Config.SyncEmit: no flusher goroutines
 	logf func(string, ...any)
 
-	// epoch identifies this outbox's message streams (protocol.DataMsg):
-	// random per instance for volatile peers, overridden with the persisted
-	// value for WAL-backed peers. Stale acks (wrong epoch) are ignored.
-	epoch uint64
+	// defaultEpoch is the epoch new streams start in: random per instance
+	// for volatile peers, overridden with the persisted value for WAL-backed
+	// peers. A stream reset (anti-entropy repair) rotates the affected
+	// session away from it.
+	defaultEpoch uint64
 
 	ackTimeout  time.Duration
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
 	sendTimeout time.Duration
 
+	// resyncEvery is the anti-entropy advert period (0 = disabled):
+	// roughly every resyncEvery per destination, the flush cycle asks
+	// onDigest for an advert of the maintained view and sends it
+	// best-effort. The peer's callback returns nil when there is nothing
+	// to advertise.
+	resyncEvery time.Duration
+	onDigest    func(dst string) protocol.Payload
+
 	mu     sync.Mutex
-	queues map[string]*destQueue
+	queues map[string]*sendSession
 	order  []string
 	closed bool
 	wg     sync.WaitGroup
@@ -112,13 +94,14 @@ type outbox struct {
 	// silently drop a durable entry.
 	persistMu sync.RWMutex
 
-	// onEnqueue/onAck, when set, persist outbox transitions (WAL-backed
-	// peers); see store.OutboxLog. onPreFlush runs before a flush cycle
-	// transmits data entries: durable peers sync the log there, off the
-	// stage path, preserving the invariant that a transmitted sequence
-	// number is always recoverable.
+	// onEnqueue/onAck/onReset, when set, persist outbox transitions
+	// (WAL-backed peers); see store.OutboxLog. onPreFlush runs before a
+	// flush cycle transmits data entries: durable peers sync the log there,
+	// off the stage path, preserving the invariant that a transmitted
+	// sequence number is always recoverable.
 	onEnqueue  func(dst string, seq uint64, msg protocol.Payload)
 	onAck      func(dst string, seq uint64)
+	onReset    func(dst string, epoch uint64, entries []outEntry)
 	onPreFlush func() error
 
 	enqueued    atomic.Uint64
@@ -129,16 +112,16 @@ type outbox struct {
 
 func newOutbox(ep transport.Endpoint, ctx context.Context, syncMode bool, logf func(string, ...any)) *outbox {
 	return &outbox{
-		ep:          ep,
-		ctx:         ctx,
-		sync:        syncMode,
-		logf:        logf,
-		epoch:       newEpoch(),
-		ackTimeout:  defaultAckTimeout,
-		baseBackoff: defaultBaseBackoff,
-		maxBackoff:  defaultMaxBackoff,
-		sendTimeout: defaultSendTimeout,
-		queues:      make(map[string]*destQueue),
+		ep:           ep,
+		ctx:          ctx,
+		sync:         syncMode,
+		logf:         logf,
+		defaultEpoch: newEpoch(),
+		ackTimeout:   defaultAckTimeout,
+		baseBackoff:  defaultBaseBackoff,
+		maxBackoff:   defaultMaxBackoff,
+		sendTimeout:  defaultSendTimeout,
+		queues:       make(map[string]*sendSession),
 	}
 }
 
@@ -151,15 +134,20 @@ func newEpoch() uint64 {
 	}
 }
 
-// queue returns (creating if needed) the destination's queue, starting its
-// flusher goroutine in async mode.
-func (o *outbox) queue(dst string) *destQueue {
+// queue returns (creating if needed) the destination's send session,
+// starting its flusher goroutine in async mode.
+func (o *outbox) queue(dst string) *sendSession {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if dq, ok := o.queues[dst]; ok {
 		return dq
 	}
-	dq := &destQueue{dst: dst, wake: make(chan struct{}, 1)}
+	dq := &sendSession{
+		dst:        dst,
+		epoch:      o.defaultEpoch,
+		lastAdvert: time.Now(), // first advert one period after first contact
+		wake:       make(chan struct{}, 1),
+	}
 	o.queues[dst] = dq
 	o.order = append(o.order, dst)
 	if !o.sync && !o.closed {
@@ -169,15 +157,31 @@ func (o *outbox) queue(dst string) *destQueue {
 	return dq
 }
 
-// snapshot returns the queues in creation order.
-func (o *outbox) snapshot() []*destQueue {
+// snapshot returns the sessions in creation order.
+func (o *outbox) snapshot() []*sendSession {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	out := make([]*destQueue, 0, len(o.order))
+	out := make([]*sendSession, 0, len(o.order))
 	for _, dst := range o.order {
 		out = append(out, o.queues[dst])
 	}
 	return out
+}
+
+// streamState returns the current epoch and the highest assigned sequence
+// number of the stream to dst (zeros when no stream exists yet). The peer
+// reads it under its own lock when building a digest advert, so the pair is
+// consistent with the enqueues made so far.
+func (o *outbox) streamState(dst string) (epoch, nextSeq uint64) {
+	o.mu.Lock()
+	dq := o.queues[dst]
+	o.mu.Unlock()
+	if dq == nil {
+		return 0, 0
+	}
+	dq.mu.Lock()
+	defer dq.mu.Unlock()
+	return dq.epoch, dq.nextSeq
 }
 
 // EnqueueData appends a sequenced payload for dst and returns its sequence
@@ -208,6 +212,45 @@ func (o *outbox) EnqueueData(dst string, msg protocol.Payload) uint64 {
 	return seq
 }
 
+// Reset tears down and restarts the stream to dst under a fresh epoch — the
+// anti-entropy repair for a receiver that lost its stream state. The given
+// payload (the resync snapshot) becomes the new sequence 1; surviving
+// pending entries are renumbered behind it (their maintained deltas are
+// already reflected in the snapshot and replay as no-ops; one-shot updates
+// must still be delivered). The destination adopts the fresh epoch at
+// sequence 1 with a fresh watermark. For durable peers onReset re-logs the
+// stream so recovery sees the renumbering, not the superseded entries.
+func (o *outbox) Reset(dst string, first protocol.Payload) {
+	dq := o.queue(dst)
+	dq.enqMu.Lock()
+	o.persistMu.RLock()
+	dq.mu.Lock()
+	dq.epoch = newEpoch()
+	dq.resets++
+	entries := make([]outEntry, 0, len(dq.entries)+1)
+	entries = append(entries, outEntry{seq: 1, msg: first})
+	for _, e := range dq.entries {
+		entries = append(entries, outEntry{seq: uint64(len(entries)) + 1, msg: e.msg})
+	}
+	dq.entries = entries
+	dq.nextSeq = uint64(len(entries))
+	dq.acked = 0
+	dq.stalled = false
+	dq.nextTry = time.Time{}
+	dq.backoff = 0
+	epoch := dq.epoch
+	logged := make([]outEntry, len(entries))
+	copy(logged, entries)
+	dq.mu.Unlock()
+	if o.onReset != nil {
+		o.onReset(dst, epoch, logged)
+	}
+	o.persistMu.RUnlock()
+	dq.enqMu.Unlock()
+	o.enqueued.Add(1)
+	dq.signal()
+}
+
 // EnqueueAck schedules a cumulative acknowledgment of the peer's own inbox
 // back to dst, for the given inbound stream epoch. Acks coalesce: only the
 // highest sequence of the current epoch is kept (a new epoch supersedes).
@@ -224,8 +267,8 @@ func (o *outbox) EnqueueAck(dst string, epoch, seq uint64) {
 	dq.signal()
 }
 
-// EnqueueControl schedules a best-effort unsequenced payload (pong). It is
-// dropped if its send fails.
+// EnqueueControl schedules a best-effort unsequenced payload (pong, resync
+// request). It is dropped if its send fails.
 func (o *outbox) EnqueueControl(dst string, msg protocol.Payload) {
 	dq := o.queue(dst)
 	dq.mu.Lock()
@@ -236,12 +279,10 @@ func (o *outbox) EnqueueControl(dst string, msg protocol.Payload) {
 
 // Ack processes a cumulative acknowledgment from dst: every entry with
 // sequence <= seq is delivered and dropped. Acks for a different epoch are
-// stale (sent for a stream a previous incarnation of this peer ran) and
-// are ignored — they must not drop entries of the current stream.
+// stale (sent for a stream a previous incarnation of this peer — or this
+// stream before a reset — was running) and are ignored: they must not drop
+// entries of the current stream.
 func (o *outbox) Ack(dst string, epoch, seq uint64) {
-	if epoch != o.epoch {
-		return
-	}
 	o.mu.Lock()
 	dq := o.queues[dst]
 	o.mu.Unlock()
@@ -249,6 +290,10 @@ func (o *outbox) Ack(dst string, epoch, seq uint64) {
 		return // ack for nothing we track
 	}
 	dq.mu.Lock()
+	if epoch != dq.epoch {
+		dq.mu.Unlock()
+		return
+	}
 	if seq > dq.acked {
 		dq.acked = seq
 	}
@@ -286,13 +331,28 @@ func (o *outbox) send(dst string, msg protocol.Payload) error {
 	return o.ep.Send(ctx, dst, msg)
 }
 
+// advertDue checks (and, when due, re-arms) the session's anti-entropy
+// advert clock.
+func (o *outbox) advertDue(dq *sendSession) bool {
+	if o.resyncEvery <= 0 || o.onDigest == nil {
+		return false
+	}
+	dq.mu.Lock()
+	defer dq.mu.Unlock()
+	if time.Since(dq.lastAdvert) < o.resyncEvery {
+		return false
+	}
+	dq.lastAdvert = time.Now()
+	return true
+}
+
 // flushQueue pushes everything currently sendable for one destination:
 // unsent data entries in sequence order, then the pending ack, then control
-// messages. Reports whether anything was transmitted, whether a send
-// failed, and whether another flush of the same queue was already in
-// progress (busy — this call did nothing). Respects the queue's backoff
-// gate.
-func (o *outbox) flushQueue(dq *destQueue) (sent, failed, busy bool) {
+// messages, then (when its clock says so) the anti-entropy digest advert.
+// Reports whether anything was transmitted, whether a send failed, and
+// whether another flush of the same queue was already in progress (busy —
+// this call did nothing). Respects the queue's backoff gate.
+func (o *outbox) flushQueue(dq *sendSession) (sent, failed, busy bool) {
 	dq.mu.Lock()
 	if dq.flushing {
 		dq.mu.Unlock()
@@ -319,7 +379,7 @@ func (o *outbox) flushQueue(dq *destQueue) (sent, failed, busy bool) {
 				}
 			}
 			dq.nextTry = time.Now().Add(dq.backoff)
-			// A failure invalidates the epoch: retransmit everything once the
+			// A failure invalidates the cycle: retransmit everything once the
 			// link recovers, oldest first (the receiver dedups replays).
 			for i := range dq.entries {
 				dq.entries[i].sent = false
@@ -339,6 +399,8 @@ func (o *outbox) flushQueue(dq *destQueue) (sent, failed, busy bool) {
 		dq.mu.Lock()
 		var seq uint64
 		var msg protocol.Payload
+		epoch := dq.epoch
+		gen := dq.resets
 		for i := range dq.entries {
 			if !dq.entries[i].sent {
 				seq = dq.entries[i].seq
@@ -387,32 +449,51 @@ func (o *outbox) flushQueue(dq *destQueue) (sent, failed, busy bool) {
 				}
 				sent = true
 			}
+			// Anti-entropy: advertise the maintained view's digests on the
+			// session clock, after everything queued went out (the advert's
+			// AsOfSeq then reflects a fully transmitted stream). Dropped on
+			// failure like any control — the clock repeats it.
+			if o.advertDue(dq) {
+				if adv := o.onDigest(dq.dst); adv != nil {
+					if err := o.send(dq.dst, adv); err != nil {
+						o.sendErrors.Add(1)
+						o.debugf("outbox %s: digest advert send: %v", dq.dst, err)
+						return sent, true, false
+					}
+					sent = true
+				}
+			}
 			return sent, false, false
 		}
 		dq.mu.Unlock()
 
-		if err := o.send(dq.dst, protocol.DataMsg{Epoch: o.epoch, Seq: seq, Msg: msg}); err != nil {
+		if err := o.send(dq.dst, protocol.DataMsg{Epoch: epoch, Seq: seq, Msg: msg}); err != nil {
 			o.sendErrors.Add(1)
 			o.debugf("outbox %s: seq %d send: %v", dq.dst, seq, err)
 			return sent, true, false
 		}
 		sent = true
 		dq.mu.Lock()
-		for i := range dq.entries {
-			if dq.entries[i].seq == seq {
-				dq.entries[i].sent = true
-				break
+		if dq.resets == gen {
+			for i := range dq.entries {
+				if dq.entries[i].seq == seq {
+					dq.entries[i].sent = true
+					break
+				}
 			}
 		}
+		// The ack clock runs from the last transmission: retransmit only
+		// once the destination has had a full ackTimeout to answer it.
+		dq.retransmitAt = time.Now().Add(o.ackTimeout)
 		dq.mu.Unlock()
 	}
 }
 
 // flusher is the per-destination delivery goroutine (async mode): it drains
 // the queue whenever work arrives, retransmits unacked entries after
-// ackTimeout, and sleeps under the backoff gate while the destination is
-// unreachable.
-func (o *outbox) flusher(dq *destQueue) {
+// ackTimeout, sleeps under the backoff gate while the destination is
+// unreachable, and wakes for the anti-entropy advert clock when idle.
+func (o *outbox) flusher(dq *sendSession) {
 	defer o.wg.Done()
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
@@ -437,9 +518,12 @@ func (o *outbox) flusher(dq *destQueue) {
 		}
 		pendingOther := dq.pendingAck > 0 || len(dq.controls) > 0
 		gate := dq.nextTry
+		lastAdvert := dq.lastAdvert
+		retransmitAt := dq.retransmitAt
 		dq.mu.Unlock()
 
 		var wait time.Duration
+		gated := false
 		switch {
 		case busy:
 			// Another flusher (the scheduler's inline FlushAll) is mid-send;
@@ -448,6 +532,7 @@ func (o *outbox) flusher(dq *destQueue) {
 		case failed || (!gate.IsZero() && time.Now().Before(gate)):
 			// Unreachable: sleep out the backoff gate (an ack or new work
 			// wakes us early — an ack means the link recovered).
+			gated = true
 			wait = time.Until(gate)
 			if wait <= 0 {
 				wait = o.baseBackoff
@@ -456,11 +541,27 @@ func (o *outbox) flusher(dq *destQueue) {
 			// More to push right now (raced an enqueue): loop immediately.
 			continue
 		case pendingData:
-			// Everything sent, awaiting acks: retransmit after ackTimeout.
-			wait = o.ackTimeout
+			// Everything sent, awaiting acks: retransmit once the ack
+			// deadline (stamped at the last transmission) passes.
+			wait = time.Until(retransmitAt)
+			if wait <= 0 {
+				wait = time.Millisecond
+			}
 		default:
-			// Idle: wait for work.
+			// Idle: wait for work (or the advert clock below).
 			wait = 0
+		}
+		// The advert clock can shorten an idle or ack wait, but never a
+		// backoff gate: a gated queue cannot transmit the advert anyway, and
+		// an overdue clock would just spin the flusher against the gate.
+		if o.resyncEvery > 0 && o.onDigest != nil && !gated && !busy {
+			untilAdvert := time.Until(lastAdvert.Add(o.resyncEvery))
+			if untilAdvert <= 0 {
+				untilAdvert = time.Millisecond
+			}
+			if wait <= 0 || untilAdvert < wait {
+				wait = untilAdvert
+			}
 		}
 
 		if wait > 0 {
@@ -476,9 +577,10 @@ func (o *outbox) flusher(dq *destQueue) {
 					<-timer.C
 				}
 			case <-timer.C:
-				if pendingData && !failed {
-					// Ack timeout: invalidate the epoch so flushQueue
-					// retransmits everything unacked.
+				// Only a genuinely elapsed ack deadline invalidates the
+				// cycle for retransmission — the timer also fires for
+				// advert-clock wakeups, which must not re-send anything.
+				if pendingData && !failed && !time.Now().Before(retransmitAt) {
 					dq.mu.Lock()
 					resend := false
 					for i := range dq.entries {
@@ -533,11 +635,15 @@ func (o *outbox) Pending() (total, stalled int) {
 }
 
 // seed restores recovered delivery state (WAL-backed peers): pending entries
-// re-enter the queue unsent and the sequence counters resume past the
-// highest logged value.
-func (o *outbox) seed(dst string, nextSeq, acked uint64, entries []outEntry) {
+// re-enter the queue unsent, the sequence counters resume past the highest
+// logged value, and a stream that was reset away from the default epoch
+// resumes under its per-stream epoch.
+func (o *outbox) seed(dst string, epoch, nextSeq, acked uint64, entries []outEntry) {
 	dq := o.queue(dst)
 	dq.mu.Lock()
+	if epoch != 0 {
+		dq.epoch = epoch
+	}
 	dq.nextSeq = nextSeq
 	dq.acked = acked
 	dq.entries = append(dq.entries, entries...)
@@ -555,7 +661,7 @@ func (o *outbox) compactTo(log *store.OutboxLog, applied map[string]store.Applie
 	if err != nil {
 		return err
 	}
-	st.Epoch = o.epoch
+	st.Epoch = o.defaultEpoch
 	for from, mark := range applied {
 		st.Applied[from] = mark
 	}
@@ -567,6 +673,7 @@ func (o *outbox) compactTo(log *store.OutboxLog, applied map[string]store.Applie
 // peer's, merged in by the caller.
 func (o *outbox) collectState(encode func(protocol.Payload) ([]byte, error)) (*store.OutboxState, error) {
 	st := &store.OutboxState{
+		Epochs:  map[string]uint64{},
 		Pending: map[string][]store.OutboxEntry{},
 		NextSeq: map[string]uint64{},
 		Acked:   map[string]uint64{},
@@ -576,8 +683,9 @@ func (o *outbox) collectState(encode func(protocol.Payload) ([]byte, error)) (*s
 		dq.mu.Lock()
 		entries := make([]outEntry, len(dq.entries))
 		copy(entries, dq.entries)
-		nextSeq, acked := dq.nextSeq, dq.acked
+		epoch, nextSeq, acked := dq.epoch, dq.nextSeq, dq.acked
 		dq.mu.Unlock()
+		st.Epochs[dq.dst] = epoch
 		st.NextSeq[dq.dst] = nextSeq
 		st.Acked[dq.dst] = acked
 		for _, e := range entries {

@@ -206,8 +206,8 @@ func TestVolatileSenderRestartStartsFreshStream(t *testing.T) {
 func TestDurableWatermarkSuppressesReplayAfterRestart(t *testing.T) {
 	dir := t.TempDir()
 
-	// Each phase gets a fresh bus (bus endpoints cannot be reopened); the
-	// durable state under test lives in the WAL directory.
+	// Each phase gets a fresh bus (so nothing but the WAL directory's
+	// durable state can carry over between them).
 	open := func() (*Peer, *transport.BusEndpoint) {
 		bus := transport.NewBus()
 		w, err := store.OpenWAL(dir)

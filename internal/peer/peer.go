@@ -67,6 +67,14 @@ type Config struct {
 	// failed delivery attempt; it doubles per consecutive failure up to a
 	// cap of 200x the base (default base 10ms). Zero keeps the default.
 	OutboxBackoff time.Duration
+	// ResyncInterval is the anti-entropy period: roughly this often (per
+	// destination with a maintained remote view) the peer advertises
+	// order-insensitive digests of what it maintains there, and receivers
+	// whose own ledger digests differ request a repair snapshot. Zero keeps
+	// the default (5s); a negative value disables periodic adverts (repair
+	// on epoch adoption and stream wedges stays active — it is data-driven,
+	// not timer-driven).
+	ResyncInterval time.Duration
 	// Logf, when non-nil, receives debug log lines.
 	Logf func(format string, args ...any)
 }
@@ -99,6 +107,11 @@ type Stats struct {
 	OutboxDelivered   uint64
 	OutboxRetransmits uint64
 	OutboxSendErrors  uint64
+
+	// Anti-entropy counters: resync requests this peer sent (as a
+	// receiver), and repair snapshots it served (as a sender).
+	ResyncRequested uint64
+	ResyncSnapshots uint64
 }
 
 // StageReport describes one RunStage call.
@@ -130,13 +143,6 @@ type StageReport struct {
 
 // Duration returns the total stage latency.
 func (r *StageReport) Duration() time.Duration { return r.Ingest + r.Fixpoint + r.Emit }
-
-// ackItem is one staged acknowledgment (see Peer.pendingAcks).
-type ackItem struct {
-	dst   string
-	epoch uint64
-	seq   uint64
-}
 
 // delegationKey identifies an installed delegation group.
 type delegationKey struct {
@@ -186,18 +192,18 @@ type Peer struct {
 	transient      map[string]map[string]value.Tuple
 	freshTransient map[string]map[string]value.Tuple
 
-	// inSeq is the per-sender DataMsg watermark: the highest outbox sequence
-	// applied from each sender, within the sender's current stream epoch
-	// (inEpoch). Replays at or below it are re-acked without being
-	// re-applied (exactly-once application under at-least-once delivery); a
-	// new epoch starting at sequence 1 resets the watermark (the sender
-	// restarted with a fresh stream).
-	inSeq   map[string]uint64
-	inEpoch map[string]uint64
-	// pendingAcks stages acknowledgments during ingestion; they are released
-	// to the outbox only after everything they certify (applied facts, the
-	// per-sender watermark) has been made durable.
-	pendingAcks []ackItem
+	// inbound holds the receiver half of every (sender → this peer) stream
+	// session: adopted epoch, applied watermark, staged acknowledgment,
+	// per-sender support ledger and digests, resync rate limiters. See
+	// session.go.
+	inbound map[string]*inSession
+	// rv is the maintained remote view — the sender half's content ledger:
+	// every fact this peer's program currently derives at each destination,
+	// with per-relation digests. The engine diffs each stage's emissions
+	// against it; anti-entropy advertises its digests and snapshots it.
+	rv *engine.RemoteView
+	// resyncEvery is the resolved anti-entropy period (0 = disabled).
+	resyncEvery time.Duration
 
 	lastSentDeleg map[string]map[string]string // ruleID -> target -> set fingerprint
 	ranOnce       bool
@@ -250,8 +256,8 @@ func New(cfg Config, ep transport.Endpoint) (*Peer, error) {
 		logf:          cfg.Logf,
 		ctx:           ctx,
 		cancel:        cancel,
-		inSeq:         make(map[string]uint64),
-		inEpoch:       make(map[string]uint64),
+		inbound:       make(map[string]*inSession),
+		rv:            engine.NewRemoteView(),
 		delegated:     make(map[delegationKey][]ast.Rule),
 		lastSentDeleg: make(map[string]map[string]string),
 		wake:          make(chan struct{}, 1),
@@ -266,6 +272,15 @@ func New(cfg Config, ep transport.Endpoint) (*Peer, error) {
 		p.outbox.baseBackoff = cfg.OutboxBackoff
 		p.outbox.maxBackoff = 200 * cfg.OutboxBackoff
 	}
+	p.resyncEvery = cfg.ResyncInterval
+	if p.resyncEvery == 0 {
+		p.resyncEvery = defaultResyncInterval
+	}
+	if p.resyncEvery < 0 {
+		p.resyncEvery = 0
+	}
+	p.outbox.resyncEvery = p.resyncEvery
+	p.outbox.onDigest = p.digestFor
 	if cfg.WAL != nil {
 		if err := p.openOutboxLog(cfg.WAL.Dir()); err != nil {
 			cancel()
@@ -297,13 +312,16 @@ func (p *Peer) openOutboxLog(dir string) error {
 		return err
 	}
 	for from, mark := range st.Applied {
-		p.inSeq[from] = mark.Seq
-		p.inEpoch[from] = mark.Epoch
+		s := p.sessionLocked(from)
+		s.known = true
+		s.epoch = mark.Epoch
+		s.seq = mark.Seq
 	}
 	epoch := st.Epoch
 	if epoch == 0 {
-		// First durable run: pick the stream epoch and persist it so it
-		// stays stable across restarts (receivers keep their watermarks).
+		// First durable run: pick the default stream epoch and persist it
+		// so it stays stable across restarts (receivers keep their
+		// watermarks).
 		epoch = newEpoch()
 		if err := l.LogEpoch(epoch); err == nil {
 			err = l.Sync()
@@ -313,7 +331,7 @@ func (p *Peer) openOutboxLog(dir string) error {
 			return err
 		}
 	}
-	p.outbox.epoch = epoch
+	p.outbox.defaultEpoch = epoch
 	// Install the persistence hooks before seeding: seeding a queue starts
 	// its flusher, which reads them.
 	p.oblog = l
@@ -334,6 +352,24 @@ func (p *Peer) openOutboxLog(dir string) error {
 			p.debugf("outbox log ack %s#%d: %v", dst, seq, err)
 		}
 	}
+	p.outbox.onReset = func(dst string, epoch uint64, entries []outEntry) {
+		// A reset supersedes everything logged for dst; the renumbered
+		// survivors are re-logged behind the reset record. Synced by
+		// onPreFlush before any of them can be transmitted.
+		if err := l.LogReset(dst, epoch); err != nil {
+			p.debugf("outbox log reset %s: %v", dst, err)
+			return
+		}
+		for _, e := range entries {
+			b, err := protocol.EncodePayload(e.msg)
+			if err == nil {
+				err = l.LogEnqueue(dst, e.seq, b)
+			}
+			if err != nil {
+				p.debugf("outbox log reset enqueue %s#%d: %v", dst, e.seq, err)
+			}
+		}
+	}
 	p.outbox.onPreFlush = l.Sync
 	for dst, next := range st.NextSeq {
 		var entries []outEntry
@@ -345,9 +381,57 @@ func (p *Peer) openOutboxLog(dir string) error {
 			}
 			entries = append(entries, outEntry{seq: e.Seq, msg: msg})
 		}
-		p.outbox.seed(dst, next, st.Acked[dst], entries)
+		p.outbox.seed(dst, st.Epochs[dst], next, st.Acked[dst], entries)
 	}
 	return nil
+}
+
+// defaultResyncInterval is the anti-entropy advert period when the config
+// does not choose one.
+const defaultResyncInterval = 5 * time.Second
+
+// sessionLocked returns (creating if needed) the inbound stream session for
+// the given sender. Caller holds p.mu (or, during New, exclusive access).
+func (p *Peer) sessionLocked(from string) *inSession {
+	s := p.inbound[from]
+	if s == nil {
+		s = newInSession(from)
+		p.inbound[from] = s
+	}
+	return s
+}
+
+// digestFor builds the anti-entropy advert for dst: per-relation digests of
+// everything this peer maintains there plus fingerprint hashes of the rule
+// sets it currently delegates there, stamped with the stream position the
+// view is current as of. Returns nil when neither exists. Called by the
+// outbox's flush cycle; taking p.mu here makes the digests and the stream
+// position mutually consistent (stages enqueue under p.mu).
+func (p *Peer) digestFor(dst string) protocol.Payload {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	digs := p.rv.Digests(dst)
+	var deleg map[string]uint64
+	for ruleID, targets := range p.lastSentDeleg {
+		if fp, ok := targets[dst]; ok {
+			if deleg == nil {
+				deleg = map[string]uint64{}
+			}
+			deleg[ruleID] = store.KeyHash(fp)
+		}
+	}
+	if len(digs) == 0 && len(deleg) == 0 {
+		return nil
+	}
+	epoch, nextSeq := p.outbox.streamState(dst)
+	rels := make(map[string]protocol.RelDigest, len(digs))
+	for relID, d := range digs {
+		rels[relID] = protocol.RelDigest{Hash: d.Hash, Count: d.Count}
+	}
+	return protocol.DigestMsg{Epoch: epoch, AsOfSeq: nextSeq, Rels: rels, Deleg: deleg}
 }
 
 // Name returns the peer's name.

@@ -1,0 +1,282 @@
+package peer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// resyncTestInterval is fast enough that a periodic advert fires within a
+// test, slow enough not to flood the in-process bus.
+const resyncTestInterval = 20 * time.Millisecond
+
+// newResyncPeer attaches a fresh volatile peer to the network's bus with
+// the outbox timers and the anti-entropy clock shrunk to test speed.
+// interval < 0 disables periodic adverts.
+func newResyncPeer(t *testing.T, n *Network, name string, interval time.Duration) *Peer {
+	t.Helper()
+	p, err := New(Config{
+		Name:             name,
+		OutboxAckTimeout: 10 * time.Millisecond,
+		OutboxBackoff:    2 * time.Millisecond,
+		ResyncInterval:   interval,
+	}, n.Bus().Endpoint(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Add(p)
+	return p
+}
+
+// loadViewSender loads the canonical maintained-view program at the sender.
+func loadViewSender(t *testing.T, a *Peer) {
+	t.Helper()
+	if err := a.LoadSource(`
+		relation extensional src@a(x);
+		view@b($x) :- src@a($x);
+	`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVolatileReceiverRestartResyncs is the scenario PR 3 documented as its
+// remaining gap, closed here: a volatile receiver holding a remotely
+// maintained view crashes and restarts, and the sender *never changes
+// again* — so no delta will ever flow. The sender's periodic digest advert
+// must find the restarted (empty) receiver, trigger a stream reset with a
+// snapshot, and restore the view to the fault-free fixpoint. The control
+// arm runs the same schedule with anti-entropy disabled and must stay
+// diverged — the behavior this PR removes.
+func TestVolatileReceiverRestartResyncs(t *testing.T) {
+	for _, resync := range []bool{true, false} {
+		name := "with-resync"
+		interval := resyncTestInterval
+		if !resync {
+			name = "without-resync"
+			interval = -1
+		}
+		t.Run(name, func(t *testing.T) {
+			n := NewNetwork()
+			a := newResyncPeer(t, n, "a", interval)
+			defer a.Close()
+			loadViewSender(t, a)
+			b := newResyncPeer(t, n, "b", interval)
+			if err := b.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(42))
+			present := map[int64]bool{}
+			for i := 0; i < 40; i++ {
+				k := rng.Int63n(8)
+				var err error
+				if present[k] {
+					err = a.Delete(ast.NewFact("src", "a", value.Int(k)))
+				} else {
+					err = a.Insert(ast.NewFact("src", "a", value.Int(k)))
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				present[k] = !present[k]
+				drive([]*Peer{a, b}, func() bool { return false }, time.Millisecond)
+			}
+			var want []value.Tuple
+			for k, in := range present {
+				if in {
+					want = append(want, value.Tuple{value.Int(k)})
+				}
+			}
+			value.SortTuples(want)
+			expected := fmt.Sprint(want)
+			if expected == "[]" {
+				t.Fatal("degenerate schedule: fixpoint is empty")
+			}
+			if !drive([]*Peer{a, b}, func() bool { return tupleSet(b, "view") == expected }, 10*time.Second) {
+				t.Fatalf("pre-crash convergence failed: got %s want %s", tupleSet(b, "view"), expected)
+			}
+			// Let every in-flight entry be acknowledged before the crash:
+			// a leftover unacked entry would be retransmitted into the
+			// fresh receiver and trigger the (always-on) wedge repair,
+			// which is a different scenario than the idle-sender one this
+			// test pins down.
+			if !drive([]*Peer{a, b}, func() bool { total, _ := a.OutboxPending(); return total == 0 }, 10*time.Second) {
+				t.Fatal("sender outbox never drained before the crash")
+			}
+
+			// Crash the receiver and bring up a fresh incarnation under the
+			// same name. The sender's relations do not change again.
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+			b2 := newResyncPeer(t, n, "b", interval)
+			defer b2.Close()
+			if err := b2.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+				t.Fatal(err)
+			}
+
+			if resync {
+				if !drive([]*Peer{a, b2}, func() bool { return tupleSet(b2, "view") == expected }, 20*time.Second) {
+					t.Fatalf("restarted receiver never resynced:\n got %s\nwant %s\n(sender stats: %+v)",
+						tupleSet(b2, "view"), expected, a.Stats())
+				}
+				if st := b2.Stats(); st.ResyncRequested == 0 {
+					t.Errorf("receiver recovered without ever requesting a resync: %+v", st)
+				}
+				if st := a.Stats(); st.ResyncSnapshots == 0 {
+					t.Errorf("sender never served a snapshot: %+v", st)
+				}
+			} else {
+				// Divergence is the documented pre-resync behavior: nothing
+				// re-teaches the restarted receiver. Give it ample time to
+				// prove no mechanism kicks in.
+				drive([]*Peer{a, b2}, func() bool { return false }, 500*time.Millisecond)
+				if got := tupleSet(b2, "view"); got == expected {
+					t.Fatalf("receiver recovered with resync disabled — the control arm is broken: %s", got)
+				}
+				if got := len(b2.Query("view")); got != 0 {
+					t.Fatalf("view partially refilled without resync: %d tuples", got)
+				}
+			}
+		})
+	}
+}
+
+// TestReceiverRestartStreamRepairedOnNextSend: with periodic adverts
+// disabled, the data-driven repair must still work — a restarted receiver
+// that sees the sender's next mid-sequence delta has a wedged stream (the
+// acknowledged prefix is gone from the sender), asks for a reset, and the
+// reset snapshot restores the *whole* view, not just the new delta. On the
+// pre-session code this scenario wedged the stream forever: the receiver
+// dropped the gap and the sender retransmitted it until the end of time.
+func TestReceiverRestartStreamRepairedOnNextSend(t *testing.T) {
+	n := NewNetwork()
+	a := newResyncPeer(t, n, "a", -1)
+	defer a.Close()
+	loadViewSender(t, a)
+	b := newResyncPeer(t, n, "b", -1)
+	if err := b.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		if err := a.Insert(ast.NewFact("src", "a", value.Int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !drive([]*Peer{a, b}, func() bool { return len(b.Query("view")) == 5 }, 10*time.Second) {
+		t.Fatalf("initial convergence failed: %v", b.Query("view"))
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2 := newResyncPeer(t, n, "b", -1)
+	defer b2.Close()
+	if err := b2.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The sender changes: one new fact rides the existing stream at a
+	// sequence the fresh receiver cannot follow.
+	if err := a.Insert(ast.NewFact("src", "a", value.Int(99))); err != nil {
+		t.Fatal(err)
+	}
+	if !drive([]*Peer{a, b2}, func() bool { return len(b2.Query("view")) == 6 }, 20*time.Second) {
+		t.Fatalf("restarted receiver never repaired the stream: view = %v (want all 6)", b2.Query("view"))
+	}
+}
+
+// TestEpochAdoptionDropsStaleSupport: a volatile *sender* that crashes with
+// an undelivered retraction re-derives only what it still derives; its old
+// incarnation's facts would survive at the receiver forever. Adopting the
+// restarted sender's fresh epoch must trigger a resync, whose snapshot no
+// longer covers the stale fact — the receiver drops it and converges to the
+// new fixpoint.
+func TestEpochAdoptionDropsStaleSupport(t *testing.T) {
+	n := NewNetwork()
+	a := newResyncPeer(t, n, "a", -1)
+	loadViewSender(t, a)
+	b := newResyncPeer(t, n, "b", -1)
+	defer b.Close()
+	if err := b.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		if err := a.Insert(ast.NewFact("src", "a", value.Int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !drive([]*Peer{a, b}, func() bool { return len(b.Query("view")) == 3 }, 10*time.Second) {
+		t.Fatalf("initial convergence failed: %v", b.Query("view"))
+	}
+
+	// The sender crashes; its new incarnation derives only {1, 2} — fact 3
+	// is the stale support nothing will ever retract explicitly.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a2 := newResyncPeer(t, n, "a", -1)
+	defer a2.Close()
+	loadViewSender(t, a2)
+	for i := int64(1); i <= 2; i++ {
+		if err := a2.Insert(ast.NewFact("src", "a", value.Int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := fmt.Sprint([]value.Tuple{{value.Int(1)}, {value.Int(2)}})
+	if !drive([]*Peer{a2, b}, func() bool { return tupleSet(b, "view") == want }, 20*time.Second) {
+		t.Fatalf("stale support survived the sender restart:\n got %s\nwant %s", tupleSet(b, "view"), want)
+	}
+}
+
+// TestResyncRestoresDelegations: a restarted receiver lost the rules other
+// peers had delegated to it; the delegating peer's fingerprint cache says
+// "unchanged" and would never re-send them. A stream reset forgets those
+// fingerprints, so the delegation is re-installed and the delegated flow
+// resumes.
+func TestResyncRestoresDelegations(t *testing.T) {
+	n := NewNetwork()
+	// c's rule delegates its residual to b; b evaluates it against data@b.
+	c := newResyncPeer(t, n, "c", resyncTestInterval)
+	defer c.Close()
+	if err := c.LoadSource(`
+		relation extensional sel@c(p);
+		relation intensional out@c(x);
+		sel@c("b");
+		out@c($x) :- sel@c($p), data@$p($x);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	b := newResyncPeer(t, n, "b", resyncTestInterval)
+	if err := b.DeclareRelation("data", ast.Extensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.InsertString(`data@b(7);`); err != nil {
+		t.Fatal(err)
+	}
+	if !drive([]*Peer{c, b}, func() bool { return len(c.Query("out")) == 1 }, 10*time.Second) {
+		t.Fatalf("delegated flow never produced out@c: %v", c.Query("out"))
+	}
+
+	// b restarts, losing the installed delegation and its data.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2 := newResyncPeer(t, n, "b", resyncTestInterval)
+	defer b2.Close()
+	if err := b2.DeclareRelation("data", ast.Extensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.InsertString(`data@b(8);`); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprint([]value.Tuple{{value.Int(8)}})
+	if !drive([]*Peer{c, b2}, func() bool { return tupleSet(c, "out") == want }, 20*time.Second) {
+		t.Fatalf("delegation was never re-installed after the receiver restart:\n out@c = %s, want %s\n delegated at b2: %v",
+			tupleSet(c, "out"), want, b2.DelegatedRules())
+	}
+}

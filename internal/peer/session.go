@@ -1,0 +1,283 @@
+package peer
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/protocol"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// The stream session layer.
+//
+// Every ordered peer-to-peer message stream has two halves, and this file
+// owns the state of both:
+//
+//   - sendSession — the sender half of one (this peer → dst) stream: the
+//     per-stream epoch, sequence numbering, the unacknowledged entry queue,
+//     the destination's cumulative ack floor, flusher/backoff state, and the
+//     anti-entropy advert clock. The outbox (outbox.go) is the delivery
+//     engine that drives sendSessions; it no longer holds stream state of
+//     its own.
+//   - inSession — the receiver half of one (src → this peer) stream: the
+//     adopted epoch, the applied watermark (exactly-once application), the
+//     staged acknowledgment released after durability, the per-sender
+//     support ledger (which facts src currently maintains here, per
+//     relation, with O(1) digests), and the resync rate limiters.
+//
+// Epoch adoption, watermark dedup and ack staging — previously inlined
+// across peer.go and stage.go — live in inSession.accept/stageAck. The
+// ledger and digests are what anti-entropy compares against a sender's
+// DigestMsg advertisement and what a SnapshotMsg replaces.
+
+// resyncRequestTTL bounds how often a receiver re-asks the same sender for
+// repair: a request is best-effort (it can be lost, or the answering
+// snapshot can), so the receiver re-arms after this long rather than
+// waiting forever — but never spams a sender that is already answering.
+const resyncRequestTTL = time.Second
+
+// inSession is the receiver half of one (src → this peer) stream session.
+// All fields are guarded by the peer's mutex (sessions are only touched
+// during ingestion and recovery).
+type inSession struct {
+	from string
+
+	// Stream state: the sender's adopted epoch and the applied watermark —
+	// the highest sequence applied within that epoch. Replays at or below
+	// the watermark are re-acked without being re-applied; a new epoch
+	// starting at sequence 1 is adopted with a fresh watermark (the sender
+	// restarted, or reset the stream for a resync).
+	known bool
+	epoch uint64
+	seq   uint64
+
+	// Staged acknowledgment: set during ingestion, released to the outbox
+	// only after everything it certifies (applied facts, the durable
+	// watermark) has been synced. Always equals (epoch, seq) when staged.
+	ackStaged bool
+	ackEpoch  uint64
+	ackSeq    uint64
+
+	// Resync rate limiters: when the matching request was last sent.
+	// Cleared on progress (stream adoption, snapshot application).
+	resetAsked  time.Time
+	repairAsked time.Time
+
+	// sup is the per-sender support ledger: the facts src currently
+	// maintains at this peer, keyed by relation id then tuple key. It
+	// mirrors what src's remote view believes this peer holds — including
+	// maintained facts in extensional relations — and is exactly the set a
+	// SnapshotMsg replaces. dig keeps an order-insensitive digest per
+	// relation, maintained on every add/remove, so comparing against a
+	// DigestMsg advertisement is O(#relations).
+	sup map[string]map[string]value.Tuple
+	dig map[string]store.Digest
+}
+
+func newInSession(from string) *inSession {
+	return &inSession{
+		from: from,
+		sup:  map[string]map[string]value.Tuple{},
+		dig:  map[string]store.Digest{},
+	}
+}
+
+// accept runs the stream-acceptance state machine for one sequenced
+// message: epoch adoption, watermark dedup, gap detection, ack staging.
+// It reports whether the payload should be applied, and whether this
+// message adopted a new epoch of an already-known stream (the cue to
+// request a resync — the previous incarnation may have died owing us
+// retractions).
+func (s *inSession) accept(msg protocol.DataMsg) (apply, adopted bool) {
+	if !s.known {
+		// First contact (or first after this peer lost its own state):
+		// record the stream. The watermark starts at zero, so only
+		// sequence 1 can apply; a mid-stream first contact surfaces as a
+		// persistent gap, which the caller repairs with a reset request.
+		s.known = true
+		s.epoch = msg.Epoch
+		s.seq = 0
+	} else if s.epoch != msg.Epoch {
+		if msg.Seq != 1 {
+			// A stray from a stale (or not yet adopted) stream.
+			return false, false
+		}
+		// The sender restarted (or reset) its stream: adopt it with a
+		// fresh watermark, so its re-sends apply instead of being misread
+		// as replays of the old stream.
+		s.epoch = msg.Epoch
+		s.seq = 0
+		adopted = true
+	}
+	if msg.Seq <= s.seq {
+		s.stageAck() // replay: re-ack the watermark without re-applying
+		return false, adopted
+	}
+	if msg.Seq != s.seq+1 {
+		return false, adopted // gap: wait for the in-order retransmission
+	}
+	s.seq = msg.Seq
+	s.stageAck()
+	s.resetAsked = time.Time{}
+	return true, adopted
+}
+
+// wedged reports whether a rejected message reveals a stream this session
+// can never catch up with on its own: the epoch matches, nothing of it was
+// ever applied here, and the sender is already mid-sequence. That is the
+// signature of a receiver that lost its state while the sender kept its
+// stream — in-order retransmission alone cannot recover, because the
+// sender has long dropped the acknowledged prefix.
+func (s *inSession) wedged(msg protocol.DataMsg) bool {
+	return s.known && s.epoch == msg.Epoch && s.seq == 0 && msg.Seq > 1
+}
+
+// stageAck stages the cumulative acknowledgment of the current watermark.
+func (s *inSession) stageAck() {
+	s.ackStaged = true
+	s.ackEpoch = s.epoch
+	s.ackSeq = s.seq
+}
+
+// ledgerAdd records that the sender maintains (relID, t) here.
+func (s *inSession) ledgerAdd(relID string, t value.Tuple) {
+	m := s.sup[relID]
+	if m == nil {
+		m = map[string]value.Tuple{}
+		s.sup[relID] = m
+	}
+	key := t.Key()
+	if _, ok := m[key]; ok {
+		return
+	}
+	m[key] = t.Clone()
+	d := s.dig[relID]
+	d.Add(key)
+	s.dig[relID] = d
+}
+
+// ledgerRemove records that the sender no longer maintains (relID, t) here.
+func (s *inSession) ledgerRemove(relID string, t value.Tuple) {
+	m := s.sup[relID]
+	key := t.Key()
+	if _, ok := m[key]; !ok {
+		return
+	}
+	delete(m, key)
+	if len(m) == 0 {
+		delete(s.sup, relID)
+	}
+	d := s.dig[relID]
+	d.Remove(key)
+	if d.Zero() {
+		delete(s.dig, relID)
+	} else {
+		s.dig[relID] = d
+	}
+}
+
+// digestsMatch compares the sender's advertised per-relation digests
+// against this session's ledger digests — O(#relations), no tuples walked.
+func (s *inSession) digestsMatch(rels map[string]protocol.RelDigest) bool {
+	for relID, rd := range rels {
+		d := s.dig[relID]
+		if d.Hash != rd.Hash || d.Count != rd.Count {
+			return false
+		}
+	}
+	for relID, d := range s.dig {
+		if _, ok := rels[relID]; !ok && d.Count > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// staleAgainst returns the ledger facts a snapshot no longer covers —
+// support to drop — sorted for deterministic application. covered is keyed
+// by relation id then tuple key.
+func (s *inSession) staleAgainst(covered map[string]map[string]bool) []ast.Fact {
+	var stale []ast.Fact
+	for relID, m := range s.sup {
+		name, peerName := store.SplitID(relID)
+		for key, t := range m {
+			if !covered[relID][key] {
+				stale = append(stale, ast.Fact{Rel: name, Peer: peerName, Args: t})
+			}
+		}
+	}
+	sortFactsByKey(stale)
+	return stale
+}
+
+// sortFactsByKey sorts facts by canonical key with the keys precomputed —
+// a reset after a sender restart can put a whole ledger through here.
+func sortFactsByKey(fs []ast.Fact) {
+	if len(fs) < 2 {
+		return
+	}
+	keys := make([]string, len(fs))
+	for i, f := range fs {
+		keys[i] = f.Key()
+	}
+	sort.Sort(&factKeySorter{fs: fs, keys: keys})
+}
+
+type factKeySorter struct {
+	fs   []ast.Fact
+	keys []string
+}
+
+func (s *factKeySorter) Len() int           { return len(s.fs) }
+func (s *factKeySorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *factKeySorter) Swap(i, j int) {
+	s.fs[i], s.fs[j] = s.fs[j], s.fs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// sendSession is the sender half of one (this peer → dst) stream session:
+// the per-stream epoch, the sequence numbers, the unacknowledged entries,
+// and the delivery state the outbox's flushers drive. Locking: enqMu
+// serializes enqueuers across the assign-seq / persist / publish sequence
+// (so the durable log always records an entry before a flusher can
+// transmit it, and entries publish in sequence order); mu guards the rest.
+type sendSession struct {
+	dst string
+
+	enqMu sync.Mutex
+
+	mu sync.Mutex
+	// epoch identifies this stream (protocol.DataMsg): it starts as the
+	// outbox default (random per incarnation for volatile peers, persisted
+	// for WAL-backed ones) and is rotated by Reset when the receiver asks
+	// for a fresh stream. Acks carrying another epoch are stale and
+	// ignored.
+	epoch uint64
+	// resets counts stream resets — a generation guard so an in-flight
+	// transmission of the old stream cannot mark a renumbered entry sent.
+	resets       uint64
+	entries      []outEntry // unacked, in sequence order
+	nextSeq      uint64     // last assigned sequence number
+	acked        uint64     // highest cumulative ack received
+	ackEpoch     uint64     // stream epoch of the pending inbound ack
+	pendingAck   uint64     // highest inbox seq to acknowledge back to dst (0 = none)
+	controls     []protocol.Payload
+	flushing     bool          // a flusher (goroutine or inline) is mid-send
+	stalled      bool          // the last flush attempt failed
+	backoff      time.Duration // current backoff step (doubles per failure)
+	nextTry      time.Time     // backoff gate for retries after a failure
+	lastAdvert   time.Time     // when the last anti-entropy digest advert went out
+	retransmitAt time.Time     // ack deadline: pushed on every data transmission
+
+	wake chan struct{} // one-slot: new work or ack arrived
+}
+
+func (dq *sendSession) signal() {
+	select {
+	case dq.wake <- struct{}{}:
+	default:
+	}
+}

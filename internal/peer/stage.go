@@ -192,12 +192,12 @@ func (p *Peer) runStageLocked() *StageReport {
 	var res *engine.Result
 	if incremental {
 		p.expireTransientsLocked(d)
-		res = p.eng.RunStageIncremental(p.prog, d.engineInput())
+		res = p.eng.RunStageIncremental(p.prog, d.engineInput(), p.rv)
 	} else {
 		if p.prov != nil {
 			p.prov.Reset()
 		}
-		res = p.eng.RunStageFull(p.prog, p.rebuildSeedsLocked())
+		res = p.eng.RunStageFull(p.prog, p.rebuildSeedsLocked(), p.rv)
 	}
 	p.transient = p.freshTransient
 	p.freshTransient = nil
@@ -330,9 +330,10 @@ func (p *Peer) ingestLocked(rep *StageReport, d *stageDeltas) bool {
 	// a persistence failure the acks stay staged — the sender retransmits,
 	// the replay coalesces onto the same staged ack, and the release is
 	// retried by a later ingestion.
-	if p.oblog != nil && len(p.pendingAcks) > 0 && durable {
-		for _, a := range p.pendingAcks {
-			if err := p.oblog.LogApplied(a.dst, a.epoch, a.seq); err != nil {
+	ackable := p.stagedAckSessionsLocked()
+	if p.oblog != nil && len(ackable) > 0 && durable {
+		for _, s := range ackable {
+			if err := p.oblog.LogApplied(s.from, s.ackEpoch, s.ackSeq); err != nil {
 				rep.Errors = append(rep.Errors, err)
 				durable = false
 				break
@@ -346,69 +347,226 @@ func (p *Peer) ingestLocked(rep *StageReport, d *stageDeltas) bool {
 		}
 	}
 	if durable {
-		for _, a := range p.pendingAcks {
-			p.outbox.EnqueueAck(a.dst, a.epoch, a.seq)
+		for _, s := range ackable {
+			p.outbox.EnqueueAck(s.from, s.ackEpoch, s.ackSeq)
+			s.ackStaged = false
 		}
-		p.pendingAcks = nil
 	}
 	return changed
 }
 
-// ingestDataLocked applies one sequenced message, enforcing exactly-once
-// application: a sender's DataMsgs apply strictly in sequence order. Replays
-// (<= watermark) are re-acked and skipped; gaps (the transport reordered or
-// dropped a predecessor) are dropped unacked, to be retransmitted in order.
+// stagedAckSessionsLocked returns the inbound sessions with a staged
+// acknowledgment, in sender-name order for deterministic release.
+func (p *Peer) stagedAckSessionsLocked() []*inSession {
+	var out []*inSession
+	for _, s := range p.inbound {
+		if s.ackStaged {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].from < out[j].from })
+	return out
+}
+
+// ingestDataLocked applies one sequenced message through the sender's
+// inbound session, which enforces exactly-once application: a sender's
+// DataMsgs apply strictly in sequence order; replays (<= watermark) are
+// re-acked and skipped; gaps (the transport reordered or dropped a
+// predecessor) are dropped unacked, to be retransmitted in order; a new
+// epoch starting at sequence 1 is adopted with a fresh watermark.
 //
-// Acks are *staged* (p.pendingAcks) rather than enqueued directly: they are
+// Acks are *staged* on the session rather than enqueued directly: they are
 // released at the end of ingestion, after the durable watermark has been
 // synced, so a crash can never leave a sender believing a message was
 // applied when the receiver's recovered watermark says otherwise.
+//
+// Two repair triggers live here. A *wedged* stream — the sender is
+// mid-sequence but this session has never applied anything of its epoch,
+// the signature of a receiver that lost its state — asks the sender for a
+// stream reset (in-order retransmission alone can never recover it: the
+// sender has dropped the acknowledged prefix). And adopting a *new epoch*
+// of a known stream asks for a repair snapshot: the sender's previous
+// incarnation may have died owing us retractions, which its fresh
+// incarnation will never re-send.
 func (p *Peer) ingestDataLocked(from string, msg protocol.DataMsg, rep *StageReport, d *stageDeltas) bool {
-	epoch, known := p.inEpoch[from]
-	if !known {
-		p.inEpoch[from] = msg.Epoch
-		epoch = msg.Epoch
-	} else if epoch != msg.Epoch {
-		if msg.Seq != 1 {
-			// A stray message from a stale (or not yet adopted) stream.
-			return false
+	sess := p.sessionLocked(from)
+	apply, adopted := sess.accept(msg)
+	if !apply {
+		if sess.wedged(msg) {
+			p.requestResyncLocked(from, true)
 		}
-		// The sender restarted with a fresh stream: adopt it with a fresh
-		// watermark, so its re-sends apply instead of being misread as
-		// replays of the old stream.
-		p.inEpoch[from] = msg.Epoch
-		p.inSeq[from] = 0
-		epoch = msg.Epoch
-	}
-	last := p.inSeq[from]
-	if msg.Seq <= last {
-		p.stageAckLocked(from, epoch, last)
 		return false
 	}
-	if msg.Seq != last+1 {
-		return false
+	if adopted {
+		// A fresh incarnation (or reset stream) of a known sender: its old
+		// incarnation's delegations are stale — whatever it still delegates
+		// is re-sent on this stream (its fingerprint cache died with it, or
+		// the reset handler cleared it). Drop before applying the payload,
+		// which may itself be the first re-delegation.
+		p.dropDelegationsLocked(from)
 	}
-	p.inSeq[from] = msg.Seq
-	p.stageAckLocked(from, epoch, msg.Seq)
-	return p.ingestPayloadLocked(from, msg.Msg, rep, d)
+	changed := p.ingestPayloadLocked(from, msg.Msg, rep, d)
+	if adopted {
+		if _, isSnapshot := msg.Msg.(protocol.SnapshotMsg); !isSnapshot {
+			p.requestResyncLocked(from, false)
+		}
+	}
+	return changed
 }
 
-// stageAckLocked records an ack to release once ingestion's durable state
-// has been synced. Acks to the same sender coalesce to the highest seq of
-// the current stream epoch (a new epoch supersedes the old ack).
-func (p *Peer) stageAckLocked(dst string, epoch, seq uint64) {
-	for i := range p.pendingAcks {
-		if p.pendingAcks[i].dst == dst {
-			if epoch != p.pendingAcks[i].epoch {
-				p.pendingAcks[i].epoch = epoch
-				p.pendingAcks[i].seq = seq
-			} else if seq > p.pendingAcks[i].seq {
-				p.pendingAcks[i].seq = seq
-			}
-			return
+// dropDelegationsLocked removes every delegation group the given origin
+// installed here, scheduling a recompile when anything was dropped.
+func (p *Peer) dropDelegationsLocked(origin string) {
+	dropped := false
+	for key := range p.delegated {
+		if key.Origin == origin {
+			delete(p.delegated, key)
+			dropped = true
 		}
 	}
-	p.pendingAcks = append(p.pendingAcks, ackItem{dst: dst, epoch: epoch, seq: seq})
+	if dropped {
+		p.progDirty = true
+	}
+}
+
+// requestResyncLocked sends a best-effort repair request to a stream's
+// sender, rate-limited per session (resyncRequestTTL) so retransmission
+// storms and repeated digest adverts do not multiply snapshots. reset asks
+// for a full stream restart (the requester cannot follow the stream);
+// otherwise for an in-stream snapshot.
+func (p *Peer) requestResyncLocked(from string, reset bool) {
+	s := p.sessionLocked(from)
+	now := time.Now()
+	if reset {
+		if !s.resetAsked.IsZero() && now.Sub(s.resetAsked) < resyncRequestTTL {
+			return
+		}
+		s.resetAsked = now
+	} else {
+		if !s.repairAsked.IsZero() && now.Sub(s.repairAsked) < resyncRequestTTL {
+			return
+		}
+		s.repairAsked = now
+	}
+	p.stats.ResyncRequested++
+	p.outbox.EnqueueControl(from, protocol.ResyncRequestMsg{Reset: reset})
+}
+
+// handleDigestLocked compares a sender's anti-entropy advert against the
+// session's per-sender support ledger. Only a session that is caught up to
+// the advertised stream position may conclude divergence — anything behind
+// is still being decided by in-flight deltas. A session that does not know
+// the stream at all learned something important: the sender maintains
+// state here that this peer has lost (it restarted), so it asks for a full
+// stream reset.
+func (p *Peer) handleDigestLocked(from string, msg protocol.DigestMsg) {
+	s := p.sessionLocked(from)
+	if !s.known {
+		p.requestResyncLocked(from, true)
+		return
+	}
+	if s.epoch != msg.Epoch || s.seq != msg.AsOfSeq {
+		// Behind the advert (deltas still in flight), or already past it
+		// (the advert is stale — a reordered delivery after newer deltas
+		// applied): neither is evidence of divergence. The next advert
+		// carries the newer position.
+		return
+	}
+	if s.digestsMatch(msg.Rels) && p.delegationsMatchLocked(from, msg.Deleg) {
+		s.repairAsked = time.Time{}
+		return
+	}
+	p.requestResyncLocked(from, false)
+}
+
+// delegationsMatchLocked compares the sender's advertised delegation
+// fingerprints against the groups it has installed here. Both sides sort
+// residual sets by rule text before fingerprinting, so the hashes agree
+// exactly when the installed rules are the currently delegated ones.
+func (p *Peer) delegationsMatchLocked(from string, deleg map[string]uint64) bool {
+	for ruleID, want := range deleg {
+		rules := p.delegated[delegationKey{Origin: from, RuleID: ruleID}]
+		if len(rules) == 0 || store.KeyHash(fingerprint(rules)) != want {
+			return false
+		}
+	}
+	for key := range p.delegated {
+		if key.Origin != from {
+			continue
+		}
+		if _, ok := deleg[key.RuleID]; !ok {
+			return false // installed here, no longer delegated by the sender
+		}
+	}
+	return true
+}
+
+// handleResyncRequestLocked serves a receiver's repair request with a
+// snapshot of everything this peer maintains there, and forgets the
+// delegation fingerprints for that target — the requester may have lost its
+// installed delegations along with its data, so the next stage (forced via
+// progDirty) re-sends the current residual sets, which the receiver
+// installs idempotently. A reset request additionally restarts the stream
+// under a fresh epoch, with the snapshot as its sequence 1.
+func (p *Peer) handleResyncRequestLocked(from string, msg protocol.ResyncRequestMsg) {
+	snap := protocol.SnapshotMsg{}
+	for _, f := range p.rv.SnapshotFacts(from) {
+		snap.Ops = append(snap.Ops, protocol.FactDelta{Maint: true, Fact: f})
+	}
+	p.stats.ResyncSnapshots++
+	if msg.Reset {
+		p.outbox.Reset(from, snap)
+	} else {
+		p.outbox.EnqueueData(from, snap)
+	}
+	for ruleID, targets := range p.lastSentDeleg {
+		if _, ok := targets[from]; ok {
+			delete(targets, from)
+			if len(targets) == 0 {
+				delete(p.lastSentDeleg, ruleID)
+			}
+			p.progDirty = true
+		}
+	}
+}
+
+// applySnapshotLocked replaces the sender's support at this peer with
+// exactly the snapshot's content: ledger facts the snapshot no longer
+// covers are applied as maintained deletes (stale support from before a
+// crash dies here; a tuple with a surviving local derivation is kept by
+// the rederivation pass), then every snapshot fact is applied as a
+// maintained insert (idempotent for facts already supported). Since the
+// snapshot rides the sequenced stream, this is correctly ordered against
+// live deltas on both sides.
+func (p *Peer) applySnapshotLocked(from string, msg protocol.SnapshotMsg, rep *StageReport, d *stageDeltas) bool {
+	sess := p.sessionLocked(from)
+	covered := map[string]map[string]bool{}
+	for _, fd := range msg.Ops {
+		if fd.Fact.Peer != p.name || fd.Delete {
+			rep.Errors = append(rep.Errors, fmt.Errorf(
+				"peer %s: malformed snapshot entry %s from %s", p.name, fd.String(), from))
+			continue
+		}
+		relID := fd.Fact.Rel + "@" + fd.Fact.Peer
+		m := covered[relID]
+		if m == nil {
+			m = map[string]bool{}
+			covered[relID] = m
+		}
+		m[fd.Fact.Args.Key()] = true
+	}
+	ops := make([]ingestOp, 0, len(msg.Ops))
+	for _, f := range sess.staleAgainst(covered) {
+		ops = append(ops, ingestOp{del: true, maint: true, src: from, fact: f})
+	}
+	for _, fd := range msg.Ops {
+		if fd.Fact.Peer != p.name || fd.Delete {
+			continue
+		}
+		ops = append(ops, ingestOp{maint: true, src: from, fact: fd.Fact})
+	}
+	sess.repairAsked = time.Time{}
+	return p.applyOpsLocked(ops, rep, d)
 }
 
 // outboxCompactThreshold is the record count past which the outbox log is
@@ -420,9 +578,11 @@ const outboxCompactThreshold = 8192
 // duration (outbox.compactTo), so no logged entry can fall between the
 // snapshot and the rewrite.
 func (p *Peer) compactOutboxLogLocked(rep *StageReport) {
-	applied := make(map[string]store.AppliedMark, len(p.inSeq))
-	for from, seq := range p.inSeq {
-		applied[from] = store.AppliedMark{Epoch: p.inEpoch[from], Seq: seq}
+	applied := make(map[string]store.AppliedMark, len(p.inbound))
+	for from, s := range p.inbound {
+		if s.known {
+			applied[from] = store.AppliedMark{Epoch: s.epoch, Seq: s.seq}
+		}
 	}
 	if err := p.outbox.compactTo(p.oblog, applied); err != nil {
 		rep.Errors = append(rep.Errors, fmt.Errorf("peer %s: compacting outbox log: %w", p.name, err))
@@ -461,6 +621,16 @@ func (p *Peer) ingestPayloadLocked(from string, payload protocol.Payload, rep *S
 			rep.Errors = append(rep.Errors, fmt.Errorf(
 				"peer %s: %w: delegation %s from %s", p.name, errdefs.ErrPolicyDenied, msg.RuleID, from))
 		}
+	case protocol.SnapshotMsg:
+		if p.applySnapshotLocked(from, msg, rep, d) {
+			changed = true
+		}
+	case protocol.DigestMsg:
+		// Anti-entropy advert: pure delivery bookkeeping plus, possibly, a
+		// repair request — never itself a reason to run the fixpoint.
+		p.handleDigestLocked(from, msg)
+	case protocol.ResyncRequestMsg:
+		p.handleResyncRequestLocked(from, msg)
 	case protocol.ControlMsg:
 		if msg.Kind == protocol.ControlPing {
 			p.outbox.EnqueueControl(from, protocol.ControlMsg{Kind: protocol.ControlPong, Token: msg.Token})
@@ -514,6 +684,15 @@ func (p *Peer) applyOpsLocked(ops []ingestOp, rep *StageReport, d *stageDeltas) 
 		for k := i; k < j; k++ {
 			tuples[k-i] = ops[k].fact.Args
 		}
+		// Maintained inserts into an extensional relation: the sender keeps
+		// them in its remote view, so the session ledger mirrors them
+		// (dedup inside ledgerAdd), applied or not. Runs may mix maintained
+		// and one-shot inserts; only the maintained ones are ledgered.
+		for k := i; k < j; k++ {
+			if ops[k].maint {
+				p.sessionLocked(ops[k].src).ledgerAdd(rel.Schema().ID(), ops[k].fact.Args)
+			}
+		}
 		var applied []value.Tuple
 		if op.del {
 			applied = rel.DeleteMany(tuples)
@@ -545,8 +724,21 @@ func (p *Peer) applyOpsLocked(ops []ingestOp, rep *StageReport, d *stageDeltas) 
 // the next stage that runs — and per-sender supported tuples when
 // maintained. It returns true if the peer's state changed in a way the
 // fixpoint must observe.
+//
+// Maintained deltas additionally keep the sender's session ledger in step:
+// it mirrors the sender's remote view of this peer — what anti-entropy
+// digests are compared against and what a resync snapshot replaces — so it
+// is updated whether or not the store membership changed.
 func (p *Peer) applyFactLocked(op ingestOp, rep *StageReport, d *stageDeltas) bool {
 	f := op.fact
+	if op.maint {
+		sess := p.sessionLocked(op.src)
+		if op.del {
+			sess.ledgerRemove(f.Rel+"@"+p.name, f.Args)
+		} else {
+			sess.ledgerAdd(f.Rel+"@"+p.name, f.Args)
+		}
+	}
 	rel := p.db.Get(f.Rel, p.name)
 	if rel == nil {
 		if op.del {

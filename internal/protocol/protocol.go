@@ -99,6 +99,58 @@ type AckMsg struct {
 	Seq   uint64
 }
 
+// RelDigest is an order-insensitive summary of one relation's maintained
+// fact set: the XOR fold of the member tuples' key hashes (store.KeyHash)
+// plus the member count. Both ends of a digest comparison compute it the
+// same way, so equal sets compare equal without shipping or walking tuples.
+type RelDigest struct {
+	Hash  uint64
+	Count uint64
+}
+
+// DigestMsg is the sender's anti-entropy advertisement: per relation at the
+// receiver, a digest of every fact the sender's rule program currently
+// derives for it and maintains there (its remote view), plus — per source
+// rule — a fingerprint hash of the residual rule set currently delegated to
+// the receiver. It is valid as of stream position (Epoch, AsOfSeq) — a
+// receiver that has not yet applied the stream up to AsOfSeq in that epoch
+// is merely behind and must ignore the advert rather than read the lag as
+// divergence. A receiver that is caught up and whose per-sender supported
+// sets (or installed delegations) digest differently answers with a
+// ResyncRequestMsg. Adverts are unsequenced and best-effort: a lost one is
+// repeated by the sender's periodic timer.
+type DigestMsg struct {
+	Epoch   uint64
+	AsOfSeq uint64
+	Rels    map[string]RelDigest
+	Deleg   map[string]uint64
+}
+
+// ResyncRequestMsg asks the message's *receiver* (the stream's sender) to
+// repair the requester's copy of the maintained view. With Reset false the
+// sender enqueues a SnapshotMsg into the existing stream (digest mismatch:
+// content drifted, stream healthy). With Reset true the requester cannot
+// follow the stream at all — typically it restarted and lost its watermark
+// while the sender's stream is mid-sequence — so the sender tears the
+// stream down: fresh per-stream epoch, a snapshot as the new sequence 1,
+// surviving pending entries renumbered behind it. Requests are idempotent
+// and best-effort; the requester rate-limits and re-asks.
+type ResyncRequestMsg struct {
+	Reset bool
+}
+
+// SnapshotMsg carries the sender's complete maintained view for the
+// receiver — every fact it currently derives there, as maintained inserts.
+// It rides the sequenced stream (inside a DataMsg), so it is ordered
+// exactly-once against live deltas: deltas enqueued before the snapshot are
+// already reflected in it, deltas after it apply on top. On application the
+// receiver sets the sender's support to exactly the snapshot: facts it
+// carries gain support (idempotently), and per-sender support the snapshot
+// no longer covers is dropped — stale tuples from before a crash die here.
+type SnapshotMsg struct {
+	Ops []FactDelta
+}
+
 // ControlKind enumerates control messages.
 type ControlKind uint8
 
@@ -124,11 +176,14 @@ type Payload interface {
 	payload()
 }
 
-func (FactsMsg) payload()      {}
-func (DelegationMsg) payload() {}
-func (ControlMsg) payload()    {}
-func (DataMsg) payload()       {}
-func (AckMsg) payload()        {}
+func (FactsMsg) payload()         {}
+func (DelegationMsg) payload()    {}
+func (ControlMsg) payload()       {}
+func (DataMsg) payload()          {}
+func (AckMsg) payload()           {}
+func (DigestMsg) payload()        {}
+func (ResyncRequestMsg) payload() {}
+func (SnapshotMsg) payload()      {}
 
 // Envelope wraps a payload with routing metadata. Seq is a per-sender
 // sequence number; transports deliver envelopes from one sender in Seq
@@ -151,6 +206,9 @@ func init() {
 	gob.Register(ControlMsg{})
 	gob.Register(DataMsg{})
 	gob.Register(AckMsg{})
+	gob.Register(DigestMsg{})
+	gob.Register(ResyncRequestMsg{})
+	gob.Register(SnapshotMsg{})
 }
 
 // Encode serializes an envelope with gob.

@@ -41,7 +41,7 @@ const outboxLogName = "outbox.log"
 
 // outboxRecord is one log line.
 type outboxRecord struct {
-	Op      string `json:"op"` // "enq", "ack", "app", "epoch"
+	Op      string `json:"op"` // "enq", "ack", "app", "epoch", "reset"
 	Peer    string `json:"peer,omitempty"`
 	Epoch   uint64 `json:"epoch,omitempty"`
 	Seq     uint64 `json:"seq"`
@@ -63,8 +63,12 @@ type AppliedMark struct {
 
 // OutboxState is the live delivery state recovered from the log.
 type OutboxState struct {
-	// Epoch is this peer's own stream epoch (0 if never logged).
+	// Epoch is this peer's default stream epoch (0 if never logged): the
+	// epoch every outgoing stream starts in.
 	Epoch uint64
+	// Epochs maps destinations whose stream was reset to the per-stream
+	// epoch that replaced the default (see LogReset).
+	Epochs map[string]uint64
 	// Pending maps destination to unacknowledged entries in sequence order.
 	Pending map[string][]OutboxEntry
 	// NextSeq maps destination to the highest sequence number ever assigned.
@@ -134,10 +138,18 @@ func (l *OutboxLog) LogApplied(from string, epoch, seq uint64) error {
 	return l.append(outboxRecord{Op: "app", Peer: from, Epoch: epoch, Seq: seq})
 }
 
-// LogEpoch records this peer's own stream epoch, once, so it stays stable
-// across restarts.
+// LogEpoch records this peer's default stream epoch, once, so it stays
+// stable across restarts.
 func (l *OutboxLog) LogEpoch(epoch uint64) error {
 	return l.append(outboxRecord{Op: "epoch", Epoch: epoch})
+}
+
+// LogReset records that the stream to dst was torn down and restarted under
+// a fresh per-stream epoch: everything previously logged for dst (pending
+// entries, its ack floor) is superseded. The caller re-logs the entries
+// that survived the reset, renumbered, after this record.
+func (l *OutboxLog) LogReset(dst string, epoch uint64) error {
+	return l.append(outboxRecord{Op: "reset", Peer: dst, Epoch: epoch})
 }
 
 // Sync flushes buffered records and fsyncs the log file. A no-op when
@@ -167,6 +179,7 @@ func (l *OutboxLog) Sync() error {
 // record (crash mid-append) is tolerated; corruption elsewhere is an error.
 func (l *OutboxLog) Recover() (*OutboxState, error) {
 	st := &OutboxState{
+		Epochs:  map[string]uint64{},
 		Pending: map[string][]OutboxEntry{},
 		NextSeq: map[string]uint64{},
 		Acked:   map[string]uint64{},
@@ -220,6 +233,11 @@ func (l *OutboxLog) Recover() (*OutboxState, error) {
 			}
 		case "epoch":
 			st.Epoch = rec.Epoch
+		case "reset":
+			st.Epochs[rec.Peer] = rec.Epoch
+			delete(st.Pending, rec.Peer)
+			st.NextSeq[rec.Peer] = 0
+			st.Acked[rec.Peer] = 0
 		default:
 			return nil, fmt.Errorf("store: unknown outbox op %q at line %d", rec.Op, line)
 		}
@@ -263,6 +281,16 @@ func (l *OutboxLog) Compact(st *OutboxState) error {
 	if st.Epoch != 0 {
 		if err := write(outboxRecord{Op: "epoch", Epoch: st.Epoch}); err != nil {
 			werr = err
+		}
+	}
+	// Per-stream epochs (streams reset away from the default) come before
+	// the per-destination records they scope — a reset record clears the
+	// destination's recovered state, so nothing may precede it.
+	for dst, epoch := range st.Epochs {
+		if epoch != 0 && epoch != st.Epoch {
+			if err := write(outboxRecord{Op: "reset", Peer: dst, Epoch: epoch}); err != nil {
+				werr = err
+			}
 		}
 	}
 	for dst, acked := range st.Acked {

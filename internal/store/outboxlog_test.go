@@ -125,6 +125,89 @@ func TestOutboxLogCompact(t *testing.T) {
 	}
 }
 
+// TestOutboxLogCompactionRoundTripInterleaved: appends before and after a
+// mid-stream compaction — including a per-stream reset — must recover to
+// exactly the live state: the compaction snapshot plus everything appended
+// after it, with nothing from the superseded history resurrected.
+func TestOutboxLogCompactionRoundTripInterleaved(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenOutboxLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 1: interleaved traffic to two destinations plus applied marks,
+	// with stream c reset mid-way (c1/c2 superseded, c1' re-logged at a
+	// renumbered sequence under the per-stream epoch).
+	must(l.LogEpoch(77))
+	must(l.LogEnqueue("b", 1, []byte("b1")))
+	must(l.LogEnqueue("c", 1, []byte("c1")))
+	must(l.LogApplied("d", 77, 4))
+	must(l.LogEnqueue("b", 2, []byte("b2")))
+	must(l.LogAck("b", 1))
+	must(l.LogEnqueue("c", 2, []byte("c2")))
+	must(l.LogReset("c", 99))
+	must(l.LogEnqueue("c", 1, []byte("c1'")))
+	must(l.Sync())
+
+	// Mid-stream compaction of the state as a caller would snapshot it.
+	must(l.Compact(&OutboxState{
+		Epoch:   77,
+		Epochs:  map[string]uint64{"b": 77, "c": 99},
+		Pending: map[string][]OutboxEntry{"b": {{Seq: 2, Payload: []byte("b2")}}, "c": {{Seq: 1, Payload: []byte("c1'")}}},
+		NextSeq: map[string]uint64{"b": 2, "c": 1},
+		Acked:   map[string]uint64{"b": 1},
+		Applied: map[string]AppliedMark{"d": {Epoch: 77, Seq: 4}},
+	}))
+
+	// Phase 2: more appends interleave after the rewrite.
+	must(l.LogEnqueue("b", 3, []byte("b3")))
+	must(l.LogAck("b", 2))
+	must(l.LogApplied("d", 77, 9))
+	must(l.LogEnqueue("c", 2, []byte("c2'")))
+	must(l.Sync())
+	must(l.Close())
+
+	// Recovery must see the snapshot plus phase 2, nothing else.
+	l2, err := OpenOutboxLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	st, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 77 {
+		t.Errorf("Epoch = %d, want 77", st.Epoch)
+	}
+	if st.Epochs["c"] != 99 {
+		t.Errorf("Epochs[c] = %d, want the reset epoch 99", st.Epochs["c"])
+	}
+	if got := st.Pending["b"]; len(got) != 1 || got[0].Seq != 3 || string(got[0].Payload) != "b3" {
+		t.Errorf("b pending = %v, want just b3 at seq 3", got)
+	}
+	if got := st.Pending["c"]; len(got) != 2 || got[0].Seq != 1 || string(got[0].Payload) != "c1'" ||
+		got[1].Seq != 2 || string(got[1].Payload) != "c2'" {
+		t.Errorf("c pending = %v, want the renumbered c1' and c2' only", got)
+	}
+	if st.NextSeq["b"] != 3 || st.Acked["b"] != 2 {
+		t.Errorf("b nextSeq/acked = %d/%d, want 3/2", st.NextSeq["b"], st.Acked["b"])
+	}
+	if st.NextSeq["c"] != 2 || st.Acked["c"] != 0 {
+		t.Errorf("c nextSeq/acked = %d/%d, want 2/0", st.NextSeq["c"], st.Acked["c"])
+	}
+	if st.Applied["d"] != (AppliedMark{Epoch: 77, Seq: 9}) {
+		t.Errorf("d applied = %+v, want epoch 77 seq 9", st.Applied["d"])
+	}
+}
+
 func TestOutboxLogTornTail(t *testing.T) {
 	dir := t.TempDir()
 	l, err := OpenOutboxLog(dir)

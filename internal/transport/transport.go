@@ -73,12 +73,22 @@ func NewBus() *Bus {
 	return &Bus{nodes: make(map[string]*BusEndpoint)}
 }
 
-// Endpoint attaches (or returns the existing) endpoint named name.
+// Endpoint attaches (or returns the existing) endpoint named name. A
+// *closed* endpoint under that name models a crashed peer: it is replaced
+// by a fresh one, so a restarted peer can re-attach under its old name (the
+// way a restarted TCP peer re-listens on its address). Senders resolve the
+// destination on every Send, so they reach the new incarnation as soon as
+// it attaches.
 func (b *Bus) Endpoint(name string) *BusEndpoint {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if n, ok := b.nodes[name]; ok {
-		return n
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if !closed {
+			return n
+		}
 	}
 	n := &BusEndpoint{bus: b, name: name, notify: make(chan struct{}, 1)}
 	b.nodes[name] = n
