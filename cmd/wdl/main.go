@@ -2,9 +2,11 @@
 //
 // Two modes:
 //
-//	wdl run [-rounds N] [-dump rel@peer,...] file.wdl
+//	wdl run [-rounds N] [-dump rel@peer,...] [-explain] file.wdl
 //	    Load a multi-peer program file into an in-process system, run all
-//	    peers to quiescence and print the resulting relations.
+//	    peers to quiescence and print the resulting relations. -explain
+//	    additionally prints, per peer, the join plan the engine chose for
+//	    each rule (atom order, live cardinalities, selectivity estimates).
 //
 //	wdl serve -name jules -listen :7001 [-peer emilien=host:7000]...
 //	          [-program file.wdl] [-trust sigmod,...] [-wal dir]
@@ -58,7 +60,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  wdl run [-rounds N] [-dump rel@peer,...] file.wdl
+  wdl run [-rounds N] [-dump rel@peer,...] [-explain] file.wdl
   wdl serve -name NAME -listen ADDR [-peer NAME=ADDR]... [-program FILE] [-trust NAMES] [-wal DIR]`)
 }
 
@@ -66,6 +68,7 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	rounds := fs.Int("rounds", 1000, "maximum scheduler rounds before giving up")
 	dump := fs.String("dump", "", "comma-separated rel@peer list to print (default: everything)")
+	explain := fs.Bool("explain", false, "print each peer's join plans (evaluation order, cardinalities, selectivity estimates)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,6 +111,13 @@ func cmdRun(args []string) error {
 			for _, t := range rel.Tuples() {
 				fmt.Printf("  %s\n", t)
 			}
+		}
+	}
+	if *explain {
+		// Explained after the run, so the estimates reflect the live
+		// cardinalities the planner actually sees at stage time.
+		for _, p := range sys.Peers() {
+			fmt.Printf("\n-- join plans at %s --\n%s", p.Name(), p.Explain())
 		}
 	}
 	return nil

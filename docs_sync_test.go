@@ -1,0 +1,112 @@
+package webdamlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// wdlFence matches a ```wdl fenced block; group 1 is the program text.
+// Program blocks in the docs are tagged `wdl` (untagged fences are grammar
+// sketches, shell commands, Go snippets, …).
+var wdlFence = regexp.MustCompile("(?s)```wdl\n(.*?)```")
+
+// TestDocProgramsParse keeps the documentation and the language in sync:
+// every ```wdl fenced block in docs/*.md and in README.md, and every
+// examples/programs/*.wdl file (all of which the docs reference as the
+// runnable companions), must parse with the real lexer and parser. CI runs
+// this explicitly, so a syntax change that breaks a documented program —
+// or a doc edit that drifts from the grammar — fails the build instead of
+// silently rotting.
+func TestDocProgramsParse(t *testing.T) {
+	var docs []string
+	md, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs = append(docs, md...)
+	docs = append(docs, "README.md")
+	if len(md) == 0 {
+		t.Fatal("no docs/*.md found; is the test running from the repo root?")
+	}
+
+	blocks := 0
+	for _, doc := range docs {
+		src, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range wdlFence.FindAllStringSubmatch(string(src), -1) {
+			blocks++
+			if _, err := parser.Parse(m[1]); err != nil {
+				t.Errorf("%s: fenced wdl block does not parse: %v\nblock:\n%s", doc, err, m[1])
+			}
+		}
+	}
+	if blocks == 0 {
+		t.Error("no ```wdl fenced blocks found in the docs; the sync gate is vacuous")
+	}
+
+	programs, err := filepath.Glob("examples/programs/*.wdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(programs) == 0 {
+		t.Fatal("no examples/programs/*.wdl found")
+	}
+	for _, path := range programs {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parser.Parse(string(src)); err != nil {
+			t.Errorf("%s: referenced example program does not parse: %v", path, err)
+		}
+	}
+
+	// Every program file the docs point at must exist (dangling references
+	// are doc rot too).
+	ref := regexp.MustCompile(`examples/programs/[A-Za-z0-9_.-]+\.wdl`)
+	for _, doc := range docs {
+		src, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ref.FindAllString(string(src), -1) {
+			if _, err := os.Stat(m); err != nil {
+				t.Errorf("%s references %s: %v", doc, m, err)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "doc sync: %d wdl blocks, %d example programs parsed\n", blocks, len(programs))
+}
+
+// TestDocExperimentIDsExist cross-checks docs/EXPERIMENTS.md against the
+// wdlbench harness: every experiment id documented with a "### <id> —"
+// heading must be a known -exp value (the harness source lists them), so
+// the experiment catalogue cannot drift from the tool.
+func TestDocExperimentIDsExist(t *testing.T) {
+	doc, err := os.ReadFile("docs/EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	harness, err := os.ReadFile("cmd/wdlbench/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	heading := regexp.MustCompile(`(?m)^### ([a-z][0-9]+) `)
+	ids := heading.FindAllStringSubmatch(string(doc), -1)
+	if len(ids) == 0 {
+		t.Fatal("no experiment headings found in docs/EXPERIMENTS.md")
+	}
+	for _, m := range ids {
+		if !strings.Contains(string(harness), fmt.Sprintf("%q", m[1])) {
+			t.Errorf("docs/EXPERIMENTS.md documents experiment %s but cmd/wdlbench does not know it", m[1])
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// An adversarially ordered three-way join for demonstrating the engine's
+// cost-based join planner (`wdl run -explain examples/programs/joinplan.wdl`,
+// and experiment P9 at scale). The rule names its largest relation first;
+// the planner starts from the two-row selector and probes the chain
+// backwards. Results are identical either way — only the work differs.
+
+peer local;
+relation extensional big@local(a, b);
+relation extensional mid@local(b, c);
+relation extensional small@local(c);
+relation intensional reach@local(a, c);
+
+big@local(0, 0);  big@local(1, 1);  big@local(2, 2);  big@local(3, 3);
+big@local(4, 4);  big@local(5, 5);  big@local(6, 6);  big@local(7, 7);
+mid@local(0, 0);  mid@local(1, 1);  mid@local(2, 2);  mid@local(3, 3);
+mid@local(4, 4);  mid@local(5, 5);  mid@local(6, 6);  mid@local(7, 7);
+small@local(0);   small@local(3);
+
+reach@local($a, $c) :- big@local($a, $b), mid@local($b, $c), small@local($c);

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// PlannerResult measures one mode of the P9 adversarial-join experiment.
+type PlannerResult struct {
+	N        int           // rows in each of the three big relations
+	Rows     int           // result rows in out@local (must agree across modes)
+	FP       uint64        // content fingerprint of out@local
+	Setup    time.Duration // load + warm-up stage (index builds, first plans)
+	PerStage time.Duration // steady-state full recomputation of the view
+}
+
+// RunPlannerJoin builds the adversarially ordered four-way join behind
+// experiment P9 and measures a steady-state stage with or without the join
+// planner. Three chain relations of n rows each feed a four-row selector,
+// and the rule names them largest-first:
+//
+//	out@local($a,$d) :- src@local($a,$b), mid@local($b,$c),
+//	                    dst@local($c,$d), sel@local($d);
+//
+// Written order starts from the n-row src and drags every one of its rows
+// through the chain before sel prunes; the planner starts from sel and
+// probes the chain backwards, touching a handful of tuples. A warm-up
+// stage (reported as Setup) builds each mode's indexes and materializes
+// the view once, so PerStage isolates the join-order cost: both modes then
+// recompute the same view from the same warm store.
+func RunPlannerJoin(n int, planner bool) (PlannerResult, error) {
+	db := store.New()
+	decl := func(name string, kind ast.RelKind, cols ...string) (*store.Relation, error) {
+		return db.Declare(store.Schema{Name: name, Peer: "local", Kind: kind, Cols: cols})
+	}
+	src, err := decl("src", ast.Extensional, "a", "b")
+	if err != nil {
+		return PlannerResult{}, err
+	}
+	mid, err := decl("mid", ast.Extensional, "b", "c")
+	if err != nil {
+		return PlannerResult{}, err
+	}
+	dst, err := decl("dst", ast.Extensional, "c", "d")
+	if err != nil {
+		return PlannerResult{}, err
+	}
+	sel, err := decl("sel", ast.Extensional, "d")
+	if err != nil {
+		return PlannerResult{}, err
+	}
+	if _, err := decl("out", ast.Intensional, "a", "d"); err != nil {
+		return PlannerResult{}, err
+	}
+
+	opts := engine.DefaultOptions()
+	opts.Planner = planner
+	e := engine.New("local", db, opts)
+	prog, err := e.CompileProgram([]ast.Rule{mustRule("p9", `
+		out@local($a,$d) :- src@local($a,$b), mid@local($b,$c), dst@local($c,$d), sel@local($d);`)})
+	if err != nil {
+		return PlannerResult{}, err
+	}
+
+	start := time.Now()
+	for _, r := range []*store.Relation{src, mid, dst} {
+		tuples := make([]value.Tuple, n)
+		for i := 0; i < n; i++ {
+			tuples[i] = value.Tuple{value.Int(int64(i)), value.Int(int64(i))}
+		}
+		r.InsertMany(tuples)
+	}
+	const selected = 4
+	for i := 0; i < selected; i++ {
+		sel.Insert(value.Tuple{value.Int(int64(i))})
+	}
+	rv := engine.NewRemoteView()
+	warm := e.RunStageFull(prog, nil, rv) // builds this mode's indexes, first plans
+	if err := joinErrs(warm.Errors); err != nil {
+		return PlannerResult{}, err
+	}
+	out := PlannerResult{N: n, Setup: time.Since(start)}
+
+	const reps = 3
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		res := e.RunStageFull(prog, nil, rv)
+		if err := joinErrs(res.Errors); err != nil {
+			return PlannerResult{}, err
+		}
+	}
+	out.PerStage = time.Since(start) / reps
+
+	view := db.Get("out", "local")
+	out.Rows = view.Len()
+	out.FP = view.Fingerprint()
+	if out.Rows != selected {
+		return out, fmt.Errorf("planner join: out@local has %d rows, want %d", out.Rows, selected)
+	}
+	return out, nil
+}

@@ -34,6 +34,18 @@ type Options struct {
 	UseIndexes bool
 	// MaxIterations bounds fixpoint iterations as a safety net.
 	MaxIterations int
+	// Planner enables cost-based join planning: at stage time each rule's
+	// positive local body atoms are reordered by estimated selectivity
+	// (live relation cardinalities, the bound-argument mask each atom
+	// would be probed with, index statistics), and negated atoms and
+	// builtins float to the earliest position at which their variables
+	// are bound. Reordering stops at the first atom whose peer term is a
+	// variable or a remote constant, so delegation boundaries and the
+	// paper's safety semantics are untouched; results are provably
+	// unchanged (prop-tested against the written order). When false —
+	// the written-order ablation of experiment P9 — bodies evaluate
+	// exactly as written. See plan.go.
+	Planner bool
 	// Incremental keeps derived relations materialized between stages and
 	// maintains them from each stage's base-fact deltas (inserts through the
 	// semi-naive machinery, deletions through an over-delete/rederive pass),
@@ -50,7 +62,7 @@ type Options struct {
 
 // DefaultOptions returns the production configuration.
 func DefaultOptions() Options {
-	return Options{SemiNaive: true, UseIndexes: true, Incremental: true, MaxIterations: 1_000_000}
+	return Options{SemiNaive: true, UseIndexes: true, Planner: true, Incremental: true, MaxIterations: 1_000_000}
 }
 
 // Tracer observes derivations for provenance tracking and debugging.

@@ -24,6 +24,9 @@ type stageState struct {
 	delta       deltaSet
 	supports    []ast.Fact // ground body atoms on the current evaluation path
 	errCount    int
+	// planner holds the stage's join-plan cache (plan.go); nil means
+	// written-order evaluation (Options.Planner off).
+	planner *stagePlanner
 	// incr is non-nil during RunStageIncremental: produce() additionally
 	// maintains the net view-delta bookkeeping (incremental.go).
 	incr *incrState
@@ -60,6 +63,7 @@ func (st *stageState) errf(format string, args ...any) {
 // for the peer to apply or transmit.
 func (e *Engine) RunStage(prog *Program) *Result {
 	st := newStageState()
+	st.planner = e.newPlanner()
 	for _, stratum := range prog.Strata {
 		if len(stratum) == 0 {
 			continue
@@ -134,11 +138,16 @@ func (e *Engine) runStratumNaive(stratum []*CompiledRule, st *stageState) {
 
 // evalRule evaluates one rule. deltaPos < 0 requests a full evaluation;
 // otherwise body position deltaPos ranges over prevDelta instead of the
-// full relation.
+// full relation. When the stage has a planner, the body is walked in the
+// plan's order instead of written order.
 func (e *Engine) evalRule(cr *CompiledRule, st *stageState, deltaPos int, prevDelta deltaSet) {
 	env := make([]value.Value, cr.NumSlots)
 	bound := make([]bool, cr.NumSlots)
-	e.evalFrom(cr, 0, env, bound, st, deltaPos, prevDelta)
+	var ord []int
+	if st.planner != nil {
+		ord = st.planner.orderFor(cr, deltaPos)
+	}
+	e.evalFrom(cr, 0, env, bound, st, deltaPos, prevDelta, ord)
 }
 
 // bindAtomArgs unifies t against the atom's argument terms, binding free
@@ -214,10 +223,18 @@ func resolveName(t termRef, env []value.Value) (string, bool) {
 	return v.StringVal(), true
 }
 
-func (e *Engine) evalFrom(cr *CompiledRule, i int, env []value.Value, bound []bool, st *stageState, deltaPos int, prevDelta deltaSet) {
-	if i == len(cr.Body) {
+// evalFrom evaluates the rule body from plan step `step` on. ord, when
+// non-nil, maps plan steps to body positions (written order otherwise);
+// all diagnostics and the deltaPos comparison use the *written* position,
+// so planned and unplanned evaluation report identically.
+func (e *Engine) evalFrom(cr *CompiledRule, step int, env []value.Value, bound []bool, st *stageState, deltaPos int, prevDelta deltaSet, ord []int) {
+	if step == len(cr.Body) {
 		e.produce(cr, env, st)
 		return
+	}
+	i := step
+	if ord != nil {
+		i = ord[step]
 	}
 	a := &cr.Body[i]
 	peerName, ok := resolveName(a.peer, env)
@@ -237,7 +254,7 @@ func (e *Engine) evalFrom(cr *CompiledRule, i int, env []value.Value, bound []bo
 			return
 		}
 		if holds != a.neg {
-			e.evalFrom(cr, i+1, env, bound, st, deltaPos, prevDelta)
+			e.evalFrom(cr, step+1, env, bound, st, deltaPos, prevDelta, ord)
 		}
 		return
 	}
@@ -263,7 +280,7 @@ func (e *Engine) evalFrom(cr *CompiledRule, i int, env []value.Value, bound []bo
 			}
 		}
 		if rel == nil || len(a.args) != rel.Schema().Arity() || !rel.Contains(t) {
-			e.evalFrom(cr, i+1, env, bound, st, deltaPos, prevDelta)
+			e.evalFrom(cr, step+1, env, bound, st, deltaPos, prevDelta, ord)
 		}
 		return
 	}
@@ -274,10 +291,10 @@ func (e *Engine) evalFrom(cr *CompiledRule, i int, env []value.Value, bound []bo
 		if okTuple {
 			if e.opts.Tracer != nil {
 				st.supports = append(st.supports, ast.Fact{Rel: relName, Peer: peerName, Args: t})
-				e.evalFrom(cr, i+1, env, bound, st, deltaPos, prevDelta)
+				e.evalFrom(cr, step+1, env, bound, st, deltaPos, prevDelta, ord)
 				st.supports = st.supports[:len(st.supports)-1]
 			} else {
-				e.evalFrom(cr, i+1, env, bound, st, deltaPos, prevDelta)
+				e.evalFrom(cr, step+1, env, bound, st, deltaPos, prevDelta, ord)
 			}
 			unbind(bound, newlyBound)
 		}

@@ -256,6 +256,7 @@ func (e *Engine) RunStageFull(prog *Program, seeds map[string][]value.Tuple, rv 
 // maintained remote view it passed there.
 func (e *Engine) RunStageIncremental(prog *Program, in *StageInput, rv *RemoteView) *Result {
 	st := newStageState()
+	st.planner = e.newPlanner()
 	ic := &incrState{
 		in:       in,
 		seeded:   map[string]map[string]bool{},
@@ -469,7 +470,11 @@ func (e *Engine) deletePhase(prog *Program, stratum []*CompiledRule, st *stageSt
 				}
 				env := make([]value.Value, cr.NumSlots)
 				bound := make([]bool, cr.NumSlots)
-				e.deleteFrom(cr, 0, env, bound, st, j, frontier)
+				var ord []int
+				if st.planner != nil {
+					ord = st.planner.orderFor(cr, j)
+				}
+				e.deleteFrom(cr, 0, env, bound, st, j, frontier, ord)
 			}
 		}
 		st.out.Iterations++
@@ -514,7 +519,7 @@ func (e *Engine) rederive(prog *Program, st *stageState, marks []relTuple) {
 			name, peerName := store.SplitID(m.relID)
 			keep := ic.isSeeded(m.relID, m.tuple.Key()) ||
 				rel.HasExternalSupport(m.tuple) ||
-				e.rederivable(prog, name, peerName, m.tuple)
+				e.rederivable(prog, st, name, peerName, m.tuple)
 			if keep {
 				rel.Insert(m.tuple)
 				key := m.tuple.Key()
@@ -536,8 +541,9 @@ func (e *Engine) rederive(prog *Program, st *stageState, marks []relTuple) {
 
 // rederivable reports whether some rule of the program derives rel@peer(t)
 // from the current database. The head is unified with the target tuple first
-// so the body walk is driven by bound values (indexable lookups).
-func (e *Engine) rederivable(prog *Program, relName, peerName string, t value.Tuple) bool {
+// so the body walk is driven by bound values (indexable lookups); the
+// planner supplies a body order chosen for exactly that pre-bound state.
+func (e *Engine) rederivable(prog *Program, st *stageState, relName, peerName string, t value.Tuple) bool {
 	for _, cr := range prog.Rules {
 		if !cr.MaybeView || cr.Rule.Op != ast.Derive {
 			continue
@@ -547,7 +553,11 @@ func (e *Engine) rederivable(prog *Program, relName, peerName string, t value.Tu
 		if !unifyHead(cr, relName, peerName, t, env, bound) {
 			continue
 		}
-		if e.matchFrom(cr, 0, env, bound) {
+		var ord []int
+		if st.planner != nil {
+			ord = st.planner.rederiveOrder(cr)
+		}
+		if e.matchFrom(cr, 0, env, bound, ord) {
 			return true
 		}
 	}
@@ -585,13 +595,19 @@ func unifyHead(cr *CompiledRule, relName, peerName string, t value.Tuple, env []
 	return true
 }
 
-// matchFrom reports whether the rule body from atom i has at least one
-// satisfying local valuation under the current bindings — the existence
-// check behind rederivation. Atoms that resolve to remote peers fail the
-// branch: a delegated suffix is not a local derivation.
-func (e *Engine) matchFrom(cr *CompiledRule, i int, env []value.Value, bound []bool) bool {
-	if i == len(cr.Body) {
+// matchFrom reports whether the rule body from plan step `step` has at
+// least one satisfying local valuation under the current bindings — the
+// existence check behind rederivation. Atoms that resolve to remote peers
+// fail the branch: a delegated suffix is not a local derivation. ord maps
+// plan steps to body positions as in evalFrom; the check is an existential
+// over full valuations, so any safe order decides it identically.
+func (e *Engine) matchFrom(cr *CompiledRule, step int, env []value.Value, bound []bool, ord []int) bool {
+	if step == len(cr.Body) {
 		return true
+	}
+	i := step
+	if ord != nil {
+		i = ord[step]
 	}
 	a := &cr.Body[i]
 	peerName, ok := resolveName(a.peer, env)
@@ -607,7 +623,7 @@ func (e *Engine) matchFrom(cr *CompiledRule, i int, env []value.Value, bound []b
 		if err != nil {
 			return false
 		}
-		return holds != a.neg && e.matchFrom(cr, i+1, env, bound)
+		return holds != a.neg && e.matchFrom(cr, step+1, env, bound, ord)
 	}
 	if peerName != e.local {
 		return false
@@ -627,7 +643,7 @@ func (e *Engine) matchFrom(cr *CompiledRule, i int, env []value.Value, bound []b
 			}
 		}
 		if rel == nil || len(a.args) != rel.Schema().Arity() || !rel.Contains(t) {
-			return e.matchFrom(cr, i+1, env, bound)
+			return e.matchFrom(cr, step+1, env, bound, ord)
 		}
 		return false
 	}
@@ -638,7 +654,7 @@ func (e *Engine) matchFrom(cr *CompiledRule, i int, env []value.Value, bound []b
 	match := func(t value.Tuple) bool {
 		okTuple, newlyBound := bindAtomArgs(a, t, env, bound)
 		if okTuple {
-			if e.matchFrom(cr, i+1, env, bound) {
+			if e.matchFrom(cr, step+1, env, bound, ord) {
 				found = true
 			}
 			unbind(bound, newlyBound)
@@ -653,11 +669,16 @@ func (e *Engine) matchFrom(cr *CompiledRule, i int, env []value.Value, bound []b
 // deleteFrom is the over-delete analogue of evalFrom: body position deltaPos
 // ranges over the deletion frontier, every other positive position over the
 // pre-deletion database (relation ∪ ghosts), and a fully matched body marks
-// the produced head as over-deleted.
-func (e *Engine) deleteFrom(cr *CompiledRule, i int, env []value.Value, bound []bool, st *stageState, deltaPos int, frontier deltaSet) {
-	if i == len(cr.Body) {
+// the produced head as over-deleted. ord, when non-nil, maps plan steps to
+// body positions exactly as in evalFrom.
+func (e *Engine) deleteFrom(cr *CompiledRule, step int, env []value.Value, bound []bool, st *stageState, deltaPos int, frontier deltaSet, ord []int) {
+	if step == len(cr.Body) {
 		e.produceDelete(cr, env, st)
 		return
+	}
+	i := step
+	if ord != nil {
+		i = ord[step]
 	}
 	a := &cr.Body[i]
 	peerName, ok := resolveName(a.peer, env)
@@ -674,7 +695,7 @@ func (e *Engine) deleteFrom(cr *CompiledRule, i int, env []value.Value, bound []
 			return
 		}
 		if holds != a.neg {
-			e.deleteFrom(cr, i+1, env, bound, st, deltaPos, frontier)
+			e.deleteFrom(cr, step+1, env, bound, st, deltaPos, frontier, ord)
 		}
 		return
 	}
@@ -700,7 +721,7 @@ func (e *Engine) deleteFrom(cr *CompiledRule, i int, env []value.Value, bound []
 			}
 		}
 		if rel == nil || len(a.args) != rel.Schema().Arity() || !rel.Contains(t) {
-			e.deleteFrom(cr, i+1, env, bound, st, deltaPos, frontier)
+			e.deleteFrom(cr, step+1, env, bound, st, deltaPos, frontier, ord)
 		}
 		return
 	}
@@ -708,7 +729,7 @@ func (e *Engine) deleteFrom(cr *CompiledRule, i int, env []value.Value, bound []
 	unify := func(t value.Tuple) bool {
 		okTuple, newlyBound := bindAtomArgs(a, t, env, bound)
 		if okTuple {
-			e.deleteFrom(cr, i+1, env, bound, st, deltaPos, frontier)
+			e.deleteFrom(cr, step+1, env, bound, st, deltaPos, frontier, ord)
 			unbind(bound, newlyBound)
 		}
 		return true // keep scanning

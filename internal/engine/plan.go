@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Join planning.
+//
+// The paper fixes body-atom order for *safety* ("atoms are evaluated from
+// left to right. The order matters"), and bare evaluation inherits it for
+// performance too: evalFrom joins positive atoms exactly as written, so a
+// badly ordered multi-way join scans its largest relation before the
+// selective atoms bind anything. This file reorders each rule's body at
+// stage time by estimated selectivity — live relation cardinalities, the
+// bound-argument mask each atom would be probed with under the order
+// chosen so far (sideways information passing: later atoms see earlier
+// atoms' bindings through the ordinary lookupMask machinery), and index
+// statistics (store.Relation.FanEstimate) — so the most selective atoms
+// bind first and the big relations are probed, not scanned.
+//
+// Reordering is restricted to what is provably model-invariant:
+//
+//   - only the *local region* is reordered — the maximal body prefix whose
+//     atoms name the local peer or the builtin peer with a constant. The
+//     first atom past the region may resolve to a remote peer at run time,
+//     and the delegated residual must be exactly the written suffix with
+//     the prefix's bindings substituted in (paper §2), so everything from
+//     there on keeps its written order. Since the region is a prefix, the
+//     set of atoms evaluated before the delegation point — and therefore
+//     the bindings the residual is built from — is unchanged.
+//   - positive atoms commute freely: a join is a set intersection, and the
+//     stratified semantics freezes every relation a stratum's negated
+//     atoms read, so moving a positive atom never changes the model.
+//   - negated atoms and builtin predicates bind nothing and only prune;
+//     they float to the earliest position at which all their variables are
+//     bound, which preserves the paper's safety conditions by
+//     construction.
+//
+// The delta-position choice of semi-naive passes is part of the plan: when
+// one body position ranges over the previous iteration's delta (or the
+// deletion frontier of the DRed pass), that atom is placed as early as its
+// binding prerequisites allow — the delta is almost always the smallest
+// input — and the rest of the body is ordered around the variables it
+// binds. Rederivation checks get their own order, planned with every head
+// variable pre-bound (matchFrom runs head-unified).
+//
+// Plans are computed lazily, once per rule (and per delta position) per
+// stage, against the store cardinalities current at that moment; the
+// orders are deterministic given the store state. Options.Planner (default
+// on) gates everything; off is the written-order ablation of experiment P9.
+
+// plannerUnknownCost ranks atoms whose relation cannot be resolved at plan
+// time (a variable in relation position): after anything that estimates
+// cheaper from real statistics, before full scans of larger relations.
+const plannerUnknownCost = 1 << 20
+
+// rulePlan caches one rule's chosen evaluation orders for the current
+// stage. Each order is a permutation of body indices: the first `region`
+// entries permute the local region, the rest are the written suffix.
+type rulePlan struct {
+	region   int
+	full     []int   // deltaPos < 0 (and any deltaPos outside the region)
+	delta    [][]int // per in-region delta position, built on first use
+	rederive []int   // head slots pre-bound (rederivation existence checks)
+}
+
+// stagePlanner owns the per-stage plan cache. A nil *stagePlanner (planner
+// disabled) everywhere means "written order".
+type stagePlanner struct {
+	e     *Engine
+	plans map[*CompiledRule]*rulePlan
+}
+
+// newPlanner returns the stage's planner, or nil when Options.Planner is
+// off.
+func (e *Engine) newPlanner() *stagePlanner {
+	if !e.opts.Planner {
+		return nil
+	}
+	return &stagePlanner{e: e, plans: map[*CompiledRule]*rulePlan{}}
+}
+
+// planRegion returns the length of the rule's reorderable prefix: atoms
+// whose peer term is a constant naming the local peer or the builtin
+// peer. Everything from the first possibly-remote atom on keeps written
+// order (see the file comment).
+func planRegion(cr *CompiledRule, local string) int {
+	for i := range cr.Body {
+		a := &cr.Body[i]
+		if a.peer.isVar || a.peer.val.Kind() != value.KindString {
+			return i
+		}
+		if pn := a.peer.val.StringVal(); pn != local && pn != BuiltinPeer {
+			return i
+		}
+	}
+	return len(cr.Body)
+}
+
+// planFor returns the rule's cached plan, creating it on first use. Rules
+// with fewer than two reorderable atoms plan to nil — written order.
+func (pl *stagePlanner) planFor(cr *CompiledRule) *rulePlan {
+	if rp, ok := pl.plans[cr]; ok {
+		return rp
+	}
+	var rp *rulePlan
+	if region := planRegion(cr, pl.e.local); region >= 2 {
+		rp = &rulePlan{region: region}
+		rp.full = pl.order(cr, region, -1, nil)
+	}
+	pl.plans[cr] = rp
+	return rp
+}
+
+// orderFor returns the evaluation order for one rule invocation: body
+// position deltaPos ranges over the delta (-1 for a full evaluation). A
+// nil result means written order.
+func (pl *stagePlanner) orderFor(cr *CompiledRule, deltaPos int) []int {
+	rp := pl.planFor(cr)
+	if rp == nil {
+		return nil
+	}
+	if deltaPos < 0 || deltaPos >= rp.region {
+		// A delta atom in the written suffix is reached in written order
+		// anyway; the region still evaluates under the full plan.
+		return rp.full
+	}
+	if rp.delta == nil {
+		rp.delta = make([][]int, rp.region)
+	}
+	if rp.delta[deltaPos] == nil {
+		rp.delta[deltaPos] = pl.order(cr, rp.region, deltaPos, nil)
+	}
+	return rp.delta[deltaPos]
+}
+
+// rederiveOrder returns the order for head-unified existence checks
+// (matchFrom): every head variable is already bound, which usually makes
+// a very different atom the cheapest entry point.
+func (pl *stagePlanner) rederiveOrder(cr *CompiledRule) []int {
+	rp := pl.planFor(cr)
+	if rp == nil {
+		return nil
+	}
+	if rp.rederive == nil {
+		pre := make([]bool, cr.NumSlots)
+		markAtomSlots(&cr.Head, pre)
+		rp.rederive = pl.order(cr, rp.region, -1, pre)
+	}
+	return rp.rederive
+}
+
+// markAtomSlots marks every variable slot the atom mentions as bound.
+func markAtomSlots(a *cAtom, bound []bool) {
+	if a.rel.isVar {
+		bound[a.rel.slot] = true
+	}
+	if a.peer.isVar {
+		bound[a.peer.slot] = true
+	}
+	for _, arg := range a.args {
+		if arg.isVar {
+			bound[arg.slot] = true
+		}
+	}
+}
+
+// isFilter reports whether body atom i binds nothing and only prunes: a
+// negated atom or a builtin predicate.
+func isFilter(cr *CompiledRule, i int) bool {
+	a := &cr.Body[i]
+	return a.neg || (!a.peer.isVar && a.peer.val.Kind() == value.KindString &&
+		a.peer.val.StringVal() == BuiltinPeer)
+}
+
+// order runs the greedy placement over the rule's local region: at each
+// step every filter whose variables are bound floats in (written order,
+// earliest position), then the cheapest eligible positive atom is placed
+// and its argument variables become bound. The delta atom, when in the
+// region, is taken as soon as it is eligible regardless of cost — delta
+// inputs are small by construction. preBound marks slots bound before the
+// body runs (rederivation's head unification). Ties break toward written
+// order, so the chosen order is deterministic.
+func (pl *stagePlanner) order(cr *CompiledRule, region, deltaPos int, preBound []bool) []int {
+	bound := make([]bool, cr.NumSlots)
+	copy(bound, preBound)
+	placed := make([]bool, region)
+	order := make([]int, 0, len(cr.Body))
+
+	ready := func(i int, needArgs bool) bool {
+		a := &cr.Body[i]
+		if a.rel.isVar && !bound[a.rel.slot] {
+			return false
+		}
+		if a.peer.isVar && !bound[a.peer.slot] {
+			return false
+		}
+		if needArgs {
+			for _, arg := range a.args {
+				if arg.isVar && !bound[arg.slot] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	place := func(i int) {
+		placed[i] = true
+		order = append(order, i)
+		if !isFilter(cr, i) {
+			for _, arg := range cr.Body[i].args {
+				if arg.isVar {
+					bound[arg.slot] = true
+				}
+			}
+		}
+	}
+
+	for {
+		for again := true; again; {
+			again = false
+			for i := 0; i < region; i++ {
+				if !placed[i] && isFilter(cr, i) && ready(i, true) {
+					place(i)
+					again = true
+				}
+			}
+		}
+		best, bestCost := -1, 0.0
+		for i := 0; i < region; i++ {
+			if placed[i] || isFilter(cr, i) || !ready(i, false) {
+				continue
+			}
+			if i == deltaPos {
+				best = i
+				break
+			}
+			if c := pl.atomCost(cr, i, bound); best == -1 || c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		if best == -1 {
+			break
+		}
+		place(best)
+	}
+	// Safety guarantees the greedy loop placed everything (the earliest
+	// unplaced positive atom is always eligible, and filters follow once
+	// their written-earlier positives are in); sweep defensively anyway so
+	// a malformed compiled rule still evaluates every atom.
+	for i := 0; i < region; i++ {
+		if !placed[i] {
+			order = append(order, i)
+		}
+	}
+	for i := region; i < len(cr.Body); i++ {
+		order = append(order, i)
+	}
+	return order
+}
+
+// atomCost estimates the number of tuples body atom i yields when probed
+// with the given slots bound — the branching factor the greedy order
+// minimizes at each step.
+func (pl *stagePlanner) atomCost(cr *CompiledRule, i int, bound []bool) float64 {
+	a := &cr.Body[i]
+	if a.rel.isVar || a.peer.isVar {
+		return plannerUnknownCost
+	}
+	if a.rel.val.Kind() != value.KindString || a.peer.val.Kind() != value.KindString {
+		return 0 // resolveName rejects it immediately: nothing is scanned
+	}
+	rel := pl.e.db.Get(a.rel.val.StringVal(), a.peer.val.StringVal())
+	if rel == nil {
+		return 0 // undeclared local relation: the atom joins nothing
+	}
+	if len(a.args) != rel.Schema().Arity() {
+		return 0 // arity mismatch: no tuple can match
+	}
+	var mask store.ColMask
+	allBound := true
+	for k, arg := range a.args {
+		if arg.isVar && !bound[arg.slot] {
+			allBound = false
+			continue
+		}
+		mask |= 1 << uint(k)
+	}
+	if allBound && len(a.args) > 0 {
+		return 0.5 // pure membership probe: strictly better than any scan
+	}
+	if mask == 0 {
+		return float64(rel.Len())
+	}
+	return rel.FanEstimate(mask)
+}
+
+// Explain renders, per rule of prog, the join order the planner chooses
+// against the store's *current* contents, with per-step cardinality and
+// selectivity estimates — the surface behind `wdl run -explain`. With
+// Options.Planner off it renders the written order (the ablation), noting
+// the gate.
+func (e *Engine) Explain(prog *Program) string {
+	var sb strings.Builder
+	pl := &stagePlanner{e: e, plans: map[*CompiledRule]*rulePlan{}}
+	if !e.opts.Planner {
+		sb.WriteString("planner disabled (Options.Planner=false): bodies evaluate in written order\n")
+	}
+	for _, cr := range prog.Rules {
+		kind := "event"
+		if !cr.Event {
+			kind = "view"
+		}
+		fmt.Fprintf(&sb, "rule %s (stratum %d, %s): %s;\n", cr.Rule.ID, cr.Stratum, kind, cr.Rule.String())
+		region := planRegion(cr, e.local)
+		var ord []int
+		if e.opts.Planner {
+			ord = pl.orderFor(cr, -1)
+		}
+		if ord == nil {
+			ord = make([]int, len(cr.Body))
+			for i := range ord {
+				ord[i] = i
+			}
+			if e.opts.Planner && len(cr.Body) > 1 {
+				sb.WriteString("  written order (fewer than two reorderable atoms)\n")
+			}
+		}
+		bound := make([]bool, cr.NumSlots)
+		for step, i := range ord {
+			a := &cr.Body[i]
+			note := e.explainAtom(cr, i, bound)
+			fmt.Fprintf(&sb, "  %d. body atom %d: %s%s\n", step+1, i+1, cr.Rule.Body[i].String(), note)
+			if !isFilter(cr, i) {
+				for _, arg := range a.args {
+					if arg.isVar {
+						bound[arg.slot] = true
+					}
+				}
+			}
+		}
+		if region < len(cr.Body) {
+			fmt.Fprintf(&sb, "  atoms %d.. keep written order: the peer term may resolve remote (delegation boundary)\n", region+1)
+		}
+	}
+	return sb.String()
+}
+
+// explainAtom renders one planned step's annotation: filters as such,
+// positive atoms with live cardinality and the estimated fan under the
+// bindings accumulated so far.
+func (e *Engine) explainAtom(cr *CompiledRule, i int, bound []bool) string {
+	a := &cr.Body[i]
+	if !a.peer.isVar && a.peer.val.Kind() == value.KindString && a.peer.val.StringVal() == BuiltinPeer {
+		return "  [builtin filter]"
+	}
+	if a.neg {
+		return "  [negated: membership test]"
+	}
+	if a.rel.isVar || a.peer.isVar {
+		return "  [relation resolved at run time]"
+	}
+	rel := e.db.Get(a.rel.val.StringVal(), a.peer.val.StringVal())
+	if rel == nil {
+		return "  [rows=0 (undeclared)]"
+	}
+	var boundCols []string
+	var mask store.ColMask
+	for k, arg := range a.args {
+		if arg.isVar && !bound[arg.slot] {
+			continue
+		}
+		mask |= 1 << uint(k)
+		if k < len(rel.Schema().Cols) {
+			boundCols = append(boundCols, rel.Schema().Cols[k])
+		}
+	}
+	est := rel.FanEstimate(mask)
+	if mask == 0 {
+		return fmt.Sprintf("  [rows=%d, full scan]", rel.Len())
+	}
+	return fmt.Sprintf("  [rows=%d, probe(%s), est≈%.4g]", rel.Len(), strings.Join(boundCols, ","), est)
+}

@@ -134,6 +134,172 @@ func TestIndexedEquivalentToScanOnRandomPrograms(t *testing.T) {
 	}
 }
 
+// withRandomFilters appends, to some rules, a builtin comparison and/or a
+// negated atom over the extensional base — always at the *end* of the body,
+// where safety is guaranteed (every variable is bound) and where the
+// planner will want to float them forward. This makes the random programs
+// adversarial for filter placement, not just join order.
+func withRandomFilters(rnd *rand.Rand, rules []ast.Rule) []ast.Rule {
+	for i := range rules {
+		var bodyVars []string
+		seen := map[string]bool{}
+		for _, a := range rules[i].Body {
+			for _, t := range a.Args {
+				if t.IsVar() && !seen[t.Var] {
+					seen[t.Var] = true
+					bodyVars = append(bodyVars, t.Var)
+				}
+			}
+		}
+		if len(bodyVars) < 2 {
+			continue
+		}
+		if rnd.Intn(2) == 0 {
+			rules[i].Body = append(rules[i].Body, ast.Atom{
+				Rel:  ast.CStr("le"),
+				Peer: ast.CStr(BuiltinPeer),
+				Args: []ast.Term{ast.V(bodyVars[rnd.Intn(len(bodyVars))]), ast.V(bodyVars[rnd.Intn(len(bodyVars))])},
+			})
+		}
+		if rnd.Intn(2) == 0 {
+			rules[i].Body = append(rules[i].Body, ast.Atom{
+				Neg:  true,
+				Rel:  ast.CStr("e"),
+				Peer: ast.CStr("local"),
+				Args: []ast.Term{ast.V(bodyVars[rnd.Intn(len(bodyVars))]), ast.V(bodyVars[rnd.Intn(len(bodyVars))])},
+			})
+		}
+	}
+	return rules
+}
+
+// TestPlannerEquivalentToWrittenOrderOnRandomPrograms asserts the planner's
+// central invariant: on random programs — multi-way joins plus trailing
+// builtin and negated filters the planner reorders aggressively — the
+// cost-based join order computes exactly the model written-order evaluation
+// computes.
+func TestPlannerEquivalentToWrittenOrderOnRandomPrograms(t *testing.T) {
+	rnd := rand.New(rand.NewSource(20260729))
+	for trial := 0; trial < 60; trial++ {
+		schemas, facts, rules := randomProgram(rnd, 1+rnd.Intn(3), 1+rnd.Intn(5), 5+rnd.Intn(30), 2+rnd.Intn(6))
+		rules = withRandomFilters(rnd, rules)
+		planned := DefaultOptions()
+		written := DefaultOptions()
+		written.Planner = false
+		gotPlanned := runRandom(t, schemas, facts, rules, planned)
+		gotWritten := runRandom(t, schemas, facts, rules, written)
+		for rel, plannedRows := range gotPlanned {
+			writtenRows := gotWritten[rel]
+			if len(plannedRows) != len(writtenRows) {
+				t.Fatalf("trial %d: relation %s differs: planner %d rows, written order %d rows\nrules: %v",
+					trial, rel, len(plannedRows), len(writtenRows), rules)
+			}
+			for i := range plannedRows {
+				if plannedRows[i] != writtenRows[i] {
+					t.Fatalf("trial %d: relation %s row %d differs: %s vs %s",
+						trial, rel, i, plannedRows[i], writtenRows[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerEquivalentOnRandomIncrementalSequences drives the same random
+// insert/delete batches through two incrementally maintained engines —
+// planner on and planner off — checking every view identical after every
+// batch. This covers the planned delta passes and the planned DRed
+// over-delete/rederive walks, not just one-shot full evaluation.
+func TestPlannerEquivalentOnRandomIncrementalSequences(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 12; trial++ {
+		schemas, facts, rules := randomProgram(rnd, 1+rnd.Intn(3), 1+rnd.Intn(4), 5+rnd.Intn(20), 2+rnd.Intn(5))
+		// Pre-generate the batch schedule so both modes replay it verbatim.
+		type op struct {
+			del bool
+			t   value.Tuple
+		}
+		domain := int64(2 + rnd.Intn(6))
+		var batches [][]op
+		for s := 0; s < 10; s++ {
+			var b []op
+			for k := 0; k < 1+rnd.Intn(4); k++ {
+				b = append(b, op{
+					del: rnd.Intn(3) == 0,
+					t:   value.Tuple{value.Int(rnd.Int63n(domain)), value.Int(rnd.Int63n(domain))},
+				})
+			}
+			batches = append(batches, b)
+		}
+
+		run := func(opts Options) []map[string][]string {
+			db := store.New()
+			for _, s := range schemas {
+				if _, err := db.Declare(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			base := db.Get("e", "local")
+			for _, f := range facts {
+				base.Insert(f)
+			}
+			e := New("local", db, opts)
+			prog, err := e.CompileProgram(rules)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if !prog.Incremental {
+				t.Fatalf("random positive program unexpectedly not incremental")
+			}
+			rv := NewRemoteView()
+			res := e.RunStageFull(prog, nil, rv)
+			checkNoErrors(t, res)
+			var states []map[string][]string
+			for _, b := range batches {
+				in := &StageInput{Ins: map[string][]value.Tuple{}, Del: map[string][]value.Tuple{}}
+				for _, o := range b {
+					if o.del {
+						if base.Delete(o.t) {
+							in.Del["e@local"] = append(in.Del["e@local"], o.t)
+						}
+					} else if base.Insert(o.t) {
+						in.Ins["e@local"] = append(in.Ins["e@local"], o.t)
+					}
+				}
+				res := e.RunStageIncremental(prog, in, rv)
+				checkNoErrors(t, res)
+				state := map[string][]string{}
+				for _, s := range schemas {
+					state[s.Name] = relContents(db, s.Name, "local")
+				}
+				states = append(states, state)
+			}
+			return states
+		}
+
+		planned := DefaultOptions()
+		written := DefaultOptions()
+		written.Planner = false
+		gotPlanned := run(planned)
+		gotWritten := run(written)
+		for step := range gotPlanned {
+			p, w := gotPlanned[step], gotWritten[step]
+			for rel, pRows := range p {
+				wRows := w[rel]
+				if len(pRows) != len(wRows) {
+					t.Fatalf("trial %d step %d: relation %s differs: planner %d rows, written %d rows\nrules: %v",
+						trial, step, rel, len(pRows), len(wRows), rules)
+				}
+				for i := range pRows {
+					if pRows[i] != wRows[i] {
+						t.Fatalf("trial %d step %d: relation %s row %d differs: %s vs %s",
+							trial, step, rel, i, pRows[i], wRows[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestMaxIterationsGuard verifies the runaway-fixpoint safety net.
 func TestMaxIterationsGuard(t *testing.T) {
 	opts := DefaultOptions()

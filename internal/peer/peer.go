@@ -444,6 +444,20 @@ func (p *Peer) Store() *store.Store { return p.db }
 // Engine returns the peer's evaluation engine.
 func (p *Peer) Engine() *engine.Engine { return p.eng }
 
+// Explain returns a human-readable dump of the join plans the engine
+// chooses for the peer's current compiled program against the store's
+// current contents (the surface behind `wdl run -explain`). The program
+// compiles at stage time; before the first stage there is nothing to
+// explain.
+func (p *Peer) Explain() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.prog == nil {
+		return "no compiled program (the peer has not run a stage yet)\n"
+	}
+	return p.eng.Explain(p.prog)
+}
+
 // Endpoint returns the transport endpoint.
 func (p *Peer) Endpoint() transport.Endpoint { return p.ep }
 

@@ -414,6 +414,39 @@ func (r *Relation) ensureIndexLocked(mask ColMask) map[string][]value.Tuple {
 	return idx
 }
 
+// FanEstimate estimates how many tuples an equality lookup over the
+// columns in mask will match — the per-probe cost estimate behind the
+// engine's join planner. With a materialized index over exactly that mask
+// the estimate is the true mean bucket size (tuples / distinct keys). A
+// mask whose index was dropped as degenerate estimates as a full scan:
+// probing it really does scan. Otherwise — no statistics yet — each bound
+// column is assumed to keep one tuple in ten (System R's classic equality
+// selectivity), floored at one match.
+func (r *Relation) FanEstimate(mask ColMask) float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := float64(len(r.tuples))
+	if mask == 0 || len(r.tuples) == 0 {
+		return n
+	}
+	if idx, ok := r.indexes[mask]; ok && len(idx) > 0 {
+		return n / float64(len(idx))
+	}
+	if _, deg := r.degraded[mask]; deg {
+		return n
+	}
+	est := n
+	for c := 0; c < len(r.schema.Cols); c++ {
+		if mask.Has(c) {
+			est *= 0.1
+		}
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
 // IndexCount returns the number of materialized indexes (for introspection).
 func (r *Relation) IndexCount() int {
 	r.mu.RLock()
