@@ -21,11 +21,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/acl"
 	"repro/internal/core"
@@ -158,8 +160,11 @@ func cmdServe(args []string) error {
 	if *name == "" {
 		return fmt.Errorf("serve: -name is required")
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
+	// ^C (or SIGTERM) cancels ctx: the REPL unblocks and returns, every
+	// active watch subscription is torn down with it, and the peer shuts
+	// down cleanly — even while a watch stream is mid-delivery.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	ep, err := transport.ListenTCP(ctx, *name, *listen, peers)
 	if err != nil {
 		return err
@@ -195,27 +200,52 @@ func cmdServe(args []string) error {
 			fmt.Fprintln(os.Stderr, "peer loop:", err)
 		}
 	}()
-	repl(p)
-	cancel()
+	repl(ctx, p, os.Stdin, os.Stdout)
+	stop()
 	return p.Close()
 }
 
-// repl is the interactive console of a served peer.
-func repl(p *peer.Peer) {
-	fmt.Println(`commands: +FACT | -FACT | rule RULE | drop ID | dump [REL] | watch REL | unwatch REL | rules | pending | accept N | reject N | stats | quit`)
+// repl is the interactive console of a served peer. It returns when the
+// input reaches EOF, on "quit", or when ctx is cancelled (^C) — including
+// while blocked waiting for input with watch subscriptions streaming.
+func repl(ctx context.Context, p *peer.Peer, in io.Reader, out io.Writer) {
+	fmt.Fprintln(out, `commands: +FACT | -FACT | rule RULE | drop ID | dump [REL] | watch REL | unwatch REL | rules | pending | accept N | reject N | stats | quit`)
 	watches := map[string]context.CancelFunc{}
 	defer func() {
 		for _, cancel := range watches {
 			cancel()
 		}
 	}()
-	sc := bufio.NewScanner(os.Stdin)
-	for {
-		fmt.Print("wdl> ")
-		if !sc.Scan() {
-			return
+	// The scanner blocks in Read with no way to interrupt it, so it feeds
+	// a channel and the loop selects against ctx: cancellation unblocks
+	// the REPL immediately, leaving the reader goroutine to die with the
+	// process (stdin) or at the next line (a test's pipe).
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(in)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			case <-ctx.Done():
+				return
+			}
 		}
-		line := strings.TrimSpace(sc.Text())
+	}()
+	for {
+		fmt.Fprint(out, "wdl> ")
+		var raw string
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(out)
+			return
+		case l, ok := <-lines:
+			if !ok {
+				return
+			}
+			raw = l
+		}
+		line := strings.TrimSpace(raw)
 		if line == "" {
 			continue
 		}
@@ -231,31 +261,31 @@ func repl(p *peer.Peer) {
 			var id string
 			id, err = p.AddRule(strings.TrimPrefix(line, "rule "))
 			if err == nil {
-				fmt.Println("added rule", id)
+				fmt.Fprintln(out, "added rule", id)
 			}
 		case strings.HasPrefix(line, "drop "):
 			err = p.RemoveRule(strings.TrimSpace(strings.TrimPrefix(line, "drop ")))
 		case line == "rules":
-			fmt.Print(p.ProgramText())
+			fmt.Fprint(out, p.ProgramText())
 		case line == "dump":
 			for _, rel := range p.Store().RelationsOf(p.Name()) {
-				fmt.Printf("%s (%s, %d tuples)\n", rel.Schema().ID(), rel.Kind(), rel.Len())
+				fmt.Fprintf(out, "%s (%s, %d tuples)\n", rel.Schema().ID(), rel.Kind(), rel.Len())
 				for _, t := range rel.Tuples() {
-					fmt.Printf("  %s\n", t)
+					fmt.Fprintf(out, "  %s\n", t)
 				}
 			}
 		case strings.HasPrefix(line, "dump "):
 			relName := strings.TrimSpace(strings.TrimPrefix(line, "dump "))
 			for _, t := range p.Query(relName) {
-				fmt.Printf("  %s\n", t)
+				fmt.Fprintf(out, "  %s\n", t)
 			}
 		case strings.HasPrefix(line, "watch "):
 			relName := strings.TrimSpace(strings.TrimPrefix(line, "watch "))
 			if _, dup := watches[relName]; dup {
-				fmt.Println("already watching", relName)
+				fmt.Fprintln(out, "already watching", relName)
 				break
 			}
-			wctx, cancel := context.WithCancel(context.Background())
+			wctx, cancel := context.WithCancel(ctx)
 			var deltas <-chan peer.Delta
 			deltas, err = p.Subscribe(wctx, relName)
 			if err != nil {
@@ -265,7 +295,7 @@ func repl(p *peer.Peer) {
 			watches[relName] = cancel
 			go func(rel string, ch <-chan peer.Delta) {
 				for d := range ch {
-					fmt.Printf("\n[%s] %s\nwdl> ", rel, d)
+					fmt.Fprintf(out, "\n[%s] %s\nwdl> ", rel, d)
 				}
 			}(relName, deltas)
 		case strings.HasPrefix(line, "unwatch "):
@@ -274,11 +304,11 @@ func repl(p *peer.Peer) {
 				cancel()
 				delete(watches, relName)
 			} else {
-				fmt.Println("not watching", relName)
+				fmt.Fprintln(out, "not watching", relName)
 			}
 		case line == "pending":
 			for _, pd := range p.Controller().Pending() {
-				fmt.Println(pd.String())
+				fmt.Fprintln(out, pd.String())
 			}
 		case strings.HasPrefix(line, "accept "):
 			var id int
@@ -294,14 +324,14 @@ func repl(p *peer.Peer) {
 			}
 		case line == "stats":
 			s := p.Stats()
-			fmt.Printf("stages=%d skipped=%d derived=%d facts_in=%d facts_out=%d delegations_in=%d delegations_out=%d withdrawals=%d resync_requested=%d resync_snapshots=%d\n",
+			fmt.Fprintf(out, "stages=%d skipped=%d derived=%d facts_in=%d facts_out=%d delegations_in=%d delegations_out=%d withdrawals=%d resync_requested=%d resync_snapshots=%d\n",
 				s.Stages, s.StagesSkipped, s.Derived, s.FactsIn, s.FactsOut, s.DelegationsIn, s.DelegationsOut, s.Withdrawals,
 				s.ResyncRequested, s.ResyncSnapshots)
 		default:
-			fmt.Println("unknown command; try: +FACT -FACT rule drop dump rules pending accept reject stats quit")
+			fmt.Fprintln(out, "unknown command; try: +FACT -FACT rule drop dump rules pending accept reject stats quit")
 		}
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 		}
 	}
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/peer"
+)
+
+// syncBuffer serializes the repl's writes against the test's reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestReplCtxCancelWithActiveWatch is the regression test for the serve
+// shutdown hang: ^C (context cancellation) must return from the REPL even
+// while it is blocked reading input with a watch subscription active.
+// Before the fix the REPL blocked in Scanner.Scan with no escape hatch and
+// the watch held a context.Background subscription that outlived serve.
+func TestReplCtxCancelWithActiveWatch(t *testing.T) {
+	n := peer.NewNetwork()
+	p, err := n.NewPeer(peer.Config{Name: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeclareRelation("data", ast.Extensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+
+	// An io.Pipe never reaches EOF on its own: like a terminal, the reader
+	// blocks until more input arrives — exactly the state ^C interrupts.
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	var out syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		repl(ctx, p, pr, &out)
+	}()
+
+	if _, err := io.WriteString(pw, "watch data\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the watch is registered, so cancellation races against a
+	// live subscription rather than an idle loop.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watch subscription never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("repl did not return after ctx cancellation with an active watch")
+	}
+	// The watch context derives from the REPL's: cancellation must tear
+	// the subscription down too, not leak it past serve's exit.
+	deadline = time.Now().Add(5 * time.Second)
+	for p.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("watch subscription leaked past shutdown: %d live", p.Subscribers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "wdl> ") {
+		t.Errorf("repl never prompted; output: %q", out.String())
+	}
+}
+
+// TestReplQuitAndEOF: the other two exit paths still work.
+func TestReplQuitAndEOF(t *testing.T) {
+	n := peer.NewNetwork()
+	p, err := n.NewPeer(peer.Config{Name: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, input := range []string{"quit\n", ""} { // "" = immediate EOF
+		var out syncBuffer
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			repl(context.Background(), p, strings.NewReader(input), &out)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("repl did not return on %q", input)
+		}
+	}
+}

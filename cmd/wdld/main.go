@@ -1,0 +1,71 @@
+// Command wdld runs WebdamLog peers as a long-lived daemon: many peers in
+// one process, each on its own TCP listener, with an HTTP admin surface
+// for health checks, Prometheus metrics, live peer/relation inspection,
+// and remote updates.
+//
+//	wdld -config daemon.json [-drain-timeout 30s]
+//
+// The config file is JSON (see docs/operations.md for the format and the
+// full metrics catalog). On SIGTERM or SIGINT the daemon drains: it stops
+// admitting writes, waits for every outbox to empty (bounded by
+// -drain-timeout), then shuts down. A second signal aborts the drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/daemon"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wdld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wdld", flag.ExitOnError)
+	configPath := fs.String("config", "", "JSON config file (required)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for outboxes to empty")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" {
+		return fmt.Errorf("-config is required")
+	}
+	cfg, err := daemon.LoadConfig(*configPath)
+	if err != nil {
+		return err
+	}
+	d, err := daemon.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := d.Start(context.Background()); err != nil {
+		return err
+	}
+	for _, pc := range cfg.Peers {
+		fmt.Printf("peer %s listening on %s\n", pc.Name, d.PeerAddr(pc.Name))
+	}
+	fmt.Printf("admin on http://%s\n", d.AdminAddr())
+
+	<-ctx.Done()
+	stop() // a second signal kills the process instead of waiting out the drain
+	fmt.Fprintln(os.Stderr, "wdld: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := d.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "wdld:", err)
+	}
+	return d.Close()
+}

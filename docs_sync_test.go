@@ -86,6 +86,31 @@ func TestDocProgramsParse(t *testing.T) {
 	fmt.Fprintf(os.Stderr, "doc sync: %d wdl blocks, %d example programs parsed\n", blocks, len(programs))
 }
 
+// TestOperationsDocMetricsCurrent cross-checks docs/operations.md against
+// the metric registrations in internal/peer/metrics.go: every metric name
+// the code registers must appear in the operations doc's catalog, so the
+// documented exposition cannot drift from what /metrics actually serves.
+func TestOperationsDocMetricsCurrent(t *testing.T) {
+	doc, err := os.ReadFile("docs/operations.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := os.ReadFile("internal/peer/metrics.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := regexp.MustCompile(`reg\.(?:Counter|Gauge|Histogram)\("(\w+)"`)
+	names := reg.FindAllStringSubmatch(string(code), -1)
+	if len(names) < 10 {
+		t.Fatalf("found only %d metric registrations in internal/peer/metrics.go; the gate is miswired", len(names))
+	}
+	for _, m := range names {
+		if !strings.Contains(string(doc), "`"+m[1]+"`") {
+			t.Errorf("metric %s is registered but not documented in docs/operations.md", m[1])
+		}
+	}
+}
+
 // TestDocExperimentIDsExist cross-checks docs/EXPERIMENTS.md against the
 // wdlbench harness: every experiment id documented with a "### <id> —"
 // heading must be a known -exp value (the harness source lists them), so

@@ -51,4 +51,10 @@ var (
 	// ErrSlowSubscriber: a subscription was closed because its consumer fell
 	// further behind than the channel buffer allows.
 	ErrSlowSubscriber = errdefs.ErrSlowSubscriber
+
+	// ErrBackpressure: an update was rejected or abandoned because a bounded
+	// queue (a destination's outbox, or the peer's pending-op intake) was
+	// full — fail-fast admission returns it immediately, blocking admission
+	// only when the caller's context expires while waiting.
+	ErrBackpressure = errdefs.ErrBackpressure
 )

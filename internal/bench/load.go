@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/daemon"
+)
+
+// DaemonLoadResult measures experiment P10: a running wdld daemon under
+// heavy concurrent apply traffic against a derived-view workload, with
+// bounded queues doing the flow control.
+type DaemonLoadResult struct {
+	Clients  int
+	Requests int // total HTTP applies issued
+	Updates  int // total facts applied (Requests * batch)
+	Elapsed  time.Duration
+
+	// Apply latency over all requests, as observed by the clients.
+	P50, P99, Max time.Duration
+	// UpdatesPerSec is sustained ingest throughput (facts/s).
+	UpdatesPerSec float64
+
+	// MaxOutboxDepth is the highest hub outbox depth any monitor sample
+	// saw. Bounded flow control keeps it near the configured limit; an
+	// unbounded queue would track the total update count instead.
+	MaxOutboxDepth int
+	// SubscriptionDrops counts watcher subscription streams shed for
+	// falling behind — the subscription queue's bound doing its job under
+	// burst. The consumer resubscribes and re-baselines each time, and
+	// its reconstructed view must still converge to every fact.
+	SubscriptionDrops uint64
+}
+
+// RunDaemonLoad starts an in-process wdld daemon — a hub peer shipping a
+// maintained derived view over TCP to a watcher peer with a live
+// subscription attached — then aims `clients` concurrent HTTP clients at
+// the admin /apply endpoint, each issuing `requests` batches of `batch`
+// unique facts. Queues are bounded (limit entries, blocking admission);
+// a monitor samples the hub's outbox depth throughout and the run fails
+// if any queue exceeds depthCeiling (growth without bound) or if the
+// subscription stream drops.
+func RunDaemonLoad(clients, requests, batch, limit, depthCeiling int) (DaemonLoadResult, error) {
+	res := DaemonLoadResult{Clients: clients, Requests: clients * requests, Updates: clients * requests * batch}
+	cfg := &daemon.Config{
+		OutboxLimit:   limit,
+		MaxPendingOps: limit,
+		Peers: []daemon.PeerConfig{
+			{
+				Name: "hub",
+				Program: `
+					relation extensional data@hub(x);
+					relation extensional mirror@watcher(x);
+					mirror@watcher($x) :- data@hub($x);
+				`,
+			},
+			{
+				Name:    "watcher",
+				Program: `relation extensional mirror@watcher(x);`,
+			},
+		},
+	}
+	d, err := daemon.New(cfg)
+	if err != nil {
+		return res, err
+	}
+	defer d.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := d.Start(ctx); err != nil {
+		return res, err
+	}
+	hub, watcher := d.Peer("hub"), d.Peer("watcher")
+
+	// A live subscription consumer on the derived view, maintaining its
+	// own replica. Its channel is bounded (SubscribeBuffer): a burst it
+	// cannot absorb sheds the stream, and the consumer resubscribes and
+	// re-baselines from a Query — inserts are unique here, so replaying a
+	// delta already captured by the baseline is a harmless set union.
+	var replicaMu sync.Mutex
+	replica := map[string]bool{}
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for ctx.Err() == nil {
+			deltas, err := watcher.Subscribe(ctx, "mirror")
+			if err != nil {
+				return
+			}
+			replicaMu.Lock()
+			for _, t := range watcher.Query("mirror") {
+				replica[t.Key()] = true
+			}
+			replicaMu.Unlock()
+			for dl := range deltas {
+				replicaMu.Lock()
+				if dl.Delete {
+					delete(replica, dl.Tuple.Key())
+				} else {
+					replica[dl.Tuple.Key()] = true
+				}
+				replicaMu.Unlock()
+			}
+		}
+	}()
+
+	// The queue monitor: unbounded growth fails the run.
+	var maxDepth atomic.Int64
+	monErr := make(chan error, 1)
+	monDone := make(chan struct{})
+	go func() {
+		defer close(monDone)
+		for {
+			total, _ := hub.OutboxPending()
+			if int64(total) > maxDepth.Load() {
+				maxDepth.Store(int64(total))
+			}
+			if total > depthCeiling {
+				select {
+				case monErr <- fmt.Errorf("p10: hub outbox depth %d exceeded ceiling %d — queue growing without bound", total, depthCeiling):
+				default:
+				}
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+
+	url := "http://" + d.AdminAddr() + "/apply"
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients,
+		MaxIdleConnsPerHost: clients,
+	}}
+	lat := make([]time.Duration, clients*requests)
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < requests; r++ {
+				facts := make([]string, batch)
+				for f := 0; f < batch; f++ {
+					facts[f] = fmt.Sprintf(`data@hub("c%d_r%d_f%d")`, c, r, f)
+				}
+				body, _ := json.Marshal(map[string]any{"peer": "hub", "insert": facts})
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("p10: client %d: %w", c, err):
+					default:
+					}
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					select {
+					case errCh <- fmt.Errorf("p10: client %d: apply returned %d", c, resp.StatusCode):
+					default:
+					}
+					return
+				}
+				lat[c*requests+r] = time.Since(t0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	select {
+	case err := <-errCh:
+		return res, err
+	default:
+	}
+	select {
+	case err := <-monErr:
+		return res, err
+	default:
+	}
+
+	// Wait for the view to converge at the watcher and the subscription to
+	// deliver every delta, then drain the daemon.
+	deadline := time.Now().Add(60 * time.Second)
+	for len(watcher.Query("mirror")) != res.Updates {
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("p10: watcher converged to %d/%d tuples", len(watcher.Query("mirror")), res.Updates)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	drainCtx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	if err := d.Drain(drainCtx); err != nil {
+		return res, err
+	}
+	replicaSize := func() int {
+		replicaMu.Lock()
+		defer replicaMu.Unlock()
+		return len(replica)
+	}
+	for replicaSize() != res.Updates {
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("p10: subscription replica converged to %d/%d tuples", replicaSize(), res.Updates)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res.SubscriptionDrops = watcher.Stats().SubscriptionDrops
+	res.MaxOutboxDepth = int(maxDepth.Load())
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	res.P50 = lat[len(lat)/2]
+	res.P99 = lat[len(lat)*99/100]
+	res.Max = lat[len(lat)-1]
+	res.UpdatesPerSec = float64(res.Updates) / res.Elapsed.Seconds()
+	return res, nil
+}

@@ -1,0 +1,307 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testConfig hosts a hub peer shipping a derived view to a watcher peer
+// over real TCP — the smallest two-peer daemon.
+func testConfig() *Config {
+	return &Config{
+		Peers: []PeerConfig{
+			{
+				Name: "hub",
+				Program: `
+					relation extensional data@hub(x);
+					relation extensional mirror@watcher(x);
+					mirror@watcher($x) :- data@hub($x);
+				`,
+			},
+			{
+				Name:    "watcher",
+				Program: `relation extensional mirror@watcher(x);`,
+			},
+		},
+	}
+}
+
+// startDaemon runs a daemon for the test's duration and returns it plus
+// the admin base URL.
+func startDaemon(t *testing.T, cfg *Config) (*Daemon, string) {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d, "http://" + d.AdminAddr()
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func httpApply(t *testing.T, base string, req applyRequest) (int, string) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/apply", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /apply: %v", err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(out)
+}
+
+// TestDaemonApplyFlowsToRemotePeer: an update POSTed to the admin surface
+// reaches the hub, derives the view, and the maintained delta crosses TCP
+// to the watcher peer.
+func TestDaemonApplyFlowsToRemotePeer(t *testing.T) {
+	_, base := startDaemon(t, testConfig())
+
+	if code, body := httpGet(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	code, body := httpApply(t, base, applyRequest{
+		Peer:   "hub",
+		Insert: []string{`data@hub("a")`, `data@hub("b")`},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("/apply = %d %q", code, body)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body := httpGet(t, base+"/peers/watcher/relations/mirror")
+		var got struct {
+			Tuples []string `json:"tuples"`
+		}
+		if code == http.StatusOK && json.Unmarshal([]byte(body), &got) == nil && len(got.Tuples) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("view never reached the watcher: %d %s", code, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// /peers lists both peers with their bound addresses.
+	code, body = httpGet(t, base+"/peers")
+	if code != http.StatusOK {
+		t.Fatalf("/peers = %d", code)
+	}
+	var peers []peerSummary
+	if err := json.Unmarshal([]byte(body), &peers); err != nil {
+		t.Fatalf("/peers not JSON: %v\n%s", err, body)
+	}
+	if len(peers) != 2 || peers[0].Name != "hub" || peers[1].Name != "watcher" {
+		t.Fatalf("/peers = %+v", peers)
+	}
+	for _, p := range peers {
+		if p.Addr == "" {
+			t.Errorf("peer %s has no bound address", p.Name)
+		}
+	}
+
+	// Bad input answers 4xx, not 5xx.
+	if code, _ := httpApply(t, base, applyRequest{Peer: "nobody", Insert: []string{`x@hub("a")`}}); code != http.StatusNotFound {
+		t.Errorf("unknown peer = %d, want 404", code)
+	}
+	if code, _ := httpApply(t, base, applyRequest{Peer: "hub", Insert: []string{`not a fact`}}); code != http.StatusBadRequest {
+		t.Errorf("parse error = %d, want 400", code)
+	}
+	if code, _ := httpGet(t, base+"/peers/hub/relations/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown relation = %d, want 404", code)
+	}
+}
+
+// TestDaemonMetricsScrape: /metrics on a live daemon serves parseable
+// Prometheus text exposition covering both hosted peers.
+func TestDaemonMetricsScrape(t *testing.T) {
+	_, base := startDaemon(t, testConfig())
+	if code, body := httpApply(t, base, applyRequest{Peer: "hub", Insert: []string{`data@hub("a")`}}); code != http.StatusOK {
+		t.Fatalf("/apply = %d %q", code, body)
+	}
+	// Wait for at least one hub stage so the histograms have samples.
+	deadline := time.Now().Add(5 * time.Second)
+	var body string
+	for {
+		var code int
+		code, body = httpGet(t, base+"/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("/metrics = %d", code)
+		}
+		if strings.Contains(body, `wdl_stages_total{peer="hub",result="ran"}`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no ran stage ever surfaced in /metrics:\n%s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	checkPrometheusText(t, body)
+	for _, want := range []string{
+		`wdl_outbox_depth{peer="hub"}`,
+		`wdl_outbox_enqueued_total{peer="hub"}`,
+		`wdl_updates_applied_total{peer="hub"}`,
+		`wdl_stage_seconds_bucket{peer="hub",le="+Inf"}`,
+		`wdl_subscriptions{peer="watcher"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+}
+
+// checkPrometheusText validates the text exposition format line by line:
+// every sample belongs to a family announced by HELP/TYPE, and every
+// sample line is "name{labels} value" with a parseable float value.
+func checkPrometheusText(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]string{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			if !strings.Contains(line, "} ") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name = line[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) && typed[strings.TrimSuffix(name, suffix)] == "histogram" {
+				base = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if typed[base] == "" {
+			t.Fatalf("sample %q has no TYPE line", line)
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("sample %q: bad value %q", line, val)
+		}
+	}
+	if len(typed) == 0 {
+		t.Fatal("scrape contained no TYPE lines")
+	}
+}
+
+// TestDaemonDrain: draining flips /healthz and /apply to 503 and returns
+// once the outboxes are empty.
+func TestDaemonDrain(t *testing.T) {
+	d, base := startDaemon(t, testConfig())
+	if code, body := httpApply(t, base, applyRequest{Peer: "hub", Insert: []string{`data@hub("a")`}}); code != http.StatusOK {
+		t.Fatalf("/apply = %d %q", code, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if code, _ := httpGet(t, base+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz while draining = %d, want 503", code)
+	}
+	if code, _ := httpApply(t, base, applyRequest{Peer: "hub", Insert: []string{`data@hub("z")`}}); code != http.StatusServiceUnavailable {
+		t.Errorf("/apply while draining = %d, want 503", code)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestParseConfig covers the validation errors operators actually hit.
+func TestParseConfig(t *testing.T) {
+	good := `{"peers": [{"name": "a"}], "admission": "fail-fast", "shed_after": "30s", "outbox_limit": 64}`
+	cfg, err := ParseConfig([]byte(good))
+	if err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	if cfg.OutboxLimit != 64 {
+		t.Errorf("OutboxLimit = %d", cfg.OutboxLimit)
+	}
+	for _, bad := range []string{
+		`{}`,
+		`{"peers": []}`,
+		`{"peers": [{"name": ""}]}`,
+		`{"peers": [{"name": "a"}, {"name": "a"}]}`,
+		`{"peers": [{"name": "a"}], "remotes": {"a": "x:1"}}`,
+		`{"peers": [{"name": "a"}], "admission": "maybe"}`,
+		`{"peers": [{"name": "a"}], "shed_after": "soon"}`,
+		`{"peers": [{"name": "a"}], "typo_field": 1}`,
+	} {
+		if _, err := ParseConfig([]byte(bad)); err == nil {
+			t.Errorf("config %s accepted, want error", bad)
+		}
+	}
+}
+
+// TestDaemonBackpressure503: a fail-fast daemon with a tiny outbox bound
+// answers 503 once the queue to a dead remote fills.
+func TestDaemonBackpressure503(t *testing.T) {
+	cfg := testConfig()
+	cfg.OutboxLimit = 1
+	cfg.Admission = "fail-fast"
+	// Point the hub's view at a remote that is configured but not running:
+	// nothing ever acks, so one apply fills the queue for good.
+	cfg.Peers = cfg.Peers[:1]
+	cfg.Remotes = map[string]string{"watcher": "127.0.0.1:1"}
+	_, base := startDaemon(t, cfg)
+
+	if code, body := httpApply(t, base, applyRequest{Peer: "hub", Insert: []string{`data@hub("a")`}}); code != http.StatusOK {
+		t.Fatalf("first apply = %d %q", code, body)
+	}
+	// The first apply commits locally; its stage emission fills the bounded
+	// queue. Later applies that need queue space are rejected.
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; ; i++ {
+		code, body := httpApply(t, base, applyRequest{
+			Peer:   "hub",
+			Insert: []string{fmt.Sprintf(`mirror@watcher(%q)`, fmt.Sprint("x", i))},
+		})
+		if code == http.StatusServiceUnavailable {
+			if !strings.Contains(body, "backpressure") {
+				t.Fatalf("503 body %q does not mention backpressure", body)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("apply never hit backpressure: last %d %q", code, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

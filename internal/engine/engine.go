@@ -17,6 +17,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/store"
@@ -168,6 +169,13 @@ type Engine struct {
 	local string
 	db    *store.Store
 	opts  Options
+
+	// Plan-cache telemetry: planFor lookups that found an existing plan vs
+	// ones that computed a fresh one. The cache is per stage, so hits
+	// measure intra-stage rule reuse (semi-naive iterations re-planning
+	// the same rule). Atomics so monitoring can read them without a lock.
+	planHits   atomic.Uint64
+	planMisses atomic.Uint64
 }
 
 // New creates an engine for the peer named local over db.
@@ -186,6 +194,13 @@ func (e *Engine) Store() *store.Store { return e.db }
 
 // Options returns the evaluation options.
 func (e *Engine) Options() Options { return e.opts }
+
+// PlanCacheStats returns the lifetime join-plan cache counters: lookups
+// that reused a stage's cached plan (hits) and lookups that computed one
+// (misses). Always zero with the planner disabled.
+func (e *Engine) PlanCacheStats() (hits, misses uint64) {
+	return e.planHits.Load(), e.planMisses.Load()
+}
 
 // termRef is a compiled term: either a constant or a slot in the rule's
 // variable frame.

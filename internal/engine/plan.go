@@ -105,8 +105,10 @@ func planRegion(cr *CompiledRule, local string) int {
 // with fewer than two reorderable atoms plan to nil — written order.
 func (pl *stagePlanner) planFor(cr *CompiledRule) *rulePlan {
 	if rp, ok := pl.plans[cr]; ok {
+		pl.e.planHits.Add(1)
 		return rp
 	}
+	pl.e.planMisses.Add(1)
 	var rp *rulePlan
 	if region := planRegion(cr, pl.e.local); region >= 2 {
 		rp = &rulePlan{region: region}

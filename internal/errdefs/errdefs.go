@@ -54,4 +54,11 @@ var (
 	// ErrSlowSubscriber reports a subscription channel that was closed
 	// because its consumer fell further behind than its buffer allows.
 	ErrSlowSubscriber = errors.New("webdamlog: subscriber too slow")
+
+	// ErrBackpressure reports an update rejected (or abandoned) because a
+	// bounded queue — a destination's outbox, or the peer's own pending-op
+	// intake — is full. Under the fail-fast admission policy Apply returns
+	// it immediately; under the blocking policy it surfaces only when the
+	// caller's context expires while waiting for space.
+	ErrBackpressure = errors.New("webdamlog: backpressure")
 )

@@ -1,0 +1,539 @@
+// Package metrics is a dependency-free metrics registry exposing counters,
+// gauges and histograms in the Prometheus text exposition format (version
+// 0.0.4). It exists so the wdld daemon (and anything else hosting peers)
+// can expose runtime visibility — stage latency, outbox depth, resync
+// traffic — without pulling the Prometheus client library into a repo that
+// deliberately has no dependencies.
+//
+// The API is a narrow subset of the prometheus client shape:
+//
+//	reg := metrics.NewRegistry()
+//	applies := reg.Counter("wdl_applies_total", "Batches applied.", "peer")
+//	applies.With("alice").Inc()
+//	lat := reg.Histogram("wdl_stage_seconds", "Stage latency.", nil, "peer")
+//	lat.With("alice").Observe(0.0042)
+//	http.Handle("/metrics", reg.Handler())
+//
+// All value types are safe for concurrent use; the hot-path operations
+// (Inc/Add/Set/Observe on an already-materialized child) are a few atomic
+// ops and take no locks. Scrape-time collectors (Func) read a value lazily
+// at exposition time, which is how pre-existing write-only atomic counters
+// (the peer outbox's enqueued/delivered/retransmit counts) are surfaced
+// without double-counting or hot-path changes.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Kind identifies the exposition type of a metric family.
+type Kind int
+
+// The metric family kinds, matching Prometheus TYPE annotations.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// DefBuckets are the default histogram buckets: latency-shaped, in
+// seconds, from 100µs to 10s.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; call NewRegistry. A nil *Registry is accepted by the peer layer
+// and means "no metrics" — callers there guard with == nil rather than
+// paying for no-op children.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one metric name: HELP/TYPE plus labeled children.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]child // keyed by joined label values
+	buckets  []float64        // histograms only
+}
+
+type child interface {
+	write(w io.Writer, fam *family, labelPart string) error
+}
+
+func (r *Registry) family(name, help string, kind Kind, buckets []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: %s re-registered with different type or labels", name))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("metrics: %s re-registered with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		children: make(map[string]child),
+		buckets:  buckets,
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or returns the existing) counter family. labels name
+// the label dimensions; children are addressed with With.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.family(name, help, KindCounter, nil, labels)}
+}
+
+// Gauge registers (or returns the existing) gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.family(name, help, KindGauge, nil, labels)}
+}
+
+// Histogram registers (or returns the existing) histogram family. buckets
+// are upper bounds in increasing order (a +Inf bucket is implicit); nil
+// means DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{fam: r.family(name, help, KindHistogram, buckets, labels)}
+}
+
+// labelKey joins label values into a child key. Values may contain any
+// bytes; \xff is an unlikely-enough separator for a process-local map key.
+func labelKey(lvs []string) string { return strings.Join(lvs, "\xff") }
+
+func (f *family) checkCard(lvs []string) {
+	if len(lvs) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", f.name, len(f.labels), len(lvs)))
+	}
+}
+
+// CounterVec is a counter family; With materializes one labeled child.
+type CounterVec struct{ fam *family }
+
+// Counter is a monotonically increasing value.
+type Counter struct{ bits atomic.Uint64 }
+
+// With returns the child for the given label values, creating it at zero
+// on first use. Children are cached; the fast path after the first call is
+// lock-free on the value itself.
+func (v *CounterVec) With(lvs ...string) *Counter {
+	v.fam.checkCard(lvs)
+	key := labelKey(lvs)
+	v.fam.mu.Lock()
+	defer v.fam.mu.Unlock()
+	if c, ok := v.fam.children[key]; ok {
+		if cc, ok := c.(*counterChild); ok {
+			return cc.c
+		}
+		panic(fmt.Sprintf("metrics: %s{%s} registered as a scrape-time func", v.fam.name, key))
+	}
+	cc := &counterChild{c: new(Counter), lvs: append([]string(nil), lvs...)}
+	v.fam.children[key] = cc
+	return cc.c
+}
+
+// Func registers a scrape-time collector for the given label values: fn is
+// called at exposition and its result rendered as the counter's value.
+// Re-registering the same labels replaces the function — so a restarted
+// peer re-wiring its atomics simply wins. Use for values that already live
+// elsewhere (an atomic.Uint64 on the outbox).
+func (v *CounterVec) Func(fn func() float64, lvs ...string) {
+	v.fam.checkCard(lvs)
+	v.fam.mu.Lock()
+	defer v.fam.mu.Unlock()
+	v.fam.children[labelKey(lvs)] = &funcChild{fn: fn, lvs: append([]string(nil), lvs...)}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n, which must be non-negative for the exposition to stay
+// monotone (not enforced; callers own their semantics).
+func (c *Counter) Add(n float64) { atomicAddFloat(&c.bits, n) }
+
+// Value returns the current value (tests and introspection).
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// GaugeVec is a gauge family.
+type GaugeVec struct{ fam *family }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// With returns the child for the given label values, creating it at zero
+// on first use.
+func (v *GaugeVec) With(lvs ...string) *Gauge {
+	v.fam.checkCard(lvs)
+	key := labelKey(lvs)
+	v.fam.mu.Lock()
+	defer v.fam.mu.Unlock()
+	if c, ok := v.fam.children[key]; ok {
+		if gc, ok := c.(*gaugeChild); ok {
+			return gc.g
+		}
+		panic(fmt.Sprintf("metrics: %s{%s} registered as a scrape-time func", v.fam.name, key))
+	}
+	gc := &gaugeChild{g: new(Gauge), lvs: append([]string(nil), lvs...)}
+	v.fam.children[key] = gc
+	return gc.g
+}
+
+// Func registers a scrape-time collector (see CounterVec.Func) — the
+// natural shape for instantaneous depths like outbox queue length.
+func (v *GaugeVec) Func(fn func() float64, lvs ...string) {
+	v.fam.checkCard(lvs)
+	v.fam.mu.Lock()
+	defer v.fam.mu.Unlock()
+	v.fam.children[labelKey(lvs)] = &funcChild{fn: fn, lvs: append([]string(nil), lvs...)}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n float64) { atomicAddFloat(&g.bits, n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// HistogramVec is a histogram family.
+type HistogramVec struct{ fam *family }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	buckets []float64 // upper bounds, increasing; +Inf implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// With returns the child for the given label values, creating it on first
+// use.
+func (v *HistogramVec) With(lvs ...string) *Histogram {
+	v.fam.checkCard(lvs)
+	key := labelKey(lvs)
+	v.fam.mu.Lock()
+	defer v.fam.mu.Unlock()
+	if c, ok := v.fam.children[key]; ok {
+		return c.(*histChild).h
+	}
+	h := &Histogram{buckets: v.fam.buckets, counts: make([]atomic.Uint64, len(v.fam.buckets))}
+	v.fam.children[key] = &histChild{h: h, lvs: append([]string(nil), lvs...)}
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(val float64) {
+	// Buckets are few (≤ ~20); linear scan beats binary search at this size.
+	for i, ub := range h.buckets {
+		if val <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, val)
+}
+
+// Count returns the number of observations (tests and introspection).
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile estimates quantile q (in [0,1]) from the bucket counts by
+// linear interpolation within the containing bucket — the same estimate
+// promQL's histogram_quantile computes. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	lower := 0.0
+	for i, ub := range h.buckets {
+		n := h.counts[i].Load()
+		if n == 0 {
+			lower = ub
+			continue
+		}
+		if float64(cum+n) >= rank {
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + (ub-lower)*frac
+		}
+		cum += n
+		lower = ub
+	}
+	// Rank lands in the +Inf bucket: the best point estimate is the last
+	// finite bound.
+	if len(h.buckets) > 0 {
+		return h.buckets[len(h.buckets)-1]
+	}
+	return 0
+}
+
+// atomicAddFloat adds n to a float64 stored as bits, CAS-looping.
+func atomicAddFloat(bits *atomic.Uint64, n float64) {
+	for {
+		old := bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + n)
+		if bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ---- exposition ----
+
+type counterChild struct {
+	c   *Counter
+	lvs []string
+}
+
+func (cc *counterChild) write(w io.Writer, fam *family, labelPart string) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, labelPart, formatFloat(cc.c.Value()))
+	return err
+}
+
+type gaugeChild struct {
+	g   *Gauge
+	lvs []string
+}
+
+func (gc *gaugeChild) write(w io.Writer, fam *family, labelPart string) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, labelPart, formatFloat(gc.g.Value()))
+	return err
+}
+
+type funcChild struct {
+	fn  func() float64
+	lvs []string
+}
+
+func (fc *funcChild) write(w io.Writer, fam *family, labelPart string) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, labelPart, formatFloat(fc.fn()))
+	return err
+}
+
+type histChild struct {
+	h   *Histogram
+	lvs []string
+}
+
+func (hc *histChild) write(w io.Writer, fam *family, labelPart string) error {
+	// Bucket lines carry an extra `le` label; merge it with the child's
+	// label values.
+	var cum uint64
+	for i, ub := range hc.h.buckets {
+		cum += hc.h.counts[i].Load()
+		lp := mergeLabels(fam.labels, hc.lvs, "le", formatFloat(ub))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, lp, cum); err != nil {
+			return err
+		}
+	}
+	total := hc.h.count.Load()
+	lp := mergeLabels(fam.labels, hc.lvs, "le", "+Inf")
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, lp, total); err != nil {
+		return err
+	}
+	sum := math.Float64frombits(hc.h.sumBits.Load())
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, labelPart, formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, labelPart, total)
+	return err
+}
+
+func childLabels(c child) []string {
+	switch cc := c.(type) {
+	case *counterChild:
+		return cc.lvs
+	case *gaugeChild:
+		return cc.lvs
+	case *funcChild:
+		return cc.lvs
+	case *histChild:
+		return cc.lvs
+	}
+	return nil
+}
+
+// mergeLabels renders a label set, optionally with one extra pair.
+func mergeLabels(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects: integers
+// without an exponent, +Inf for the unbounded bucket.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders every family in the text exposition format, families and
+// children in deterministic (sorted) order.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		kids := make([]child, len(keys))
+		for i, k := range keys {
+			kids[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		if len(kids) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(cw, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return cw.n, err
+			}
+		}
+		if _, err := fmt.Fprintf(cw, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return cw.n, err
+		}
+		for _, c := range kids {
+			lp := mergeLabels(f.labels, childLabels(c), "", "")
+			if err := c.write(cw, f, lp); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// Handler returns an http.Handler serving the registry at scrape time.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var sb strings.Builder
+		if _, err := r.WriteTo(&sb); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, sb.String())
+	})
+}

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAddAndRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("wdl_test_total", "A test counter.", "peer")
+	c.With("alice").Inc()
+	c.With("alice").Add(2)
+	c.With("bob").Inc()
+	if got := c.With("alice").Value(); got != 3 {
+		t.Errorf("alice = %v, want 3", got)
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP wdl_test_total A test counter.",
+		"# TYPE wdl_test_total counter",
+		`wdl_test_total{peer="alice"} 3`,
+		`wdl_test_total{peer="bob"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeSetAndFunc(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("wdl_depth", "Depth.", "dst")
+	g.With("a").Set(4)
+	g.With("a").Add(-1)
+	if got := g.With("a").Value(); got != 3 {
+		t.Errorf("gauge = %v, want 3", got)
+	}
+	// Func children read at scrape time; re-registration replaces.
+	n := 7.0
+	g.Func(func() float64 { return n }, "b")
+	g.Func(func() float64 { return n + 1 }, "b")
+	var sb strings.Builder
+	r.WriteTo(&sb)
+	if !strings.Contains(sb.String(), `wdl_depth{dst="b"} 8`) {
+		t.Errorf("func child not scraped:\n%s", sb.String())
+	}
+}
+
+func TestFamilyIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.", "l")
+	b := r.Counter("x_total", "X.", "l")
+	a.With("v").Inc()
+	if got := b.With("v").Value(); got != 1 {
+		t.Errorf("same family not shared: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with different labels did not panic")
+		}
+	}()
+	r.Counter("x_total", "X.", "other")
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1}, "peer")
+	child := h.With("p")
+	for i := 0; i < 50; i++ {
+		child.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 40; i++ {
+		child.Observe(0.05) // second bucket
+	}
+	for i := 0; i < 10; i++ {
+		child.Observe(5) // +Inf bucket
+	}
+	if child.Count() != 100 {
+		t.Fatalf("count = %d", child.Count())
+	}
+	// p50 falls exactly at the top of the first bucket.
+	if q := child.Quantile(0.5); math.Abs(q-0.01) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.01", q)
+	}
+	// p99 lands in +Inf: clamped to the last finite bound.
+	if q := child.Quantile(0.99); q != 1 {
+		t.Errorf("p99 = %v, want 1", q)
+	}
+	var sb strings.Builder
+	r.WriteTo(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{peer="p",le="0.01"} 50`,
+		`lat_seconds_bucket{peer="p",le="0.1"} 90`,
+		`lat_seconds_bucket{peer="p",le="1"} 90`,
+		`lat_seconds_bucket{peer="p",le="+Inf"} 100`,
+		`lat_seconds_count{peer="p"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `lat_seconds_sum{peer="p"}`) {
+		t.Errorf("missing sum line:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("esc_total", "Escapes.", "v")
+	c.With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	r.WriteTo(&sb)
+	if !strings.Contains(sb.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("bad escaping:\n%s", sb.String())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "Concurrency.", "w")
+	h := r.Histogram("conc_seconds", "Concurrency.", nil, "w")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.With("x").Inc()
+				h.With("x").Observe(0.001)
+			}
+		}()
+	}
+	// Concurrent scrapes must not race with writers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			r.WriteTo(&sb)
+		}()
+	}
+	wg.Wait()
+	if got := c.With("x").Value(); got != 8000 {
+		t.Errorf("counter = %v, want 8000", got)
+	}
+	if got := h.With("x").Count(); got != 8000 {
+		t.Errorf("histogram count = %v, want 8000", got)
+	}
+}

@@ -2,11 +2,13 @@ package peer
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/errdefs"
 	"repro/internal/protocol"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -82,6 +84,27 @@ type outbox struct {
 	resyncEvery time.Duration
 	onDigest    func(dst string) protocol.Payload
 
+	// Flow control. limit bounds each destination's unacknowledged entry
+	// queue for admission-controlled enqueues (EnqueueDataCtx — the Apply
+	// path); 0 = unbounded. Stage emissions (EnqueueData) are exempt: a
+	// committed fixpoint's maintained deltas are already reflected in the
+	// remote view and must reach the stream unconditionally, so a queue can
+	// temporarily overshoot the limit by a stage's worth of output — the
+	// bound is on API-driven intake, which is where unbounded growth
+	// originates. failFast selects rejection (ErrBackpressure) over
+	// blocking when a queue is full.
+	limit    int
+	failFast bool
+
+	// shedAfter, when positive, arms slow-peer shedding: a destination
+	// whose queue has pending entries but has made no ack progress for
+	// this long is shed — onShed is invoked (off all outbox locks) and is
+	// expected to reset the stream with a fresh snapshot via ShedReset,
+	// dropping the wedged backlog and letting anti-entropy repair the
+	// destination when it recovers.
+	shedAfter time.Duration
+	onShed    func(dst string)
+
 	mu     sync.Mutex
 	queues map[string]*sendSession
 	order  []string
@@ -108,6 +131,11 @@ type outbox struct {
 	delivered   atomic.Uint64 // entries acknowledged by their destination
 	retransmits atomic.Uint64
 	sendErrors  atomic.Uint64
+	resets      atomic.Uint64 // stream resets (anti-entropy repairs + sheds)
+	sheds       atomic.Uint64 // slow-peer sheds (subset of resets)
+	adverts     atomic.Uint64 // anti-entropy digest adverts transmitted
+	bpWaits     atomic.Uint64 // admissions that had to wait for queue space
+	bpRejects   atomic.Uint64 // admissions rejected with ErrBackpressure
 }
 
 func newOutbox(ep transport.Endpoint, ctx context.Context, syncMode bool, logf func(string, ...any)) *outbox {
@@ -189,9 +217,66 @@ func (o *outbox) streamState(dst string) (epoch, nextSeq uint64) {
 // delivery trouble is the flusher's problem, not the committing stage's.
 // For durable peers the entry is persisted before it becomes visible to a
 // flusher, so a crash can never have transmitted an unlogged sequence.
+// Admission limits do not apply here (see EnqueueDataCtx): stage emissions
+// commit unconditionally.
 func (o *outbox) EnqueueData(dst string, msg protocol.Payload) uint64 {
 	dq := o.queue(dst)
 	dq.enqMu.Lock()
+	seq := o.enqueueHeld(dq, dst, msg)
+	dq.enqMu.Unlock()
+	o.enqueued.Add(1)
+	dq.signal()
+	return seq
+}
+
+// EnqueueDataCtx is EnqueueData with admission control: when the
+// destination's queue holds limit or more unacknowledged entries, a
+// fail-fast outbox rejects with ErrBackpressure immediately, a blocking one
+// waits for queue space until ctx (or the peer) is done. The API intake
+// path (Apply) comes through here so a slow or dead destination pushes back
+// on clients instead of growing the queue without bound.
+func (o *outbox) EnqueueDataCtx(ctx context.Context, dst string, msg protocol.Payload) (uint64, error) {
+	dq := o.queue(dst)
+	for {
+		dq.enqMu.Lock()
+		dq.mu.Lock()
+		if o.limit <= 0 || len(dq.entries) < o.limit {
+			dq.mu.Unlock()
+			seq := o.enqueueHeld(dq, dst, msg)
+			dq.enqMu.Unlock()
+			o.enqueued.Add(1)
+			dq.signal()
+			return seq, nil
+		}
+		if o.failFast {
+			dq.mu.Unlock()
+			dq.enqMu.Unlock()
+			o.bpRejects.Add(1)
+			return 0, fmt.Errorf("outbox %s: %d entries pending: %w", dst, o.limit, errdefs.ErrBackpressure)
+		}
+		// Blocking admission: subscribe to the space channel (closed when
+		// acks, a reset, or a shed free room), then wait off all locks.
+		if dq.spaceWait == nil {
+			dq.spaceWait = make(chan struct{})
+		}
+		wait := dq.spaceWait
+		dq.mu.Unlock()
+		dq.enqMu.Unlock()
+		o.bpWaits.Add(1)
+		dq.signal() // make sure a flusher is pushing the backlog
+		select {
+		case <-ctx.Done():
+			return 0, fmt.Errorf("outbox %s: waiting for queue space: %w: %w", dst, errdefs.ErrBackpressure, ctx.Err())
+		case <-o.ctx.Done():
+			return 0, fmt.Errorf("outbox %s: %w", dst, errdefs.ErrClosed)
+		case <-wait:
+		}
+	}
+}
+
+// enqueueHeld runs the assign-seq / persist / publish sequence for one
+// entry with dq.enqMu held (the caller owns admission and signaling).
+func (o *outbox) enqueueHeld(dq *sendSession, dst string, msg protocol.Payload) uint64 {
 	o.persistMu.RLock()
 	dq.mu.Lock()
 	dq.nextSeq++
@@ -201,14 +286,16 @@ func (o *outbox) EnqueueData(dst string, msg protocol.Payload) uint64 {
 		o.onEnqueue(dst, seq, msg)
 	}
 	dq.mu.Lock()
+	if len(dq.entries) == 0 {
+		// The pending era starts now: the shed clock must measure from here,
+		// not from whenever the queue last drained.
+		dq.lastProgress = time.Now()
+	}
 	dq.entries = append(dq.entries, outEntry{seq: seq, msg: msg})
 	dq.stalled = false // fresh work deserves a fresh attempt
 	dq.nextTry = time.Time{}
 	dq.mu.Unlock()
 	o.persistMu.RUnlock()
-	dq.enqMu.Unlock()
-	o.enqueued.Add(1)
-	dq.signal()
 	return seq
 }
 
@@ -221,16 +308,34 @@ func (o *outbox) EnqueueData(dst string, msg protocol.Payload) uint64 {
 // sequence 1 with a fresh watermark. For durable peers onReset re-logs the
 // stream so recovery sees the renumbering, not the superseded entries.
 func (o *outbox) Reset(dst string, first protocol.Payload) {
+	o.reset(dst, first, false)
+}
+
+// ShedReset is the slow-peer variant of Reset: the pending backlog is
+// *discarded* instead of renumbered behind the snapshot. Retaining it is
+// exactly what the queue bound exists to prevent, and the snapshot already
+// carries the full maintained view; one-shot updates still queued to the
+// shed destination are abandoned (that loss is the documented cost of
+// shedding — the destination was unackable for the whole shed window).
+func (o *outbox) ShedReset(dst string, first protocol.Payload) {
+	o.sheds.Add(1)
+	o.reset(dst, first, true)
+}
+
+func (o *outbox) reset(dst string, first protocol.Payload, drop bool) {
 	dq := o.queue(dst)
 	dq.enqMu.Lock()
 	o.persistMu.RLock()
 	dq.mu.Lock()
 	dq.epoch = newEpoch()
 	dq.resets++
+	o.resets.Add(1)
 	entries := make([]outEntry, 0, len(dq.entries)+1)
 	entries = append(entries, outEntry{seq: 1, msg: first})
-	for _, e := range dq.entries {
-		entries = append(entries, outEntry{seq: uint64(len(entries)) + 1, msg: e.msg})
+	if !drop {
+		for _, e := range dq.entries {
+			entries = append(entries, outEntry{seq: uint64(len(entries)) + 1, msg: e.msg})
+		}
 	}
 	dq.entries = entries
 	dq.nextSeq = uint64(len(entries))
@@ -238,6 +343,8 @@ func (o *outbox) Reset(dst string, first protocol.Payload) {
 	dq.stalled = false
 	dq.nextTry = time.Time{}
 	dq.backoff = 0
+	dq.lastProgress = time.Now()
+	dq.notifySpaceLocked()
 	epoch := dq.epoch
 	logged := make([]outEntry, len(entries))
 	copy(logged, entries)
@@ -308,9 +415,14 @@ func (o *outbox) Ack(dst string, epoch, seq uint64) {
 	}
 	dq.entries = kept
 	if dropped > 0 {
-		// The link evidently works; clear any failure state.
+		// The link evidently works; clear any failure state, stamp the shed
+		// clock, and release any admission waiters into the freed space.
 		dq.stalled = false
 		dq.nextTry = time.Time{}
+		dq.lastProgress = time.Now()
+		if o.limit <= 0 || len(dq.entries) < o.limit {
+			dq.notifySpaceLocked()
+		}
 	}
 	dq.mu.Unlock()
 	if dropped > 0 {
@@ -460,6 +572,7 @@ func (o *outbox) flushQueue(dq *sendSession) (sent, failed, busy bool) {
 						o.debugf("outbox %s: digest advert send: %v", dq.dst, err)
 						return sent, true, false
 					}
+					o.adverts.Add(1)
 					sent = true
 				}
 			}
@@ -506,6 +619,7 @@ func (o *outbox) flusher(dq *sendSession) {
 		default:
 		}
 		_, failed, busy := o.flushQueue(dq)
+		o.maybeShed(dq)
 
 		dq.mu.Lock()
 		pendingData := len(dq.entries) > 0
@@ -520,6 +634,7 @@ func (o *outbox) flusher(dq *sendSession) {
 		gate := dq.nextTry
 		lastAdvert := dq.lastAdvert
 		retransmitAt := dq.retransmitAt
+		lastProgress := dq.lastProgress
 		dq.mu.Unlock()
 
 		var wait time.Duration
@@ -561,6 +676,19 @@ func (o *outbox) flusher(dq *sendSession) {
 			}
 			if wait <= 0 || untilAdvert < wait {
 				wait = untilAdvert
+			}
+		}
+		// The shed clock *does* shorten a backoff gate: a persistently
+		// unreachable destination is the very case shedding exists for, and
+		// its flusher would otherwise sleep out maxBackoff oblivious to the
+		// deadline.
+		if o.shedAfter > 0 && o.onShed != nil && pendingData && !lastProgress.IsZero() {
+			untilShed := time.Until(lastProgress.Add(o.shedAfter))
+			if untilShed <= 0 {
+				untilShed = time.Millisecond
+			}
+			if wait <= 0 || untilShed < wait {
+				wait = untilShed
 			}
 		}
 
@@ -605,6 +733,39 @@ func (o *outbox) flusher(dq *sendSession) {
 	}
 }
 
+// maybeShed sheds a persistently-unackable destination: its queue has
+// pending entries but has seen no ack progress for shedAfter. The callback
+// runs off all outbox locks — it takes the peer lock to snapshot the
+// maintained view and then calls ShedReset, which takes the session locks,
+// the same ordering the stage path uses (p.mu → session locks). Only the
+// async flusher calls this; sync-emit peers (in-process test networks) do
+// not shed.
+func (o *outbox) maybeShed(dq *sendSession) {
+	if o.shedAfter <= 0 || o.onShed == nil {
+		return
+	}
+	dq.mu.Lock()
+	pending := len(dq.entries)
+	due := pending > 0 && !dq.shedding &&
+		!dq.lastProgress.IsZero() && time.Since(dq.lastProgress) >= o.shedAfter
+	if due {
+		dq.shedding = true
+	}
+	dq.mu.Unlock()
+	if !due {
+		return
+	}
+	o.debugf("outbox %s: no ack progress for %v with %d pending: shedding stream", dq.dst, o.shedAfter, pending)
+	o.onShed(dq.dst)
+	dq.mu.Lock()
+	dq.shedding = false
+	// ShedReset stamped the clock; stamp again in case the callback
+	// declined to reset (peer closing) so the next check waits a full
+	// window instead of spinning.
+	dq.lastProgress = time.Now()
+	dq.mu.Unlock()
+}
+
 // FlushAll synchronously attempts one flush of every queue (sync mode after
 // a stage, and the network scheduler accelerating delivery). Reports whether
 // anything was transmitted.
@@ -646,6 +807,9 @@ func (o *outbox) seed(dst string, epoch, nextSeq, acked uint64, entries []outEnt
 	}
 	dq.nextSeq = nextSeq
 	dq.acked = acked
+	if len(dq.entries) == 0 && len(entries) > 0 {
+		dq.lastProgress = time.Now()
+	}
 	dq.entries = append(dq.entries, entries...)
 	dq.mu.Unlock()
 	dq.signal()

@@ -26,6 +26,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/engine"
 	"repro/internal/errdefs"
+	"repro/internal/metrics"
 	"repro/internal/parser"
 	"repro/internal/protocol"
 	"repro/internal/provenance"
@@ -77,7 +78,50 @@ type Config struct {
 	ResyncInterval time.Duration
 	// Logf, when non-nil, receives debug log lines.
 	Logf func(format string, args ...any)
+
+	// Metrics, when non-nil, registers this peer's runtime metrics with the
+	// registry (metrics.go: stage latency and fixpoint rounds, outbox
+	// depth and delivery counters, backpressure and shed counters, resync
+	// traffic, subscription drops, planner cache hits). Many peers may
+	// share one registry; each labels its series with its name.
+	Metrics *metrics.Registry
+	// OutboxLimit bounds each destination's unacknowledged outbox queue
+	// for admission-controlled intake (Apply): a full queue blocks or
+	// rejects the caller per Admission. 0 = unbounded. Stage emissions are
+	// exempt — a committed fixpoint's deltas always reach the stream — so
+	// a queue can overshoot by one stage's output; the bound is on
+	// API-driven intake, where unbounded growth originates.
+	OutboxLimit int
+	// MaxPendingOps bounds the staged-local-update queue the same way:
+	// Apply blocks (or fails fast) once this many operations await the
+	// next stage. 0 = unbounded. Insert/Delete and stage-produced local
+	// updates are exempt for the same reason stage emissions are.
+	MaxPendingOps int
+	// Admission selects what Apply does when a bounded queue is full:
+	// AdmitBlock (default) waits for space under the caller's context,
+	// AdmitFailFast returns ErrBackpressure immediately.
+	Admission AdmissionPolicy
+	// OutboxShedAfter arms slow-peer shedding: a destination whose queue
+	// has pending entries but no ack progress for this long has its stream
+	// shed — reset under a fresh epoch with a snapshot of the maintained
+	// view as sequence 1, the wedged backlog discarded. When the
+	// destination recovers it adopts the new stream and anti-entropy
+	// (digest adverts, repair snapshots) settles it. 0 disables shedding.
+	// Only async (non-SyncEmit) peers shed.
+	OutboxShedAfter time.Duration
 }
+
+// AdmissionPolicy selects Apply's behavior at a full bounded queue (see
+// Config.OutboxLimit and Config.MaxPendingOps).
+type AdmissionPolicy int
+
+const (
+	// AdmitBlock blocks the Apply caller until space frees or its context
+	// is done (the context error arrives wrapped with ErrBackpressure).
+	AdmitBlock AdmissionPolicy = iota
+	// AdmitFailFast rejects immediately with ErrBackpressure.
+	AdmitFailFast
+)
 
 // Hooks lets wrappers synchronize external state around each stage.
 type Hooks interface {
@@ -109,9 +153,23 @@ type Stats struct {
 	OutboxSendErrors  uint64
 
 	// Anti-entropy counters: resync requests this peer sent (as a
-	// receiver), and repair snapshots it served (as a sender).
-	ResyncRequested uint64
-	ResyncSnapshots uint64
+	// receiver), repair snapshots it served (as a sender, including
+	// sheds) and their total encoded size, and digest adverts transmitted.
+	ResyncRequested     uint64
+	ResyncSnapshots     uint64
+	ResyncSnapshotBytes uint64
+	ResyncAdverts       uint64
+
+	// Flow-control counters: stream resets (anti-entropy repairs plus
+	// sheds), slow-peer sheds, and admission-control outcomes at Apply.
+	OutboxResets           uint64
+	OutboxSheds            uint64
+	BackpressureWaits      uint64
+	BackpressureRejections uint64
+
+	// SubscriptionDrops counts subscriptions closed for falling further
+	// behind than their buffer (ErrSlowSubscriber).
+	SubscriptionDrops uint64
 }
 
 // StageReport describes one RunStage call.
@@ -181,6 +239,14 @@ type Peer struct {
 	compileErr []error
 
 	pendingOps []engine.FactOp // buffered updates for the next stage
+	// pendingSpace, when non-nil, is closed (and cleared) when a stage
+	// drains pendingOps: blocked Apply callers wait on it and re-check
+	// admission against maxPendingOps.
+	pendingSpace  chan struct{}
+	maxPendingOps int
+	admitFailFast bool
+	// pm caches the hot-path metric children (nil = metrics disabled).
+	pm *peerMetrics
 
 	// needRebuild forces the next stage to recompute the materialized views
 	// from scratch (first stage, program changes). Incremental maintenance
@@ -281,6 +347,12 @@ func New(cfg Config, ep transport.Endpoint) (*Peer, error) {
 	}
 	p.outbox.resyncEvery = p.resyncEvery
 	p.outbox.onDigest = p.digestFor
+	p.outbox.limit = cfg.OutboxLimit
+	p.outbox.failFast = cfg.Admission == AdmitFailFast
+	p.outbox.shedAfter = cfg.OutboxShedAfter
+	p.outbox.onShed = p.shedStream
+	p.maxPendingOps = cfg.MaxPendingOps
+	p.admitFailFast = cfg.Admission == AdmitFailFast
 	if cfg.WAL != nil {
 		if err := p.openOutboxLog(cfg.WAL.Dir()); err != nil {
 			cancel()
@@ -293,6 +365,9 @@ func New(cfg Config, ep transport.Endpoint) (*Peer, error) {
 	}
 	p.eng = engine.New(cfg.Name, db, opts)
 	p.ctrl = acl.NewController(cfg.Policy, p.installDelegation)
+	if cfg.Metrics != nil {
+		p.registerMetrics(cfg.Metrics)
+	}
 	return p, nil
 }
 
@@ -483,6 +558,11 @@ func (p *Peer) Stats() Stats {
 	s.OutboxDelivered = p.outbox.delivered.Load()
 	s.OutboxRetransmits = p.outbox.retransmits.Load()
 	s.OutboxSendErrors = p.outbox.sendErrors.Load()
+	s.OutboxResets = p.outbox.resets.Load()
+	s.OutboxSheds = p.outbox.sheds.Load()
+	s.BackpressureWaits = p.outbox.bpWaits.Load()
+	s.BackpressureRejections = p.outbox.bpRejects.Load()
+	s.ResyncAdverts = p.outbox.adverts.Load()
 	return s
 }
 
@@ -726,6 +806,11 @@ func (p *Peer) Delete(f ast.Fact) error { return p.update(ast.Delete, f) }
 //
 // Operations keep their relative order, so an insert followed by a delete
 // of the same fact inside one batch nets out to the delete.
+//
+// Apply is the admission-controlled intake: when Config.OutboxLimit or
+// Config.MaxPendingOps bound a queue, a full queue blocks the caller under
+// ctx (AdmitBlock) or fails with an error wrapping ErrBackpressure
+// (AdmitFailFast) instead of growing without bound.
 func (p *Peer) Apply(ctx context.Context, b *engine.Batch) error {
 	if b == nil || b.Empty() {
 		return nil
@@ -760,21 +845,96 @@ func (p *Peer) Apply(ctx context.Context, b *engine.Batch) error {
 					p.name, remote[dst].Len(), dst, errdefs.ErrUnknownPeer))
 				continue
 			}
-			p.outbox.EnqueueData(dst, *remote[dst])
+			if _, err := p.outbox.EnqueueDataCtx(ctx, dst, *remote[dst]); err != nil {
+				errs = append(errs, fmt.Errorf("peer %s: %w", p.name, err))
+			}
 		}
 		p.flushIfSync()
 	}
 	if len(local) > 0 {
+		if err := p.stageLocal(ctx, local); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// stageLocal appends ops to the pending-op queue under admission control:
+// once maxPendingOps operations are staged, the caller blocks until a
+// stage drains the queue (or fails fast, per the policy). A batch larger
+// than the whole bound is admitted whenever the queue is empty, so
+// oversized batches degrade to serialized admission instead of deadlock.
+func (p *Peer) stageLocal(ctx context.Context, ops []engine.FactOp) error {
+	for {
 		p.mu.Lock()
 		if p.closed {
 			p.mu.Unlock()
 			return fmt.Errorf("peer %s: %w", p.name, errdefs.ErrClosed)
 		}
-		p.pendingOps = append(p.pendingOps, local...)
+		if p.maxPendingOps <= 0 || len(p.pendingOps) == 0 ||
+			len(p.pendingOps)+len(ops) <= p.maxPendingOps {
+			p.pendingOps = append(p.pendingOps, ops...)
+			p.mu.Unlock()
+			p.kick()
+			return nil
+		}
+		if p.admitFailFast {
+			p.mu.Unlock()
+			p.outbox.bpRejects.Add(1)
+			return fmt.Errorf("peer %s: %d staged updates pending: %w",
+				p.name, p.maxPendingOps, errdefs.ErrBackpressure)
+		}
+		if p.pendingSpace == nil {
+			p.pendingSpace = make(chan struct{})
+		}
+		wait := p.pendingSpace
 		p.mu.Unlock()
-		p.kick()
+		p.outbox.bpWaits.Add(1)
+		p.kick() // make sure a stage is coming to drain the queue
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("peer %s: waiting to stage updates: %w: %w",
+				p.name, errdefs.ErrBackpressure, ctx.Err())
+		case <-p.ctx.Done():
+			return fmt.Errorf("peer %s: %w", p.name, errdefs.ErrClosed)
+		case <-wait:
+		}
 	}
-	return errors.Join(errs...)
+}
+
+// shedStream is the outbox's slow-peer callback: dst has had pending
+// entries with no ack progress for the whole shed window. Restart its
+// stream around a fresh snapshot of the maintained view (ShedReset
+// discards the wedged backlog) and forget the delegation fingerprints for
+// the target, exactly as a served reset request would — when the
+// destination recovers, it adopts the new epoch at sequence 1 and the
+// anti-entropy machinery settles the rest.
+func (p *Peer) shedStream(dst string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.debugf("shedding stream to %s", dst)
+	snap := protocol.SnapshotMsg{}
+	for _, f := range p.rv.SnapshotFacts(dst) {
+		snap.Ops = append(snap.Ops, protocol.FactDelta{Maint: true, Fact: f})
+	}
+	p.stats.ResyncSnapshots++
+	if b, err := protocol.EncodePayload(snap); err == nil {
+		p.stats.ResyncSnapshotBytes += uint64(len(b))
+	}
+	p.outbox.ShedReset(dst, snap)
+	for ruleID, targets := range p.lastSentDeleg {
+		if _, ok := targets[dst]; ok {
+			delete(targets, dst)
+			if len(targets) == 0 {
+				delete(p.lastSentDeleg, ruleID)
+			}
+			p.progDirty = true
+		}
+	}
+	p.kick()
 }
 
 // InsertString parses a fact in concrete syntax and stages its insertion.

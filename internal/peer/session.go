@@ -272,6 +272,17 @@ type sendSession struct {
 	lastAdvert   time.Time     // when the last anti-entropy digest advert went out
 	retransmitAt time.Time     // ack deadline: pushed on every data transmission
 
+	// Flow-control state. spaceWait, when non-nil, is closed (and cleared)
+	// whenever queue space frees up — blocked EnqueueDataCtx callers wait on
+	// it and re-check admission. lastProgress is the shed clock: the last
+	// instant the destination acked something, the queue's pending era
+	// began, or the stream was reset; a queue with entries but no progress
+	// for the configured window is persistently unackable. shedding guards
+	// against dispatching a second shed while one is in flight.
+	spaceWait    chan struct{}
+	lastProgress time.Time
+	shedding     bool
+
 	wake chan struct{} // one-slot: new work or ack arrived
 }
 
@@ -279,5 +290,13 @@ func (dq *sendSession) signal() {
 	select {
 	case dq.wake <- struct{}{}:
 	default:
+	}
+}
+
+// notifySpaceLocked releases every blocked admission waiter; dq.mu held.
+func (dq *sendSession) notifySpaceLocked() {
+	if dq.spaceWait != nil {
+		close(dq.spaceWait)
+		dq.spaceWait = nil
 	}
 }

@@ -171,6 +171,9 @@ func (p *Peer) runStageLocked() *StageReport {
 
 	if !changed {
 		p.stats.StagesSkipped++
+		if p.pm != nil {
+			p.pm.stagesSkipped.Inc()
+		}
 		// Transient marks collected by this skipped stage stay *fresh*: no
 		// fixpoint has observed them yet, so they must live through the
 		// next stage that actually runs and expire only at the one after.
@@ -219,6 +222,11 @@ func (p *Peer) runStageLocked() *StageReport {
 	p.stats.Stages++
 	p.stats.Derived += uint64(res.Derived)
 	p.stats.RuntimeErrors += uint64(len(res.Errors))
+	if p.pm != nil {
+		p.pm.stagesRan.Inc()
+		p.pm.stageSeconds.Observe(rep.Duration().Seconds())
+		p.pm.fixpointRounds.Observe(float64(rep.Iterations))
+	}
 
 	// Stream the stage's net effect to subscribers before hooks observe it.
 	p.emitSubscriptionsLocked(rep, d, res, incremental)
@@ -287,9 +295,15 @@ func (p *Peer) rebuildSeedsLocked() map[string][]value.Tuple {
 func (p *Peer) ingestLocked(rep *StageReport, d *stageDeltas) bool {
 	changed := false
 
-	// Apply updates staged by the previous stage and by the local API.
+	// Apply updates staged by the previous stage and by the local API. The
+	// drain frees admission space: release any Apply caller blocked on the
+	// pending-op bound.
 	staged := p.pendingOps
 	p.pendingOps = nil
+	if p.pendingSpace != nil {
+		close(p.pendingSpace)
+		p.pendingSpace = nil
+	}
 	ops := make([]ingestOp, len(staged))
 	for i, op := range staged {
 		ops[i] = ingestOp{del: op.Op == ast.Delete, src: p.name, fact: op.Fact}
@@ -514,6 +528,9 @@ func (p *Peer) handleResyncRequestLocked(from string, msg protocol.ResyncRequest
 		snap.Ops = append(snap.Ops, protocol.FactDelta{Maint: true, Fact: f})
 	}
 	p.stats.ResyncSnapshots++
+	if b, err := protocol.EncodePayload(snap); err == nil {
+		p.stats.ResyncSnapshotBytes += uint64(len(b))
+	}
 	if msg.Reset {
 		p.outbox.Reset(from, snap)
 	} else {

@@ -160,6 +160,7 @@ func (p *Peer) emitSubscriptionsLocked(rep *StageReport, d *stageDeltas, res *en
 		delete(p.subs, id)
 		close(sub.ch)
 	}
+	p.stats.SubscriptionDrops += uint64(len(dropped))
 }
 
 // collectDeltas assembles an incremental stage's exact deltas for this

@@ -221,3 +221,82 @@ func TestSubscribeSlowConsumerDropped(t *testing.T) {
 		t.Errorf("drained %d buffered deltas, want %d", n2, SubscribeBuffer)
 	}
 }
+
+// TestSubscribeStalledConsumerStageNeverBlocks: a consumer that reads for a
+// while and then stalls mid-stream is shed without the stage loop ever
+// blocking on its channel — the drop path is non-blocking by construction,
+// and this pins it with a watchdog across the overflowing stage.
+func TestSubscribeStalledConsumerStageNeverBlocks(t *testing.T) {
+	n, ps := newTestNetwork(t, "alice")
+	alice := ps["alice"]
+	if err := alice.DeclareRelation("data", ast.Extensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+	deltas, err := alice.Subscribe(context.Background(), "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A healthy phase first: the consumer keeps up for a few small stages.
+	for i := 0; i < 3; i++ {
+		if err := alice.Insert(ast.NewFact("data", "alice", value.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+		quiesce(t, n)
+		select {
+		case d := <-deltas:
+			if d.Delete {
+				t.Fatalf("unexpected delete delta %v", d)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("healthy consumer received nothing")
+		}
+	}
+	// Now the consumer stalls for good. Overflow its buffer across stages
+	// while a watchdog asserts every stage still completes promptly.
+	b := engine.NewBatch()
+	for i := 100; i < 100+SubscribeBuffer+10; i++ {
+		b.Insert(ast.NewFact("data", "alice", value.Int(int64(i))))
+	}
+	if err := alice.Apply(context.Background(), b); err != nil {
+		t.Fatal(err)
+	}
+	type staged struct{ rep *StageReport }
+	done := make(chan staged, 1)
+	go func() { done <- staged{alice.RunStage()} }()
+	var rep *StageReport
+	select {
+	case s := <-done:
+		rep = s.rep
+	case <-time.After(5 * time.Second):
+		t.Fatal("stage blocked on a stalled subscriber")
+	}
+	found := false
+	for _, e := range rep.Errors {
+		if errors.Is(e, errdefs.ErrSlowSubscriber) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stage report errors = %v, want ErrSlowSubscriber", rep.Errors)
+	}
+	if alice.Subscribers() != 0 {
+		t.Errorf("stalled subscriber still registered: %d live", alice.Subscribers())
+	}
+	if got := alice.Stats().SubscriptionDrops; got != 1 {
+		t.Errorf("SubscriptionDrops = %d, want 1", got)
+	}
+	// Later stages proceed normally with the subscriber gone.
+	if err := alice.Insert(ast.NewFact("data", "alice", value.Int(9999))); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, n)
+	// The channel drains what fit before the stall, then closes.
+	drained := 0
+	for range deltas {
+		drained++
+	}
+	if drained != SubscribeBuffer {
+		t.Errorf("drained %d buffered deltas, want %d", drained, SubscribeBuffer)
+	}
+}
