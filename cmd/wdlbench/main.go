@@ -897,6 +897,38 @@ func runP9() error {
 	fmt.Println("from the selector and probes the chain backwards, so the gap grows linearly")
 	fmt.Println("with the relation size — orders of magnitude at the 100k tier, with both")
 	fmt.Println("modes producing identical view contents.")
+
+	// Compiled tier: same planner in both modes; the only axis is whether
+	// the per-stage walk runs the compiled closure chains or the interpreter.
+	fmt.Printf("\n%-10s | %12s %8s | %12s %8s | %s\n",
+		"rows/rel", "compiled", "result", "interpreted", "result", "speedup")
+	var compSpeedup float64
+	for _, n := range sizes {
+		comp, interp, err := bench.RunCompiledJoin(n)
+		if err != nil {
+			return err
+		}
+		if comp.Rows != interp.Rows || comp.FP != interp.FP {
+			return fmt.Errorf("p9: compiled tier modes disagree at n=%d: compiled %d rows (fp %x), interpreted %d rows (fp %x)",
+				n, comp.Rows, comp.FP, interp.Rows, interp.FP)
+		}
+		compSpeedup = float64(interp.PerStage) / float64(comp.PerStage)
+		fmt.Printf("%-10d | %12v %8d | %12v %8d | %6.1fx\n", n,
+			comp.PerStage.Round(time.Microsecond), comp.Rows,
+			interp.PerStage.Round(time.Microsecond), interp.Rows,
+			compSpeedup)
+	}
+	if compSpeedup < 5 {
+		return fmt.Errorf("p9: compiled execution is only %.1fx faster than the interpreter at the largest tier; want >= 5x", compSpeedup)
+	}
+	fmt.Println("\nexpected shape: both modes run the identical planned order — a scan (or")
+	fmt.Println("delta walk) of n rows through variable binding, a builtin filter chain,")
+	fmt.Println("and a keyed join probe for the survivors — so the gap is pure per-tuple")
+	fmt.Println("interpretation overhead: the interpreter re-resolves names, re-checks")
+	fmt.Println("builtin arity, and allocates argument vectors and continuations at every")
+	fmt.Println("visit, while the compiled closure chain binds fixed slots and runs")
+	fmt.Println("precompiled comparisons. The ratio is roughly size-independent and holds")
+	fmt.Println("at 5x or better, with identical view contents in both modes.")
 	return nil
 }
 

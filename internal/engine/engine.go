@@ -47,6 +47,20 @@ type Options struct {
 	// the written-order ablation of experiment P9 — bodies evaluate
 	// exactly as written. See plan.go.
 	Planner bool
+	// Compiled enables compiled rule execution: once the stage fixes a body
+	// order for a (rule, stage kind, delta position) triple, that plan is
+	// compiled into a chain of specialized step closures over pre-resolved
+	// relation handles, precomputed probe masks/keys, and fixed binding
+	// slots — skipping the interpreter's per-tuple ord indirection, name
+	// resolution, and bound-value collection on every probe. Rules the
+	// compiler cannot prove equivalent (variable relation or peer terms,
+	// possibly-remote atoms, unresolved relations) fall back to the
+	// interpreter per rule. Compilation requires UseIndexes (the compiled
+	// probes are keyed) and no Tracer (supports are not tracked); it is
+	// silently inert otherwise. When false — the interpreter ablation of
+	// experiment P9's compiled tier — every rule takes today's generic
+	// walks. See compilefast.go and exec.go.
+	Compiled bool
 	// Incremental keeps derived relations materialized between stages and
 	// maintains them from each stage's base-fact deltas (inserts through the
 	// semi-naive machinery, deletions through an over-delete/rederive pass),
@@ -63,7 +77,7 @@ type Options struct {
 
 // DefaultOptions returns the production configuration.
 func DefaultOptions() Options {
-	return Options{SemiNaive: true, UseIndexes: true, Planner: true, Incremental: true, MaxIterations: 1_000_000}
+	return Options{SemiNaive: true, UseIndexes: true, Planner: true, Compiled: true, Incremental: true, MaxIterations: 1_000_000}
 }
 
 // Tracer observes derivations for provenance tracking and debugging.
@@ -176,6 +190,14 @@ type Engine struct {
 	// the same rule). Atomics so monitoring can read them without a lock.
 	planHits   atomic.Uint64
 	planMisses atomic.Uint64
+
+	// Compiled-execution telemetry: closure chains freshly compiled, cache
+	// lookups that reused one (per stage, like the plan cache), and rule
+	// invocations that fell back to the interpreter because the rule is not
+	// compilable (the nil verdict is cached too, counted once per stage).
+	ruleCompiles     atomic.Uint64
+	compiledHits     atomic.Uint64
+	compileFallbacks atomic.Uint64
 }
 
 // New creates an engine for the peer named local over db.
@@ -200,6 +222,14 @@ func (e *Engine) Options() Options { return e.opts }
 // (misses). Always zero with the planner disabled.
 func (e *Engine) PlanCacheStats() (hits, misses uint64) {
 	return e.planHits.Load(), e.planMisses.Load()
+}
+
+// CompiledStats returns the lifetime compiled-execution counters: closure
+// chains compiled, cache lookups that reused one, and (rule, stage kind,
+// delta position) triples that fell back to the interpreter. All zero with
+// compiled execution disabled.
+func (e *Engine) CompiledStats() (compiles, hits, fallbacks uint64) {
+	return e.ruleCompiles.Load(), e.compiledHits.Load(), e.compileFallbacks.Load()
 }
 
 // termRef is a compiled term: either a constant or a slot in the rule's

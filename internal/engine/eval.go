@@ -141,6 +141,12 @@ func (e *Engine) runStratumNaive(stratum []*CompiledRule, st *stageState) {
 // full relation. When the stage has a planner, the body is walked in the
 // plan's order instead of written order.
 func (e *Engine) evalRule(cr *CompiledRule, st *stageState, deltaPos int, prevDelta deltaSet) {
+	if st.planner != nil {
+		if ep := st.planner.compiledFor(cr, kindEval, deltaPos); ep != nil {
+			ep.runEval(e, st, prevDelta)
+			return
+		}
+	}
 	env := make([]value.Value, cr.NumSlots)
 	bound := make([]bool, cr.NumSlots)
 	var ord []int
@@ -375,25 +381,7 @@ func (e *Engine) produce(cr *CompiledRule, env []value.Value, st *stageState) {
 				cr.Rule.ID, headRel, headPeer)
 			return
 		}
-		if rel.Insert(t) {
-			st.out.Derived++
-			id := headRel + "@" + headPeer
-			st.delta[id] = append(st.delta[id], t)
-			if ic := st.incr; ic != nil {
-				key := t.Key()
-				if m := ic.marked[id]; m[key] != nil {
-					delete(m, key) // deleted then rederived this stage: net zero
-					// Un-ghost so a later deletion round can re-target it.
-					delete(ic.ghosts[id], key)
-				} else if !ic.isSeeded(id, key) {
-					in := ic.insNew[id]
-					if in == nil {
-						in = map[string]value.Tuple{}
-						ic.insNew[id] = in
-					}
-					in[key] = t
-				}
-			}
+		if e.deriveLocal(st, rel, headRel+"@"+headPeer, t) {
 			e.trace(st, fact, cr)
 		}
 		return
@@ -407,6 +395,36 @@ func (e *Engine) produce(cr *CompiledRule, env []value.Value, st *stageState) {
 		st.out.LocalUpdates = append(st.out.LocalUpdates, fo)
 		e.trace(st, fact, cr)
 	}
+}
+
+// deriveLocal inserts a derived tuple into a local intensional relation and
+// does the fixpoint and incremental-maintenance bookkeeping: the semi-naive
+// delta, the derivation counter, and (under RunStageIncremental) the net
+// view-delta sets. Returns whether the tuple was new. Shared by produce and
+// the compiled terminal fast path (compilefast.go), which resolves the head
+// statically and skips produce's name resolution per derivation.
+func (e *Engine) deriveLocal(st *stageState, rel *store.Relation, relID string, t value.Tuple) bool {
+	if !rel.Insert(t) {
+		return false
+	}
+	st.out.Derived++
+	st.delta[relID] = append(st.delta[relID], t)
+	if ic := st.incr; ic != nil {
+		key := t.Key()
+		if m := ic.marked[relID]; m[key] != nil {
+			delete(m, key) // deleted then rederived this stage: net zero
+			// Un-ghost so a later deletion round can re-target it.
+			delete(ic.ghosts[relID], key)
+		} else if !ic.isSeeded(relID, key) {
+			in := ic.insNew[relID]
+			if in == nil {
+				in = map[string]value.Tuple{}
+				ic.insNew[relID] = in
+			}
+			in[key] = t
+		}
+	}
+	return true
 }
 
 func (e *Engine) trace(st *stageState, head ast.Fact, cr *CompiledRule) {

@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// TestCompiledCacheKeyedByStageKind pins the compiled-cache key: the three
+// walk kinds of one rule share a plan order but compile to behaviorally
+// different programs (different terminals, delta sources, ghost sweeps), so
+// a DRed program must never be served for a semi-naive eval walk or vice
+// versa, even at the same delta position.
+func TestCompiledCacheKeyedByStageKind(t *testing.T) {
+	e, db := testEnv(t, DefaultOptions(), "ext e(a,b)", "int p(a,b)")
+	insertFacts(t, db, `e@local(1, 2);`, `e@local(2, 3);`)
+	prog, err := e.CompileProgram(mustRules(t,
+		`p@local($x, $z) :- e@local($x, $y), e@local($y, $z);`,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := prog.Rules[0]
+	pl := e.newPlanner()
+	if pl == nil || pl.compiled == nil {
+		t.Fatal("default options should enable planning and compilation")
+	}
+	evalP := pl.compiledFor(cr, kindEval, 0)
+	dredP := pl.compiledFor(cr, kindDRed, 0)
+	matchP := pl.compiledFor(cr, kindMatch, -1)
+	if evalP == nil || dredP == nil || matchP == nil {
+		t.Fatalf("fully local positive rule should compile for every kind: eval=%v dred=%v match=%v",
+			evalP != nil, dredP != nil, matchP != nil)
+	}
+	if evalP == dredP || evalP == matchP || dredP == matchP {
+		t.Fatal("stage kinds share a compiled program: the cache key must include the kind")
+	}
+	if evalP.kind != kindEval || dredP.kind != kindDRed || matchP.kind != kindMatch {
+		t.Fatalf("compiled programs carry wrong kinds: %d %d %d", evalP.kind, dredP.kind, matchP.kind)
+	}
+	// Repeat lookups hit the cache and return the identical program per kind.
+	if pl.compiledFor(cr, kindEval, 0) != evalP {
+		t.Fatal("eval lookup did not return the cached eval program")
+	}
+	if pl.compiledFor(cr, kindDRed, 0) != dredP {
+		t.Fatal("DRed lookup did not return the cached DRed program")
+	}
+	// Delta positions cache separately too.
+	if pl.compiledFor(cr, kindEval, 1) == evalP {
+		t.Fatal("distinct delta positions share a compiled program")
+	}
+	compiles, hits, fallbacks := e.CompiledStats()
+	if compiles != 4 || hits != 2 || fallbacks != 0 {
+		t.Fatalf("CompiledStats() = (%d, %d, %d), want (4, 2, 0)", compiles, hits, fallbacks)
+	}
+}
+
+// TestCompiledEngagesByDefault asserts that under DefaultOptions a plain
+// local recursive program actually runs compiled — no silent fallback — and
+// produces the same closure for repeat stage-kind lookups.
+func TestCompiledEngagesByDefault(t *testing.T) {
+	e, db := testEnv(t, DefaultOptions(), "ext edge(a,b)", "int reach(a,b)")
+	insertFacts(t, db, `edge@local(1, 2);`, `edge@local(2, 3);`, `edge@local(3, 4);`)
+	prog, err := e.CompileProgram(mustRules(t,
+		`reach@local($x, $y) :- edge@local($x, $y);`,
+		`reach@local($x, $z) :- reach@local($x, $y), edge@local($y, $z);`,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.RunStage(prog)
+	checkNoErrors(t, res)
+	if got := relContents(db, "reach", "local"); len(got) != 6 {
+		t.Fatalf("reach has %d rows, want 6: %v", len(got), got)
+	}
+	compiles, _, fallbacks := e.CompiledStats()
+	if compiles == 0 {
+		t.Fatal("no rule compiled under default options")
+	}
+	if fallbacks != 0 {
+		t.Fatalf("%d interpreter fallbacks for a fully compilable program", fallbacks)
+	}
+}
+
+// TestCompiledFallsBackOnDelegation asserts rules whose body can leave the
+// peer are cached as interpreter fallbacks — delegation must keep flowing
+// through the interpreted walk — and counted as such.
+func TestCompiledFallsBackOnDelegation(t *testing.T) {
+	e, db := testEnv(t, DefaultOptions(), "ext e(a,b)")
+	insertFacts(t, db, `e@local(1, 2);`)
+	prog, err := e.CompileProgram(mustRules(t,
+		`out@remote($x, $y) :- e@local($x, $y), f@remote($y, $x);`,
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.RunStage(prog)
+	checkNoErrors(t, res)
+	if len(res.Delegations) != 1 {
+		t.Fatalf("expected 1 delegation, got %d", len(res.Delegations))
+	}
+	compiles, _, fallbacks := e.CompiledStats()
+	if compiles != 0 || fallbacks == 0 {
+		t.Fatalf("CompiledStats() = (%d compiles, %d fallbacks), want (0, >0)", compiles, fallbacks)
+	}
+}
+
+// TestCompiledInertWithTracer: a tracer needs per-derivation supports, which
+// compiled walks do not track; Options.Compiled must go silently inert.
+func TestCompiledInertWithTracer(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Tracer = tracerFunc(func(ast.Fact, *ast.Rule, []ast.Fact) {})
+	e, db := testEnv(t, opts, "ext e(a,b)", "int p(a,b)")
+	insertFacts(t, db, `e@local(1, 2);`)
+	prog, err := e.CompileProgram(mustRules(t, `p@local($x, $y) :- e@local($x, $y);`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNoErrors(t, e.RunStage(prog))
+	if compiles, hits, fallbacks := e.CompiledStats(); compiles != 0 || hits != 0 || fallbacks != 0 {
+		t.Fatalf("CompiledStats() = (%d, %d, %d) with a tracer attached, want all zero", compiles, hits, fallbacks)
+	}
+	if got := relContents(db, "p", "local"); len(got) != 1 {
+		t.Fatalf("p has %d rows, want 1", len(got))
+	}
+}
+
+// TestExplainAnnotatesCompiled checks the -explain rendering distinguishes
+// compiled rules, interpreter fallbacks, and globally disabled compilation.
+func TestExplainAnnotatesCompiled(t *testing.T) {
+	e, db := testEnv(t, DefaultOptions(), "ext e(a,b)", "int p(a,b)")
+	insertFacts(t, db, `e@local(1, 2);`)
+	rules := mustRules(t,
+		`p@local($x, $y) :- e@local($x, $y);`,
+		`out@remote($x) :- e@local($x, $y), f@remote($y, $x);`,
+	)
+	prog, err := e.CompileProgram(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.Explain(prog)
+	if !strings.Contains(out, "closure chains cached per stage kind") {
+		t.Fatalf("explain lacks the compiled annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "interpreter fallback") || !strings.Contains(out, "delegation boundary") {
+		t.Fatalf("explain lacks the fallback annotation with its reason:\n%s", out)
+	}
+
+	off := DefaultOptions()
+	off.Compiled = false
+	e2 := New("local", db, off)
+	prog2, err := e2.CompileProgram(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := e2.Explain(prog2)
+	if !strings.Contains(out2, "compiled execution disabled") {
+		t.Fatalf("explain with Compiled off lacks the disabled notice:\n%s", out2)
+	}
+	if strings.Contains(out2, "closure chains cached") {
+		t.Fatalf("explain with Compiled off still claims compilation:\n%s", out2)
+	}
+}
+
+// TestCompiledIncrementalSequence drives inserts and deletes through a
+// maintained recursive view with compilation on and off, checking identical
+// contents after every stage — the compiled DRed and rederive walks against
+// their interpreted twins on a known-tricky shape (diamond support: a tuple
+// whose deleted derivation has a surviving alternative must be rederived).
+func TestCompiledIncrementalSequence(t *testing.T) {
+	type batch struct {
+		ins [][2]int64
+		del [][2]int64
+	}
+	batches := []batch{
+		{ins: [][2]int64{{1, 2}, {2, 4}, {1, 3}, {3, 4}, {4, 5}}},
+		{del: [][2]int64{{2, 4}}},                          // reach(1,4) survives via 1→3→4
+		{del: [][2]int64{{3, 4}}},                          // now reach(1,4), reach(x,5) collapse
+		{ins: [][2]int64{{2, 4}}},                          // restore one path
+		{ins: [][2]int64{{5, 1}}, del: [][2]int64{{1, 2}}}, // cycle + cut
+	}
+	run := func(opts Options) []map[string][]string {
+		e, db := testEnv(t, opts, "ext edge(a,b)", "int reach(a,b)")
+		prog, err := e.CompileProgram(mustRules(t,
+			`reach@local($x, $y) :- edge@local($x, $y);`,
+			`reach@local($x, $z) :- reach@local($x, $y), edge@local($y, $z);`,
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prog.Incremental {
+			t.Fatal("positive program should be incremental")
+		}
+		rv := NewRemoteView()
+		checkNoErrors(t, e.RunStageFull(prog, nil, rv))
+		base := db.Get("edge", "local")
+		var states []map[string][]string
+		for _, b := range batches {
+			in := &StageInput{Ins: map[string][]value.Tuple{}, Del: map[string][]value.Tuple{}}
+			for _, p := range b.ins {
+				tup := value.Tuple{value.Int(p[0]), value.Int(p[1])}
+				if base.Insert(tup) {
+					in.Ins["edge@local"] = append(in.Ins["edge@local"], tup)
+				}
+			}
+			for _, p := range b.del {
+				tup := value.Tuple{value.Int(p[0]), value.Int(p[1])}
+				if base.Delete(tup) {
+					in.Del["edge@local"] = append(in.Del["edge@local"], tup)
+				}
+			}
+			checkNoErrors(t, e.RunStageIncremental(prog, in, rv))
+			states = append(states, map[string][]string{
+				"edge":  relContents(db, "edge", "local"),
+				"reach": relContents(db, "reach", "local"),
+			})
+		}
+		compiles, _, _ := e.CompiledStats()
+		if opts.Compiled && compiles == 0 {
+			t.Fatal("compiled run never compiled a rule")
+		}
+		if !opts.Compiled && compiles != 0 {
+			t.Fatal("interpreted run compiled a rule")
+		}
+		return states
+	}
+	compiled := DefaultOptions()
+	interp := DefaultOptions()
+	interp.Compiled = false
+	got := run(compiled)
+	want := run(interp)
+	for step := range want {
+		for rel, w := range want[step] {
+			g := got[step][rel]
+			if len(g) != len(w) {
+				t.Fatalf("step %d: %s differs: compiled %v, interpreted %v", step, rel, g, w)
+			}
+			for i := range w {
+				if g[i] != w[i] {
+					t.Fatalf("step %d: %s row %d differs: %s vs %s", step, rel, i, g[i], w[i])
+				}
+			}
+		}
+	}
+}

@@ -130,6 +130,41 @@ func (ic *incrState) sweepGhosts(relID string, mask store.ColMask, boundVals []v
 		}
 		return
 	}
+	idx := ic.ghostIndexFor(relID, mask, g)
+	var keyBuf []byte
+	for _, v := range boundVals {
+		keyBuf = v.AppendKey(keyBuf)
+	}
+	for _, t := range idx.buckets[string(keyBuf)] {
+		fn(t)
+	}
+}
+
+// sweepGhostsKey is sweepGhosts for callers that already hold the encoded
+// probe key (compiled execution, compilefast.go): the ghost buckets are
+// keyed by the AppendKey encoding of the masked columns in ascending order —
+// the same convention as the store's index and probe keys.
+func (ic *incrState) sweepGhostsKey(relID string, mask store.ColMask, key []byte, fn func(value.Tuple)) {
+	g := ic.ghosts[relID]
+	if len(g) == 0 {
+		return
+	}
+	if mask == 0 {
+		for _, t := range g {
+			fn(t)
+		}
+		return
+	}
+	idx := ic.ghostIndexFor(relID, mask, g)
+	for _, t := range idx.buckets[string(key)] {
+		fn(t)
+	}
+}
+
+// ghostIndexFor returns relID's ghost index for mask, (re)building it when
+// missing or stale (the ghost set changed size since the last build). A
+// snapshot going stale mid-round is sound; see ghostIdx.
+func (ic *incrState) ghostIndexFor(relID string, mask store.ColMask, g map[string]value.Tuple) *ghostIndex {
 	byMask := ic.ghostIdx[relID]
 	if byMask == nil {
 		byMask = map[store.ColMask]*ghostIndex{}
@@ -153,13 +188,7 @@ func (ic *incrState) sweepGhosts(relID string, mask store.ColMask, boundVals []v
 		}
 		byMask[mask] = idx
 	}
-	var keyBuf []byte
-	for _, v := range boundVals {
-		keyBuf = v.AppendKey(keyBuf)
-	}
-	for _, t := range idx.buckets[string(keyBuf)] {
-		fn(t)
-	}
+	return idx
 }
 
 // classify fills the Event / MaybeView flags of every rule and decides
@@ -468,6 +497,12 @@ func (e *Engine) deletePhase(prog *Program, stratum []*CompiledRule, st *stageSt
 						continue
 					}
 				}
+				if st.planner != nil {
+					if ep := st.planner.compiledFor(cr, kindDRed, j); ep != nil {
+						ep.runDelete(e, st, frontier)
+						continue
+					}
+				}
 				env := make([]value.Value, cr.NumSlots)
 				bound := make([]bool, cr.NumSlots)
 				var ord []int
@@ -552,6 +587,14 @@ func (e *Engine) rederivable(prog *Program, st *stageState, relName, peerName st
 		bound := make([]bool, cr.NumSlots)
 		if !unifyHead(cr, relName, peerName, t, env, bound) {
 			continue
+		}
+		if st.planner != nil {
+			if ep := st.planner.compiledFor(cr, kindMatch, -1); ep != nil {
+				if ep.runMatch(e, st, env) {
+					return true
+				}
+				continue
+			}
 		}
 		var ord []int
 		if st.planner != nil {

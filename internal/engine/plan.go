@@ -68,20 +68,77 @@ type rulePlan struct {
 	rederive []int   // head slots pre-bound (rederivation existence checks)
 }
 
-// stagePlanner owns the per-stage plan cache. A nil *stagePlanner (planner
-// disabled) everywhere means "written order".
-type stagePlanner struct {
-	e     *Engine
-	plans map[*CompiledRule]*rulePlan
+// compiledKey identifies one compiled closure chain. The three walk kinds
+// (semi-naive eval, DRed over-delete, rederive match) compile the same rule
+// into behaviorally different programs — different terminals, different
+// delta sources, ghost sweeps or not — so the stage kind is part of the
+// cache key: a DRed chain must never be served for a semi-naive walk (see
+// TestCompiledCacheDistinguishesStageKinds).
+type compiledKey struct {
+	cr       *CompiledRule
+	kind     stageKind
+	deltaPos int
 }
 
-// newPlanner returns the stage's planner, or nil when Options.Planner is
-// off.
+// stagePlanner owns the per-stage plan and compiled-chain caches. A nil
+// *stagePlanner everywhere means "written order, interpreted". planning is
+// false when only compilation is on (Options.Compiled without
+// Options.Planner): the caches exist but every order is the written one.
+type stagePlanner struct {
+	e        *Engine
+	planning bool
+	plans    map[*CompiledRule]*rulePlan
+	// compiled caches closure chains (nil = the rule is not compilable and
+	// interprets); nil map = compilation off.
+	compiled map[compiledKey]*execProg
+}
+
+// newPlanner returns the stage's planner, or nil when both the planner and
+// compiled execution are off. Compilation additionally requires indexes
+// (compiled probes are keyed) and no tracer (supports are not tracked).
 func (e *Engine) newPlanner() *stagePlanner {
-	if !e.opts.Planner {
+	planning := e.opts.Planner
+	compiling := e.opts.Compiled && e.opts.UseIndexes && e.opts.Tracer == nil
+	if !planning && !compiling {
 		return nil
 	}
-	return &stagePlanner{e: e, plans: map[*CompiledRule]*rulePlan{}}
+	pl := &stagePlanner{e: e, planning: planning, plans: map[*CompiledRule]*rulePlan{}}
+	if compiling {
+		pl.compiled = map[compiledKey]*execProg{}
+	}
+	return pl
+}
+
+// compiledFor returns the cached closure chain for one (rule, stage kind,
+// delta position) triple, compiling it on first use against the stage's
+// plan order for that triple. nil means interpret: compilation is off, or
+// the rule is not compilable (the verdict is cached so the analysis runs
+// once per stage).
+func (pl *stagePlanner) compiledFor(cr *CompiledRule, kind stageKind, deltaPos int) *execProg {
+	if pl.compiled == nil {
+		return nil
+	}
+	k := compiledKey{cr: cr, kind: kind, deltaPos: deltaPos}
+	if ep, ok := pl.compiled[k]; ok {
+		if ep != nil {
+			pl.e.compiledHits.Add(1)
+		}
+		return ep
+	}
+	var ord []int
+	if kind == kindMatch {
+		ord = pl.rederiveOrder(cr)
+	} else {
+		ord = pl.orderFor(cr, deltaPos)
+	}
+	ep := pl.e.compileExec(cr, kind, deltaPos, ord)
+	pl.compiled[k] = ep
+	if ep != nil {
+		pl.e.ruleCompiles.Add(1)
+	} else {
+		pl.e.compileFallbacks.Add(1)
+	}
+	return ep
 }
 
 // planRegion returns the length of the rule's reorderable prefix: atoms
@@ -120,8 +177,11 @@ func (pl *stagePlanner) planFor(cr *CompiledRule) *rulePlan {
 
 // orderFor returns the evaluation order for one rule invocation: body
 // position deltaPos ranges over the delta (-1 for a full evaluation). A
-// nil result means written order.
+// nil result means written order (always, when planning is off).
 func (pl *stagePlanner) orderFor(cr *CompiledRule, deltaPos int) []int {
+	if !pl.planning {
+		return nil
+	}
 	rp := pl.planFor(cr)
 	if rp == nil {
 		return nil
@@ -144,6 +204,9 @@ func (pl *stagePlanner) orderFor(cr *CompiledRule, deltaPos int) []int {
 // (matchFrom): every head variable is already bound, which usually makes
 // a very different atom the cheapest entry point.
 func (pl *stagePlanner) rederiveOrder(cr *CompiledRule) []int {
+	if !pl.planning {
+		return nil
+	}
 	rp := pl.planFor(cr)
 	if rp == nil {
 		return nil
@@ -308,9 +371,13 @@ func (pl *stagePlanner) atomCost(cr *CompiledRule, i int, bound []bool) float64 
 // the gate.
 func (e *Engine) Explain(prog *Program) string {
 	var sb strings.Builder
-	pl := &stagePlanner{e: e, plans: map[*CompiledRule]*rulePlan{}}
+	pl := &stagePlanner{e: e, planning: e.opts.Planner, plans: map[*CompiledRule]*rulePlan{}}
 	if !e.opts.Planner {
 		sb.WriteString("planner disabled (Options.Planner=false): bodies evaluate in written order\n")
+	}
+	compiling := e.opts.Compiled && e.opts.UseIndexes && e.opts.Tracer == nil
+	if !compiling {
+		sb.WriteString("compiled execution disabled (Options.Compiled off, indexes off, or tracer attached): the interpreter walks every rule\n")
 	}
 	for _, cr := range prog.Rules {
 		kind := "event"
@@ -347,6 +414,13 @@ func (e *Engine) Explain(prog *Program) string {
 		}
 		if region < len(cr.Body) {
 			fmt.Fprintf(&sb, "  atoms %d.. keep written order: the peer term may resolve remote (delegation boundary)\n", region+1)
+		}
+		if compiling {
+			if reason := e.compileBlocker(cr); reason != "" {
+				fmt.Fprintf(&sb, "  compiled: interpreter fallback (%s)\n", reason)
+			} else {
+				sb.WriteString("  compiled: closure chains cached per stage kind — eval, over-delete (DRed), and rederive walks compile and cache separately per delta position\n")
+			}
 		}
 	}
 	return sb.String()

@@ -300,6 +300,242 @@ func TestPlannerEquivalentOnRandomIncrementalSequences(t *testing.T) {
 	}
 }
 
+// randomStratifiedProgram extends randomProgram with the constructs the
+// compiled/interpreted differential grid must cover: recursive view rules
+// (positive body atoms may use the head's own relation), negation across
+// strata (negated atoms only over strictly lower-numbered relations, so the
+// program is stratified by construction), and builtin filters spliced into
+// *random* interior body positions where their variables are already bound —
+// not just appended at the end like withRandomFilters.
+func randomStratifiedProgram(rnd *rand.Rand, nRels, nRules, nFacts, domain int) (schemas []store.Schema, facts []value.Tuple, rules []ast.Rule) {
+	schemas = append(schemas, store.Schema{Name: "e", Peer: "local", Kind: ast.Extensional, Cols: []string{"a", "b"}})
+	relNames := []string{"e"}
+	for i := 0; i < nRels; i++ {
+		name := fmt.Sprintf("i%d", i)
+		schemas = append(schemas, store.Schema{Name: name, Peer: "local", Kind: ast.Intensional, Cols: []string{"a", "b"}})
+		relNames = append(relNames, name)
+	}
+	for i := 0; i < nFacts; i++ {
+		facts = append(facts, value.Tuple{
+			value.Int(int64(rnd.Intn(domain))), value.Int(int64(rnd.Intn(domain))),
+		})
+	}
+	vars := []string{"x", "y", "z", "w"}
+	for i := 0; i < nRules; i++ {
+		hi := 1 + rnd.Intn(nRels) // head index into relNames
+		bodyLen := 1 + rnd.Intn(3)
+		// Positive chain: relations up to and including the head's own (so
+		// recursion through any stratum member is possible), chained variables
+		// vars[j] → vars[j+1] so after j atoms vars[0..j] are bound.
+		chain := make([]ast.Atom, bodyLen)
+		for j := 0; j < bodyLen; j++ {
+			chain[j] = ast.Atom{
+				Rel:  ast.CStr(relNames[rnd.Intn(hi+1)]),
+				Peer: ast.CStr("local"),
+				Args: []ast.Term{ast.V(vars[j]), ast.V(vars[j+1])},
+			}
+		}
+		// Optional builtin filter and negated atom at random chain positions
+		// (after p chain atoms, vars[0..p] are bound). The negated atom only
+		// uses relations strictly below the head, keeping strata acyclic.
+		pf, pn := 0, 0
+		var filter, negAtom ast.Atom
+		if rnd.Intn(2) == 0 {
+			pf = 1 + rnd.Intn(bodyLen)
+			filter = ast.Atom{
+				Rel:  ast.CStr([]string{"le", "lt", "neq"}[rnd.Intn(3)]),
+				Peer: ast.CStr(BuiltinPeer),
+				Args: []ast.Term{ast.V(vars[rnd.Intn(pf+1)]), ast.V(vars[rnd.Intn(pf+1)])},
+			}
+		}
+		if rnd.Intn(2) == 0 {
+			pn = 1 + rnd.Intn(bodyLen)
+			negAtom = ast.Atom{
+				Neg:  true,
+				Rel:  ast.CStr(relNames[rnd.Intn(hi)]),
+				Peer: ast.CStr("local"),
+				Args: []ast.Term{ast.V(vars[rnd.Intn(pn+1)]), ast.V(vars[rnd.Intn(pn+1)])},
+			}
+		}
+		var body []ast.Atom
+		for j := 0; j < bodyLen; j++ {
+			body = append(body, chain[j])
+			if pf == j+1 {
+				body = append(body, filter)
+			}
+			if pn == j+1 {
+				body = append(body, negAtom)
+			}
+		}
+		rules = append(rules, ast.Rule{
+			ID:   fmt.Sprintf("r%d", i),
+			Head: ast.Atom{Rel: ast.CStr(relNames[hi]), Peer: ast.CStr("local"), Args: []ast.Term{ast.V(vars[0]), ast.V(vars[bodyLen])}},
+			Body: body,
+		})
+	}
+	return schemas, facts, rules
+}
+
+// compiledGrid is the 2×2 {Planner} × {Compiled} differential matrix; every
+// cell must compute the same model. Cell 0 (everything on) is the reference.
+func compiledGrid() []Options {
+	var grid []Options
+	for _, planner := range []bool{true, false} {
+		for _, compiled := range []bool{true, false} {
+			o := DefaultOptions()
+			o.Planner = planner
+			o.Compiled = compiled
+			grid = append(grid, o)
+		}
+	}
+	return grid
+}
+
+func diffStates(t *testing.T, label string, want, got map[string][]string) {
+	t.Helper()
+	for rel, w := range want {
+		g := got[rel]
+		if len(g) != len(w) {
+			t.Fatalf("%s: relation %s differs: want %d rows, got %d\nwant: %v\ngot:  %v",
+				label, rel, len(w), len(g), w, g)
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("%s: relation %s row %d differs: want %s, got %s", label, rel, i, w[i], g[i])
+			}
+		}
+	}
+}
+
+// TestCompiledGridEquivalentOnRandomPrograms runs random stratified programs
+// — recursion, cross-stratum negation, interior builtin filters — through
+// every cell of the {Planner} × {Compiled} grid and demands the identical
+// model from each: the compiled closure chains against the interpreter, with
+// and without cost-based orders.
+func TestCompiledGridEquivalentOnRandomPrograms(t *testing.T) {
+	rnd := rand.New(rand.NewSource(20260808))
+	grid := compiledGrid()
+	for trial := 0; trial < 50; trial++ {
+		schemas, facts, rules := randomStratifiedProgram(rnd, 1+rnd.Intn(3), 1+rnd.Intn(5), 5+rnd.Intn(30), 2+rnd.Intn(6))
+		ref := runRandom(t, schemas, facts, rules, grid[0])
+		for gi := 1; gi < len(grid); gi++ {
+			got := runRandom(t, schemas, facts, rules, grid[gi])
+			diffStates(t, fmt.Sprintf("trial %d grid{planner:%v,compiled:%v} rules %v",
+				trial, grid[gi].Planner, grid[gi].Compiled, rules), ref, got)
+		}
+	}
+}
+
+// TestCompiledGridEquivalentOnRandomIncrementalSequences drives 10 random
+// insert/delete batches through incrementally maintained engines in every
+// grid cell AND through a from-scratch recompute reference, checking every
+// view identical after every batch: compiled ≡ interpreted ≡ recompute on
+// the maintained DRed/rederive path, not just one-shot evaluation.
+func TestCompiledGridEquivalentOnRandomIncrementalSequences(t *testing.T) {
+	rnd := rand.New(rand.NewSource(20130524))
+	grid := compiledGrid()
+	for trial := 0; trial < 10; trial++ {
+		schemas, facts, rules := randomProgram(rnd, 1+rnd.Intn(3), 1+rnd.Intn(4), 5+rnd.Intn(20), 2+rnd.Intn(5))
+		type op struct {
+			del bool
+			t   value.Tuple
+		}
+		domain := int64(2 + rnd.Intn(6))
+		var batches [][]op
+		for s := 0; s < 10; s++ {
+			var b []op
+			for k := 0; k < 1+rnd.Intn(4); k++ {
+				b = append(b, op{
+					del: rnd.Intn(3) == 0,
+					t:   value.Tuple{value.Int(rnd.Int63n(domain)), value.Int(rnd.Int63n(domain))},
+				})
+			}
+			batches = append(batches, b)
+		}
+
+		// run replays the batch schedule: incrementally maintained when
+		// incremental is true, full recomputation per batch otherwise (the
+		// reference semantics), returning the state after every batch.
+		run := func(opts Options, incremental bool) []map[string][]string {
+			db := store.New()
+			for _, s := range schemas {
+				if _, err := db.Declare(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			base := db.Get("e", "local")
+			for _, f := range facts {
+				base.Insert(f)
+			}
+			e := New("local", db, opts)
+			prog, err := e.CompileProgram(rules)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if !prog.Incremental {
+				t.Fatalf("random positive program unexpectedly not incremental")
+			}
+			rv := NewRemoteView()
+			res := e.RunStageFull(prog, nil, rv)
+			checkNoErrors(t, res)
+			var states []map[string][]string
+			for _, b := range batches {
+				// Apply the batch and report its *net* effect, as the peer
+				// layer does: StageInput's contract says Ins tuples are
+				// present and Del tuples absent after ingestion, so a tuple
+				// inserted and deleted within one batch must appear in
+				// neither.
+				in := &StageInput{Ins: map[string][]value.Tuple{}, Del: map[string][]value.Tuple{}}
+				touched := map[string]value.Tuple{}
+				wasPresent := map[string]bool{}
+				var order []string
+				for _, o := range b {
+					k := o.t.Key()
+					if _, seen := touched[k]; !seen {
+						touched[k] = o.t
+						wasPresent[k] = base.Contains(o.t)
+						order = append(order, k)
+					}
+					if o.del {
+						base.Delete(o.t)
+					} else {
+						base.Insert(o.t)
+					}
+				}
+				for _, k := range order {
+					tup := touched[k]
+					switch now := base.Contains(tup); {
+					case now && !wasPresent[k]:
+						in.Ins["e@local"] = append(in.Ins["e@local"], tup)
+					case !now && wasPresent[k]:
+						in.Del["e@local"] = append(in.Del["e@local"], tup)
+					}
+				}
+				if incremental {
+					checkNoErrors(t, e.RunStageIncremental(prog, in, rv))
+				} else {
+					checkNoErrors(t, e.RunStageFull(prog, nil, rv))
+				}
+				state := map[string][]string{}
+				for _, s := range schemas {
+					state[s.Name] = relContents(db, s.Name, "local")
+				}
+				states = append(states, state)
+			}
+			return states
+		}
+
+		recompute := run(grid[0], false)
+		for _, opts := range grid {
+			got := run(opts, true)
+			for step := range recompute {
+				diffStates(t, fmt.Sprintf("trial %d step %d grid{planner:%v,compiled:%v} rules %v",
+					trial, step, opts.Planner, opts.Compiled, rules), recompute[step], got[step])
+			}
+		}
+	}
+}
+
 // TestMaxIterationsGuard verifies the runaway-fixpoint safety net.
 func TestMaxIterationsGuard(t *testing.T) {
 	opts := DefaultOptions()

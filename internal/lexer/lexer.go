@@ -251,6 +251,48 @@ func (l *Lexer) lexString() (string, error) {
 				sb.WriteByte('"')
 			case '0':
 				sb.WriteByte(0)
+			case 'a':
+				sb.WriteByte('\a')
+			case 'b':
+				sb.WriteByte('\b')
+			case 'f':
+				sb.WriteByte('\f')
+			case 'v':
+				sb.WriteByte('\v')
+			case 'x', 'u', 'U':
+				// Hex escapes, as the renderer (strconv.Quote) emits them
+				// for non-printable content: \xNN is a raw byte, \uNNNN and
+				// \UNNNNNNNN are runes.
+				n := 2
+				if esc == 'u' {
+					n = 4
+				} else if esc == 'U' {
+					n = 8
+				}
+				var code uint32
+				for i := 0; i < n; i++ {
+					if l.pos >= len(l.src) || !isHexDigit(l.src[l.pos]) {
+						return "", l.errf("invalid hex escape \\%c: want %d hex digits", esc, n)
+					}
+					d := l.advance()
+					code <<= 4
+					switch {
+					case d >= '0' && d <= '9':
+						code |= uint32(d - '0')
+					case d >= 'a' && d <= 'f':
+						code |= uint32(d-'a') + 10
+					default:
+						code |= uint32(d-'A') + 10
+					}
+				}
+				if esc == 'x' {
+					sb.WriteByte(byte(code))
+				} else {
+					if code > 0x10FFFF {
+						return "", l.errf("invalid hex escape \\%c: rune out of range", esc)
+					}
+					sb.WriteRune(rune(code))
+				}
 			default:
 				return "", l.errf("unknown escape sequence \\%c", esc)
 			}

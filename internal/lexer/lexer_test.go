@@ -51,6 +51,34 @@ func TestStringEscapes(t *testing.T) {
 	}
 }
 
+func TestStringHexEscapes(t *testing.T) {
+	// The renderer (strconv.Quote) writes non-printable content as \xNN /
+	// \uNNNN / \UNNNNNNNN and control characters as \a\b\f\v, so the lexer
+	// must read all of them back (found by FuzzParseProgram).
+	cases := map[string]string{
+		`"\x00\xff"`:   "\x00\xff",
+		`"\a\b\f\v"`:   "\a\b\f\v",
+		`"\u00e9"`:     "é",
+		`"\U0001F600"`: "\U0001F600",
+		`"mix\x41B"`:   "mixAB",
+	}
+	for src, want := range cases {
+		toks, err := Tokenize(src)
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		if toks[0].Text != want {
+			t.Errorf("%s = %q, want %q", src, toks[0].Text, want)
+		}
+	}
+	for _, bad := range []string{`"\x0"`, `"\xzz"`, `"\u12"`, `"\UFFFFFFFF"`} {
+		if _, err := Tokenize(bad); err == nil {
+			t.Errorf("%s lexed without error", bad)
+		}
+	}
+}
+
 func TestNumbers(t *testing.T) {
 	cases := map[string]string{
 		`42`:     "42",

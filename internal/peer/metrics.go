@@ -134,6 +134,21 @@ func (p *Peer) registerMetrics(reg *metrics.Registry) {
 		_, misses := eng.PlanCacheStats()
 		return float64(misses)
 	}, name)
+	reg.Counter("wdl_rule_compiles_total",
+		"Rule walks compiled into closure chains (per stage kind and delta position).", "peer").Func(func() float64 {
+		compiles, _, _ := eng.CompiledStats()
+		return float64(compiles)
+	}, name)
+	reg.Counter("wdl_compiled_hits_total",
+		"Rule walks served from the compiled-program cache.", "peer").Func(func() float64 {
+		_, hits, _ := eng.CompiledStats()
+		return float64(hits)
+	}, name)
+	reg.Counter("wdl_compile_fallbacks_total",
+		"Rule walks that fell back to the interpreter (delegating or dynamic rules).", "peer").Func(func() float64 {
+		_, _, fallbacks := eng.CompiledStats()
+		return float64(fallbacks)
+	}, name)
 
 	p.pm = pm
 }

@@ -10,6 +10,7 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -511,6 +512,117 @@ scan:
 			return
 		}
 	}
+}
+
+// ContainsKey reports whether the relation holds a tuple with the given
+// canonical key — value.Tuple.Key's AppendKey encoding over every column.
+// The engine's compiled execution layer tests memberships with keys it has
+// already encoded, skipping the tuple materialization Contains would need.
+func (r *Relation) ContainsKey(key []byte) bool {
+	r.mu.RLock()
+	_, ok := r.tuples[string(key)]
+	r.mu.RUnlock()
+	return ok
+}
+
+// Probe calls fn for every tuple whose columns in mask encode (AppendKey,
+// ascending column order — the index-bucket key convention) to key. It is
+// Lookup with the bound values pre-encoded: the compiled execution layer
+// builds keys directly into a scratch buffer instead of collecting bound
+// []value.Value per probe. A zero mask iterates the whole relation; a
+// degraded mask falls back to a scan. fn sees a snapshot with the same
+// mutation caveats as Lookup.
+func (r *Relation) Probe(mask ColMask, key []byte, fn func(value.Tuple) bool) {
+	if mask == 0 {
+		r.Iterate(fn)
+		return
+	}
+	r.mu.Lock()
+	idx := r.ensureIndexLocked(mask)
+	if idx != nil {
+		bucket := idx[string(key)]
+		// See Lookup for why handing the bucket out of the lock is sound.
+		r.mu.Unlock()
+		for _, t := range bucket {
+			if !fn(t) {
+				return
+			}
+		}
+		return
+	}
+	r.mu.Unlock()
+	r.scanKey(mask, key, fn)
+}
+
+// scanKey is Probe's degraded-mask path: snapshot every tuple whose masked
+// columns encode to key (AppendKey is injective, so byte equality is value
+// equality), then iterate outside the lock.
+func (r *Relation) scanKey(mask ColMask, key []byte, fn func(value.Tuple) bool) {
+	r.mu.RLock()
+	var snap []value.Tuple
+	var buf []byte
+	for _, t := range r.tuples {
+		buf = buf[:0]
+		for c := 0; c < len(t); c++ {
+			if mask.Has(c) {
+				buf = t[c].AppendKey(buf)
+			}
+		}
+		if bytes.Equal(buf, key) {
+			snap = append(snap, t)
+		}
+	}
+	r.mu.RUnlock()
+	for _, t := range snap {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// ProbeBatch is Probe amortized across a frontier: one lock acquisition and
+// one index-ensure resolve the buckets for every key, then fn(i, t) runs for
+// each tuple matching keys[i], in key order. scratch holds the resolved
+// buckets between the locked resolve and the unlocked iteration; it is grown
+// as needed and returned so callers reuse it across batches. mask must be
+// non-zero; a degraded mask degenerates to one scan per key. Returning false
+// from fn stops the whole batch.
+func (r *Relation) ProbeBatch(mask ColMask, keys [][]byte, scratch [][]value.Tuple, fn func(i int, t value.Tuple) bool) [][]value.Tuple {
+	if cap(scratch) < len(keys) {
+		scratch = make([][]value.Tuple, len(keys))
+	}
+	scratch = scratch[:len(keys)]
+	r.mu.Lock()
+	idx := r.ensureIndexLocked(mask)
+	if idx == nil {
+		r.mu.Unlock()
+		stopped := false
+		for i, k := range keys {
+			r.scanKey(mask, k, func(t value.Tuple) bool {
+				if !fn(i, t) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped {
+				break
+			}
+		}
+		return scratch
+	}
+	for i, k := range keys {
+		scratch[i] = idx[string(k)]
+	}
+	r.mu.Unlock()
+	for i, bucket := range scratch {
+		for _, t := range bucket {
+			if !fn(i, t) {
+				return scratch
+			}
+		}
+	}
+	return scratch
 }
 
 func indexKey(t value.Tuple, mask ColMask) string {
