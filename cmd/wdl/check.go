@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/lexer"
+	"repro/internal/parser"
+)
+
+// jsonDiagnostic is the -json wire form of one finding. Parse errors are
+// reported in the same shape with an empty code.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Severity string `json:"severity"`
+	Code     string `json:"code,omitempty"`
+	Peer     string `json:"peer,omitempty"`
+	Message  string `json:"message"`
+}
+
+// render prints a diagnostic the way compilers do: file:line:col prefixed,
+// severity, bracketed code.
+func (d jsonDiagnostic) render() string {
+	loc := d.File
+	if d.Line > 0 {
+		loc = fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col)
+	}
+	if d.Code != "" {
+		return fmt.Sprintf("%s: %s: [%s] %s", loc, d.Severity, d.Code, d.Message)
+	}
+	return fmt.Sprintf("%s: %s: %s", loc, d.Severity, d.Message)
+}
+
+// parseMsg extracts the bare message of a parse or lex error (their Error()
+// strings embed the position, which the file:line:col prefix already shows).
+func parseMsg(err error) string {
+	var pe *parser.Error
+	if errors.As(err, &pe) {
+		return pe.Msg
+	}
+	var le *lexer.Error
+	if errors.As(err, &le) {
+		return le.Msg
+	}
+	return err.Error()
+}
+
+// cmdCheck implements `wdl check [-json] [-strict] file.wdl...`: parse each
+// program and run the static analyzer over it. The exit status is non-zero
+// when any file fails to parse or has error-severity diagnostics; -strict
+// also fails on warnings.
+func cmdCheck(args []string) error {
+	return runCheck(args, os.Stdout)
+}
+
+func runCheck(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	strict := fs.Bool("strict", false, "treat warnings as errors for the exit status")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("check: expected at least one program file")
+	}
+	var all []jsonDiagnostic
+	errCount, warnCount := 0, 0
+	for _, file := range fs.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		prog, err := parser.Parse(string(src))
+		if err != nil {
+			line, col, _ := parser.Position(err)
+			all = append(all, jsonDiagnostic{
+				File: file, Line: line, Col: col,
+				Severity: analysis.Error.String(), Message: parseMsg(err),
+			})
+			errCount++
+			continue
+		}
+		for _, d := range analysis.Check(prog, analysis.Options{}) {
+			all = append(all, jsonDiagnostic{
+				File: file, Line: d.Pos.Line, Col: d.Pos.Col,
+				Severity: d.Severity.String(), Code: d.Code, Peer: d.Peer, Message: d.Message,
+			})
+			if d.Severity == analysis.Error {
+				errCount++
+			} else {
+				warnCount++
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []jsonDiagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintln(out, d.render())
+		}
+	}
+	if errCount > 0 || (*strict && warnCount > 0) {
+		return fmt.Errorf("check: %d error(s), %d warning(s)", errCount, warnCount)
+	}
+	return nil
+}

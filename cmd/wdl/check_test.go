@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeProgram(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const unsafeProgram = `peer p;
+relation extensional e@p(x);
+relation intensional v@p(x, y);
+v@p($x, $y) :- e@p($x);
+`
+
+func TestCheckReportsPositionedDiagnostics(t *testing.T) {
+	path := writeProgram(t, "bad.wdl", unsafeProgram)
+	var out bytes.Buffer
+	err := runCheck([]string{path}, &out)
+	if err == nil || !strings.Contains(err.Error(), "1 error(s)") {
+		t.Fatalf("exit error = %v, want 1 error(s)", err)
+	}
+	want := path + ":4:9: error: [WDL001]"
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("output %q lacks %q", out.String(), want)
+	}
+}
+
+func TestCheckJSON(t *testing.T) {
+	path := writeProgram(t, "bad.wdl", unsafeProgram)
+	var out bytes.Buffer
+	if err := runCheck([]string{"-json", path}, &out); err == nil {
+		t.Fatal("expected non-nil exit error")
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Severity string `json:"severity"`
+		Code     string `json:"code"`
+		Peer     string `json:"peer"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %s", len(diags), out.String())
+	}
+	d := diags[0]
+	if d.File != path || d.Line != 4 || d.Col != 9 || d.Severity != "error" || d.Code != "WDL001" || d.Peer != "p" {
+		t.Errorf("diagnostic = %+v", d)
+	}
+}
+
+func TestCheckParseErrorHasPosition(t *testing.T) {
+	path := writeProgram(t, "broken.wdl", "m@p(\n  $x);\n")
+	var out bytes.Buffer
+	if err := runCheck([]string{path}, &out); err == nil {
+		t.Fatal("expected non-nil exit error")
+	}
+	if !strings.Contains(out.String(), path+":2:") {
+		t.Errorf("parse failure output %q lacks %s:2:", out.String(), path)
+	}
+}
+
+func TestCheckStrictPromotesWarnings(t *testing.T) {
+	path := writeProgram(t, "warn.wdl", "peer p;\nrelation extensional unused@p(x);\n")
+	var out bytes.Buffer
+	if err := runCheck([]string{path}, &out); err != nil {
+		t.Fatalf("warnings alone must not fail the default mode: %v", err)
+	}
+	if err := runCheck([]string{"-strict", path}, &out); err == nil {
+		t.Error("-strict did not fail on warnings")
+	}
+}
+
+// TestCheckExamplesClean mirrors the CI gate: the shipped examples pass
+// `wdl check -strict`.
+func TestCheckExamplesClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "programs", "*.wdl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example programs: %v", err)
+	}
+	var out bytes.Buffer
+	if err := runCheck(append([]string{"-strict"}, files...), &out); err != nil {
+		t.Errorf("examples not clean: %v\n%s", err, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected output: %s", out.String())
+	}
+}
+
+func TestCheckJSONEmptyArray(t *testing.T) {
+	path := writeProgram(t, "clean.wdl", "peer p;\nrelation extensional e@p(x);\ne@p(1);\nv@p($x) :- e@p($x);\nrelation intensional v@p(x);\n")
+	var out bytes.Buffer
+	if err := runCheck([]string{"-json", path}, &out); err != nil {
+		t.Fatalf("clean program failed: %v\n%s", err, out.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}

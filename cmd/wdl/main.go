@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/acl"
 	"repro/internal/core"
+	"repro/internal/parser"
 	"repro/internal/peer"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -45,6 +46,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
@@ -63,6 +66,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   wdl run [-rounds N] [-dump rel@peer,...] [-explain] file.wdl
+  wdl check [-json] [-strict] file.wdl...
   wdl serve -name NAME -listen ADDR [-peer NAME=ADDR]... [-program FILE] [-trust NAMES] [-wal DIR]`)
 }
 
@@ -83,6 +87,9 @@ func cmdRun(args []string) error {
 	}
 	sys := core.NewSystem()
 	if err := sys.LoadSource(string(src)); err != nil {
+		if line, col, ok := parser.Position(err); ok {
+			return fmt.Errorf("%s:%d:%d: %s", fs.Arg(0), line, col, parseMsg(err))
+		}
 		return err
 	}
 	// ^C cancels the run mid-way instead of killing the process outright.

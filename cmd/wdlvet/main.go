@@ -1,0 +1,49 @@
+// Command wdlvet is this repository's custom static checker: a
+// multichecker over the analyzers in internal/vet (mutexio, errdefswrap,
+// metricsinit), driven without golang.org/x/tools.
+//
+//	wdlvet [-list] [packages]
+//
+// Packages default to ./... — the whole module. The exit status is non-zero
+// when any analyzer reports a finding. CI runs it as a required step; see
+// internal/vet for what each analyzer enforces and why.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/vet"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range vet.All() {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := vet.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wdlvet:", err)
+		os.Exit(2)
+	}
+	findings, err := vet.RunAnalyzers(pkgs, vet.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wdlvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

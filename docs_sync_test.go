@@ -111,6 +111,40 @@ func TestOperationsDocMetricsCurrent(t *testing.T) {
 	}
 }
 
+// TestDiagnosticsDocComplete cross-checks docs/diagnostics.md against the
+// static analyzer: every WDLxxx code the analyzer can emit (the constants
+// in internal/analysis) must have a "## WDLxxx" section in the catalogue,
+// and every documented section must correspond to a real code — the
+// diagnostics reference cannot drift from the tool in either direction.
+func TestDiagnosticsDocComplete(t *testing.T) {
+	doc, err := os.ReadFile("docs/diagnostics.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := os.ReadFile("internal/analysis/analysis.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := regexp.MustCompile(`Code\w+ = "(WDL\d{3})"`)
+	emitted := decl.FindAllStringSubmatch(string(code), -1)
+	if len(emitted) < 10 {
+		t.Fatalf("found only %d diagnostic codes in internal/analysis/analysis.go; the gate is miswired", len(emitted))
+	}
+	known := map[string]bool{}
+	for _, m := range emitted {
+		known[m[1]] = true
+		if !strings.Contains(string(doc), "## "+m[1]+" ") {
+			t.Errorf("diagnostic %s is emitted but has no section in docs/diagnostics.md", m[1])
+		}
+	}
+	heading := regexp.MustCompile(`(?m)^## (WDL\d{3}) `)
+	for _, m := range heading.FindAllStringSubmatch(string(doc), -1) {
+		if !known[m[1]] {
+			t.Errorf("docs/diagnostics.md documents %s but the analyzer cannot emit it", m[1])
+		}
+	}
+}
+
 // TestDocExperimentIDsExist cross-checks docs/EXPERIMENTS.md against the
 // wdlbench harness: every experiment id documented with a "### <id> —"
 // heading must be a known -exp value (the harness source lists them), so

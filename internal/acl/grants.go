@@ -93,6 +93,23 @@ func (g *Grants) Allowed(rel, peer string, p Privilege) bool {
 	return byPeer[peer]&p == p || byPeer["*"]&p == p
 }
 
+// Readers returns the grantees holding read privilege on rel, sorted. The
+// special grantee "*" means everyone; the owner is implicit and not listed.
+// This is the slice of the table the static ACL-leak analysis consumes
+// (analysis.GrantSource).
+func (g *Grants) Readers(rel string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []string
+	for peer, p := range g.m[rel] {
+		if p&ReadPriv != 0 {
+			out = append(out, peer)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Grantees returns the peers holding any privilege on rel, sorted.
 func (g *Grants) Grantees(rel string) []string {
 	g.mu.RLock()

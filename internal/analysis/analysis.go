@@ -1,0 +1,156 @@
+// Package analysis is the static-analysis layer for WebdamLog programs: a
+// position-aware diagnostics engine over the parsed AST, shared between the
+// `wdl check` subcommand, daemon config loading, and the engine's own
+// compile-time checks.
+//
+// The engine's safety and stratification validation lives here as reusable,
+// non-fatal analyses (RuleSafety, Stratify); internal/engine calls them from
+// CompileRule/CompileProgram, so compiled behavior is unchanged while tools
+// get the same verdicts with source positions attached.
+//
+// Check runs the whole catalog over a parsed program and returns diagnostics
+// with stable WDLxxx codes. Every code is documented, with a minimal
+// triggering program, in docs/diagnostics.md; a sync gate
+// (TestDiagnosticCodesDocumented) fails the build if the catalog and the doc
+// drift.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+)
+
+// Severity classifies a diagnostic. Errors mean the program cannot compile
+// or run as written (the engine would reject it, or a statement would fail
+// at load); warnings flag suspicious constructs that still run.
+type Severity uint8
+
+// The two severities.
+const (
+	Warning Severity = iota
+	Error
+)
+
+// String returns "warning" or "error".
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic codes. Stable: codes are never renumbered or reused, only
+// retired. Each has a catalog entry in docs/diagnostics.md.
+const (
+	// CodeUnsafeRule (error): a rule violates the paper's safety
+	// conditions; the message is the engine's own safety verdict.
+	CodeUnsafeRule = "WDL001"
+	// CodeNotStratifiable (error): a peer's rules contain a cycle through
+	// negation.
+	CodeNotStratifiable = "WDL002"
+	// CodeArityMismatch (error): an atom or fact's argument count differs
+	// from the relation's declared columns (or a builtin's fixed arity).
+	CodeArityMismatch = "WDL003"
+	// CodeSchemaConflict (error): a relation is redeclared with a different
+	// kind or arity.
+	CodeSchemaConflict = "WDL004"
+	// CodeNoPeerContext (error): a rule with a variable head peer appears
+	// outside any `peer` block, so there is no peer to run it at.
+	CodeNoPeerContext = "WDL005"
+	// CodeUndeclaredRelation (warning): an atom or fact references a
+	// relation with no `relation` declaration; it will be auto-declared
+	// with a generic schema at runtime, hiding typos from the schema gate.
+	CodeUndeclaredRelation = "WDL006"
+	// CodeNeverDerivable (warning): a positive body atom reads a relation
+	// that no fact, declaration, or rule head in the program can ever
+	// feed — the body can never match.
+	CodeNeverDerivable = "WDL007"
+	// CodeUnusedRelation (warning): a declared relation is never read or
+	// written by any fact or rule in the program.
+	CodeUnusedRelation = "WDL008"
+	// CodeUndeclaredPeer (warning): an atom names a constant peer that the
+	// program never declares and never gives a relation or fact — a
+	// delegation or update aimed at a peer nothing binds.
+	CodeUndeclaredPeer = "WDL009"
+	// CodeACLWiden (warning): a derived relation's read grants are wider
+	// than those of a relation in its defining rule's body — the view
+	// leaks data to peers that cannot read its sources.
+	CodeACLWiden = "WDL010"
+)
+
+// Diagnostic is one finding: a position, a severity, a stable code and a
+// human-readable message. Peer names the executing peer the finding
+// concerns, when one is attributable.
+type Diagnostic struct {
+	Pos      ast.Pos
+	Severity Severity
+	Code     string
+	Peer     string
+	Message  string
+}
+
+// String renders "line:col: severity: [code] message" (the `wdl check`
+// output format, minus the file prefix).
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: [%s] %s", d.Pos, d.Severity, d.Code, d.Message)
+}
+
+// GrantSource is the slice of internal/acl the ACL-leak check needs: the
+// peers holding read privilege on a relation. *acl.Grants implements it.
+type GrantSource interface {
+	// Readers returns the grantees holding read privilege on rel, sorted;
+	// "*" means everyone. The owner is implicit and not listed.
+	Readers(rel string) []string
+}
+
+// Options configures Check.
+type Options struct {
+	// Grants supplies each peer's discretionary grant table, keyed by owner
+	// peer name, enabling the WDL010 ACL-leak check. Peers with no entry
+	// are skipped (their grants are unknown, not empty).
+	Grants map[string]GrantSource
+	// DefaultPeer, when non-empty, is the peer context in force at the top
+	// of the program, as if it opened with `peer <DefaultPeer>;`. Peer
+	// runtimes that load a whole program into one peer (peer.LoadProgram,
+	// the daemon) set this to the hosting peer, which also disables WDL005
+	// for rules above the first explicit `peer` declaration.
+	DefaultPeer string
+}
+
+// Check runs every analysis over a parsed program and returns the findings
+// sorted by position (then code). It never fails: an unparseable program
+// cannot reach Check, and every verdict on a parsed one is a Diagnostic.
+func Check(prog *ast.Program, opts Options) []Diagnostic {
+	c := &checker{prog: prog, opts: opts}
+	c.attribute()
+	c.indexDeclarations()
+	c.checkSafety()
+	c.checkStratification()
+	c.checkArityAndDeclarations()
+	c.checkFeeds()
+	c.checkPeers()
+	c.checkACL()
+	sort.SliceStable(c.diags, func(i, j int) bool {
+		a, b := c.diags[i], c.diags[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		return a.Code < b.Code
+	})
+	return c.diags
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}

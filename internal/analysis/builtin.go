@@ -1,0 +1,26 @@
+package analysis
+
+// BuiltinPeer is the reserved peer name hosting comparison predicates.
+// This is the canonical definition; internal/engine re-exports it.
+const BuiltinPeer = "builtin"
+
+// builtinArity fixes the arity of every builtin predicate.
+var builtinArity = map[string]int{
+	"lt": 2, "le": 2, "gt": 2, "ge": 2, "eq": 2, "neq": 2,
+}
+
+// BuiltinArity returns the fixed arity of a builtin predicate and whether
+// the name is a known builtin.
+func BuiltinArity(name string) (int, bool) {
+	n, ok := builtinArity[name]
+	return n, ok
+}
+
+// Builtins returns a copy of the predicate→arity table.
+func Builtins() map[string]int {
+	out := make(map[string]int, len(builtinArity))
+	for k, v := range builtinArity {
+		out[k] = v
+	}
+	return out
+}

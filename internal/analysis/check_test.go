@@ -1,0 +1,262 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/acl"
+	"repro/internal/analysis"
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func mustCheck(t *testing.T, src string, opts analysis.Options) []analysis.Diagnostic {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return analysis.Check(prog, opts)
+}
+
+// findCode returns the first diagnostic with the given code, failing the
+// test if absent.
+func findCode(t *testing.T, diags []analysis.Diagnostic, code string) analysis.Diagnostic {
+	t.Helper()
+	for _, d := range diags {
+		if d.Code == code {
+			return d
+		}
+	}
+	t.Fatalf("no %s diagnostic; got %v", code, diags)
+	return analysis.Diagnostic{}
+}
+
+func wantDiag(t *testing.T, d analysis.Diagnostic, sev analysis.Severity, line, col int, msgPart string) {
+	t.Helper()
+	if d.Severity != sev {
+		t.Errorf("%s: severity = %v, want %v", d.Code, d.Severity, sev)
+	}
+	if d.Pos.Line != line || d.Pos.Col != col {
+		t.Errorf("%s: position = %s, want %d:%d", d.Code, d.Pos, line, col)
+	}
+	if !strings.Contains(d.Message, msgPart) {
+		t.Errorf("%s: message %q does not contain %q", d.Code, d.Message, msgPart)
+	}
+}
+
+// One pinned example per diagnostic code, with exact positions.
+
+func TestWDL001UnsafeRule(t *testing.T) {
+	diags := mustCheck(t, `peer p;
+relation extensional e@p(x);
+relation intensional v@p(x, y);
+v@p($x, $y) :- e@p($x);
+`, analysis.Options{})
+	d := findCode(t, diags, analysis.CodeUnsafeRule)
+	wantDiag(t, d, analysis.Error, 4, 9, "head variable $y is not bound")
+	if d.Peer != "p" {
+		t.Errorf("peer = %q, want p", d.Peer)
+	}
+}
+
+func TestWDL002NotStratifiable(t *testing.T) {
+	diags := mustCheck(t, `peer p;
+relation extensional e@p(x);
+relation intensional v@p(x);
+v@p($x) :- e@p($x), not v@p($x);
+`, analysis.Options{})
+	d := findCode(t, diags, analysis.CodeNotStratifiable)
+	wantDiag(t, d, analysis.Error, 4, 21, "relation v@p participates in a cycle through negation")
+}
+
+func TestWDL003ArityMismatch(t *testing.T) {
+	diags := mustCheck(t, `peer p;
+relation extensional e@p(x, y);
+e@p(1);
+`, analysis.Options{})
+	d := findCode(t, diags, analysis.CodeArityMismatch)
+	wantDiag(t, d, analysis.Error, 3, 1, "has 1 arguments but is declared with 2 columns")
+}
+
+func TestWDL003BuiltinArity(t *testing.T) {
+	diags := mustCheck(t, `peer p;
+relation extensional e@p(x);
+relation intensional v@p(x);
+v@p($x) :- e@p($x), lt@builtin($x);
+`, analysis.Options{})
+	d := findCode(t, diags, analysis.CodeArityMismatch)
+	wantDiag(t, d, analysis.Error, 4, 21, `builtin predicate "lt" expects 2 arguments, got 1`)
+}
+
+func TestWDL004SchemaConflict(t *testing.T) {
+	diags := mustCheck(t, `peer p;
+relation extensional e@p(x);
+relation intensional e@p(x, y);
+`, analysis.Options{})
+	d := findCode(t, diags, analysis.CodeSchemaConflict)
+	wantDiag(t, d, analysis.Error, 3, 1, "redeclared as intensional with 2 columns")
+}
+
+func TestWDL005NoPeerContext(t *testing.T) {
+	diags := mustCheck(t, `v@$x($a) :- e@q($a, $x);
+`, analysis.Options{})
+	d := findCode(t, diags, analysis.CodeNoPeerContext)
+	wantDiag(t, d, analysis.Error, 1, 3, "needs a `peer` declaration")
+
+	// The same program under a default peer context is placeable.
+	for _, d := range mustCheck(t, `v@$x($a) :- e@q($a, $x);
+`, analysis.Options{DefaultPeer: "q"}) {
+		if d.Code == analysis.CodeNoPeerContext {
+			t.Errorf("unexpected WDL005 with DefaultPeer set: %v", d)
+		}
+	}
+}
+
+func TestWDL006UndeclaredRelation(t *testing.T) {
+	diags := mustCheck(t, `peer p;
+relation extensional e@p(x);
+v@p($x) :- e@p($x);
+`, analysis.Options{})
+	d := findCode(t, diags, analysis.CodeUndeclaredRelation)
+	wantDiag(t, d, analysis.Warning, 3, 1, "relation v@p is never declared")
+}
+
+func TestWDL007NeverDerivable(t *testing.T) {
+	diags := mustCheck(t, `peer p;
+relation intensional v@p(x);
+v@p($x) :- ghost@p($x);
+`, analysis.Options{})
+	d := findCode(t, diags, analysis.CodeNeverDerivable)
+	wantDiag(t, d, analysis.Warning, 3, 12, "nothing can derive ghost@p")
+	// WDL007 suppresses the weaker WDL006 for the same relation.
+	for _, d := range diags {
+		if d.Code == analysis.CodeUndeclaredRelation && strings.Contains(d.Message, "ghost") {
+			t.Errorf("WDL006 not suppressed by WDL007: %v", d)
+		}
+	}
+}
+
+func TestWDL008UnusedRelation(t *testing.T) {
+	diags := mustCheck(t, `peer p;
+relation extensional unused@p(x);
+`, analysis.Options{})
+	d := findCode(t, diags, analysis.CodeUnusedRelation)
+	wantDiag(t, d, analysis.Warning, 2, 1, "relation unused@p is declared but never used")
+}
+
+func TestWDL009UndeclaredPeer(t *testing.T) {
+	diags := mustCheck(t, `peer p;
+relation extensional e@p(x);
+relation intensional v@p(x);
+v@p($x) :- e@stranger($x);
+`, analysis.Options{})
+	d := findCode(t, diags, analysis.CodeUndeclaredPeer)
+	wantDiag(t, d, analysis.Warning, 4, 14, `peer "stranger"`)
+}
+
+func TestWDL010ACLWiden(t *testing.T) {
+	src := `peer alice;
+relation extensional secret@alice(x);
+relation intensional leak@alice(x);
+leak@alice($x) :- secret@alice($x);
+`
+	g := acl.NewGrants("alice")
+	g.Grant("leak", "bob", acl.ReadPriv)
+	opts := analysis.Options{Grants: map[string]analysis.GrantSource{"alice": g}}
+	d := findCode(t, mustCheck(t, src, opts), analysis.CodeACLWiden)
+	wantDiag(t, d, analysis.Warning, 4, 1, `readable by peer "bob", which cannot read body relation secret@alice`)
+
+	// Granting bob the body relation too resolves the finding.
+	g.Grant("secret", "bob", acl.ReadPriv)
+	for _, d := range mustCheck(t, src, opts) {
+		if d.Code == analysis.CodeACLWiden {
+			t.Errorf("unexpected WDL010 after matching grant: %v", d)
+		}
+	}
+
+	// A wildcard body grant covers any head reader.
+	g2 := acl.NewGrants("alice")
+	g2.Grant("leak", "bob", acl.ReadPriv)
+	g2.Grant("secret", "*", acl.ReadPriv)
+	for _, d := range mustCheck(t, src, analysis.Options{Grants: map[string]analysis.GrantSource{"alice": g2}}) {
+		if d.Code == analysis.CodeACLWiden {
+			t.Errorf("unexpected WDL010 with wildcard body grant: %v", d)
+		}
+	}
+
+	// A wildcard head grant over a narrow body is the widest leak.
+	g3 := acl.NewGrants("alice")
+	g3.Grant("leak", "*", acl.ReadPriv)
+	d = findCode(t, mustCheck(t, src, analysis.Options{Grants: map[string]analysis.GrantSource{"alice": g3}}), analysis.CodeACLWiden)
+	if !strings.Contains(d.Message, `everyone ("*")`) {
+		t.Errorf("wildcard head message = %q", d.Message)
+	}
+
+	// Without grant tables the check stays silent (unknown, not empty).
+	for _, d := range mustCheck(t, src, analysis.Options{}) {
+		if d.Code == analysis.CodeACLWiden {
+			t.Errorf("unexpected WDL010 without grants: %v", d)
+		}
+	}
+}
+
+func TestHasErrors(t *testing.T) {
+	if analysis.HasErrors(nil) {
+		t.Error("HasErrors(nil) = true")
+	}
+	warn := []analysis.Diagnostic{{Severity: analysis.Warning}}
+	if analysis.HasErrors(warn) {
+		t.Error("HasErrors(warnings) = true")
+	}
+	if !analysis.HasErrors(append(warn, analysis.Diagnostic{Severity: analysis.Error})) {
+		t.Error("HasErrors(error) = false")
+	}
+	if analysis.Warning.String() != "warning" || analysis.Error.String() != "error" {
+		t.Errorf("severity strings: %q %q", analysis.Warning, analysis.Error)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := analysis.Diagnostic{
+		Pos: ast.Pos{Line: 3, Col: 7}, Severity: analysis.Error,
+		Code: analysis.CodeArityMismatch, Message: "boom",
+	}
+	if got, want := d.String(), "3:7: error: [WDL003] boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestExamplesClean pins the acceptance criterion that the shipped example
+// programs are warning-free.
+func TestExamplesClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "programs", "*.wdl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range mustCheck(t, string(src), analysis.Options{}) {
+			t.Errorf("%s: %s", filepath.Base(f), d)
+		}
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	if n, ok := analysis.BuiltinArity("lt"); !ok || n != 2 {
+		t.Errorf("BuiltinArity(lt) = %d, %v", n, ok)
+	}
+	if _, ok := analysis.BuiltinArity("nope"); ok {
+		t.Error("BuiltinArity(nope) reported known")
+	}
+	m := analysis.Builtins()
+	m["lt"] = 99 // the returned table is a copy
+	if n, _ := analysis.BuiltinArity("lt"); n != 2 {
+		t.Error("Builtins() aliases the canonical table")
+	}
+}

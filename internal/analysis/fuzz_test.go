@@ -1,0 +1,91 @@
+package analysis_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/parser"
+	"repro/internal/store"
+)
+
+// FuzzCheck throws arbitrary source at the static analyzer. The invariants:
+//
+//   - Check never panics on anything the parser accepts;
+//   - per executing peer, the analyzer and the compiler agree both ways:
+//     WDL001 is reported iff CompileProgram returns a SafetyError, and
+//     (absent safety errors, which short-circuit stratification in the
+//     engine) WDL002 is reported iff it returns ErrNotStratifiable.
+//
+// The engine's store is built the way a runtime would build it from the same
+// program: every declaration applied in order, first one wins.
+func FuzzCheck(f *testing.F) {
+	seeds, _ := filepath.Glob(filepath.Join("..", "..", "examples", "programs", "*.wdl"))
+	for _, p := range seeds {
+		if src, err := os.ReadFile(p); err == nil {
+			f.Add(string(src))
+		}
+	}
+	f.Add(`peer p; relation extensional e@p(a, b); e@p(1, 2);`)
+	f.Add(`peer p; relation intensional v@p(x); v@p($x) :- e@p($x), not v@p($x);`)
+	f.Add(`v@p($x, $y) :- e@p($x);`)
+	f.Add(`r@q($x) :- e@p($x, $y), not f@p($y), le@builtin($x, 3);`)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		diags := analysis.Check(prog, analysis.Options{}) // must not panic
+
+		hasCode := func(peer, code string) bool {
+			for _, d := range diags {
+				if d.Code == code && d.Peer == peer {
+					return true
+				}
+			}
+			return false
+		}
+
+		rules, rulePeers := analysis.Attribute(prog, "")
+		byPeer := map[string][]ast.Rule{}
+		for i, r := range rules {
+			if p := rulePeers[i]; p != "" {
+				byPeer[p] = append(byPeer[p], r)
+			}
+		}
+		peers := make([]string, 0, len(byPeer))
+		for p := range byPeer {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+
+		for _, p := range peers {
+			db := store.New()
+			for _, d := range prog.Relations {
+				// First declaration wins; conflicts are WDL004's business.
+				db.Declare(store.Schema{Name: d.Name, Peer: d.Peer, Kind: d.Kind, Cols: d.Cols})
+			}
+			e := engine.New(p, db, engine.DefaultOptions())
+			_, err := e.CompileProgram(byPeer[p])
+
+			var se *engine.SafetyError
+			gotSafety := errors.As(err, &se)
+			if want := hasCode(p, analysis.CodeUnsafeRule); gotSafety != want {
+				t.Fatalf("peer %s: analyzer WDL001=%v but compiler SafetyError=%v (err=%v)\nsource: %q", p, want, gotSafety, err, src)
+			}
+			if gotSafety {
+				continue // the engine skips stratification on safety errors
+			}
+			var ns *engine.ErrNotStratifiable
+			gotStrat := errors.As(err, &ns)
+			if want := hasCode(p, analysis.CodeNotStratifiable); gotStrat != want {
+				t.Fatalf("peer %s: analyzer WDL002=%v but compiler ErrNotStratifiable=%v (err=%v)\nsource: %q", p, want, gotStrat, err, src)
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/parser"
+)
+
+// propCorpus gathers the example programs plus the per-code fixtures used
+// throughout this package's tests.
+func propCorpus(t testing.TB) []string {
+	corpus := []string{
+		`peer p;
+relation extensional e@p(x);
+relation intensional v@p(x, y);
+v@p($x, $y) :- e@p($x);
+`,
+		`peer p;
+relation extensional e@p(x);
+relation intensional v@p(x);
+v@p($x) :- e@p($x), not v@p($x);
+`,
+		`peer p;
+relation extensional e@p(x, y);
+e@p(1);
+v@p($x) :- e@p($x, $y), lt@builtin($x, 3);
+`,
+		`v@$x($a) :- e@q($a, $x);
+`,
+		`peer p;
+relation extensional unused@p(x);
+relation intensional v@p(x);
+v@p($x) :- ghost@stranger($x);
+`,
+	}
+	files, _ := filepath.Glob(filepath.Join("..", "..", "examples", "programs", "*.wdl"))
+	for _, f := range files {
+		if src, err := os.ReadFile(f); err == nil {
+			corpus = append(corpus, string(src))
+		}
+	}
+	if len(corpus) < 6 {
+		t.Fatal("example programs missing from corpus")
+	}
+	return corpus
+}
+
+// TestDiagnosticsRenderStable is the position-threading property: once a
+// program has been rendered to canonical layout, further parse→render
+// round-trips must preserve every diagnostic — including its position.
+// (The first render canonicalizes layout, so positions may legitimately
+// differ between the original source and round one; from then on they are
+// pinned.)
+func TestDiagnosticsRenderStable(t *testing.T) {
+	for i, src := range propCorpus(t) {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("corpus %d does not parse: %v", i, err)
+		}
+		render1 := prog.String()
+		prog1, err := parser.Parse(render1)
+		if err != nil {
+			t.Fatalf("corpus %d render does not re-parse: %v", i, err)
+		}
+		d1 := analysis.Check(prog1, analysis.Options{})
+
+		render2 := prog1.String()
+		if render2 != render1 {
+			t.Fatalf("corpus %d: render is not a fixpoint:\nfirst:  %q\nsecond: %q", i, render1, render2)
+		}
+		prog2, err := parser.Parse(render2)
+		if err != nil {
+			t.Fatalf("corpus %d second render does not re-parse: %v", i, err)
+		}
+		d2 := analysis.Check(prog2, analysis.Options{})
+
+		if !reflect.DeepEqual(d1, d2) {
+			t.Errorf("corpus %d: diagnostics drifted across render round-trip:\nfirst:  %v\nsecond: %v", i, d1, d2)
+		}
+	}
+}

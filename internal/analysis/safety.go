@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// SafetyViolation is one failed safety condition. Msg is exactly the text
+// the engine's SafetyError has always carried; Pos points at the offending
+// term or atom when the rule was parsed from source (zero otherwise).
+type SafetyViolation struct {
+	Msg string
+	Pos ast.Pos
+}
+
+// at picks the most precise valid position from the candidates, first wins.
+func at(candidates ...ast.Pos) ast.Pos {
+	for _, p := range candidates {
+		if p.IsValid() {
+			return p
+		}
+	}
+	return ast.Pos{}
+}
+
+// RuleSafety validates the paper's safety conditions for a rule:
+//
+//   - every variable in relation or peer position must be a constant or
+//     bound by an earlier (left-to-right) positive atom;
+//   - every variable of a negated or builtin atom must be bound by an
+//     earlier positive atom;
+//   - every head variable must be bound by some positive body atom;
+//   - the head must be positive and must not target the builtin peer.
+//
+// It returns nil for a safe rule. This is the single implementation of the
+// check: engine.CheckSafety wraps its verdict in a SafetyError.
+func RuleSafety(r ast.Rule) *SafetyViolation {
+	bound := map[string]bool{}
+	for i, a := range r.Body {
+		if a.Rel.IsVar() && !bound[a.Rel.Var] {
+			return &SafetyViolation{Pos: at(a.Rel.Pos, a.Pos, r.Pos), Msg: fmt.Sprintf(
+				"relation variable $%s of body atom %d is not bound by an earlier positive atom", a.Rel.Var, i+1)}
+		}
+		if a.Peer.IsVar() && !bound[a.Peer.Var] {
+			return &SafetyViolation{Pos: at(a.Peer.Pos, a.Pos, r.Pos), Msg: fmt.Sprintf(
+				"peer variable $%s of body atom %d is not bound by an earlier positive atom", a.Peer.Var, i+1)}
+		}
+		if !a.Peer.IsVar() && a.Peer.Val.StringVal() == BuiltinPeer {
+			// Built-in predicates test bindings; they bind nothing, so all
+			// their variables must already be bound.
+			if a.Rel.IsVar() {
+				return &SafetyViolation{Pos: at(a.Rel.Pos, a.Pos, r.Pos), Msg: fmt.Sprintf(
+					"body atom %d: builtin predicates cannot have a variable name", i+1)}
+			}
+			if _, known := BuiltinArity(a.Rel.Val.StringVal()); !known {
+				return &SafetyViolation{Pos: at(a.Rel.Pos, a.Pos, r.Pos), Msg: fmt.Sprintf(
+					"body atom %d: unknown builtin predicate %q", i+1, a.Rel.Val.StringVal())}
+			}
+			for _, t := range a.Args {
+				if t.IsVar() && !bound[t.Var] {
+					return &SafetyViolation{Pos: at(t.Pos, a.Pos, r.Pos), Msg: fmt.Sprintf(
+						"variable $%s of builtin atom %d is not bound by an earlier positive atom", t.Var, i+1)}
+				}
+			}
+			continue
+		}
+		if a.Neg {
+			for _, t := range a.Args {
+				if t.IsVar() && !bound[t.Var] {
+					return &SafetyViolation{Pos: at(t.Pos, a.Pos, r.Pos), Msg: fmt.Sprintf(
+						"variable $%s of negated atom %d is not bound by an earlier positive atom", t.Var, i+1)}
+				}
+			}
+			continue
+		}
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+	}
+	h := r.Head
+	if h.Rel.IsVar() && !bound[h.Rel.Var] {
+		return &SafetyViolation{Pos: at(h.Rel.Pos, h.Pos, r.Pos),
+			Msg: fmt.Sprintf("head relation variable $%s is not bound", h.Rel.Var)}
+	}
+	if h.Peer.IsVar() && !bound[h.Peer.Var] {
+		return &SafetyViolation{Pos: at(h.Peer.Pos, h.Pos, r.Pos),
+			Msg: fmt.Sprintf("head peer variable $%s is not bound", h.Peer.Var)}
+	}
+	for _, t := range h.Args {
+		if t.IsVar() && !bound[t.Var] {
+			return &SafetyViolation{Pos: at(t.Pos, h.Pos, r.Pos),
+				Msg: fmt.Sprintf("head variable $%s is not bound", t.Var)}
+		}
+	}
+	if h.Neg {
+		return &SafetyViolation{Pos: at(h.Pos, r.Pos), Msg: "head cannot be negated"}
+	}
+	if !h.Peer.IsVar() && h.Peer.Val.StringVal() == BuiltinPeer {
+		return &SafetyViolation{Pos: at(h.Peer.Pos, h.Pos, r.Pos), Msg: "head cannot target the builtin peer"}
+	}
+	return nil
+}

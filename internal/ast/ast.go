@@ -15,6 +15,27 @@ import (
 	"repro/internal/value"
 )
 
+// Pos is a source position: 1-based line and column of the first token of
+// the node that carries it. The zero Pos means "no position" — nodes built
+// programmatically (rather than parsed) have none, and every consumer must
+// tolerate that. Positions are carried for diagnostics only: they are
+// ignored by Equal, Key and String, so two nodes differing only in Pos are
+// the same fact, atom or rule everywhere else in the system.
+type Pos struct {
+	Line, Col int
+}
+
+// IsValid reports whether the position was actually set (parsed input).
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "line:col", or "-" for the zero position.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
 // RelKind distinguishes extensional (base, persistent, updatable) relations
 // from intensional (derived, recomputed every stage) relations.
 type RelKind uint8
@@ -38,6 +59,9 @@ func (k RelKind) String() string {
 type Term struct {
 	Var string      // non-empty iff the term is a variable
 	Val value.Value // constant payload when Var == ""
+	// Pos is the term's source position; zero when not parsed. Ignored by
+	// Equal, so substituted and hand-built terms compare as usual.
+	Pos Pos
 }
 
 // V returns a variable term named name (without the leading '$').
@@ -91,6 +115,10 @@ type Atom struct {
 	Rel  Term
 	Peer Term
 	Args []Term
+	// Pos is the source position of the atom's first token (the `not`
+	// keyword for negated atoms, the relation term otherwise); zero when the
+	// atom was not parsed from source. Ignored by Equal.
+	Pos Pos
 }
 
 // NewAtom builds a positive atom with constant relation and peer names.
@@ -185,6 +213,9 @@ type Fact struct {
 	Rel  string
 	Peer string
 	Args value.Tuple
+	// Pos is the statement's source position; zero when not parsed.
+	// Ignored by Equal and Key.
+	Pos Pos
 }
 
 // NewFact builds a fact.
@@ -237,6 +268,9 @@ type Rule struct {
 	Op     UpdateOp
 	Head   Atom
 	Body   []Atom
+	// Pos is the statement's source position (the leading '+'/'-' sign or
+	// the head atom); zero when not parsed. Ignored by Equal.
+	Pos Pos
 }
 
 // String renders the rule in concrete syntax (without trailing ';').
@@ -331,6 +365,8 @@ type RelationDecl struct {
 	Peer string
 	Kind RelKind
 	Cols []string // column names; len(Cols) is the arity
+	// Pos is the `relation` keyword's source position; zero when not parsed.
+	Pos Pos
 }
 
 // String renders the declaration in concrete syntax.
@@ -346,6 +382,8 @@ func (d RelationDecl) String() string {
 type PeerDecl struct {
 	Name string
 	Addr string
+	// Pos is the `peer` keyword's source position; zero when not parsed.
+	Pos Pos
 }
 
 // String renders the declaration in concrete syntax.

@@ -23,11 +23,58 @@ import (
 	"time"
 
 	"repro/internal/acl"
+	"repro/internal/analysis"
 	"repro/internal/metrics"
+	"repro/internal/parser"
 	"repro/internal/peer"
 	"repro/internal/store"
 	"repro/internal/transport"
 )
+
+// ProgramDiagnostics is the structured startup error for a peer whose
+// configured program fails static analysis: the daemon refuses to come up
+// and reports every error-severity finding with its position, instead of
+// surfacing whichever one the load path happens to hit first at runtime.
+type ProgramDiagnostics struct {
+	Peer  string
+	File  string // the program file, or "<config>" for inline programs
+	Diags []analysis.Diagnostic
+}
+
+// Error implements the error interface, one finding per line.
+func (e *ProgramDiagnostics) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "daemon: peer %s: program fails static analysis (%d error(s))", e.Peer, len(e.Diags))
+	for _, d := range e.Diags {
+		fmt.Fprintf(&sb, "\n  %s:%s", e.File, d.String())
+	}
+	return sb.String()
+}
+
+// checkProgram parses and statically checks a peer's startup program.
+// Warnings are tolerated; error-severity diagnostics abort startup. A
+// program that does not even parse is left to the peer's own load path,
+// which reports the parse error with its position.
+func checkProgram(pc *PeerConfig, src string) error {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil
+	}
+	var errs []analysis.Diagnostic
+	for _, d := range analysis.Check(prog, analysis.Options{DefaultPeer: pc.Name}) {
+		if d.Severity == analysis.Error {
+			errs = append(errs, d)
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	file := "<config>"
+	if pc.Program == "" && pc.ProgramFile != "" {
+		file = pc.ProgramFile
+	}
+	return &ProgramDiagnostics{Peer: pc.Name, File: file, Diags: errs}
+}
 
 // PeerConfig describes one hosted peer.
 type PeerConfig struct {
@@ -272,6 +319,11 @@ func (d *Daemon) Start(ctx context.Context) error {
 			src += "\n" + string(data)
 		}
 		if strings.TrimSpace(src) != "" {
+			if err := checkProgram(&pc, src); err != nil {
+				p.Close()
+				d.teardown()
+				return err
+			}
 			if err := p.LoadSource(src); err != nil {
 				p.Close()
 				d.teardown()
@@ -299,11 +351,14 @@ func (d *Daemon) Start(ctx context.Context) error {
 		return err
 	}
 	d.admLn = ln
-	d.admin = &http.Server{Handler: d.handler()}
+	srv := &http.Server{Handler: d.handler()}
+	d.admin = srv
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
-		d.admin.Serve(ln)
+		// srv, not d.admin: teardown nils the field, possibly before
+		// this goroutine is scheduled.
+		srv.Serve(ln)
 	}()
 	return nil
 }

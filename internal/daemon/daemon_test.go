@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -304,4 +305,49 @@ func TestDaemonBackpressure503(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// TestDaemonRejectsUnsafeProgram: a config whose program fails static
+// analysis is refused at startup with a structured, positioned diagnostic
+// instead of whichever runtime error the load path would hit first.
+func TestDaemonRejectsUnsafeProgram(t *testing.T) {
+	cfg := &Config{Peers: []PeerConfig{{
+		Name: "hub",
+		Program: `relation extensional data@hub(x);
+relation intensional view@hub(x, y);
+view@hub($x, $y) :- data@hub($x);
+`,
+	}}}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.Start(context.Background())
+	if err == nil {
+		d.Close()
+		t.Fatal("daemon started with an unsafe program")
+	}
+	var pd *ProgramDiagnostics
+	if !errors.As(err, &pd) {
+		t.Fatalf("error is %T, want *ProgramDiagnostics: %v", err, err)
+	}
+	if pd.Peer != "hub" || pd.File != "<config>" {
+		t.Errorf("diagnostics for %s in %s, want hub in <config>", pd.Peer, pd.File)
+	}
+	msg := err.Error()
+	for _, want := range []string{"[WDL001]", "3:14:", "head variable $y is not bound"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("startup error %q lacks %q", msg, want)
+		}
+	}
+}
+
+// TestDaemonToleratesWarnings: warning-severity findings (here an undeclared
+// relation) do not block startup.
+func TestDaemonToleratesWarnings(t *testing.T) {
+	cfg := &Config{Peers: []PeerConfig{{
+		Name:    "hub",
+		Program: `view@hub($x) :- data@hub($x);` + "\n" + `relation extensional data@hub(x);`,
+	}}}
+	startDaemon(t, cfg)
 }

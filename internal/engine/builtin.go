@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/value"
 )
 
@@ -21,12 +22,13 @@ import (
 // rule-customization scenario ("retrieving, e.g., only pictures that were
 // taken by a certain sigmod attendee"); the Bud runtime underlying the
 // original system offers similar predicates.
-const BuiltinPeer = "builtin"
+//
+// The canonical definition lives in internal/analysis, so static tooling
+// and the engine can never disagree about what a builtin is.
+const BuiltinPeer = analysis.BuiltinPeer
 
 // builtinArity maps predicate names to their required arity.
-var builtinArity = map[string]int{
-	"lt": 2, "le": 2, "gt": 2, "ge": 2, "eq": 2, "neq": 2,
-}
+var builtinArity = analysis.Builtins()
 
 // IsBuiltinAtom reports whether a (relation, peer) pair names a built-in
 // predicate.

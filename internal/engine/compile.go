@@ -4,17 +4,24 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/ast"
 )
 
 // SafetyError reports a rule that violates WebdamLog's safety conditions.
+// Pos locates the offending term when the rule was parsed from source.
 type SafetyError struct {
 	Rule ast.Rule
 	Msg  string
+	Pos  ast.Pos
 }
 
-// Error implements the error interface.
+// Error implements the error interface. When the rule carries a source
+// position, it is appended; the historical message is otherwise unchanged.
 func (e *SafetyError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("unsafe rule %q: %s (at %s)", e.Rule.String(), e.Msg, e.Pos)
+	}
 	return fmt.Sprintf("unsafe rule %q: %s", e.Rule.String(), e.Msg)
 }
 
@@ -25,67 +32,12 @@ func (e *SafetyError) Error() string {
 //   - every variable of a negated atom must be bound by an earlier positive
 //     atom;
 //   - every head variable must be bound by some positive body atom.
+//
+// The check itself lives in internal/analysis (RuleSafety), shared with the
+// `wdl check` static analyzer; this wraps its verdict in a SafetyError.
 func CheckSafety(r ast.Rule) error {
-	bound := map[string]bool{}
-	for i, a := range r.Body {
-		if a.Rel.IsVar() && !bound[a.Rel.Var] {
-			return &SafetyError{Rule: r, Msg: fmt.Sprintf(
-				"relation variable $%s of body atom %d is not bound by an earlier positive atom", a.Rel.Var, i+1)}
-		}
-		if a.Peer.IsVar() && !bound[a.Peer.Var] {
-			return &SafetyError{Rule: r, Msg: fmt.Sprintf(
-				"peer variable $%s of body atom %d is not bound by an earlier positive atom", a.Peer.Var, i+1)}
-		}
-		if !a.Peer.IsVar() && a.Peer.Val.StringVal() == BuiltinPeer {
-			// Built-in predicates test bindings; they bind nothing, so all
-			// their variables must already be bound.
-			if a.Rel.IsVar() {
-				return &SafetyError{Rule: r, Msg: fmt.Sprintf(
-					"body atom %d: builtin predicates cannot have a variable name", i+1)}
-			}
-			if _, known := builtinArity[a.Rel.Val.StringVal()]; !known {
-				return &SafetyError{Rule: r, Msg: fmt.Sprintf(
-					"body atom %d: unknown builtin predicate %q", i+1, a.Rel.Val.StringVal())}
-			}
-			for _, t := range a.Args {
-				if t.IsVar() && !bound[t.Var] {
-					return &SafetyError{Rule: r, Msg: fmt.Sprintf(
-						"variable $%s of builtin atom %d is not bound by an earlier positive atom", t.Var, i+1)}
-				}
-			}
-			continue
-		}
-		if a.Neg {
-			for _, t := range a.Args {
-				if t.IsVar() && !bound[t.Var] {
-					return &SafetyError{Rule: r, Msg: fmt.Sprintf(
-						"variable $%s of negated atom %d is not bound by an earlier positive atom", t.Var, i+1)}
-				}
-			}
-			continue
-		}
-		for _, t := range a.Args {
-			if t.IsVar() {
-				bound[t.Var] = true
-			}
-		}
-	}
-	if r.Head.Rel.IsVar() && !bound[r.Head.Rel.Var] {
-		return &SafetyError{Rule: r, Msg: fmt.Sprintf("head relation variable $%s is not bound", r.Head.Rel.Var)}
-	}
-	if r.Head.Peer.IsVar() && !bound[r.Head.Peer.Var] {
-		return &SafetyError{Rule: r, Msg: fmt.Sprintf("head peer variable $%s is not bound", r.Head.Peer.Var)}
-	}
-	for _, t := range r.Head.Args {
-		if t.IsVar() && !bound[t.Var] {
-			return &SafetyError{Rule: r, Msg: fmt.Sprintf("head variable $%s is not bound", t.Var)}
-		}
-	}
-	if r.Head.Neg {
-		return &SafetyError{Rule: r, Msg: "head cannot be negated"}
-	}
-	if !r.Head.Peer.IsVar() && r.Head.Peer.Val.StringVal() == BuiltinPeer {
-		return &SafetyError{Rule: r, Msg: "head cannot target the builtin peer"}
+	if v := analysis.RuleSafety(r); v != nil {
+		return &SafetyError{Rule: r, Msg: v.Msg, Pos: v.Pos}
 	}
 	return nil
 }

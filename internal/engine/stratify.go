@@ -1,8 +1,7 @@
 package engine
 
 import (
-	"fmt"
-
+	"repro/internal/analysis"
 	"repro/internal/ast"
 )
 
@@ -11,26 +10,24 @@ import (
 // system"); we implement it with the classic stratified semantics, applied
 // to the peer's local program each stage.
 //
-// Nodes of the dependency graph are the peer's local *intensional* relations
-// (extensional relations are frozen during a stage, so they impose no
-// ordering). Because WebdamLog allows variables in relation and peer
-// position, static analysis is necessarily conservative:
-//
-//   - a head with a variable relation or peer may derive into any local
-//     intensional relation ("wildcard head");
-//   - a body atom with a variable relation or peer may read any local
-//     intensional relation ("wildcard dependency").
-//
-// A program is rejected only if these conservative dependencies contain a
-// cycle through negation.
+// The dependency analysis itself lives in internal/analysis (Stratify),
+// shared with the `wdl check` static analyzer; the engine supplies the live
+// store's intensional relations as the graph's nodes and turns a negation
+// cycle into ErrNotStratifiable.
 
-// ErrNotStratifiable reports a program with a negation cycle.
+// ErrNotStratifiable reports a program with a negation cycle. Pos locates a
+// rule on the cycle when the program was parsed from source.
 type ErrNotStratifiable struct {
 	Detail string
+	Pos    ast.Pos
 }
 
-// Error implements the error interface.
+// Error implements the error interface. When the cycle carries a source
+// position, it is appended; the historical message is otherwise unchanged.
 func (e *ErrNotStratifiable) Error() string {
+	if e.Pos.IsValid() {
+		return "program is not stratifiable: " + e.Detail + " (at " + e.Pos.String() + ")"
+	}
 	return "program is not stratifiable: " + e.Detail
 }
 
@@ -46,136 +43,23 @@ func (e *Engine) localIntensional() map[string]bool {
 	return out
 }
 
-// headTargets returns the local intensional relations the rule's head might
-// derive into: nil for "none" and the full set for a wildcard head.
-func headTargets(cr *CompiledRule, idb map[string]bool, local string) []string {
-	h := cr.Head
-	if !h.peer.isVar {
-		if h.peer.val.StringVal() != local {
-			return nil // remote head: a message, not a local derivation
-		}
-	}
-	// Peer is local or a variable (conservatively possibly local).
-	if !h.rel.isVar {
-		name := h.rel.val.StringVal()
-		if idb[name] {
-			return []string{name}
-		}
-		return nil // extensional or undeclared head: an update, not a view
-	}
-	// Wildcard head.
-	out := make([]string, 0, len(idb))
-	for name := range idb {
-		out = append(out, name)
-	}
-	return out
-}
-
-// bodyDeps returns, for each body atom that may read a local intensional
-// relation, its possible relation names and whether the atom is negated.
-type bodyDep struct {
-	rels []string
-	neg  bool
-}
-
-func bodyDeps(cr *CompiledRule, idb map[string]bool, local string) []bodyDep {
-	var out []bodyDep
-	for _, a := range cr.Body {
-		if !a.peer.isVar && a.peer.val.StringVal() != local {
-			continue // definitely remote: evaluated by delegation at the remote peer
-		}
-		if !a.rel.isVar {
-			name := a.rel.val.StringVal()
-			if idb[name] {
-				out = append(out, bodyDep{rels: []string{name}, neg: a.neg})
-			}
-			continue
-		}
-		all := make([]string, 0, len(idb))
-		for name := range idb {
-			all = append(all, name)
-		}
-		if len(all) > 0 {
-			out = append(out, bodyDep{rels: all, neg: a.neg})
-		}
-	}
-	return out
-}
-
 // stratify assigns a stratum to every relation node and every rule, filling
 // prog.Strata. Rules with no local intensional head (pure update / message /
 // delegation rules) are placed after every stratum they depend on.
 func (e *Engine) stratify(prog *Program) error {
 	idb := e.localIntensional()
-	strata := map[string]int{}
-	for name := range idb {
-		strata[name] = 0
+	rules := make([]ast.Rule, len(prog.Rules))
+	for i, cr := range prog.Rules {
+		rules[i] = *cr.Rule
 	}
-	// Iterate the usual inequalities to a fixpoint; a stratum exceeding the
-	// node count certifies a negation cycle.
-	limit := len(idb) + 1
-	for changed := true; changed; {
-		changed = false
-		for _, cr := range prog.Rules {
-			heads := headTargets(cr, idb, e.local)
-			if len(heads) == 0 {
-				continue
-			}
-			deps := bodyDeps(cr, idb, e.local)
-			for _, h := range heads {
-				for _, d := range deps {
-					for _, b := range d.rels {
-						need := strata[b]
-						if d.neg {
-							need++
-						}
-						if strata[h] < need {
-							strata[h] = need
-							changed = true
-							if strata[h] > limit {
-								return &ErrNotStratifiable{Detail: fmt.Sprintf(
-									"relation %s@%s participates in a cycle through negation", h, e.local)}
-							}
-						}
-					}
-				}
-			}
-		}
+	st, v := analysis.Stratify(e.local, idb, rules)
+	if v != nil {
+		return &ErrNotStratifiable{Detail: v.Detail(), Pos: v.Pos}
 	}
-
-	maxStratum := 0
-	for _, s := range strata {
-		if s > maxStratum {
-			maxStratum = s
-		}
+	for i, cr := range prog.Rules {
+		cr.Stratum = st.RuleStrata[i]
 	}
-	// Place each rule: it must run no earlier than all its positive
-	// dependencies and strictly after its negated dependencies; deductive
-	// rules additionally run in their head's stratum.
-	for _, cr := range prog.Rules {
-		s := 0
-		for _, d := range bodyDeps(cr, idb, e.local) {
-			for _, b := range d.rels {
-				need := strata[b]
-				if d.neg {
-					need++
-				}
-				if s < need {
-					s = need
-				}
-			}
-		}
-		for _, h := range headTargets(cr, idb, e.local) {
-			if s < strata[h] {
-				s = strata[h]
-			}
-		}
-		if s > maxStratum {
-			maxStratum = s
-		}
-		cr.Stratum = s
-	}
-	prog.Strata = make([][]*CompiledRule, maxStratum+1)
+	prog.Strata = make([][]*CompiledRule, st.MaxStratum+1)
 	for _, cr := range prog.Rules {
 		prog.Strata[cr.Stratum] = append(prog.Strata[cr.Stratum], cr)
 	}

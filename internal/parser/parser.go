@@ -21,6 +21,7 @@ package parser
 
 import (
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"strconv"
 
@@ -38,6 +39,21 @@ type Error struct {
 // Error implements the error interface.
 func (e *Error) Error() string {
 	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Position extracts the 1-based line/col carried by a parse or lex error
+// (possibly wrapped). It reports ok=false for errors from other layers, so
+// callers can fall back to printing the error as-is.
+func Position(err error) (line, col int, ok bool) {
+	var pe *Error
+	if errors.As(err, &pe) {
+		return pe.Line, pe.Col, true
+	}
+	var le *lexer.Error
+	if errors.As(err, &le) {
+		return le.Line, le.Col, true
+	}
+	return 0, 0, false
 }
 
 type parser struct {
@@ -98,7 +114,12 @@ func ParseFact(src string) (ast.Fact, error) {
 	if !p.atEOF() {
 		return ast.Fact{}, p.errHere("unexpected %s after fact", p.peek())
 	}
-	return atomToFact(p, a)
+	f, err := atomToFact(a)
+	if err != nil {
+		return ast.Fact{}, err
+	}
+	f.Pos = a.Pos
+	return f, nil
 }
 
 func (p *parser) atEOF() bool { return p.pos >= len(p.toks) }
@@ -137,6 +158,13 @@ func (p *parser) errHere(format string, args ...any) error {
 	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
 }
 
+// errAt anchors an error at a known node position rather than at the
+// current token — used where the parser has already consumed past the
+// offending construct (e.g. a non-ground fact detected after its ';').
+func errAt(pos ast.Pos, format string, args ...any) error {
+	return &Error{Line: pos.Line, Col: pos.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
 func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
 	t := p.peek()
 	if t.Kind != k {
@@ -156,6 +184,7 @@ func (p *parser) statement(prog *ast.Program) error {
 		}
 	}
 	// Fact or rule.
+	stmtPos := ast.Pos{Line: t.Line, Col: t.Col}
 	op := ast.Derive
 	switch t.Kind {
 	case lexer.Plus:
@@ -169,23 +198,24 @@ func (p *parser) statement(prog *ast.Program) error {
 		return err
 	}
 	if head.Neg {
-		return p.errHere("rule head cannot be negated")
+		return errAt(head.Pos, "rule head cannot be negated")
 	}
 	switch p.peek().Kind {
 	case lexer.Semi:
 		if op == ast.Derive {
 			p.next()
-			f, err := atomToFact(p, head)
+			f, err := atomToFact(head)
 			if err != nil {
 				return err
 			}
+			f.Pos = stmtPos
 			prog.Facts = append(prog.Facts, f)
 			prog.Statements = append(prog.Statements, f)
 			return nil
 		}
 		// `-m@p(c…);` is a bodiless deletion rule.
 		p.next()
-		r := ast.Rule{Op: op, Head: head}
+		r := ast.Rule{Op: op, Head: head, Pos: stmtPos}
 		prog.Rules = append(prog.Rules, r)
 		prog.Statements = append(prog.Statements, r)
 		return nil
@@ -198,7 +228,7 @@ func (p *parser) statement(prog *ast.Program) error {
 		if _, err := p.expect(lexer.Semi); err != nil {
 			return err
 		}
-		r := ast.Rule{Op: op, Head: head, Body: body}
+		r := ast.Rule{Op: op, Head: head, Body: body, Pos: stmtPos}
 		prog.Rules = append(prog.Rules, r)
 		prog.Statements = append(prog.Statements, r)
 		return nil
@@ -208,8 +238,10 @@ func (p *parser) statement(prog *ast.Program) error {
 }
 
 func (p *parser) rule() (ast.Rule, error) {
+	t := p.peek()
+	stmtPos := ast.Pos{Line: t.Line, Col: t.Col}
 	op := ast.Derive
-	switch p.peek().Kind {
+	switch t.Kind {
 	case lexer.Plus:
 		p.next()
 	case lexer.Minus:
@@ -221,7 +253,7 @@ func (p *parser) rule() (ast.Rule, error) {
 		return ast.Rule{}, err
 	}
 	if head.Neg {
-		return ast.Rule{}, p.errHere("rule head cannot be negated")
+		return ast.Rule{}, errAt(head.Pos, "rule head cannot be negated")
 	}
 	var body []ast.Atom
 	if p.peek().Kind == lexer.ColonDash {
@@ -231,7 +263,7 @@ func (p *parser) rule() (ast.Rule, error) {
 			return ast.Rule{}, err
 		}
 	}
-	return ast.Rule{Op: op, Head: head, Body: body}, nil
+	return ast.Rule{Op: op, Head: head, Body: body, Pos: stmtPos}, nil
 }
 
 func (p *parser) body() ([]ast.Atom, error) {
@@ -250,12 +282,12 @@ func (p *parser) body() ([]ast.Atom, error) {
 }
 
 func (p *parser) peerDecl(prog *ast.Program) error {
-	p.next() // "peer"
+	kw := p.next() // "peer"
 	name, err := p.expect(lexer.Ident)
 	if err != nil {
 		return err
 	}
-	d := ast.PeerDecl{Name: name.Text}
+	d := ast.PeerDecl{Name: name.Text, Pos: ast.Pos{Line: kw.Line, Col: kw.Col}}
 	if p.peek().Kind == lexer.String {
 		d.Addr = p.next().Text
 	}
@@ -268,7 +300,7 @@ func (p *parser) peerDecl(prog *ast.Program) error {
 }
 
 func (p *parser) relDecl(prog *ast.Program) error {
-	p.next() // "relation"
+	kw := p.next() // "relation"
 	kindTok, err := p.expect(lexer.Ident)
 	if err != nil {
 		return err
@@ -317,7 +349,8 @@ func (p *parser) relDecl(prog *ast.Program) error {
 	if _, err := p.expect(lexer.Semi); err != nil {
 		return err
 	}
-	d := ast.RelationDecl{Name: name.Text, Peer: peerTok.Text, Kind: kind, Cols: cols}
+	d := ast.RelationDecl{Name: name.Text, Peer: peerTok.Text, Kind: kind, Cols: cols,
+		Pos: ast.Pos{Line: kw.Line, Col: kw.Col}}
 	prog.Relations = append(prog.Relations, d)
 	prog.Statements = append(prog.Statements, d)
 	return nil
@@ -326,6 +359,7 @@ func (p *parser) relDecl(prog *ast.Program) error {
 func (p *parser) atom() (ast.Atom, error) {
 	var a ast.Atom
 	t := p.peek()
+	a.Pos = ast.Pos{Line: t.Line, Col: t.Col}
 	if t.Kind == lexer.Bang || (t.Kind == lexer.Ident && t.Text == "not") {
 		// "not" only negates when followed by an atom; `not@p(...)` would be
 		// a relation named "not", which we disallow for clarity.
@@ -369,13 +403,14 @@ func (p *parser) atom() (ast.Atom, error) {
 
 func (p *parser) nameTerm(what string) (ast.Term, error) {
 	t := p.peek()
+	pos := ast.Pos{Line: t.Line, Col: t.Col}
 	switch t.Kind {
 	case lexer.Ident:
 		p.next()
-		return ast.CStr(t.Text), nil
+		return withPos(ast.CStr(t.Text), pos), nil
 	case lexer.Variable:
 		p.next()
-		return ast.V(t.Text), nil
+		return withPos(ast.V(t.Text), pos), nil
 	default:
 		return ast.Term{}, p.errHere("expected %s name or variable, found %s", what, t)
 	}
@@ -383,44 +418,50 @@ func (p *parser) nameTerm(what string) (ast.Term, error) {
 
 func (p *parser) term() (ast.Term, error) {
 	t := p.peek()
+	pos := ast.Pos{Line: t.Line, Col: t.Col}
 	switch t.Kind {
 	case lexer.Variable:
 		p.next()
-		return ast.V(t.Text), nil
+		return withPos(ast.V(t.Text), pos), nil
 	case lexer.String:
 		p.next()
-		return ast.C(value.Str(t.Text)), nil
+		return withPos(ast.C(value.Str(t.Text)), pos), nil
 	case lexer.Number:
 		p.next()
 		if i, err := strconv.ParseInt(t.Text, 10, 64); err == nil {
-			return ast.C(value.Int(i)), nil
+			return withPos(ast.C(value.Int(i)), pos), nil
 		}
 		f, err := strconv.ParseFloat(t.Text, 64)
 		if err != nil {
 			return ast.Term{}, &Error{Line: t.Line, Col: t.Col, Msg: "malformed number " + t.Text}
 		}
-		return ast.C(value.Float(f)), nil
+		return withPos(ast.C(value.Float(f)), pos), nil
 	case lexer.Hex:
 		p.next()
 		b, err := hex.DecodeString(pad(t.Text))
 		if err != nil {
 			return ast.Term{}, &Error{Line: t.Line, Col: t.Col, Msg: "malformed hex literal"}
 		}
-		return ast.C(value.Blob(b)), nil
+		return withPos(ast.C(value.Blob(b)), pos), nil
 	case lexer.Ident:
 		p.next()
 		switch t.Text {
 		case "true":
-			return ast.C(value.Bool(true)), nil
+			return withPos(ast.C(value.Bool(true)), pos), nil
 		case "false":
-			return ast.C(value.Bool(false)), nil
+			return withPos(ast.C(value.Bool(false)), pos), nil
 		default:
 			// Bare identifier in argument position: a string constant.
-			return ast.C(value.Str(t.Text)), nil
+			return withPos(ast.C(value.Str(t.Text)), pos), nil
 		}
 	default:
 		return ast.Term{}, p.errHere("expected term, found %s", t)
 	}
+}
+
+func withPos(t ast.Term, pos ast.Pos) ast.Term {
+	t.Pos = pos
+	return t
 }
 
 func pad(h string) string {
@@ -430,12 +471,20 @@ func pad(h string) string {
 	return h
 }
 
-func atomToFact(p *parser, a ast.Atom) (ast.Fact, error) {
+func atomToFact(a ast.Atom) (ast.Fact, error) {
 	if a.Neg {
-		return ast.Fact{}, p.errHere("a fact cannot be negated")
+		return ast.Fact{}, errAt(a.Pos, "a fact cannot be negated")
 	}
 	if !a.IsGround() {
-		return ast.Fact{}, p.errHere("fact contains variables: %s", a.String())
+		// Anchor at the first variable, the term that makes this not a fact.
+		pos := a.Pos
+		for _, t := range append([]ast.Term{a.Rel, a.Peer}, a.Args...) {
+			if t.IsVar() && t.Pos.IsValid() {
+				pos = t.Pos
+				break
+			}
+		}
+		return ast.Fact{}, errAt(pos, "fact contains variables: %s", a.String())
 	}
 	args := make(value.Tuple, len(a.Args))
 	for i, t := range a.Args {

@@ -174,8 +174,14 @@ func TestParseErrors(t *testing.T) {
 		`not m@p($x) :- q@p($x);`,         // negated head
 	}
 	for _, src := range cases {
-		if _, err := Parse(src); err == nil {
+		_, err := Parse(src)
+		if err == nil {
 			t.Errorf("%q parsed without error", src)
+			continue
+		}
+		// Every parse-error path carries a 1-based source position.
+		if line, col, ok := Position(err); !ok || line < 1 || col < 1 {
+			t.Errorf("%q: error %v carries no position (line=%d col=%d ok=%v)", src, err, line, col, ok)
 		}
 	}
 }
@@ -188,6 +194,36 @@ func TestParseErrorHasPosition(t *testing.T) {
 	if !strings.Contains(err.Error(), "2:") {
 		t.Errorf("error lacks line 2 position: %v", err)
 	}
+}
+
+// TestNodePositions pins that the parser threads 1-based positions onto every
+// AST node kind: declarations, facts, rules, atoms, and terms.
+func TestNodePositions(t *testing.T) {
+	prog, err := Parse(`peer alice;
+relation extensional track@alice(id);
+track@alice(1);
+seen@alice($x) :- track@alice($x),
+    lt@builtin($x, 5);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(name string, p ast.Pos, line, col int) {
+		t.Helper()
+		if p.Line != line || p.Col != col {
+			t.Errorf("%s at %s, want %d:%d", name, p, line, col)
+		}
+	}
+	at("peer decl", prog.Peers[0].Pos, 1, 1)
+	at("relation decl", prog.Relations[0].Pos, 2, 1)
+	at("fact", prog.Facts[0].Pos, 3, 1)
+	r := prog.Rules[0]
+	at("rule", r.Pos, 4, 1)
+	at("head atom", r.Head.Pos, 4, 1)
+	at("head arg", r.Head.Args[0].Pos, 4, 12)
+	at("body atom 0", r.Body[0].Pos, 4, 19)
+	at("body atom 1 (continuation line)", r.Body[1].Pos, 5, 5)
+	at("builtin arg", r.Body[1].Args[1].Pos, 5, 20)
 }
 
 func TestSingleRuleParserRejectsTrailingJunk(t *testing.T) {

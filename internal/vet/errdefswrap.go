@@ -1,0 +1,99 @@
+package vet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrdefsWrap enforces the error contract of the public surface: in the
+// root webdamlog package, an exported function that returns an error must
+// not mint ad-hoc errors. errors.New is always a finding, and fmt.Errorf
+// must wrap (%w) an underlying error or sentinel — otherwise callers cannot
+// match the failure with errors.Is against the errdefs taxonomy.
+var ErrdefsWrap = &Analyzer{
+	Name: "errdefswrap",
+	Doc: "in package webdamlog, exported functions returning error must " +
+		"wrap an errdefs sentinel or another error, not mint bare errors",
+	Run: runErrdefsWrap,
+}
+
+func runErrdefsWrap(pass *Pass) error {
+	if pass.Pkg.Name() != "webdamlog" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || !returnsError(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calledFunc(pass, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+					pass.Reportf(call.Pos(),
+						"%s constructs a bare error; use an errdefs sentinel (or wrap one with %%w)",
+						fd.Name.Name)
+				case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+					if format, ok := constFormat(pass, call); ok && !strings.Contains(format, "%w") {
+						pass.Reportf(call.Pos(),
+							"%s returns an error that wraps nothing; add %%w with an errdefs sentinel or the underlying error",
+							fd.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// returnsError reports whether the function's results include error.
+func returnsError(pass *Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	res := obj.Type().(*types.Signature).Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// calledFunc resolves a call expression to the function object it invokes.
+func calledFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// constFormat extracts a constant first argument of a call, if any.
+func constFormat(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,145 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const metricsPkgPath = "repro/internal/metrics"
+
+// MetricsInit keeps the metrics surface scrape-safe: families must be
+// registered once at startup (never inside a loop), under compile-time
+// constant names and label names, and label values must not be formatted
+// from data (fmt.Sprint*/strconv.* arguments to With create one series per
+// distinct value — unbounded cardinality).
+var MetricsInit = &Analyzer{
+	Name: "metricsinit",
+	Doc: "metric families must be registered once, outside loops, with " +
+		"constant names and labels, and With must not take formatted values",
+	Run: runMetricsInit,
+}
+
+func runMetricsInit(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMetricsNode(pass, fd.Body, false)
+		}
+	}
+	return nil
+}
+
+// checkMetricsNode walks n, tracking whether the walk is inside a loop.
+func checkMetricsNode(pass *Pass, n ast.Node, inLoop bool) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		switch x := child.(type) {
+		case *ast.ForStmt:
+			if x.Init != nil {
+				checkMetricsNode(pass, x.Init, inLoop)
+			}
+			checkMetricsNode(pass, x.Body, true)
+			return false
+		case *ast.RangeStmt:
+			checkMetricsNode(pass, x.X, inLoop)
+			checkMetricsNode(pass, x.Body, true)
+			return false
+		case *ast.CallExpr:
+			checkMetricsCall(pass, x, inLoop)
+		}
+		return true
+	})
+}
+
+// metricsFunc resolves a call to a function of the metrics package and
+// returns it with its receiver type name ("Registry", "CounterVec", ...).
+func metricsFunc(pass *Pass, call *ast.CallExpr) (fn *types.Func, recv string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok = pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != metricsPkgPath {
+		return nil, ""
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return nil, ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	return fn, named.Obj().Name()
+}
+
+func checkMetricsCall(pass *Pass, call *ast.CallExpr, inLoop bool) {
+	fn, recv := metricsFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	if recv == "Registry" {
+		var labelStart int
+		switch fn.Name() {
+		case "Counter", "Gauge":
+			labelStart = 2
+		case "Histogram":
+			labelStart = 3
+		default:
+			return
+		}
+		if inLoop {
+			pass.Reportf(call.Pos(),
+				"metric family registered inside a loop; register once at startup and reuse the vector")
+		}
+		if len(call.Args) > 0 {
+			if _, ok := constFormat(pass, call); !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name must be a compile-time constant string")
+			}
+		}
+		for _, arg := range call.Args[min(labelStart, len(call.Args)):] {
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil {
+				pass.Reportf(arg.Pos(),
+					"metric label names must be compile-time constant strings")
+			}
+		}
+		return
+	}
+	if fn.Name() == "With" && strings.HasSuffix(recv, "Vec") {
+		for _, arg := range call.Args {
+			if what := formattedValue(pass, arg); what != "" {
+				pass.Reportf(arg.Pos(),
+					"label value built with %s creates unbounded series cardinality; use a bounded label set", what)
+			}
+		}
+	}
+}
+
+// formattedValue reports whether an expression is a call that formats data
+// into a string (the classic unbounded-cardinality mistake).
+func formattedValue(pass *Pass, e ast.Expr) string {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn := calledFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	switch pkg := fn.Pkg().Path(); {
+	case pkg == "fmt" && strings.HasPrefix(fn.Name(), "Sprint"):
+		return "fmt." + fn.Name()
+	case pkg == "strconv" && (strings.HasPrefix(fn.Name(), "Format") || fn.Name() == "Itoa" || fn.Name() == "Quote"):
+		return "strconv." + fn.Name()
+	}
+	return ""
+}

@@ -1,0 +1,248 @@
+package vet
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MutexIO reports blocking operations performed while holding a sync.Mutex
+// or sync.RWMutex: channel sends and receives, selects without a default,
+// time.Sleep, dialing, and calls to methods named Send or Dial*. Holding
+// peer.Peer.mu across a dial once stalled every stage of a peer; this keeps
+// that bug class out of the tree.
+var MutexIO = &Analyzer{
+	Name: "mutexio",
+	Doc: "report channel operations, sleeps, dials and Send calls made " +
+		"while a sync mutex is held",
+	Run: runMutexIO,
+}
+
+func runMutexIO(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			m := &mutexScan{pass: pass}
+			m.block(fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+type mutexScan struct {
+	pass *Pass
+}
+
+// heldNames renders the held set for the report message.
+func heldNames(held map[string]bool) string {
+	var names []string
+	for k := range held {
+		names = append(names, k)
+	}
+	// Tiny sets; insertion sort keeps the message deterministic.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// mutexOp classifies e as a call to a sync mutex method. key identifies the
+// locked expression ("p.mu"); kind is "Lock", "RLock", "Unlock", "RUnlock".
+func (m *mutexScan) mutexOp(e ast.Expr) (key, kind string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := m.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return exprText(m.pass.Fset, sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	printer.Fprint(&sb, fset, e)
+	return sb.String()
+}
+
+func cloneHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// block walks a statement list sequentially, updating the held set as locks
+// are taken and released, and checking every other statement against it.
+func (m *mutexScan) block(stmts []ast.Stmt, held map[string]bool) {
+	for _, st := range stmts {
+		m.stmt(st, held)
+	}
+}
+
+func (m *mutexScan) stmt(st ast.Stmt, held map[string]bool) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if key, kind, ok := m.mutexOp(s.X); ok {
+			switch kind {
+			case "Lock", "RLock":
+				held[key] = true
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return
+		}
+		m.check(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at return: the lock stays held for the
+		// rest of this block. Other deferred calls run after that release,
+		// so their bodies are not checked against the current held set.
+		return
+	case *ast.GoStmt:
+		// The goroutine body runs on its own stack without the lock.
+		return
+	case *ast.BlockStmt:
+		m.block(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			m.stmt(s.Init, held)
+		}
+		m.check(s.Cond, held)
+		m.stmt(s.Body, cloneHeld(held))
+		if s.Else != nil {
+			m.stmt(s.Else, cloneHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			m.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			m.check(s.Cond, held)
+		}
+		m.stmt(s.Body, cloneHeld(held))
+	case *ast.RangeStmt:
+		m.check(s.X, held)
+		m.stmt(s.Body, cloneHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			m.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			m.check(s.Tag, held)
+		}
+		m.stmt(s.Body, cloneHeld(held))
+	case *ast.TypeSwitchStmt:
+		m.stmt(s.Body, cloneHeld(held))
+	case *ast.CaseClause:
+		m.block(s.Body, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			m.pass.Reportf(s.Pos(), "blocking select while holding %s", heldNames(held))
+		}
+		m.stmt(s.Body, cloneHeld(held))
+	case *ast.CommClause:
+		m.block(s.Body, held)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			m.pass.Reportf(s.Pos(), "channel send while holding %s", heldNames(held))
+		}
+	case *ast.LabeledStmt:
+		m.stmt(s.Stmt, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			m.check(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			m.check(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						m.check(e, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		m.check(s.X, held)
+	}
+}
+
+// check inspects an expression evaluated while held is in force, skipping
+// function literals (they run later, without the lock).
+func (m *mutexScan) check(e ast.Expr, held map[string]bool) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				m.pass.Reportf(x.Pos(), "channel receive while holding %s", heldNames(held))
+			}
+		case *ast.CallExpr:
+			if what := m.blockingCall(x); what != "" {
+				m.pass.Reportf(x.Pos(), "%s while holding %s", what, heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies calls the analyzer considers blocking I/O.
+func (m *mutexScan) blockingCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := m.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	name := fn.Name()
+	if pkg := fn.Pkg(); pkg != nil {
+		switch {
+		case pkg.Path() == "time" && name == "Sleep":
+			return "call to time.Sleep"
+		case pkg.Path() == "net" && strings.HasPrefix(name, "Dial"):
+			return "call to net." + name
+		}
+	}
+	// Any method named Send or Dial* — the transport surface.
+	if fn.Type().(*types.Signature).Recv() != nil &&
+		(name == "Send" || strings.HasPrefix(name, "Dial")) {
+		return "call to method " + name
+	}
+	return ""
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

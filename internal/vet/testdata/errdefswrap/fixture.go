@@ -1,0 +1,43 @@
+// Fixture for the errdefswrap analyzer. The package is named webdamlog
+// because the analyzer targets the repository's public root surface, which
+// it recognizes by package name.
+package webdamlog
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/errdefs"
+)
+
+// Open is exported and returns error: its failures must wrap a sentinel.
+func Open(name string) error {
+	if name == "" {
+		return errors.New("empty name") // want `constructs a bare error`
+	}
+	if name == "legacy" {
+		return fmt.Errorf("unsupported name %q", name) // want `wraps nothing`
+	}
+	return fmt.Errorf("open %s: %w", name, errdefs.ErrUnknownPeer) // wraps: fine
+}
+
+// Close wraps the underlying error: fine.
+func Close(err error) error {
+	if err != nil {
+		return fmt.Errorf("closing: %w", err)
+	}
+	return nil
+}
+
+// Describe returns no error, so its fmt use is not error minting.
+func Describe(name string) string {
+	return fmt.Sprintf("peer %s", name)
+}
+
+// helper is unexported: internal plumbing may build errors freely (the
+// public caller is responsible for wrapping before returning them).
+func helper() error {
+	return errors.New("internal detail")
+}
+
+var _ = helper

@@ -1,0 +1,33 @@
+// Package metricsinit is the fixture for the metricsinit analyzer:
+// registration discipline and label cardinality for the metrics package.
+package metricsinit
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+const goodName = "wdl_good_total"
+
+func register(reg *metrics.Registry, dynamic string, ids []int) {
+	good := reg.Counter(goodName, "A well-registered counter.", "peer")
+	good.With("alice").Inc()
+
+	reg.Counter("wdl_ok_total", "Literal name: fine.", "peer", "result")
+
+	reg.Counter(dynamic, "Dynamic name.", "peer") // want `metric name must be a compile-time constant`
+
+	label := "peer" + dynamic
+	reg.Gauge("wdl_dyn_label", "Dynamic label name.", label) // want `label names must be compile-time constant`
+
+	for _, id := range ids {
+		reg.Counter("wdl_looped_total", "Registered per item.", "peer") // want `registered inside a loop`
+		_ = id
+	}
+
+	good.With(fmt.Sprintf("peer-%d", len(ids))).Inc() // want `unbounded series cardinality`
+	good.With(strconv.Itoa(len(ids))).Inc()           // want `unbounded series cardinality`
+	good.With(dynamic).Inc()                          // a variable may be bounded: fine
+}

@@ -1,0 +1,88 @@
+// Package mutexio is the fixture for the mutexio analyzer: operations
+// performed while holding a sync mutex. Lines marked `want` must be
+// flagged; everything else must stay silent.
+package mutexio
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type sender struct{}
+
+func (sender) Send(msg string) error { return nil }
+
+type peerish struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	out  sender
+	ch   chan int
+	done chan struct{}
+}
+
+func (p *peerish) badSleepUnderLock() {
+	p.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time.Sleep while holding p.mu`
+	p.mu.Unlock()
+}
+
+func (p *peerish) badDialUnderDefer() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conn, err := net.Dial("tcp", "localhost:0") // want `call to net.Dial while holding p.mu`
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+func (p *peerish) badSendUnderRLock() error {
+	p.rw.RLock()
+	defer p.rw.RUnlock()
+	return p.out.Send("hello") // want `call to method Send while holding p.rw`
+}
+
+func (p *peerish) badChannelOps() {
+	p.mu.Lock()
+	p.ch <- 1 // want `channel send while holding p.mu`
+	<-p.done  // want `channel receive while holding p.mu`
+	select {  // want `blocking select while holding p.mu`
+	case <-p.done:
+	case p.ch <- 2:
+	}
+	p.mu.Unlock()
+}
+
+func (p *peerish) okAfterUnlock() {
+	p.mu.Lock()
+	n := len(p.ch)
+	p.mu.Unlock()
+	time.Sleep(time.Duration(n)) // unlocked: fine
+	p.ch <- n                    // unlocked: fine
+}
+
+func (p *peerish) okNonBlockingSelect() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // has a default case: never blocks
+	case p.ch <- 1:
+	default:
+	}
+}
+
+func (p *peerish) okGoroutineAndClosure() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		p.ch <- 1 // runs without the lock
+	}()
+	fn := func() { <-p.done } // runs later, without the lock
+	_ = fn
+}
+
+func (p *peerish) okNoLock() error {
+	time.Sleep(time.Millisecond)
+	<-p.done
+	return p.out.Send("bye")
+}

@@ -1,0 +1,117 @@
+// Package vet is a small, dependency-free analogue of golang.org/x/tools'
+// go/analysis framework, hosting this repository's custom static checks:
+//
+//   - mutexio: no blocking I/O (channel operations, dials, sends, sleeps)
+//     while holding a sync.Mutex/RWMutex — the bug class behind the peer
+//     outbox rework, where a dial under peer.Peer.mu stalled every stage;
+//   - errdefswrap: errors constructed on the public root surface must wrap
+//     an errdefs sentinel (or another error via %w), so callers can match
+//     failures with errors.Is instead of string comparison;
+//   - metricsinit: metric families are registered once, outside loops, with
+//     compile-time-constant names and label sets of bounded cardinality.
+//
+// The framework loads packages with `go list -export -deps -json`, parses
+// their sources with go/parser and type-checks them against the compiler's
+// export data (go/importer), giving each analyzer a fully typed AST — the
+// same inputs an analysis.Pass would carry, without the x/tools dependency,
+// which this build deliberately avoids.
+//
+// cmd/wdlvet is the multichecker driver; vettest runs analyzers over
+// testdata fixtures annotated with `// want "regexp"` comments, in the
+// style of analysistest.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and on the command line.
+	Name string
+	// Doc is a one-paragraph description of what it reports.
+	Doc string
+	// Run inspects a package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders "file:line:col: message (analyzer)".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// All returns every analyzer in the suite.
+func All() []*Analyzer {
+	return []*Analyzer{MutexIO, ErrdefsWrap, MetricsInit}
+}
+
+// RunAnalyzers applies each analyzer to each package and returns the
+// findings in (file, line, column) order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report:   func(f Finding) { out = append(out, f) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+func sortFindings(fs []Finding) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && lessFinding(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func lessFinding(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	return a.Pos.Column < b.Pos.Column
+}

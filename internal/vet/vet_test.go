@@ -1,0 +1,39 @@
+package vet_test
+
+import (
+	"testing"
+
+	"repro/internal/vet"
+	"repro/internal/vet/vettest"
+)
+
+func TestMutexIOFixture(t *testing.T) {
+	vettest.Run(t, "testdata/mutexio", vet.MutexIO)
+}
+
+func TestErrdefsWrapFixture(t *testing.T) {
+	vettest.Run(t, "testdata/errdefswrap", vet.ErrdefsWrap)
+}
+
+func TestMetricsInitFixture(t *testing.T) {
+	vettest.Run(t, "testdata/metricsinit", vet.MetricsInit)
+}
+
+// TestRealTreeClean is the acceptance gate: the analyzers must report
+// nothing on the repository itself.
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := vet.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := vet.RunAnalyzers(pkgs, vet.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("finding on real tree: %s", f)
+	}
+}

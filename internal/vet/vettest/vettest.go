@@ -1,0 +1,151 @@
+// Package vettest runs a vet.Analyzer over a fixture package and compares
+// its findings against `// want "regexp"` comments in the fixture sources —
+// the same contract as golang.org/x/tools' analysistest, implemented on the
+// local framework.
+//
+// A fixture line expects one finding per want clause, matched by regexp:
+//
+//	ch <- 1 // want `channel send while holding`
+//
+// Multiple clauses on one line expect multiple findings. Findings with no
+// matching want, and wants with no matching finding, fail the test.
+package vettest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/vet"
+)
+
+// wantRe matches the trailing comment: `// want "re" "re2"` or backquoted.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+// expectation is one want clause.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// parseWants scans a fixture file for want comments.
+func parseWants(t *testing.T, path string) []*expectation {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture %s: %v", path, err)
+	}
+	var out []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, pat := range splitPatterns(t, path, i+1, strings.TrimSpace(m[1])) {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
+			}
+			out = append(out, &expectation{file: filepath.Base(path), line: i + 1, re: re})
+		}
+	}
+	return out
+}
+
+// splitPatterns parses a sequence of quoted or backquoted strings.
+func splitPatterns(t *testing.T, path string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	for s != "" {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want pattern", path, line)
+			}
+			pat, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern: %v", path, line, err)
+			}
+			out = append(out, pat)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want pattern", path, line)
+			}
+			out = append(out, s[1:end+1])
+			s = s[end+2:]
+		default:
+			t.Fatalf("%s:%d: want patterns must be quoted or backquoted, got %q", path, line, s)
+		}
+	}
+	return out
+}
+
+// Run loads the fixture package rooted at dir, applies the analyzer and
+// diffs findings against the fixture's want comments.
+func Run(t *testing.T, dir string, a *vet.Analyzer) {
+	t.Helper()
+	pkgs, err := vet.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := vet.RunAnalyzers(pkgs, []*vet.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	var wants []*expectation
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			wants = append(wants, parseWants(t, filepath.Join(dir, e.Name()))...)
+		}
+	}
+
+	for _, f := range findings {
+		if !matchWant(wants, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// matchWant consumes the first unmet expectation matching the finding.
+func matchWant(wants []*expectation, f vet.Finding) bool {
+	base := filepath.Base(f.Pos.Filename)
+	for _, w := range wants {
+		if !w.met && w.file == base && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
