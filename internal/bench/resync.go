@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/ast"
+	"repro/internal/engine"
 	"repro/internal/peer"
 	"repro/internal/protocol"
 	"repro/internal/store"
@@ -198,5 +200,213 @@ func RunReceiverRestart(ops int, resync bool) (ResyncResult, error) {
 	res.RowsAfter = len(b2.Query("view"))
 	res.Requests = b2.Stats().ResyncRequested
 	res.Snapshots = a.Stats().ResyncSnapshots
+	return res, nil
+}
+
+// LargeViewResult measures the large-view tier of experiment P8: a sender
+// restart against a receiver whose huge maintained view is almost correct,
+// repaired either through the Merkle-ranged bisection dialogue or (the
+// ablation) by re-shipping the whole view as a snapshot.
+type LargeViewResult struct {
+	ViewSize   int
+	Divergence int // keys the restarted sender lost + keys it gained
+	Recovered  bool
+	Recovery   time.Duration
+
+	// Sender-side repair traffic actually served.
+	Snapshots       uint64
+	SnapshotBytes   uint64
+	RangedRepairs   uint64
+	RangedBytes     uint64 // RangeRepairMsg bytes
+	DigestBytes     uint64 // RangeDigestMsg reply bytes
+	RangesRequested uint64 // receiver-side: leaf ranges whose repair was asked
+
+	// RepairBytes is what the repair cost on the wire: bisection digests
+	// plus ranged repairs when the dialogue ran, the snapshot when not.
+	RepairBytes uint64
+
+	// FullViewBytes is the measured encoded size of one full-view snapshot
+	// of the final fixpoint (chunked exactly as the repair path chunks it)
+	// — the counterfactual cost a snapshot repair pays at this tier. The
+	// ablation arm's served SnapshotBytes is at least this (it re-ships the
+	// view at least once); measuring it directly lets the largest tier
+	// assert its ratio without driving a multi-minute snapshot arm.
+	FullViewBytes uint64
+}
+
+// RunLargeViewRepair loads a maintained view of viewSize facts, converges,
+// then restarts the *sender* as a fresh incarnation that lost `divergence`
+// of its facts and gained `divergence` new ones. The receiver's ledger is
+// intact and almost correct — the scenario the ranged dialogue exists for.
+// With ranged=false the dialogue is disabled (RangedRepairFloor < 0) and
+// the same divergence is repaired by a full snapshot.
+func RunLargeViewRepair(viewSize, divergence int, ranged bool) (LargeViewResult, error) {
+	res := LargeViewResult{ViewSize: viewSize, Divergence: 2 * divergence}
+	floor := 0
+	if !ranged {
+		floor = -1
+	}
+	n := peer.NewNetwork()
+	mkPeer := func(name string) (*peer.Peer, error) {
+		p, err := peer.New(peer.Config{
+			Name:              name,
+			OutboxAckTimeout:  20 * time.Millisecond,
+			OutboxBackoff:     5 * time.Millisecond,
+			ResyncInterval:    resyncBenchInterval,
+			RangedRepairFloor: floor,
+		}, n.Bus().Endpoint(name))
+		if err != nil {
+			return nil, err
+		}
+		n.Add(p)
+		return p, nil
+	}
+	program := `
+		relation extensional src@a(x);
+		view@b($x) :- src@a($x);
+	`
+	a, err := mkPeer("a")
+	if err != nil {
+		return res, err
+	}
+	defer a.Close()
+	if err := a.LoadSource(program); err != nil {
+		return res, err
+	}
+	b, err := mkPeer("b")
+	if err != nil {
+		return res, err
+	}
+	defer b.Close()
+	if err := b.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+		return res, err
+	}
+
+	until := func(ps []*peer.Peer, deadline time.Duration, done func() bool) bool {
+		end := time.Now().Add(deadline)
+		for time.Now().Before(end) {
+			worked := false
+			for _, p := range ps {
+				if p.HasWork() {
+					p.RunStage()
+					worked = true
+				}
+			}
+			if done() {
+				return true
+			}
+			if !worked {
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+		return false
+	}
+	apply := func(p *peer.Peer, keys []int64) error {
+		batch := engine.NewBatch()
+		for _, k := range keys {
+			batch.Insert(ast.NewFact("src", "a", value.Int(k)))
+		}
+		return p.Apply(context.Background(), batch)
+	}
+	digestOf := func(keys []int64) store.Digest {
+		var d store.Digest
+		for _, k := range keys {
+			d.Add(value.Tuple{value.Int(k)}.Key())
+		}
+		return d
+	}
+
+	// Initial load: keys 0..viewSize-1, converged and fully acked (so the
+	// crash leaves no retransmission that would mask the repair path).
+	initial := make([]int64, viewSize)
+	for i := range initial {
+		initial[i] = int64(i)
+	}
+	wantInit := digestOf(initial)
+	if err := apply(a, initial); err != nil {
+		return res, err
+	}
+	viewDigest := func(p *peer.Peer) store.Digest { return p.Store().Get("view", "b").Digest() }
+	if !until([]*peer.Peer{a, b}, 120*time.Second, func() bool { return viewDigest(b) == wantInit }) {
+		return res, fmt.Errorf("p8 large-view: initial convergence failed at %d facts", viewSize)
+	}
+	if !until([]*peer.Peer{a, b}, 30*time.Second, func() bool {
+		total, _ := a.OutboxPending()
+		return total == 0
+	}) {
+		return res, fmt.Errorf("p8 large-view: sender outbox never drained")
+	}
+
+	// Sender crash: the fresh incarnation never knew `divergence` evenly
+	// spaced keys and holds `divergence` new ones — a small δ in a huge,
+	// otherwise intact receiver ledger.
+	if err := a.Close(); err != nil {
+		return res, err
+	}
+	step := viewSize / divergence
+	lost := map[int64]bool{}
+	for i := 0; i < divergence; i++ {
+		lost[int64(i*step)] = true
+	}
+	var final []int64
+	for _, k := range initial {
+		if !lost[k] {
+			final = append(final, k)
+		}
+	}
+	for i := 0; i < divergence; i++ {
+		final = append(final, int64(viewSize+i))
+	}
+	wantFinal := digestOf(final)
+
+	a2, err := mkPeer("a")
+	if err != nil {
+		return res, err
+	}
+	defer a2.Close()
+	if err := a2.LoadSource(program); err != nil {
+		return res, err
+	}
+	if err := apply(a2, final); err != nil {
+		return res, err
+	}
+	start := time.Now()
+	res.Recovered = until([]*peer.Peer{a2, b}, 120*time.Second, func() bool { return viewDigest(b) == wantFinal })
+	res.Recovery = time.Since(start)
+
+	s := a2.Stats()
+	res.Snapshots = s.ResyncSnapshots
+	res.SnapshotBytes = s.ResyncSnapshotBytes
+	res.RangedRepairs = s.ResyncRangedRepairs
+	res.RangedBytes = s.ResyncRangedRepairBytes
+	res.DigestBytes = s.ResyncRangeDigestBytes
+	res.RangesRequested = b.Stats().ResyncRangesRequested
+	if ranged {
+		res.RepairBytes = res.RangedBytes + res.DigestBytes
+	} else {
+		res.RepairBytes = res.SnapshotBytes
+	}
+
+	// Counterfactual: the wire cost of re-shipping the final view as one
+	// chunked snapshot, measured by encoding the actual messages.
+	const chunkOps = 4096
+	for off := 0; off < len(final); off += chunkOps {
+		hi := off + chunkOps
+		if hi > len(final) {
+			hi = len(final)
+		}
+		msg := protocol.SnapshotMsg{More: hi < len(final)}
+		for _, k := range final[off:hi] {
+			msg.Ops = append(msg.Ops, protocol.FactDelta{
+				Maint: true,
+				Fact:  ast.Fact{Rel: "view", Peer: "b", Args: value.Tuple{value.Int(k)}},
+			})
+		}
+		enc, err := protocol.EncodePayload(msg)
+		if err != nil {
+			return res, err
+		}
+		res.FullViewBytes += uint64(len(enc))
+	}
 	return res, nil
 }

@@ -15,37 +15,64 @@ import (
 // RunStageIncremental, which diff each stage's emission set against it to
 // produce Result.RemoteOut.
 //
-// Alongside the facts, the view keeps per-destination, per-relation digests
-// (store.Digest) of the maintained sets, rebuilt only for destinations whose
-// view actually changed in a stage, so advertising a digest at resync time
-// walks no tuples.
+// Alongside the facts, the view keeps one Merkle summary tree
+// (store.MerkleTree) per destination and relation, maintained incrementally
+// from the stage's own maintained deltas — never rebuilt by walking the
+// view. The tree roots are the O(1) digests an anti-entropy advert carries,
+// and the trees answer the bisection dialogue's range-digest and range-fact
+// queries in O(log n).
 //
 // A RemoteView is not safe for concurrent use; the peer accesses it under
 // its own lock (stages and resync handling are both serialized there).
 type RemoteView struct {
-	views   map[string]map[string]ast.Fact     // dst -> fact key -> fact
-	digests map[string]map[string]store.Digest // dst -> relID at dst -> digest
+	views map[string]map[string]ast.Fact          // dst -> fact key -> fact
+	trees map[string]map[string]*store.MerkleTree // dst -> relID at dst -> summary tree
 }
 
 // NewRemoteView returns an empty maintained view.
 func NewRemoteView() *RemoteView {
 	return &RemoteView{
-		views:   map[string]map[string]ast.Fact{},
-		digests: map[string]map[string]store.Digest{},
+		views: map[string]map[string]ast.Fact{},
+		trees: map[string]map[string]*store.MerkleTree{},
 	}
 }
 
-// Digests returns a copy of the per-relation digests of the facts maintained
-// at dst, empty when nothing is maintained there. O(#relations): the digests
-// themselves are maintained as the view changes.
+// Digests returns the per-relation digests of the facts maintained at dst,
+// empty when nothing is maintained there. O(#relations): each digest is a
+// tree root read.
 func (v *RemoteView) Digests(dst string) map[string]store.Digest {
-	src := v.digests[dst]
+	src := v.trees[dst]
 	if len(src) == 0 {
 		return nil
 	}
 	out := make(map[string]store.Digest, len(src))
-	for relID, d := range src {
-		out[relID] = d
+	for relID, tr := range src {
+		out[relID] = tr.Root()
+	}
+	return out
+}
+
+// Tree returns the live summary tree of relID's maintained facts at dst, or
+// nil when nothing is maintained. The tree belongs to the view — callers
+// read it under the same lock that serializes Diff.
+func (v *RemoteView) Tree(dst, relID string) *store.MerkleTree {
+	return v.trees[dst][relID]
+}
+
+// RangeFacts returns the maintained facts of relID at dst whose canonical
+// key hash falls in the inclusive range [lo, hi], in canonical (hash, key)
+// order — the content of one ranged repair. The slice is the caller's.
+func (v *RemoteView) RangeFacts(dst, relID string, lo, hi uint64) []ast.Fact {
+	tr := v.trees[dst][relID]
+	if tr == nil {
+		return nil
+	}
+	keys := tr.RangeKeys(lo, hi)
+	out := make([]ast.Fact, 0, len(keys))
+	for _, key := range keys {
+		if f, ok := v.views[dst][relID+"|"+key]; ok {
+			out = append(out, f)
+		}
 	}
 	return out
 }
@@ -65,7 +92,9 @@ func (v *RemoteView) SnapshotFacts(dst string) []ast.Fact {
 // Diff diffs one stage's full Derive-op emission set against the maintained
 // view: newly derived facts ship as maintained inserts, facts no longer
 // derived as maintained deletes, and explicit deletion-rule emissions pass
-// through unchanged. The view (and its digests) are updated in place.
+// through unchanged. The view (and its summary trees) are updated in place;
+// the trees advance by exactly the maintained deltas this stage emits, so
+// their cost is O(δ log n), not O(view).
 func (v *RemoteView) Diff(remote map[string][]FactOp) map[string][]RemoteOp {
 	out := map[string][]RemoteOp{}
 	cur := map[string]map[string]ast.Fact{}
@@ -109,10 +138,47 @@ func (v *RemoteView) Diff(remote map[string][]FactOp) map[string][]RemoteOp {
 			}
 		}
 	}
+	// Advance the summary trees by the maintained deltas just computed —
+	// they are exactly the view's membership changes (an insert cancelled by
+	// a same-stage one-shot delete never joins the view, so it is skipped).
+	for dst, ops := range out {
+		for _, op := range ops {
+			if !op.Maint {
+				continue
+			}
+			relID := op.Fact.Rel + "@" + op.Fact.Peer
+			key := op.Fact.Args.Key()
+			if op.Op == ast.Delete {
+				if tr := v.trees[dst][relID]; tr != nil {
+					tr.Remove(key)
+					if tr.Len() == 0 {
+						delete(v.trees[dst], relID)
+					}
+				}
+				continue
+			}
+			if _, installed := cur[dst][op.Fact.Key()]; !installed {
+				continue
+			}
+			tm := v.trees[dst]
+			if tm == nil {
+				tm = map[string]*store.MerkleTree{}
+				v.trees[dst] = tm
+			}
+			tr := tm[relID]
+			if tr == nil {
+				tr = store.NewMerkleTree()
+				tm[relID] = tr
+			}
+			tr.Add(key)
+		}
+		if len(v.trees[dst]) == 0 {
+			delete(v.trees, dst)
+		}
+	}
 	for dst := range v.views {
 		if len(cur[dst]) == 0 {
 			delete(v.views, dst)
-			delete(v.digests, dst)
 		}
 	}
 	for dst, m := range cur {
@@ -120,14 +186,6 @@ func (v *RemoteView) Diff(remote map[string][]FactOp) map[string][]RemoteOp {
 			continue // don't re-install emptied destinations
 		}
 		v.views[dst] = m
-		d := make(map[string]store.Digest, 1)
-		for _, f := range m {
-			relID := f.Rel + "@" + f.Peer
-			rd := d[relID]
-			rd.Add(f.Args.Key())
-			d[relID] = rd
-		}
-		v.digests[dst] = d
 	}
 	for _, ops := range out {
 		sortRemoteOps(ops)

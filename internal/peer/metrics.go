@@ -119,6 +119,18 @@ func (p *Peer) registerMetrics(reg *metrics.Registry) {
 	reg.Counter("wdl_resync_snapshot_bytes_total",
 		"Total encoded size of repair snapshots served.", "peer").Func(
 		statFn(func(s *Stats) uint64 { return s.ResyncSnapshotBytes }), name)
+	reg.Counter("wdl_resync_ranged_repairs_total",
+		"Ranged repair messages served (as a sender).", "peer").Func(
+		statFn(func(s *Stats) uint64 { return s.ResyncRangedRepairs }), name)
+	reg.Counter("wdl_resync_ranged_repair_bytes_total",
+		"Total encoded size of ranged repair messages served.", "peer").Func(
+		statFn(func(s *Stats) uint64 { return s.ResyncRangedRepairBytes }), name)
+	reg.Counter("wdl_resync_range_digest_bytes_total",
+		"Total encoded size of range-digest replies served during bisection.", "peer").Func(
+		statFn(func(s *Stats) uint64 { return s.ResyncRangeDigestBytes }), name)
+	reg.Counter("wdl_resync_ranges_requested_total",
+		"Hash ranges whose repair this peer requested after bisection.", "peer").Func(
+		statFn(func(s *Stats) uint64 { return s.ResyncRangesRequested }), name)
 	reg.Counter("wdl_subscription_drops_total",
 		"Subscriptions closed for falling behind (ErrSlowSubscriber).", "peer").Func(
 		statFn(func(s *Stats) uint64 { return s.SubscriptionDrops }), name)

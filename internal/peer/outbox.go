@@ -229,6 +229,26 @@ func (o *outbox) EnqueueData(dst string, msg protocol.Payload) uint64 {
 	return seq
 }
 
+// EnqueueDataBatch enqueues a run of sequenced payloads contiguously: the
+// enqueue mutex is held across the whole run, so no concurrent enqueuer can
+// interleave a message between them. Chunked snapshots rely on this — the
+// receiver buffers chunks until the final one and must see them as one
+// uninterrupted sequence run (interleaved FactsMsgs would apply against the
+// pre-snapshot ledger, then be overwritten by the buffered chunks).
+func (o *outbox) EnqueueDataBatch(dst string, msgs ...protocol.Payload) {
+	if len(msgs) == 0 {
+		return
+	}
+	dq := o.queue(dst)
+	dq.enqMu.Lock()
+	for _, msg := range msgs {
+		o.enqueueHeld(dq, dst, msg)
+	}
+	dq.enqMu.Unlock()
+	o.enqueued.Add(uint64(len(msgs)))
+	dq.signal()
+}
+
 // EnqueueDataCtx is EnqueueData with admission control: when the
 // destination's queue holds limit or more unacknowledged entries, a
 // fail-fast outbox rejects with ErrBackpressure immediately, a blocking one
@@ -301,14 +321,15 @@ func (o *outbox) enqueueHeld(dq *sendSession, dst string, msg protocol.Payload) 
 
 // Reset tears down and restarts the stream to dst under a fresh epoch — the
 // anti-entropy repair for a receiver that lost its stream state. The given
-// payload (the resync snapshot) becomes the new sequence 1; surviving
-// pending entries are renumbered behind it (their maintained deltas are
-// already reflected in the snapshot and replay as no-ops; one-shot updates
-// must still be delivered). The destination adopts the fresh epoch at
-// sequence 1 with a fresh watermark. For durable peers onReset re-logs the
-// stream so recovery sees the renumbering, not the superseded entries.
-func (o *outbox) Reset(dst string, first protocol.Payload) {
-	o.reset(dst, first, false)
+// payloads (the resync snapshot, possibly chunked) become the new sequences
+// 1..n; surviving pending entries are renumbered behind them (their
+// maintained deltas are already reflected in the snapshot and replay as
+// no-ops; one-shot updates must still be delivered). The destination adopts
+// the fresh epoch at sequence 1 with a fresh watermark. For durable peers
+// onReset re-logs the stream so recovery sees the renumbering, not the
+// superseded entries.
+func (o *outbox) Reset(dst string, firsts ...protocol.Payload) {
+	o.reset(dst, firsts, false)
 }
 
 // ShedReset is the slow-peer variant of Reset: the pending backlog is
@@ -317,12 +338,12 @@ func (o *outbox) Reset(dst string, first protocol.Payload) {
 // carries the full maintained view; one-shot updates still queued to the
 // shed destination are abandoned (that loss is the documented cost of
 // shedding — the destination was unackable for the whole shed window).
-func (o *outbox) ShedReset(dst string, first protocol.Payload) {
+func (o *outbox) ShedReset(dst string, firsts ...protocol.Payload) {
 	o.sheds.Add(1)
-	o.reset(dst, first, true)
+	o.reset(dst, firsts, true)
 }
 
-func (o *outbox) reset(dst string, first protocol.Payload, drop bool) {
+func (o *outbox) reset(dst string, firsts []protocol.Payload, drop bool) {
 	dq := o.queue(dst)
 	dq.enqMu.Lock()
 	o.persistMu.RLock()
@@ -330,8 +351,10 @@ func (o *outbox) reset(dst string, first protocol.Payload, drop bool) {
 	dq.epoch = newEpoch()
 	dq.resets++
 	o.resets.Add(1)
-	entries := make([]outEntry, 0, len(dq.entries)+1)
-	entries = append(entries, outEntry{seq: 1, msg: first})
+	entries := make([]outEntry, 0, len(dq.entries)+len(firsts))
+	for _, msg := range firsts {
+		entries = append(entries, outEntry{seq: uint64(len(entries)) + 1, msg: msg})
+	}
 	if !drop {
 		for _, e := range dq.entries {
 			entries = append(entries, outEntry{seq: uint64(len(entries)) + 1, msg: e.msg})

@@ -76,6 +76,14 @@ type Config struct {
 	// on epoch adoption and stream wedges stays active — it is data-driven,
 	// not timer-driven).
 	ResyncInterval time.Duration
+	// RangedRepairFloor gates Merkle-ranged repair: a digest mismatch whose
+	// total divergent content is at least this many facts is repaired by a
+	// bisection dialogue (range digests narrow the divergence, only
+	// differing ranges are re-shipped — O(δ log n) bytes instead of
+	// O(view)); anything smaller, plus every fresh-epoch and shed reset,
+	// keeps the full-snapshot path. Zero keeps the default (1024); a
+	// negative value disables ranged repair entirely.
+	RangedRepairFloor int
 	// Logf, when non-nil, receives debug log lines.
 	Logf func(format string, args ...any)
 
@@ -159,6 +167,16 @@ type Stats struct {
 	ResyncSnapshots     uint64
 	ResyncSnapshotBytes uint64
 	ResyncAdverts       uint64
+
+	// Ranged-repair counters: ranged repair messages this peer served (as
+	// a sender) and their total encoded size, range-digest traffic it
+	// served (requests answered, encoded reply bytes), and how many repair
+	// ranges it requested (as a receiver, after bisection narrowed the
+	// divergence).
+	ResyncRangedRepairs     uint64
+	ResyncRangedRepairBytes uint64
+	ResyncRangeDigestBytes  uint64
+	ResyncRangesRequested   uint64
 
 	// Flow-control counters: stream resets (anti-entropy repairs plus
 	// sheds), slow-peer sheds, and admission-control outcomes at Apply.
@@ -270,6 +288,8 @@ type Peer struct {
 	rv *engine.RemoteView
 	// resyncEvery is the resolved anti-entropy period (0 = disabled).
 	resyncEvery time.Duration
+	// rangedFloor is the resolved ranged-repair floor (-1 = disabled).
+	rangedFloor int
 
 	lastSentDeleg map[string]map[string]string // ruleID -> target -> set fingerprint
 	ranOnce       bool
@@ -344,6 +364,13 @@ func New(cfg Config, ep transport.Endpoint) (*Peer, error) {
 	}
 	if p.resyncEvery < 0 {
 		p.resyncEvery = 0
+	}
+	p.rangedFloor = cfg.RangedRepairFloor
+	if p.rangedFloor == 0 {
+		p.rangedFloor = defaultRangedRepairFloor
+	}
+	if p.rangedFloor < 0 {
+		p.rangedFloor = -1
 	}
 	p.outbox.resyncEvery = p.resyncEvery
 	p.outbox.onDigest = p.digestFor
@@ -488,6 +515,18 @@ func (p *Peer) digestFor(dst string) protocol.Payload {
 	if p.closed {
 		return nil
 	}
+	msg := p.digestMsgLocked(dst)
+	if len(msg.Rels) == 0 && len(msg.Deleg) == 0 {
+		return nil
+	}
+	return msg
+}
+
+// digestMsgLocked builds the digest advert itself, empty maps and all — an
+// advert *request* (ResyncRequestMsg.Advert) is answered even when this
+// peer maintains nothing at the requester, because "nothing" is exactly
+// what the requester's stale ledger needs to learn.
+func (p *Peer) digestMsgLocked(dst string) protocol.DigestMsg {
 	digs := p.rv.Digests(dst)
 	var deleg map[string]uint64
 	for ruleID, targets := range p.lastSentDeleg {
@@ -497,9 +536,6 @@ func (p *Peer) digestFor(dst string) protocol.Payload {
 			}
 			deleg[ruleID] = store.KeyHash(fp)
 		}
-	}
-	if len(digs) == 0 && len(deleg) == 0 {
-		return nil
 	}
 	epoch, nextSeq := p.outbox.streamState(dst)
 	rels := make(map[string]protocol.RelDigest, len(digs))
@@ -916,15 +952,7 @@ func (p *Peer) shedStream(dst string) {
 		return
 	}
 	p.debugf("shedding stream to %s", dst)
-	snap := protocol.SnapshotMsg{}
-	for _, f := range p.rv.SnapshotFacts(dst) {
-		snap.Ops = append(snap.Ops, protocol.FactDelta{Maint: true, Fact: f})
-	}
-	p.stats.ResyncSnapshots++
-	if b, err := protocol.EncodePayload(snap); err == nil {
-		p.stats.ResyncSnapshotBytes += uint64(len(b))
-	}
-	p.outbox.ShedReset(dst, snap)
+	p.outbox.ShedReset(dst, p.snapshotChunksLocked(dst)...)
 	for ruleID, targets := range p.lastSentDeleg {
 		if _, ok := targets[dst]; ok {
 			delete(targets, dst)

@@ -1,0 +1,326 @@
+package peer
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// newRangedPeer attaches a volatile peer with the anti-entropy clock and
+// outbox timers shrunk to test speed and an explicit ranged-repair floor
+// (0 keeps the default, negative disables the dialogue). When faults is
+// non-nil the peer talks through a fault-injecting endpoint.
+func newRangedPeer(t *testing.T, n *Network, name string, floor int, faults *transport.FaultConfig) *Peer {
+	t.Helper()
+	ep := transport.Endpoint(n.Bus().Endpoint(name))
+	if faults != nil {
+		ep = transport.Faulty(ep, *faults)
+	}
+	p, err := New(Config{
+		Name:              name,
+		OutboxAckTimeout:  10 * time.Millisecond,
+		OutboxBackoff:     2 * time.Millisecond,
+		ResyncInterval:    resyncTestInterval,
+		RangedRepairFloor: floor,
+	}, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Add(p)
+	return p
+}
+
+// applySrcFacts stages one batch inserting src@a(k) for every key.
+func applySrcFacts(t *testing.T, a *Peer, keys []int64) {
+	t.Helper()
+	b := engine.NewBatch()
+	for _, k := range keys {
+		b.Insert(ast.NewFact("src", "a", value.Int(k)))
+	}
+	if err := a.Apply(context.Background(), b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fixpointFor computes the fault-free fixpoint of the maintained view for
+// the given sender facts, on a pristine network with no failures or
+// restarts — the reference both repair paths must reproduce exactly.
+func fixpointFor(t *testing.T, keys []int64) string {
+	t.Helper()
+	n := NewNetwork()
+	a := newRangedPeer(t, n, "a", 0, nil)
+	defer a.Close()
+	loadViewSender(t, a)
+	b := newRangedPeer(t, n, "b", 0, nil)
+	defer b.Close()
+	if err := b.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+	applySrcFacts(t, a, keys)
+	want := len(keys)
+	if !drive([]*Peer{a, b}, func() bool { return len(b.Query("view")) == want }, 10*time.Second) {
+		t.Fatalf("reference pair never converged to %d facts", want)
+	}
+	return tupleSet(b, "view")
+}
+
+func intRange(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+// mutateKeys drops the keys in `drop` and appends `add` fresh keys past n.
+func mutateKeys(n int, drop map[int64]bool, add int) []int64 {
+	var out []int64
+	for i := 0; i < n; i++ {
+		if !drop[int64(i)] {
+			out = append(out, int64(i))
+		}
+	}
+	for i := 0; i < add; i++ {
+		out = append(out, int64(n+i))
+	}
+	return out
+}
+
+// TestSenderRestartRangedRepair is the tentpole scenario: a receiver holds
+// a large, almost-correct maintained view when its sender restarts without
+// the facts it deleted while down. With the ranged dialogue enabled the
+// divergence is repaired through digest bisection — no full snapshot is
+// ever served — and the repair traffic is a fraction of the view. The
+// ablation arm (RangedRepairFloor < 0) runs the same schedule and must
+// converge identically, but by re-shipping the whole view.
+func TestSenderRestartRangedRepair(t *testing.T) {
+	const viewSize = 3000
+	drop := map[int64]bool{500: true, 1500: true, 2500: true}
+	finalKeys := mutateKeys(viewSize, drop, 2)
+	want := fixpointFor(t, finalKeys)
+
+	type arm struct {
+		rangedRepairs, rangedBytes, digestBytes uint64
+		snapshots, snapshotBytes                uint64
+	}
+	run := func(t *testing.T, floor int) arm {
+		n := NewNetwork()
+		a := newRangedPeer(t, n, "a", floor, nil)
+		loadViewSender(t, a)
+		b := newRangedPeer(t, n, "b", floor, nil)
+		defer b.Close()
+		if err := b.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+			t.Fatal(err)
+		}
+		applySrcFacts(t, a, intRange(viewSize))
+		if !drive([]*Peer{a, b}, func() bool { return len(b.Query("view")) == viewSize }, 10*time.Second) {
+			t.Fatalf("initial load never converged")
+		}
+
+		// Crash the sender; its fresh incarnation never knew the dropped keys.
+		a.Close()
+		a2 := newRangedPeer(t, n, "a", floor, nil)
+		defer a2.Close()
+		loadViewSender(t, a2)
+		applySrcFacts(t, a2, finalKeys)
+		if !drive([]*Peer{a2, b}, func() bool { return tupleSet(b, "view") == want }, 20*time.Second) {
+			t.Fatalf("restarted pair never converged:\n got %.120s\nwant %.120s", tupleSet(b, "view"), want)
+		}
+		s := a2.Stats()
+		return arm{
+			rangedRepairs: s.ResyncRangedRepairs,
+			rangedBytes:   s.ResyncRangedRepairBytes,
+			digestBytes:   s.ResyncRangeDigestBytes,
+			snapshots:     s.ResyncSnapshots,
+			snapshotBytes: s.ResyncSnapshotBytes,
+		}
+	}
+
+	var ranged, ablated arm
+	t.Run("ranged", func(t *testing.T) {
+		ranged = run(t, 0)
+		if ranged.snapshots != 0 {
+			t.Errorf("ranged arm served %d full snapshots, want 0", ranged.snapshots)
+		}
+		if ranged.rangedRepairs == 0 {
+			t.Errorf("ranged arm served no ranged repairs")
+		}
+	})
+	t.Run("snapshot-ablation", func(t *testing.T) {
+		ablated = run(t, -1)
+		if ablated.snapshots == 0 {
+			t.Errorf("ablation arm served no snapshot — divergence was never repaired")
+		}
+		if ablated.rangedRepairs != 0 {
+			t.Errorf("ablation arm served %d ranged repairs with the dialogue disabled", ablated.rangedRepairs)
+		}
+	})
+	if t.Failed() {
+		return
+	}
+	repairBytes := ranged.rangedBytes + ranged.digestBytes
+	if repairBytes == 0 || repairBytes*4 > ablated.snapshotBytes {
+		t.Errorf("ranged repair cost %d bytes (%d repair + %d digest); want well under the %d-byte snapshot",
+			repairBytes, ranged.rangedBytes, ranged.digestBytes, ablated.snapshotBytes)
+	}
+}
+
+// TestChunkedSnapshotRestart: a repair snapshot of a view larger than
+// snapshotChunkOps ships as a run of bounded chunks which the restarted
+// receiver buffers and applies atomically — the recovered view is exactly
+// the fault-free fixpoint, never a partially-applied prefix.
+func TestChunkedSnapshotRestart(t *testing.T) {
+	const viewSize = snapshotChunkOps + 1000
+	keys := intRange(viewSize)
+	n := NewNetwork()
+	a := newRangedPeer(t, n, "a", 0, nil)
+	defer a.Close()
+	loadViewSender(t, a)
+	b := newRangedPeer(t, n, "b", 0, nil)
+	if err := b.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+	applySrcFacts(t, a, keys)
+	// Converge AND let the ack land: once the sender drops the acknowledged
+	// prefix, plain retransmission can never recover a restarted receiver —
+	// only the snapshot path can.
+	if !drive([]*Peer{a, b}, func() bool {
+		pending, _ := a.OutboxPending()
+		return len(b.Query("view")) == viewSize && pending == 0
+	}, 20*time.Second) {
+		t.Fatalf("initial load never converged")
+	}
+	want := tupleSet(b, "view")
+
+	// The receiver loses everything; recovery must ship the whole view.
+	b.Close()
+	b2 := newRangedPeer(t, n, "b", 0, nil)
+	defer b2.Close()
+	if err := b2.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+	partial := false
+	if !drive([]*Peer{a, b2}, func() bool {
+		if got := len(b2.Query("view")); got > 0 && got < viewSize {
+			partial = true
+		}
+		return tupleSet(b2, "view") == want
+	}, 20*time.Second) {
+		t.Fatalf("restarted receiver never recovered: %d of %d facts", len(b2.Query("view")), viewSize)
+	}
+	if partial {
+		t.Errorf("receiver exposed a partially-applied snapshot mid-recovery")
+	}
+	if s := a.Stats(); s.ResyncSnapshots == 0 {
+		t.Errorf("sender stats: ResyncSnapshots = 0, want at least one chunked snapshot")
+	}
+}
+
+// TestRangedDifferentialUnderFaults is the differential property test: a
+// randomized divergence schedule — sender restart with lost retractions,
+// receiver restart, live mutations after both — runs through a transport
+// that drops, duplicates and reorders, once with the ranged dialogue
+// enabled (floor shrunk so the small ledger qualifies) and once with it
+// disabled (snapshot-only). Both arms must converge to exactly the
+// fault-free recompute fixpoint.
+func TestRangedDifferentialUnderFaults(t *testing.T) {
+	seeds := []int64{21, 22, 23}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const viewSize = 400
+			drop := map[int64]bool{}
+			for len(drop) < 5 {
+				drop[rng.Int63n(viewSize)] = true
+			}
+			restartKeys := mutateKeys(viewSize, drop, 3)
+			// Live mutations after the restarts: delete a few survivors,
+			// add a few more fresh keys.
+			finalKeys := restartKeys[:0:0]
+			lateDrop := map[int64]bool{}
+			for len(lateDrop) < 3 {
+				k := restartKeys[rng.Intn(len(restartKeys))]
+				lateDrop[k] = true
+			}
+			for _, k := range restartKeys {
+				if !lateDrop[k] {
+					finalKeys = append(finalKeys, k)
+				}
+			}
+			finalKeys = append(finalKeys, viewSize+100, viewSize+101)
+			want := fixpointFor(t, finalKeys)
+
+			cfg := transport.FaultConfig{Seed: seed, Drop: 0.15, Dup: 0.1, Reorder: 0.1}
+			for _, floor := range []int{16, -1} {
+				name := "ranged"
+				if floor < 0 {
+					name = "snapshot-only"
+				}
+				t.Run(name, func(t *testing.T) {
+					n := NewNetwork()
+					a := newRangedPeer(t, n, "a", floor, &cfg)
+					loadViewSender(t, a)
+					b := newRangedPeer(t, n, "b", floor, &cfg)
+					if err := b.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+						t.Fatal(err)
+					}
+					applySrcFacts(t, a, intRange(viewSize))
+					if !drive([]*Peer{a, b}, func() bool { return len(b.Query("view")) == viewSize }, 20*time.Second) {
+						t.Fatalf("initial load never converged under faults")
+					}
+
+					// Sender crashes; its fresh incarnation owes retractions
+					// it will never send as deltas.
+					a.Close()
+					a2 := newRangedPeer(t, n, "a", floor, &cfg)
+					defer a2.Close()
+					loadViewSender(t, a2)
+					applySrcFacts(t, a2, restartKeys)
+					if !drive([]*Peer{a2, b}, func() bool { return len(b.Query("view")) == len(restartKeys) }, 30*time.Second) {
+						t.Fatalf("post-restart repair never converged: %d facts, want %d",
+							len(b.Query("view")), len(restartKeys))
+					}
+
+					// Receiver crashes too, then the sender keeps mutating.
+					b.Close()
+					b2 := newRangedPeer(t, n, "b", floor, &cfg)
+					defer b2.Close()
+					if err := b2.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+						t.Fatal(err)
+					}
+					mb := engine.NewBatch()
+					for k := range lateDrop {
+						mb.Delete(ast.NewFact("src", "a", value.Int(k)))
+					}
+					mb.Insert(ast.NewFact("src", "a", value.Int(viewSize+100)))
+					mb.Insert(ast.NewFact("src", "a", value.Int(viewSize+101)))
+					if err := a2.Apply(context.Background(), mb); err != nil {
+						t.Fatal(err)
+					}
+					if !drive([]*Peer{a2, b2}, func() bool { return tupleSet(b2, "view") == want }, 30*time.Second) {
+						t.Fatalf("differential arm diverged from the fault-free fixpoint:\n got %.160s\nwant %.160s",
+							tupleSet(b2, "view"), want)
+					}
+					s := a2.Stats()
+					if floor >= 0 && s.ResyncRangedRepairs == 0 {
+						t.Errorf("ranged arm repaired without any ranged repair message")
+					}
+					if floor < 0 && s.ResyncRangedRepairs != 0 {
+						t.Errorf("snapshot-only arm served %d ranged repairs", s.ResyncRangedRepairs)
+					}
+				})
+			}
+		})
+	}
+}

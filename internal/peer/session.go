@@ -63,25 +63,37 @@ type inSession struct {
 
 	// Resync rate limiters: when the matching request was last sent.
 	// Cleared on progress (stream adoption, snapshot application).
-	resetAsked  time.Time
-	repairAsked time.Time
+	// advertWanted marks a solicited advert in flight (an Advert repair
+	// request went out): the digest comparison it triggers may bypass the
+	// repairAsked limiter once — the stamp rate-limits the *request*, not
+	// the repair the requested advert concludes is needed.
+	resetAsked   time.Time
+	repairAsked  time.Time
+	advertWanted bool
 
 	// sup is the per-sender support ledger: the facts src currently
 	// maintains at this peer, keyed by relation id then tuple key. It
 	// mirrors what src's remote view believes this peer holds — including
 	// maintained facts in extensional relations — and is exactly the set a
-	// SnapshotMsg replaces. dig keeps an order-insensitive digest per
-	// relation, maintained on every add/remove, so comparing against a
-	// DigestMsg advertisement is O(#relations).
-	sup map[string]map[string]value.Tuple
-	dig map[string]store.Digest
+	// SnapshotMsg replaces. trees keeps a Merkle summary tree per relation,
+	// maintained on every add/remove: its root is the O(1) digest a
+	// DigestMsg advertisement is compared against, and its range reads
+	// answer the bisection dialogue in O(log n).
+	sup   map[string]map[string]value.Tuple
+	trees map[string]*store.MerkleTree
+
+	// snapParts buffers the ops of a chunked snapshot in flight: every
+	// SnapshotMsg with More set parks its ops here, and the final chunk
+	// applies the whole snapshot atomically. A stream adoption discards a
+	// partial buffer — the new stream re-ships its snapshot from chunk one.
+	snapParts []protocol.FactDelta
 }
 
 func newInSession(from string) *inSession {
 	return &inSession{
-		from: from,
-		sup:  map[string]map[string]value.Tuple{},
-		dig:  map[string]store.Digest{},
+		from:  from,
+		sup:   map[string]map[string]value.Tuple{},
+		trees: map[string]*store.MerkleTree{},
 	}
 }
 
@@ -100,6 +112,8 @@ func (s *inSession) accept(msg protocol.DataMsg) (apply, adopted bool) {
 		s.known = true
 		s.epoch = msg.Epoch
 		s.seq = 0
+		s.snapParts = nil
+		s.advertWanted = false
 	} else if s.epoch != msg.Epoch {
 		if msg.Seq != 1 {
 			// A stray from a stale (or not yet adopted) stream.
@@ -107,9 +121,12 @@ func (s *inSession) accept(msg protocol.DataMsg) (apply, adopted bool) {
 		}
 		// The sender restarted (or reset) its stream: adopt it with a
 		// fresh watermark, so its re-sends apply instead of being misread
-		// as replays of the old stream.
+		// as replays of the old stream. A half-buffered snapshot of the
+		// old stream is dead — the new stream re-ships its own.
 		s.epoch = msg.Epoch
 		s.seq = 0
+		s.snapParts = nil
+		s.advertWanted = false
 		adopted = true
 	}
 	if msg.Seq <= s.seq {
@@ -154,9 +171,12 @@ func (s *inSession) ledgerAdd(relID string, t value.Tuple) {
 		return
 	}
 	m[key] = t.Clone()
-	d := s.dig[relID]
-	d.Add(key)
-	s.dig[relID] = d
+	tr := s.trees[relID]
+	if tr == nil {
+		tr = store.NewMerkleTree()
+		s.trees[relID] = tr
+	}
+	tr.Add(key)
 }
 
 // ledgerRemove records that the sender no longer maintains (relID, t) here.
@@ -170,30 +190,67 @@ func (s *inSession) ledgerRemove(relID string, t value.Tuple) {
 	if len(m) == 0 {
 		delete(s.sup, relID)
 	}
-	d := s.dig[relID]
-	d.Remove(key)
-	if d.Zero() {
-		delete(s.dig, relID)
-	} else {
-		s.dig[relID] = d
+	if tr := s.trees[relID]; tr != nil {
+		tr.Remove(key)
+		if tr.Len() == 0 {
+			delete(s.trees, relID)
+		}
 	}
+}
+
+// ledgerDigest returns the digest of one relation's ledger — a tree root
+// read, zero when the sender maintains nothing in the relation.
+func (s *inSession) ledgerDigest(relID string) store.Digest {
+	if tr := s.trees[relID]; tr != nil {
+		return tr.Root()
+	}
+	return store.Digest{}
+}
+
+// ledgerCount returns how many facts the sender maintains here in total —
+// the size a repair would have to re-ship, which routes the repair: big
+// ledgers earn a ranged dialogue, small ones a plain snapshot.
+func (s *inSession) ledgerCount() int {
+	n := 0
+	for _, m := range s.sup {
+		n += len(m)
+	}
+	return n
+}
+
+// rangeDigest digests one hash range of one relation's ledger — the
+// receiver half of a bisection comparison.
+func (s *inSession) rangeDigest(relID string, lo, hi uint64) store.Digest {
+	if tr := s.trees[relID]; tr != nil {
+		return tr.RangeDigest(lo, hi)
+	}
+	return store.Digest{}
 }
 
 // digestsMatch compares the sender's advertised per-relation digests
 // against this session's ledger digests — O(#relations), no tuples walked.
 func (s *inSession) digestsMatch(rels map[string]protocol.RelDigest) bool {
+	return len(s.mismatchedRels(rels)) == 0
+}
+
+// mismatchedRels returns the relations whose advertised digest disagrees
+// with this session's ledger — including relations only one side has —
+// sorted for deterministic repair traffic.
+func (s *inSession) mismatchedRels(rels map[string]protocol.RelDigest) []string {
+	var out []string
 	for relID, rd := range rels {
-		d := s.dig[relID]
+		d := s.ledgerDigest(relID)
 		if d.Hash != rd.Hash || d.Count != rd.Count {
-			return false
+			out = append(out, relID)
 		}
 	}
-	for relID, d := range s.dig {
-		if _, ok := rels[relID]; !ok && d.Count > 0 {
-			return false
+	for relID, tr := range s.trees {
+		if _, ok := rels[relID]; !ok && tr.Len() > 0 {
+			out = append(out, relID)
 		}
 	}
-	return true
+	sort.Strings(out)
+	return out
 }
 
 // staleAgainst returns the ledger facts a snapshot no longer covers —

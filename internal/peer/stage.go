@@ -422,10 +422,34 @@ func (p *Peer) ingestDataLocked(from string, msg protocol.DataMsg, rep *StageRep
 	changed := p.ingestPayloadLocked(from, msg.Msg, rep, d)
 	if adopted {
 		if _, isSnapshot := msg.Msg.(protocol.SnapshotMsg); !isSnapshot {
-			p.requestResyncLocked(from, false)
+			p.requestAdoptionRepairLocked(from)
 		}
 	}
 	return changed
+}
+
+// requestAdoptionRepairLocked asks a freshly adopted sender for repair: its
+// previous incarnation may have died owing us retractions its fresh stream
+// will never re-send. A session whose ledger is large enough to clear the
+// ranged-repair floor asks for an immediate digest advert instead of a view
+// re-ship — the advert comparison then routes the repair through the
+// bisection dialogue, turning the classic O(view) restart snapshot into
+// O(δ log n) when the ledger is in fact nearly correct. Small ledgers, and
+// peers with adverts disabled, keep the plain snapshot request.
+func (p *Peer) requestAdoptionRepairLocked(from string) {
+	s := p.sessionLocked(from)
+	if p.resyncEvery <= 0 || p.rangedFloor < 0 || s.ledgerCount() < p.rangedFloor {
+		p.requestResyncLocked(from, false)
+		return
+	}
+	now := time.Now()
+	if !s.repairAsked.IsZero() && now.Sub(s.repairAsked) < resyncRequestTTL {
+		return
+	}
+	s.repairAsked = now
+	s.advertWanted = true
+	p.stats.ResyncRequested++
+	p.outbox.EnqueueControl(from, protocol.ResyncRequestMsg{Advert: true})
 }
 
 // dropDelegationsLocked removes every delegation group the given origin
@@ -486,11 +510,59 @@ func (p *Peer) handleDigestLocked(from string, msg protocol.DigestMsg) {
 		// carries the newer position.
 		return
 	}
-	if s.digestsMatch(msg.Rels) && p.delegationsMatchLocked(from, msg.Deleg) {
+	mism := s.mismatchedRels(msg.Rels)
+	if len(mism) == 0 && p.delegationsMatchLocked(from, msg.Deleg) {
 		s.repairAsked = time.Time{}
+		s.advertWanted = false
 		return
 	}
-	p.requestResyncLocked(from, false)
+	if s.advertWanted {
+		// This advert was solicited (Advert repair request): the stamp that
+		// rate-limited the request must not also suppress the repair the
+		// comparison just concluded is needed.
+		s.advertWanted = false
+		s.repairAsked = time.Time{}
+	}
+	// Route the repair. Delegation divergence always takes the snapshot
+	// path — serving it re-sends the residual rule sets, which no ranged
+	// dialogue carries. Fact divergence takes the bisection path when the
+	// divergent relations are collectively large enough to clear the floor
+	// (below it, one snapshot costs less than the dialogue).
+	if p.rangedFloor < 0 || !p.delegationsMatchLocked(from, msg.Deleg) {
+		p.requestResyncLocked(from, false)
+		return
+	}
+	total := 0
+	for _, relID := range mism {
+		n := int(msg.Rels[relID].Count)
+		if c := s.ledgerDigest(relID).Count; int(c) > n {
+			n = int(c)
+		}
+		total += n
+	}
+	if total < p.rangedFloor {
+		p.requestResyncLocked(from, false)
+		return
+	}
+	p.startRangedRepairLocked(from, mism)
+}
+
+// startRangedRepairLocked opens the bisection dialogue with a divergent
+// sender: one full-range digest request per mismatched relation,
+// rate-limited exactly like a snapshot request (the dialogue is
+// best-effort; a lost round is restarted by the next advert).
+func (p *Peer) startRangedRepairLocked(from string, mism []string) {
+	s := p.sessionLocked(from)
+	now := time.Now()
+	if !s.repairAsked.IsZero() && now.Sub(s.repairAsked) < resyncRequestTTL {
+		return
+	}
+	s.repairAsked = now
+	p.stats.ResyncRequested++
+	full := []protocol.HashRange{{Lo: 0, Hi: ^uint64(0)}}
+	for _, relID := range mism {
+		p.outbox.EnqueueControl(from, protocol.RangeDigestRequestMsg{RelID: relID, Ranges: full})
+	}
 }
 
 // delegationsMatchLocked compares the sender's advertised delegation
@@ -515,26 +587,66 @@ func (p *Peer) delegationsMatchLocked(from string, deleg map[string]uint64) bool
 	return true
 }
 
+// snapshotChunkOps bounds one snapshot chunk: a maintained view larger than
+// this ships as a contiguous run of SnapshotMsgs (every chunk but the last
+// with More set) instead of one unbounded gob message, and the receiver
+// buffers the run and applies it atomically at the final chunk.
+const snapshotChunkOps = 4096
+
+// snapshotChunksLocked builds the full-snapshot repair for dst as a run of
+// bounded chunks (always at least one — an empty final chunk is the whole
+// message for an empty view), counting the snapshot stats as it goes. The
+// caller enqueues the run contiguously (EnqueueDataBatch or a reset).
+func (p *Peer) snapshotChunksLocked(dst string) []protocol.Payload {
+	facts := p.rv.SnapshotFacts(dst)
+	ops := make([]protocol.FactDelta, len(facts))
+	for i, f := range facts {
+		ops[i] = protocol.FactDelta{Maint: true, Fact: f}
+	}
+	var chunks []protocol.Payload
+	for {
+		n := len(ops)
+		if n > snapshotChunkOps {
+			n = snapshotChunkOps
+		}
+		chunk := protocol.SnapshotMsg{Ops: ops[:n], More: n < len(ops)}
+		ops = ops[n:]
+		if b, err := protocol.EncodePayload(chunk); err == nil {
+			p.stats.ResyncSnapshotBytes += uint64(len(b))
+		}
+		chunks = append(chunks, chunk)
+		if len(ops) == 0 {
+			break
+		}
+	}
+	p.stats.ResyncSnapshots++
+	return chunks
+}
+
 // handleResyncRequestLocked serves a receiver's repair request with a
 // snapshot of everything this peer maintains there, and forgets the
 // delegation fingerprints for that target — the requester may have lost its
 // installed delegations along with its data, so the next stage (forced via
 // progDirty) re-sends the current residual sets, which the receiver
 // installs idempotently. A reset request additionally restarts the stream
-// under a fresh epoch, with the snapshot as its sequence 1.
+// under a fresh epoch, with the snapshot chunks as its sequences 1..n.
+//
+// An Advert request is different in kind: the requester holds a large,
+// probably-nearly-correct ledger and wants the digest advert *now* instead
+// of waiting out the advert clock — the comparison then routes the repair
+// (ranged, snapshot, or nothing). No view is shipped and no delegation
+// state is touched; if the comparison does conclude divergence, the
+// follow-up request comes back through here without the flag.
 func (p *Peer) handleResyncRequestLocked(from string, msg protocol.ResyncRequestMsg) {
-	snap := protocol.SnapshotMsg{}
-	for _, f := range p.rv.SnapshotFacts(from) {
-		snap.Ops = append(snap.Ops, protocol.FactDelta{Maint: true, Fact: f})
+	if msg.Advert {
+		p.outbox.EnqueueControl(from, p.digestMsgLocked(from))
+		return
 	}
-	p.stats.ResyncSnapshots++
-	if b, err := protocol.EncodePayload(snap); err == nil {
-		p.stats.ResyncSnapshotBytes += uint64(len(b))
-	}
+	chunks := p.snapshotChunksLocked(from)
 	if msg.Reset {
-		p.outbox.Reset(from, snap)
+		p.outbox.Reset(from, chunks...)
 	} else {
-		p.outbox.EnqueueData(from, snap)
+		p.outbox.EnqueueDataBatch(from, chunks...)
 	}
 	for ruleID, targets := range p.lastSentDeleg {
 		if _, ok := targets[from]; ok {
@@ -578,6 +690,223 @@ func (p *Peer) applySnapshotLocked(from string, msg protocol.SnapshotMsg, rep *S
 	}
 	for _, fd := range msg.Ops {
 		if fd.Fact.Peer != p.name || fd.Delete {
+			continue
+		}
+		ops = append(ops, ingestOp{maint: true, src: from, fact: fd.Fact})
+	}
+	sess.repairAsked = time.Time{}
+	return p.applyOpsLocked(ops, rep, d)
+}
+
+// Ranged-repair tuning. The bisection dialogue is receiver-driven and
+// stateless: every round the receiver compares the sender's range digests
+// against its own ledger trees, asks for repair of mismatching ranges the
+// sender counts at most rangedRepairLeaf members in, and splits anything
+// bigger into rangedBisectFanout subranges for the next round — so a
+// divergence of δ keys in a view of n costs O(δ·fanout·log n) digests plus
+// O(δ) re-shipped facts instead of O(n). rangedMaxRanges caps one message —
+// bigger rounds ship as several independent requests (every round is
+// stateless), and the cap also bounds what a malformed request can make the
+// sender do. rangedMaxRound caps a whole round: divergence broad enough to
+// blow past it is cheaper as one snapshot.
+const (
+	defaultRangedRepairFloor = 1024
+	rangedRepairLeaf         = 128
+	rangedBisectFanout       = 16
+	rangedMaxRanges          = 512
+	rangedMaxRound           = 4096
+)
+
+// splitRange cuts one hash range into up to rangedBisectFanout equal
+// subranges (fewer when the range spans fewer hashes). The caller never
+// splits a single-point range.
+func splitRange(r protocol.HashRange) []protocol.HashRange {
+	step := (r.Hi-r.Lo)/rangedBisectFanout + 1
+	out := make([]protocol.HashRange, 0, rangedBisectFanout)
+	lo := r.Lo
+	for {
+		hi := lo + step - 1
+		if hi < lo || hi > r.Hi {
+			hi = r.Hi // clamp the last subrange (and uint64 overflow) to the end
+		}
+		out = append(out, protocol.HashRange{Lo: lo, Hi: hi})
+		if hi == r.Hi {
+			return out
+		}
+		lo = hi + 1
+	}
+}
+
+// handleRangeDigestRequestLocked answers one bisection round as the stream's
+// sender: digest the requested ranges of the maintained view's summary tree
+// — O(log n) per range — and reply with the stream position the digests are
+// current as of (stages enqueue under p.mu, so position and tree are
+// mutually consistent, exactly as in digestFor).
+func (p *Peer) handleRangeDigestRequestLocked(from string, msg protocol.RangeDigestRequestMsg) {
+	if len(msg.Ranges) == 0 || len(msg.Ranges) > rangedMaxRanges {
+		return
+	}
+	tr := p.rv.Tree(from, msg.RelID)
+	epoch, nextSeq := p.outbox.streamState(from)
+	reply := protocol.RangeDigestMsg{
+		Epoch:   epoch,
+		AsOfSeq: nextSeq,
+		RelID:   msg.RelID,
+		Ranges:  make([]protocol.RangeDigest, 0, len(msg.Ranges)),
+	}
+	for _, r := range msg.Ranges {
+		var d store.Digest
+		if tr != nil {
+			d = tr.RangeDigest(r.Lo, r.Hi)
+		}
+		reply.Ranges = append(reply.Ranges, protocol.RangeDigest{Lo: r.Lo, Hi: r.Hi, Hash: d.Hash, Count: d.Count})
+	}
+	if b, err := protocol.EncodePayload(reply); err == nil {
+		p.stats.ResyncRangeDigestBytes += uint64(len(b))
+	}
+	p.outbox.EnqueueControl(from, reply)
+}
+
+// handleRangeDigestLocked advances the bisection dialogue as the stream's
+// receiver: compare each advertised range against the ledger tree, request
+// repair of mismatching leaf-sized ranges, recurse into bigger ones. Like a
+// full digest advert, the reply is only meaningful to a session caught up
+// to its stamped stream position — anything else is still being decided by
+// in-flight deltas and is dropped (the next advert restarts the dialogue).
+func (p *Peer) handleRangeDigestLocked(from string, msg protocol.RangeDigestMsg) {
+	s := p.sessionLocked(from)
+	if !s.known || s.epoch != msg.Epoch || s.seq != msg.AsOfSeq || len(msg.Ranges) > rangedMaxRanges {
+		return
+	}
+	var repair, deeper []protocol.HashRange
+	for _, rd := range msg.Ranges {
+		if rd.Hi < rd.Lo {
+			continue
+		}
+		d := s.rangeDigest(msg.RelID, rd.Lo, rd.Hi)
+		if d.Hash == rd.Hash && d.Count == rd.Count {
+			continue
+		}
+		if rd.Count <= rangedRepairLeaf || rd.Lo == rd.Hi {
+			repair = append(repair, protocol.HashRange{Lo: rd.Lo, Hi: rd.Hi})
+			continue
+		}
+		deeper = append(deeper, splitRange(protocol.HashRange{Lo: rd.Lo, Hi: rd.Hi})...)
+	}
+	if len(repair) == 0 && len(deeper) == 0 {
+		return // every range agreed: the divergence healed (or lives in another relation)
+	}
+	if len(repair) > rangedMaxRound || len(deeper) > rangedMaxRound {
+		// Divergence too broad for a dialogue — one snapshot is cheaper.
+		// Clear the rate limiter the dialogue stamped so the request goes out.
+		s.repairAsked = time.Time{}
+		p.requestResyncLocked(from, false)
+		return
+	}
+	// Progress: re-arm the limiter so the periodic advert does not open a
+	// competing snapshot path mid-dialogue.
+	s.repairAsked = time.Now()
+	p.stats.ResyncRangesRequested += uint64(len(repair))
+	for len(repair) > 0 {
+		n := len(repair)
+		if n > rangedMaxRanges {
+			n = rangedMaxRanges
+		}
+		p.outbox.EnqueueControl(from, protocol.RangeRepairRequestMsg{RelID: msg.RelID, Ranges: repair[:n]})
+		repair = repair[n:]
+	}
+	for len(deeper) > 0 {
+		n := len(deeper)
+		if n > rangedMaxRanges {
+			n = rangedMaxRanges
+		}
+		p.outbox.EnqueueControl(from, protocol.RangeDigestRequestMsg{RelID: msg.RelID, Ranges: deeper[:n]})
+		deeper = deeper[n:]
+	}
+}
+
+// handleRangeRepairRequestLocked serves the end of a bisection dialogue as
+// the stream's sender: re-ship the maintained facts of the requested ranges
+// as sequenced RangeRepairMsgs. Each message is self-contained — it carries
+// whole ranges together with every fact it maintains in them — so a run
+// chunked at roughly snapshotChunkOps facts needs no cross-message
+// atomicity; every piece is an idempotent range-scoped snapshot on its own.
+func (p *Peer) handleRangeRepairRequestLocked(from string, msg protocol.RangeRepairRequestMsg) {
+	if len(msg.Ranges) == 0 || len(msg.Ranges) > rangedMaxRanges {
+		return
+	}
+	var ranges []protocol.HashRange
+	var ops []protocol.FactDelta
+	flush := func() {
+		if len(ranges) == 0 {
+			return
+		}
+		m := protocol.RangeRepairMsg{RelID: msg.RelID, Ranges: ranges, Ops: ops}
+		p.stats.ResyncRangedRepairs++
+		if b, err := protocol.EncodePayload(m); err == nil {
+			p.stats.ResyncRangedRepairBytes += uint64(len(b))
+		}
+		p.outbox.EnqueueData(from, m)
+		ranges, ops = nil, nil
+	}
+	for _, r := range msg.Ranges {
+		if r.Hi < r.Lo {
+			continue
+		}
+		ranges = append(ranges, r)
+		for _, f := range p.rv.RangeFacts(from, msg.RelID, r.Lo, r.Hi) {
+			ops = append(ops, protocol.FactDelta{Maint: true, Fact: f})
+		}
+		if len(ops) >= snapshotChunkOps {
+			flush()
+		}
+	}
+	flush()
+}
+
+// applyRangeRepairLocked applies one range-scoped snapshot: within the
+// message's ranges, the sender's support here becomes exactly the message's
+// ops — ledger facts inside the ranges that the ops do not cover are
+// applied as maintained deletes, then the ops as maintained inserts (both
+// idempotent). The message rides the sequenced stream, so it is ordered
+// exactly-once against live deltas; applying it when the ranges no longer
+// mismatch is harmless for the same reason a replayed snapshot is.
+func (p *Peer) applyRangeRepairLocked(from string, msg protocol.RangeRepairMsg, rep *StageReport, d *stageDeltas) bool {
+	sess := p.sessionLocked(from)
+	covered := make(map[string]bool, len(msg.Ops))
+	for _, fd := range msg.Ops {
+		if fd.Fact.Peer != p.name || fd.Delete || fd.Fact.Rel+"@"+fd.Fact.Peer != msg.RelID {
+			rep.Errors = append(rep.Errors, fmt.Errorf(
+				"peer %s: malformed ranged repair entry %s from %s", p.name, fd.String(), from))
+			continue
+		}
+		covered[fd.Fact.Args.Key()] = true
+	}
+	var stale []ast.Fact
+	if tr := sess.trees[msg.RelID]; tr != nil {
+		name, peerName := store.SplitID(msg.RelID)
+		sup := sess.sup[msg.RelID]
+		for _, r := range msg.Ranges {
+			if r.Hi < r.Lo {
+				continue
+			}
+			for _, key := range tr.RangeKeys(r.Lo, r.Hi) {
+				if covered[key] {
+					continue
+				}
+				if t, ok := sup[key]; ok {
+					stale = append(stale, ast.Fact{Rel: name, Peer: peerName, Args: t})
+				}
+			}
+		}
+	}
+	sortFactsByKey(stale)
+	ops := make([]ingestOp, 0, len(stale)+len(msg.Ops))
+	for _, f := range stale {
+		ops = append(ops, ingestOp{del: true, maint: true, src: from, fact: f})
+	}
+	for _, fd := range msg.Ops {
+		if fd.Fact.Peer != p.name || fd.Delete || fd.Fact.Rel+"@"+fd.Fact.Peer != msg.RelID {
 			continue
 		}
 		ops = append(ops, ingestOp{maint: true, src: from, fact: fd.Fact})
@@ -639,13 +968,35 @@ func (p *Peer) ingestPayloadLocked(from string, payload protocol.Payload, rep *S
 				"peer %s: %w: delegation %s from %s", p.name, errdefs.ErrPolicyDenied, msg.RuleID, from))
 		}
 	case protocol.SnapshotMsg:
+		sess := p.sessionLocked(from)
+		if msg.More {
+			// One chunk of a larger snapshot: park its ops (the sequenced
+			// stream already acked it) and apply the whole run atomically at
+			// the final chunk.
+			sess.snapParts = append(sess.snapParts, msg.Ops...)
+			break
+		}
+		if len(sess.snapParts) > 0 {
+			msg.Ops = append(sess.snapParts, msg.Ops...)
+			sess.snapParts = nil
+		}
 		if p.applySnapshotLocked(from, msg, rep, d) {
+			changed = true
+		}
+	case protocol.RangeRepairMsg:
+		if p.applyRangeRepairLocked(from, msg, rep, d) {
 			changed = true
 		}
 	case protocol.DigestMsg:
 		// Anti-entropy advert: pure delivery bookkeeping plus, possibly, a
 		// repair request — never itself a reason to run the fixpoint.
 		p.handleDigestLocked(from, msg)
+	case protocol.RangeDigestRequestMsg:
+		p.handleRangeDigestRequestLocked(from, msg)
+	case protocol.RangeDigestMsg:
+		p.handleRangeDigestLocked(from, msg)
+	case protocol.RangeRepairRequestMsg:
+		p.handleRangeRepairRequestLocked(from, msg)
 	case protocol.ResyncRequestMsg:
 		p.handleResyncRequestLocked(from, msg)
 	case protocol.ControlMsg:

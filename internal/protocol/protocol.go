@@ -133,10 +133,16 @@ type DigestMsg struct {
 // follow the stream at all — typically it restarted and lost its watermark
 // while the sender's stream is mid-sequence — so the sender tears the
 // stream down: fresh per-stream epoch, a snapshot as the new sequence 1,
-// surviving pending entries renumbered behind it. Requests are idempotent
-// and best-effort; the requester rate-limits and re-asks.
+// surviving pending entries renumbered behind it. With Advert true the
+// requester holds a large, probably-nearly-correct ledger (a sender restart
+// adopted a fresh epoch over intact receiver state) and asks for an
+// immediate digest advert instead of a view re-ship: the advert comparison
+// then routes the repair — ranged if the trees are big, snapshot if not,
+// nothing at all if the ledger already matches. Requests are idempotent and
+// best-effort; the requester rate-limits and re-asks.
 type ResyncRequestMsg struct {
-	Reset bool
+	Reset  bool
+	Advert bool
 }
 
 // SnapshotMsg carries the sender's complete maintained view for the
@@ -147,8 +153,81 @@ type ResyncRequestMsg struct {
 // receiver sets the sender's support to exactly the snapshot: facts it
 // carries gain support (idempotently), and per-sender support the snapshot
 // no longer covers is dropped — stale tuples from before a crash die here.
+//
+// Large views ship as a contiguous run of bounded chunks rather than one
+// giant gob message: every chunk but the last sets More, and the receiver
+// buffers chunks (they advance the watermark and ack like any sequenced
+// message) and applies the whole snapshot atomically at the final one. A
+// stream reset or epoch change discards a partial buffer — the new stream
+// re-ships its snapshot from chunk one.
 type SnapshotMsg struct {
-	Ops []FactDelta
+	Ops  []FactDelta
+	More bool
+}
+
+// HashRange is an inclusive interval [Lo, Hi] on the canonical 64-bit
+// key-hash line (store.KeyHash of the tuple key) — the unit the bisection
+// dialogue negotiates over. The full range is [0, ^uint64(0)].
+type HashRange struct {
+	Lo, Hi uint64
+}
+
+// RangeDigest is the digest of one hash range of a relation's maintained
+// fact set: the XOR fold of the member key hashes in the range plus their
+// count, exactly a store.MerkleTree range read. Because the fold is over
+// members — not over tree pages — both ends compare any range without
+// agreeing on tree shapes.
+type RangeDigest struct {
+	Lo, Hi uint64
+	Hash   uint64
+	Count  uint64
+}
+
+// RangeDigestRequestMsg asks the stream's sender to digest the given hash
+// ranges of one relation's maintained view — one round of the bisection
+// dialogue, sent by a receiver whose ledger digest disagrees with an
+// advert. Unsequenced and best-effort: a lost round is restarted by the
+// next periodic advert.
+type RangeDigestRequestMsg struct {
+	RelID  string
+	Ranges []HashRange
+}
+
+// RangeDigestMsg answers a RangeDigestRequestMsg with the sender-side
+// digests of the requested ranges, valid as of stream position (Epoch,
+// AsOfSeq) exactly like a DigestMsg: a receiver that is not caught up to
+// that position must drop the reply (in-flight deltas are still deciding
+// the comparison). The receiver recurses on mismatching ranges — asking for
+// their subranges — and requests repair for mismatching ranges already at
+// leaf size.
+type RangeDigestMsg struct {
+	Epoch   uint64
+	AsOfSeq uint64
+	RelID   string
+	Ranges  []RangeDigest
+}
+
+// RangeRepairRequestMsg asks the stream's sender to re-ship the given hash
+// ranges of one relation's maintained view as a ranged repair. Unsequenced
+// and best-effort, like every repair request.
+type RangeRepairRequestMsg struct {
+	RelID  string
+	Ranges []HashRange
+}
+
+// RangeRepairMsg is the ranged analogue of SnapshotMsg: the authoritative
+// statement "my maintained view of RelID, restricted to Ranges, is exactly
+// Ops". It rides the sequenced stream, so it is ordered exactly-once
+// against live deltas. On application the receiver drops ledger support for
+// every tuple inside the ranges that Ops does not cover and applies Ops as
+// maintained inserts — a range-scoped snapshot, idempotent and safe to
+// apply even if the ranges no longer mismatch. A repair covering many
+// ranges may arrive as several messages, each self-contained over its own
+// range subset.
+type RangeRepairMsg struct {
+	RelID  string
+	Ranges []HashRange
+	Ops    []FactDelta
 }
 
 // ControlKind enumerates control messages.
@@ -185,6 +264,11 @@ func (DigestMsg) payload()        {}
 func (ResyncRequestMsg) payload() {}
 func (SnapshotMsg) payload()      {}
 
+func (RangeDigestRequestMsg) payload() {}
+func (RangeDigestMsg) payload()        {}
+func (RangeRepairRequestMsg) payload() {}
+func (RangeRepairMsg) payload()        {}
+
 // Envelope wraps a payload with routing metadata. Seq is a per-sender
 // sequence number; transports deliver envelopes from one sender in Seq
 // order (FIFO links, as the paper's TCP channels provide).
@@ -209,6 +293,10 @@ func init() {
 	gob.Register(DigestMsg{})
 	gob.Register(ResyncRequestMsg{})
 	gob.Register(SnapshotMsg{})
+	gob.Register(RangeDigestRequestMsg{})
+	gob.Register(RangeDigestMsg{})
+	gob.Register(RangeRepairRequestMsg{})
+	gob.Register(RangeRepairMsg{})
 }
 
 // Encode serializes an envelope with gob.

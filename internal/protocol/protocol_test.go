@@ -93,6 +93,82 @@ func TestControlMsgRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRangedMessagesRoundTrip: the bisection dialogue's four message types
+// and the chunk/advert flags survive the wire.
+func TestRangedMessagesRoundTrip(t *testing.T) {
+	full := HashRange{Lo: 0, Hi: ^uint64(0)}
+	msgs := []Payload{
+		ResyncRequestMsg{Advert: true},
+		SnapshotMsg{More: true, Ops: []FactDelta{{Fact: ast.NewFact("r", "b", value.Int(1))}}},
+		RangeDigestRequestMsg{RelID: "r@b", Ranges: []HashRange{full, {Lo: 1, Hi: 2}}},
+		RangeDigestMsg{Epoch: 3, AsOfSeq: 9, RelID: "r@b", Ranges: []RangeDigest{
+			{Lo: 1, Hi: 2, Hash: 0xDEAD, Count: 4},
+		}},
+		RangeRepairRequestMsg{RelID: "r@b", Ranges: []HashRange{{Lo: 5, Hi: 6}}},
+		RangeRepairMsg{RelID: "r@b", Ranges: []HashRange{full}, Ops: []FactDelta{
+			{Maint: true, Fact: ast.NewFact("r", "b", value.Str("x"))},
+		}},
+	}
+	for _, msg := range msgs {
+		b, err := Encode(Envelope{From: "a", To: "b", Msg: msg})
+		if err != nil {
+			t.Fatalf("%T: %v", msg, err)
+		}
+		got, err := DecodeEnvelope(b)
+		if err != nil {
+			t.Fatalf("%T: %v", msg, err)
+		}
+		switch m := got.Msg.(type) {
+		case ResyncRequestMsg:
+			if !m.Advert || m.Reset {
+				t.Errorf("resync request = %+v", m)
+			}
+		case SnapshotMsg:
+			if !m.More || len(m.Ops) != 1 {
+				t.Errorf("snapshot chunk = %+v", m)
+			}
+		case RangeDigestRequestMsg:
+			if m.RelID != "r@b" || len(m.Ranges) != 2 || m.Ranges[0] != full {
+				t.Errorf("range digest request = %+v", m)
+			}
+		case RangeDigestMsg:
+			if m.Epoch != 3 || m.AsOfSeq != 9 || len(m.Ranges) != 1 || m.Ranges[0].Hash != 0xDEAD || m.Ranges[0].Count != 4 {
+				t.Errorf("range digest = %+v", m)
+			}
+		case RangeRepairRequestMsg:
+			if m.RelID != "r@b" || len(m.Ranges) != 1 || m.Ranges[0] != (HashRange{Lo: 5, Hi: 6}) {
+				t.Errorf("range repair request = %+v", m)
+			}
+		case RangeRepairMsg:
+			if m.RelID != "r@b" || len(m.Ranges) != 1 || len(m.Ops) != 1 || !m.Ops[0].Maint {
+				t.Errorf("range repair = %+v", m)
+			}
+		default:
+			t.Errorf("decoded unexpected type %T", got.Msg)
+		}
+	}
+}
+
+// TestRangedMessagesInsideDataMsg: the sequenced carriers (RangeRepairMsg,
+// chunked SnapshotMsg) also ride inside DataMsg, gob's interface-in-struct
+// case.
+func TestRangedMessagesInsideDataMsg(t *testing.T) {
+	inner := RangeRepairMsg{RelID: "r@b", Ranges: []HashRange{{Lo: 7, Hi: 8}}}
+	b, err := Encode(Envelope{From: "a", To: "b", Msg: DataMsg{Epoch: 2, Seq: 5, Msg: inner}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := got.Msg.(DataMsg)
+	rm, ok := dm.Msg.(RangeRepairMsg)
+	if !ok || dm.Epoch != 2 || dm.Seq != 5 || rm.RelID != "r@b" || len(rm.Ranges) != 1 {
+		t.Fatalf("decoded %+v", got.Msg)
+	}
+}
+
 func TestEnvelopeString(t *testing.T) {
 	env := Envelope{From: "a", To: "b", Seq: 9, Msg: FactsMsg{}}
 	if got := env.String(); got == "" {

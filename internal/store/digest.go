@@ -30,11 +30,27 @@ func (d *Digest) Add(key string) {
 }
 
 // Remove folds one member out of the digest. The caller must only remove
-// members previously added (set semantics are the caller's ledger).
+// members previously added (set semantics are the caller's ledger): a
+// digest has no membership of its own, so the one violation it *can* catch
+// — removing from the empty set, which would otherwise underflow Count and
+// silently corrupt every later comparison — is refused, and panics under
+// DebugAsserts so tests surface the offending call site.
 func (d *Digest) Remove(key string) {
+	if d.Count == 0 {
+		if DebugAsserts {
+			panic("store: Digest.Remove on an empty digest: " + key)
+		}
+		return
+	}
 	d.Hash ^= KeyHash(key)
 	d.Count--
 }
+
+// DebugAsserts upgrades internal invariant violations (Digest underflow,
+// MerkleTree removal of an absent key) from silent no-ops to panics. Tests
+// enable it; production code paths leave it off and treat the violations
+// as refused operations.
+var DebugAsserts = false
 
 // Zero reports whether the digest summarizes the empty set.
 func (d Digest) Zero() bool { return d.Count == 0 && d.Hash == 0 }
@@ -52,4 +68,23 @@ func (r *Relation) Digest() Digest {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return Digest{Hash: r.fp, Count: uint64(len(r.tuples))}
+}
+
+// Merkle returns the relation's Merkle summary tree over the canonical
+// tuple-key order. The first call builds it from the current contents
+// (O(n log n)); every mutation thereafter keeps it current, so later calls
+// are O(1). The returned tree is live — read it only under the discipline
+// that guards the relation itself (the peer's stage lock), never while a
+// concurrent mutator runs.
+func (r *Relation) Merkle() *MerkleTree {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.merkle == nil {
+		t := NewMerkleTree()
+		for key := range r.tuples {
+			t.Add(key)
+		}
+		r.merkle = t
+	}
+	return r.merkle
 }

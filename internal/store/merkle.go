@@ -1,0 +1,298 @@
+package store
+
+import "sort"
+
+// Merkle summary trees over the canonical tuple-key order.
+//
+// A MerkleTree summarizes a keyed set so that two peers holding *almost*
+// the same set can find where they differ in O(δ log n) bytes of dialogue
+// instead of shipping a whole view. The canonical order is the order of
+// KeyHash(key) — the same FNV-64a fold the flat Digest and the relation
+// fingerprint use — so both ends of a comparison place every member at the
+// same position in the 64-bit hash line without coordinating.
+//
+// Structure: a fanout-16 trie over the leading bits of each member's key
+// hash. Leaf pages hold up to merkleLeafMax (~128) keys; a page that
+// overflows splits into sixteen children on the next 4 hash bits, and a
+// subtree that drains below merkleLeafMin collapses back into one page
+// (hysteresis, so a set oscillating around the threshold does not thrash).
+// Every node keeps the XOR fold and count of the members below it — an
+// internal node's digest is exactly the fold of its children's digests —
+// so:
+//
+//   - Root() is O(1) and always equals the flat Digest of the same set;
+//   - Add/Remove update the fold and count along one root-to-leaf path,
+//     O(log n) amortized (splits and collapses touch one page);
+//   - RangeDigest(lo, hi) decomposes the range into O(log n) whole
+//     subtrees plus at most two partially-covered leaf pages;
+//   - RangeKeys(lo, hi) enumerates the members of a range in
+//     O(log n + members).
+//
+// Because node digests are order-insensitive folds of *members* (not
+// hashes of child digests), two trees summarizing the same set compare
+// equal on any hash range even if their page boundaries differ — the
+// bisection protocol never has to synchronize tree shapes, only ranges.
+//
+// A MerkleTree is not safe for concurrent use; owners guard it with the
+// lock that already guards the summarized set.
+
+const (
+	// merkleFanout is the trie fanout: 4 hash bits per level.
+	merkleFanout = 16
+	merkleBits   = 4
+	// merkleLeafMax is the page size: a leaf holding more keys splits.
+	merkleLeafMax = 128
+	// merkleLeafMin is the collapse threshold: an internal node whose
+	// subtree drains to this many keys becomes a single page again. It is
+	// well below merkleLeafMax/2 so alternating add/remove around a
+	// boundary cannot split and collapse on every mutation.
+	merkleLeafMin = 48
+	// merkleMaxDepth caps the trie depth at the hash width: members whose
+	// hashes collide on all 64 bits share a page forever.
+	merkleMaxDepth = 64 / merkleBits
+)
+
+// MerkleTree is an incrementally maintained summary tree over a keyed set.
+// The zero value is not usable; call NewMerkleTree.
+type MerkleTree struct {
+	root merkleNode
+}
+
+// merkleNode is one trie node: a leaf page (children nil, keys set) or an
+// internal node (children set, keys nil). hash/count summarize the whole
+// subtree in both cases.
+type merkleNode struct {
+	hash     uint64
+	count    int
+	children *[merkleFanout]*merkleNode
+	keys     map[string]uint64 // key -> KeyHash(key)
+}
+
+// NewMerkleTree returns an empty tree.
+func NewMerkleTree() *MerkleTree {
+	return &MerkleTree{root: merkleNode{keys: map[string]uint64{}}}
+}
+
+// Root returns the digest of the whole set: O(1), and identical to folding
+// every member into a flat Digest.
+func (t *MerkleTree) Root() Digest {
+	return Digest{Hash: t.root.hash, Count: uint64(t.root.count)}
+}
+
+// Len returns the member count.
+func (t *MerkleTree) Len() int { return t.root.count }
+
+// childIndex returns which child of a depth-d node the hash h falls under.
+func childIndex(h uint64, depth int) int {
+	return int(h >> (64 - merkleBits*(depth+1)) & (merkleFanout - 1))
+}
+
+// Add inserts key, reporting whether it was new.
+func (t *MerkleTree) Add(key string) bool {
+	h := KeyHash(key)
+	n, depth := &t.root, 0
+	var path [merkleMaxDepth + 1]*merkleNode
+	steps := 0
+	for n.children != nil {
+		path[steps] = n
+		steps++
+		n = n.child(childIndex(h, depth))
+		depth++
+	}
+	if _, dup := n.keys[key]; dup {
+		return false
+	}
+	n.keys[key] = h
+	n.hash ^= h
+	n.count++
+	for i := 0; i < steps; i++ {
+		path[i].hash ^= h
+		path[i].count++
+	}
+	if len(n.keys) > merkleLeafMax && depth < merkleMaxDepth {
+		n.split(depth)
+	}
+	return true
+}
+
+// Remove deletes key, reporting whether it was present. Removing an absent
+// key is a no-op (and panics under DebugAsserts): silently folding an
+// unknown hash out would corrupt every ancestor digest.
+func (t *MerkleTree) Remove(key string) bool {
+	h := KeyHash(key)
+	n, depth := &t.root, 0
+	var path [merkleMaxDepth + 1]*merkleNode
+	steps := 0
+	for n.children != nil {
+		path[steps] = n
+		steps++
+		n = n.child(childIndex(h, depth))
+		depth++
+	}
+	if _, ok := n.keys[key]; !ok {
+		if DebugAsserts {
+			panic("store: MerkleTree.Remove of a key never added: " + key)
+		}
+		return false
+	}
+	delete(n.keys, key)
+	n.hash ^= h
+	n.count--
+	for i := 0; i < steps; i++ {
+		path[i].hash ^= h
+		path[i].count--
+	}
+	// Collapse the shallowest drained ancestor (it subsumes any deeper
+	// ones) back into a single page.
+	for i := 0; i < steps; i++ {
+		if path[i].count <= merkleLeafMin {
+			path[i].collapse()
+			break
+		}
+	}
+	return true
+}
+
+// child returns (creating if needed) the i-th child of an internal node.
+func (n *merkleNode) child(i int) *merkleNode {
+	c := n.children[i]
+	if c == nil {
+		c = &merkleNode{keys: map[string]uint64{}}
+		n.children[i] = c
+	}
+	return c
+}
+
+// split turns an overflowing leaf page at the given depth into an internal
+// node, redistributing its keys on the next merkleBits hash bits.
+func (n *merkleNode) split(depth int) {
+	keys := n.keys
+	n.keys = nil
+	n.children = new([merkleFanout]*merkleNode)
+	for key, h := range keys {
+		c := n.child(childIndex(h, depth))
+		c.keys[key] = h
+		c.hash ^= h
+		c.count++
+	}
+}
+
+// collapse turns a drained subtree back into a single leaf page.
+func (n *merkleNode) collapse() {
+	if n.children == nil {
+		return
+	}
+	keys := make(map[string]uint64, n.count)
+	n.gather(keys)
+	n.children = nil
+	n.keys = keys
+}
+
+// gather collects every (key, hash) below n.
+func (n *merkleNode) gather(into map[string]uint64) {
+	if n.children == nil {
+		for key, h := range n.keys {
+			into[key] = h
+		}
+		return
+	}
+	for _, c := range n.children {
+		if c != nil {
+			c.gather(into)
+		}
+	}
+}
+
+// RangeDigest returns the digest of the members whose key hash falls in the
+// inclusive range [lo, hi]. The full range [0, ^uint64(0)] equals Root().
+func (t *MerkleTree) RangeDigest(lo, hi uint64) Digest {
+	if lo > hi {
+		return Digest{}
+	}
+	var d Digest
+	t.root.rangeDigest(0, 0, lo, hi, &d)
+	return d
+}
+
+// nodeSpan returns the inclusive hash interval a node at (depth, prefix)
+// covers; prefix holds the node's leading depth*merkleBits bits, left
+// aligned.
+func nodeSpan(prefix uint64, depth int) (lo, hi uint64) {
+	if depth == 0 {
+		return 0, ^uint64(0)
+	}
+	width := uint(64 - merkleBits*depth)
+	return prefix, prefix | (1<<width - 1)
+}
+
+func (n *merkleNode) rangeDigest(prefix uint64, depth int, lo, hi uint64, d *Digest) {
+	nLo, nHi := nodeSpan(prefix, depth)
+	if nHi < lo || nLo > hi || n.count == 0 {
+		return
+	}
+	if lo <= nLo && nHi <= hi {
+		d.Hash ^= n.hash
+		d.Count += uint64(n.count)
+		return
+	}
+	if n.children == nil {
+		for _, h := range n.keys {
+			if lo <= h && h <= hi {
+				d.Hash ^= h
+				d.Count++
+			}
+		}
+		return
+	}
+	for i, c := range n.children {
+		if c != nil {
+			c.rangeDigest(prefix|uint64(i)<<(64-merkleBits*(depth+1)), depth+1, lo, hi, d)
+		}
+	}
+}
+
+// RangeKeys returns the keys whose hash falls in the inclusive range
+// [lo, hi], in canonical (hash, key) order. The slice is the caller's.
+func (t *MerkleTree) RangeKeys(lo, hi uint64) []string {
+	if lo > hi {
+		return nil
+	}
+	var out []rangeKey
+	t.root.rangeKeys(0, 0, lo, hi, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].hash != out[j].hash {
+			return out[i].hash < out[j].hash
+		}
+		return out[i].key < out[j].key
+	})
+	keys := make([]string, len(out))
+	for i, rk := range out {
+		keys[i] = rk.key
+	}
+	return keys
+}
+
+type rangeKey struct {
+	hash uint64
+	key  string
+}
+
+func (n *merkleNode) rangeKeys(prefix uint64, depth int, lo, hi uint64, out *[]rangeKey) {
+	nLo, nHi := nodeSpan(prefix, depth)
+	if nHi < lo || nLo > hi || n.count == 0 {
+		return
+	}
+	if n.children == nil {
+		for key, h := range n.keys {
+			if lo <= h && h <= hi {
+				*out = append(*out, rangeKey{hash: h, key: key})
+			}
+		}
+		return
+	}
+	for i, c := range n.children {
+		if c != nil {
+			c.rangeKeys(prefix|uint64(i)<<(64-merkleBits*(depth+1)), depth+1, lo, hi, out)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// withDebugAsserts runs fn with the invariant panics enabled.
+func withDebugAsserts(t *testing.T, fn func()) {
+	t.Helper()
+	old := DebugAsserts
+	DebugAsserts = true
+	defer func() { DebugAsserts = old }()
+	fn()
+}
+
+// TestMerkleTreeAgainstModel drives a seeded random add/remove stream
+// through a MerkleTree and a plain model set, checking after every few
+// mutations that the root equals the flat digest of the model and that
+// random range digests and range enumerations agree with brute force. The
+// stream is large enough to force leaf splits and subtree collapses.
+func TestMerkleTreeAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tree := NewMerkleTree()
+	model := map[string]uint64{}
+
+	check := func(step int) {
+		var want Digest
+		for _, h := range model {
+			want.Hash ^= h
+			want.Count++
+		}
+		if got := tree.Root(); got != want {
+			t.Fatalf("step %d: root %+v, model digest %+v", step, got, want)
+		}
+		if tree.Len() != len(model) {
+			t.Fatalf("step %d: Len %d, model %d", step, tree.Len(), len(model))
+		}
+		for i := 0; i < 8; i++ {
+			lo, hi := rng.Uint64(), rng.Uint64()
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			var want Digest
+			n := 0
+			for _, h := range model {
+				if lo <= h && h <= hi {
+					want.Hash ^= h
+					want.Count++
+					n++
+				}
+			}
+			if got := tree.RangeDigest(lo, hi); got != want {
+				t.Fatalf("step %d: RangeDigest[%x,%x] %+v, brute force %+v", step, lo, hi, got, want)
+			}
+			if got := len(tree.RangeKeys(lo, hi)); got != n {
+				t.Fatalf("step %d: RangeKeys[%x,%x] returned %d keys, brute force %d", step, lo, hi, got, n)
+			}
+		}
+	}
+
+	for step := 0; step < 4000; step++ {
+		key := fmt.Sprintf("k%d", rng.Intn(1200))
+		if _, in := model[key]; in && rng.Intn(3) == 0 {
+			if !tree.Remove(key) {
+				t.Fatalf("step %d: Remove(%s) of a present key returned false", step, key)
+			}
+			delete(model, key)
+		} else if !in {
+			if !tree.Add(key) {
+				t.Fatalf("step %d: Add(%s) of an absent key returned false", step, key)
+			}
+			model[key] = KeyHash(key)
+		} else if tree.Add(key) {
+			t.Fatalf("step %d: Add(%s) of a present key returned true", step, key)
+		}
+		if step%97 == 0 {
+			check(step)
+		}
+	}
+	check(4000)
+
+	// Full-range queries equal the root; empty and inverted ranges are empty.
+	if got := tree.RangeDigest(0, ^uint64(0)); got != tree.Root() {
+		t.Fatalf("full-range digest %+v != root %+v", got, tree.Root())
+	}
+	if got := tree.RangeDigest(5, 4); !got.Zero() {
+		t.Fatalf("inverted range digested %+v", got)
+	}
+
+	// Drain completely: the tree must return to the zero digest.
+	for key := range model {
+		tree.Remove(key)
+	}
+	if got := tree.Root(); !got.Zero() {
+		t.Fatalf("drained tree digests %+v", got)
+	}
+}
+
+// TestMerkleRangeKeysCanonicalOrder: enumeration is in (hash, key) order —
+// the canonical order both ends of a repair walk.
+func TestMerkleRangeKeysCanonicalOrder(t *testing.T) {
+	tree := NewMerkleTree()
+	for i := 0; i < 500; i++ {
+		tree.Add(fmt.Sprintf("k%d", i))
+	}
+	keys := tree.RangeKeys(0, ^uint64(0))
+	if len(keys) != 500 {
+		t.Fatalf("enumerated %d of 500 keys", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		a, b := KeyHash(keys[i-1]), KeyHash(keys[i])
+		if a > b || (a == b && keys[i-1] >= keys[i]) {
+			t.Fatalf("keys out of canonical order at %d: %q then %q", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+// TestMerkleRemoveAbsentGuard: removing a key never added is refused (no
+// digest corruption) and panics under DebugAsserts — the satellite guard
+// against silent fold corruption.
+func TestMerkleRemoveAbsentGuard(t *testing.T) {
+	tree := NewMerkleTree()
+	tree.Add("present")
+	before := tree.Root()
+	if tree.Remove("absent") {
+		t.Fatal("Remove of an absent key reported true")
+	}
+	if got := tree.Root(); got != before {
+		t.Fatalf("refused Remove still changed the digest: %+v -> %+v", before, got)
+	}
+	withDebugAsserts(t, func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Remove of an absent key did not panic under DebugAsserts")
+			}
+		}()
+		tree.Remove("absent")
+	})
+}
+
+// TestDigestRemoveUnderflowGuard: folding a member out of the empty digest
+// used to underflow Count and corrupt every later comparison; it is now
+// refused, and panics under DebugAsserts.
+func TestDigestRemoveUnderflowGuard(t *testing.T) {
+	var d Digest
+	d.Remove("ghost")
+	if !d.Zero() {
+		t.Fatalf("Remove on the empty digest corrupted it: %+v", d)
+	}
+	d.Add("x")
+	d.Remove("x")
+	if !d.Zero() {
+		t.Fatalf("add/remove did not return to zero: %+v", d)
+	}
+	withDebugAsserts(t, func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Remove on the empty digest did not panic under DebugAsserts")
+			}
+		}()
+		var d Digest
+		d.Remove("ghost")
+	})
+}
+
+// TestRelationMerkleMaintained: the relation's tree is built on demand and
+// kept current by every mutation path (Insert, InsertMany, Delete,
+// DeleteMany, Clear), always agreeing with the O(1) flat digest.
+func TestRelationMerkleMaintained(t *testing.T) {
+	r := NewRelation(Schema{Name: "r", Peer: "p", Cols: []string{"x"}})
+	r.Insert(tup("before"))
+	m := r.Merkle()
+	agree := func(when string) {
+		t.Helper()
+		if got := m.Root(); got != r.Digest() {
+			t.Fatalf("%s: tree root %+v != relation digest %+v", when, got, r.Digest())
+		}
+	}
+	agree("fresh build")
+	r.Insert(tup("a"))
+	agree("Insert")
+	r.InsertMany([]value.Tuple{tup("b"), tup("c"), tup("d")})
+	agree("InsertMany")
+	r.Delete(tup("a"))
+	agree("Delete")
+	r.DeleteMany([]value.Tuple{tup("b"), tup("missing")})
+	agree("DeleteMany")
+	r.Clear()
+	if got := r.Merkle().Root(); !got.Zero() {
+		t.Fatalf("Clear left the tree at %+v", got)
+	}
+	if r.Merkle() != r.Merkle() {
+		t.Fatal("Merkle rebuilt on every call")
+	}
+}

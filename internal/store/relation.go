@@ -100,6 +100,12 @@ type Relation struct {
 	version uint64 // bumped on every mutation
 	fp      uint64 // XOR of member-tuple hashes: content fingerprint
 
+	// merkle, once a caller asks for it (Merkle), summarizes the tuple set
+	// as a range-queryable tree and is kept current by every mutation. Nil
+	// until then, so relations nobody range-compares pay one pointer check
+	// per mutation.
+	merkle *MerkleTree
+
 	// extSup tracks which remote senders currently maintain each tuple
 	// (support.go). Deliberately untouched by Clear: support outlives a view
 	// rebuild.
@@ -201,6 +207,9 @@ func (r *Relation) Insert(t value.Tuple) bool {
 	}
 	r.version++
 	r.fp ^= tupleHash(key)
+	if r.merkle != nil {
+		r.merkle.Add(key)
+	}
 	return true
 }
 
@@ -246,6 +255,9 @@ func (r *Relation) InsertMany(ts []value.Tuple) []value.Tuple {
 			idx[ik] = bucket
 		}
 		r.fp ^= tupleHash(key)
+		if r.merkle != nil {
+			r.merkle.Add(key)
+		}
 		added = append(added, t)
 	}
 	if len(added) > 0 {
@@ -286,6 +298,9 @@ func (r *Relation) DeleteMany(ts []value.Tuple) []value.Tuple {
 			}
 		}
 		r.fp ^= tupleHash(key)
+		if r.merkle != nil {
+			r.merkle.Remove(key)
+		}
 		removed = append(removed, t)
 	}
 	if len(removed) > 0 {
@@ -321,6 +336,9 @@ func (r *Relation) Delete(t value.Tuple) bool {
 	}
 	r.version++
 	r.fp ^= tupleHash(key)
+	if r.merkle != nil {
+		r.merkle.Remove(key)
+	}
 	return true
 }
 
@@ -346,6 +364,9 @@ func (r *Relation) Clear() {
 	}
 	r.version++
 	r.fp = 0
+	if r.merkle != nil {
+		r.merkle = NewMerkleTree()
+	}
 }
 
 // Iterate calls fn for every tuple until fn returns false. The iteration
