@@ -1,0 +1,345 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/peer"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// The swarm workload (experiment P11) is the paper's Wepic social scenario
+// at population scale: every peer is an author with a post relation and a
+// feed, every follow edge is a remote push rule at the author —
+//
+//	feed@follower("author", $i) :- post@author($i);
+//
+// so each author's program incrementally maintains its posts into every
+// follower's feed. Tens of thousands of in-process peers exchanging
+// incrementally maintained views is feasible only with the three mechanisms
+// this experiment exists to prove out: a swarm-wide value interner (a fact
+// replicated to k feeds costs one tuple plus k map entries), a multiplexed
+// transport (peers attach to one Mux instead of pairwise links), and the
+// wake-queue scheduler (a quiescent swarm costs zero scans per round).
+
+// SwarmSpec configures a swarm build.
+type SwarmSpec struct {
+	// Peers is the population size; every peer is an author.
+	Peers int
+	// Follows is how many distinct authors each peer follows.
+	Follows int
+	// Posts is how many posts each author is seeded with.
+	Posts int
+	// PostBytes pads every post id up to this size (0 = short ids): the
+	// replicated payload whose storage the interner deduplicates.
+	PostBytes int
+	// Seed drives the follow graph and the update plan; equal specs build
+	// byte-identical workloads, which the differential swarm test relies on.
+	Seed int64
+	// Intern, when true, shares one value.Interner across the whole swarm.
+	Intern bool
+	// Sequential selects the deterministic name-ordered scheduler (the
+	// reference arm of the differential test) over the concurrent one.
+	Sequential bool
+}
+
+// SwarmOp is one steady-state update: author posts a new item.
+type SwarmOp struct {
+	Author int
+	Post   string
+}
+
+// Swarm is a built (not yet converged) swarm deployment.
+type Swarm struct {
+	Spec  SwarmSpec
+	Net   *peer.Network
+	Mux   *transport.Mux // nil in sequential mode (bus transport)
+	Peers []*peer.Peer
+	// Followers maps author index -> follower indices (the inverted follow
+	// graph; rules live at the author).
+	Followers [][]int
+	// Edges is the total number of follow edges.
+	Edges int
+	// Interner is the shared intern table (nil when Spec.Intern is false).
+	Interner *value.Interner
+}
+
+// SwarmPeerName returns the canonical name of swarm peer i.
+func SwarmPeerName(i int) string { return fmt.Sprintf("p%05d", i) }
+
+// BuildSwarm creates the peers, the follow graph, the per-edge push rules
+// and the seed posts. Nothing has converged yet: run
+// s.Net.RunToQuiescence to propagate the seeded posts into feeds.
+func BuildSwarm(spec SwarmSpec) (*Swarm, error) {
+	if spec.Peers <= 0 {
+		return nil, fmt.Errorf("bench: swarm needs at least one peer")
+	}
+	if spec.Follows >= spec.Peers {
+		return nil, fmt.Errorf("bench: %d follows per peer needs a population above %d", spec.Follows, spec.Follows)
+	}
+	s := &Swarm{Spec: spec, Followers: make([][]int, spec.Peers)}
+	if spec.Intern {
+		s.Interner = value.NewInterner()
+	}
+	if spec.Sequential {
+		s.Net = peer.NewSequentialNetwork()
+	} else {
+		s.Net = peer.NewNetwork()
+		s.Mux = transport.NewMux()
+	}
+
+	// Follow graph: rng-driven, inverted to author -> followers.
+	rng := rand.New(rand.NewSource(spec.Seed))
+	for i := 0; i < spec.Peers; i++ {
+		seen := map[int]bool{i: true}
+		for len(seen) < spec.Follows+1 {
+			a := rng.Intn(spec.Peers)
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			s.Followers[a] = append(s.Followers[a], i)
+			s.Edges++
+		}
+	}
+
+	cfg := peer.Config{
+		// SyncEmit keeps the swarm goroutine-free: outboxes flush inside
+		// RunStage and under the scheduler instead of per-destination
+		// flushers — 100k peers cannot afford 100k+ goroutines.
+		SyncEmit: true,
+		// Periodic anti-entropy timers are likewise a per-peer cost the
+		// swarm doesn't need: the bus-style transports don't lose messages.
+		ResyncInterval: -1,
+		Interner:       s.Interner,
+	}
+	s.Peers = make([]*peer.Peer, spec.Peers)
+	for i := 0; i < spec.Peers; i++ {
+		cfg.Name = SwarmPeerName(i)
+		var (
+			p   *peer.Peer
+			err error
+		)
+		if s.Mux != nil {
+			p, err = peer.New(cfg, s.Mux.Endpoint(cfg.Name))
+			if err == nil {
+				s.Net.Add(p)
+			}
+		} else {
+			p, err = s.Net.NewPeer(cfg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: swarm peer %s: %w", cfg.Name, err)
+		}
+		if err := p.DeclareRelation("post", ast.Extensional, "id"); err != nil {
+			return nil, err
+		}
+		if err := p.DeclareRelation("feed", ast.Extensional, "author", "id"); err != nil {
+			return nil, err
+		}
+		s.Peers[i] = p
+	}
+	for a, followers := range s.Followers {
+		author := s.Peers[a]
+		name := SwarmPeerName(a)
+		for _, f := range followers {
+			rule := fmt.Sprintf(`feed@%s("%s", $i) :- post@%s($i);`, SwarmPeerName(f), name, name)
+			if _, err := author.AddRule(rule); err != nil {
+				return nil, fmt.Errorf("bench: swarm rule %s->%s: %w", name, SwarmPeerName(f), err)
+			}
+		}
+	}
+	for a, author := range s.Peers {
+		for k := 0; k < spec.Posts; k++ {
+			post := ast.NewFact("post", SwarmPeerName(a), value.Str(spec.postID(fmt.Sprintf("t%d-%d", a, k))))
+			if err := author.Insert(post); err != nil {
+				return nil, fmt.Errorf("bench: swarm seed post: %w", err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// postID pads an id to the spec's payload size.
+func (spec SwarmSpec) postID(id string) string {
+	if len(id) >= spec.PostBytes {
+		return id
+	}
+	return id + strings.Repeat("x", spec.PostBytes-len(id))
+}
+
+// UpdatePlan derives rounds×perRound steady-state updates from the spec's
+// seed. The plan depends only on the spec, so the concurrent and sequential
+// arms of a differential run replay the identical workload.
+func (spec SwarmSpec) UpdatePlan(rounds, perRound int) [][]SwarmOp {
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	plan := make([][]SwarmOp, rounds)
+	n := 0
+	for r := range plan {
+		ops := make([]SwarmOp, perRound)
+		for i := range ops {
+			ops[i] = SwarmOp{Author: rng.Intn(spec.Peers), Post: spec.postID(fmt.Sprintf("u%d", n))}
+			n++
+		}
+		plan[r] = ops
+	}
+	return plan
+}
+
+// ApplyOps stages one round of updates (no convergence).
+func (s *Swarm) ApplyOps(ops []SwarmOp) error {
+	for _, op := range ops {
+		f := ast.NewFact("post", SwarmPeerName(op.Author), value.Str(op.Post))
+		if err := s.Peers[op.Author].Insert(f); err != nil {
+			return fmt.Errorf("bench: swarm update: %w", err)
+		}
+	}
+	return nil
+}
+
+// FeedSizes returns per-peer feed cardinality (diagnostics and tests).
+func (s *Swarm) FeedSizes() []int {
+	out := make([]int, len(s.Peers))
+	for i, p := range s.Peers {
+		if rel := p.Store().Get("feed", p.Name()); rel != nil {
+			out[i] = rel.Len()
+		}
+	}
+	return out
+}
+
+// Facts returns the total number of stored post and feed facts.
+func (s *Swarm) Facts() int {
+	total := 0
+	for _, p := range s.Peers {
+		for _, rel := range []string{"post", "feed"} {
+			if r := p.Store().Get(rel, p.Name()); r != nil {
+				total += r.Len()
+			}
+		}
+	}
+	return total
+}
+
+// SwarmResult measures one swarm run (experiment P11).
+type SwarmResult struct {
+	Peers int
+	Edges int
+	Facts int
+
+	BuildDuration    time.Duration
+	ConvergeDuration time.Duration
+	UpdateDuration   time.Duration
+
+	// UpdatesApplied counts steady-state post insertions; UpdatesPerSec is
+	// their throughput including re-convergence of every affected feed.
+	UpdatesApplied int
+	UpdatesPerSec  float64
+
+	// HeapBytes is the heap growth attributable to the built, converged
+	// swarm (GC-settled delta against the pre-build baseline); BytesPerPeer
+	// divides it over the population.
+	HeapBytes    uint64
+	BytesPerPeer float64
+
+	// QuiescentScans is how many peers a RunToQuiescence on the already
+	// quiescent swarm examined — 0 with the wake-queue scheduler (the
+	// sequential reference scheduler reports its full population scan).
+	QuiescentScans uint64
+
+	// InternedStrings/InternedTuples size the shared intern table (zero
+	// when interning is off).
+	InternedStrings int
+	InternedTuples  int
+}
+
+// RunSwarm builds a swarm, converges the seeded posts, drives the given
+// steady-state update plan, and measures memory, throughput and scheduler
+// cost.
+func RunSwarm(spec SwarmSpec, updateRounds, updatesPerRound int) (SwarmResult, error) {
+	ctx := context.Background()
+	baseline := settledHeap()
+
+	start := time.Now()
+	s, err := BuildSwarm(spec)
+	if err != nil {
+		return SwarmResult{}, err
+	}
+	built := time.Now()
+	if _, _, err := s.Net.RunToQuiescence(ctx, swarmRounds(spec)); err != nil {
+		return SwarmResult{}, fmt.Errorf("bench: swarm initial convergence: %w", err)
+	}
+	converged := time.Now()
+
+	res := SwarmResult{
+		Peers:            spec.Peers,
+		Edges:            s.Edges,
+		BuildDuration:    built.Sub(start),
+		ConvergeDuration: converged.Sub(built),
+	}
+
+	// Memory: settle the GC and attribute the growth to the swarm.
+	heap := settledHeap()
+	if heap > baseline {
+		res.HeapBytes = heap - baseline
+	}
+	res.BytesPerPeer = float64(res.HeapBytes) / float64(spec.Peers)
+
+	// Steady state: batches of updates, each driven to quiescence.
+	plan := spec.UpdatePlan(updateRounds, updatesPerRound)
+	updStart := time.Now()
+	for _, ops := range plan {
+		if err := s.ApplyOps(ops); err != nil {
+			return SwarmResult{}, err
+		}
+		if _, _, err := s.Net.RunToQuiescence(ctx, swarmRounds(spec)); err != nil {
+			return SwarmResult{}, fmt.Errorf("bench: swarm update convergence: %w", err)
+		}
+		res.UpdatesApplied += len(ops)
+	}
+	res.UpdateDuration = time.Since(updStart)
+	if res.UpdateDuration > 0 && res.UpdatesApplied > 0 {
+		res.UpdatesPerSec = float64(res.UpdatesApplied) / res.UpdateDuration.Seconds()
+	}
+
+	// Scheduler cost of a no-op pass over the quiescent swarm.
+	scans0 := s.Net.SchedulerScans()
+	if _, _, err := s.Net.RunToQuiescence(ctx, swarmRounds(spec)); err != nil {
+		return SwarmResult{}, fmt.Errorf("bench: swarm quiescent pass: %w", err)
+	}
+	res.QuiescentScans = s.Net.SchedulerScans() - scans0
+
+	res.Facts = s.Facts()
+	if s.Interner != nil {
+		st := s.Interner.Stats()
+		res.InternedStrings = st.Strings
+		res.InternedTuples = st.Tuples
+	}
+	return res, nil
+}
+
+// swarmRounds bounds RunToQuiescence generously: wide fan-out plus ack
+// round-trips across a large population need more than the default budget.
+func swarmRounds(spec SwarmSpec) int {
+	r := 50 * (spec.Follows + 2)
+	if r < 1000 {
+		r = 1000
+	}
+	return r
+}
+
+// settledHeap runs the GC twice (finalizers, then the garbage they release)
+// and reports live heap bytes.
+func settledHeap() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

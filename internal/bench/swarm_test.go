@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// swarmViews converges a swarm over the given update plan and returns every
+// peer's feed contents as sorted canonical keys.
+func swarmViews(t *testing.T, spec SwarmSpec, plan [][]SwarmOp) [][]string {
+	t.Helper()
+	s, err := BuildSwarm(spec)
+	if err != nil {
+		t.Fatalf("BuildSwarm(%+v): %v", spec, err)
+	}
+	ctx := context.Background()
+	if _, _, err := s.Net.RunToQuiescence(ctx, swarmRounds(spec)); err != nil {
+		t.Fatalf("initial convergence: %v", err)
+	}
+	for r, ops := range plan {
+		if err := s.ApplyOps(ops); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if _, _, err := s.Net.RunToQuiescence(ctx, swarmRounds(spec)); err != nil {
+			t.Fatalf("round %d convergence: %v", r, err)
+		}
+	}
+	views := make([][]string, len(s.Peers))
+	for i, p := range s.Peers {
+		var keys []string
+		for _, tup := range p.Query("feed") {
+			keys = append(keys, tup.Key())
+		}
+		sort.Strings(keys)
+		views[i] = keys
+	}
+	return views
+}
+
+// TestSwarmDifferential runs the same seeded 200-peer swarm workload through
+// the concurrent wake-queue scheduler (interned, multiplexed transport) and
+// through the deterministic sequential reference (plain bus, no interning),
+// and requires every peer's final feed to be exactly equal. Any scheduler
+// wake-up loss, mux misrouting, or interning aliasing bug shows up as a
+// diverged view.
+func TestSwarmDifferential(t *testing.T) {
+	spec := SwarmSpec{Peers: 200, Follows: 3, Posts: 2, Seed: 42}
+	plan := spec.UpdatePlan(3, 25)
+
+	seq := spec
+	seq.Sequential = true
+	want := swarmViews(t, seq, plan)
+
+	conc := spec
+	conc.Intern = true
+	got := swarmViews(t, conc, plan)
+
+	if len(got) != len(want) {
+		t.Fatalf("peer count: got %d, want %d", len(got), len(want))
+	}
+	mismatches := 0
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Errorf("peer %s: feed size %d, reference %d", SwarmPeerName(i), len(got[i]), len(want[i]))
+			mismatches++
+			continue
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("peer %s: feed[%d] = %q, reference %q", SwarmPeerName(i), j, got[i][j], want[i][j])
+				mismatches++
+				break
+			}
+		}
+		if mismatches > 5 {
+			t.Fatalf("too many diverged views")
+		}
+	}
+}
+
+// TestSwarmQuiescentScans pins the tentpole scheduler property: after a
+// swarm converges, another RunToQuiescence examines zero peers.
+func TestSwarmQuiescentScans(t *testing.T) {
+	res, err := RunSwarm(SwarmSpec{Peers: 100, Follows: 3, Posts: 1, Seed: 7, Intern: true}, 1, 10)
+	if err != nil {
+		t.Fatalf("RunSwarm: %v", err)
+	}
+	if res.QuiescentScans != 0 {
+		t.Fatalf("quiescent pass examined %d peers, want 0", res.QuiescentScans)
+	}
+	if res.Facts == 0 || res.Edges == 0 {
+		t.Fatalf("degenerate swarm: %+v", res)
+	}
+}
+
+// TestSwarmInterning checks the swarm actually shares storage: with
+// interning on, the interner holds tuples, and replicated feed tuples are
+// the same backing array across peers.
+func TestSwarmInterning(t *testing.T) {
+	spec := SwarmSpec{Peers: 50, Follows: 4, Posts: 2, Seed: 9, Intern: true}
+	s, err := BuildSwarm(spec)
+	if err != nil {
+		t.Fatalf("BuildSwarm: %v", err)
+	}
+	if _, _, err := s.Net.RunToQuiescence(context.Background(), swarmRounds(spec)); err != nil {
+		t.Fatalf("convergence: %v", err)
+	}
+	st := s.Interner.Stats()
+	if st.Tuples == 0 || st.Strings == 0 {
+		t.Fatalf("interner unused: %+v", st)
+	}
+	// Find one author with >= 2 followers and compare the identity of a
+	// replicated feed tuple across two followers.
+	for a, followers := range s.Followers {
+		if len(followers) < 2 {
+			continue
+		}
+		key := ""
+		for _, tup := range s.Peers[followers[0]].Query("feed") {
+			if tup[0].S == SwarmPeerName(a) {
+				key = tup.Key()
+				break
+			}
+		}
+		if key == "" {
+			continue
+		}
+		t0 := feedTupleByKey(s, followers[0], key)
+		t1 := feedTupleByKey(s, followers[1], key)
+		if t0 == nil || t1 == nil {
+			t.Fatalf("replicated tuple %q missing from a follower", key)
+		}
+		if &t0[0] != &t1[0] {
+			t.Fatalf("replicated feed tuple is not shared: %p vs %p", &t0[0], &t1[0])
+		}
+		return
+	}
+	t.Fatalf("no author with two followers in seed graph")
+}
+
+func feedTupleByKey(s *Swarm, peerIdx int, key string) value.Tuple {
+	rel := s.Peers[peerIdx].Store().Get("feed", SwarmPeerName(peerIdx))
+	if rel == nil {
+		return nil
+	}
+	var found value.Tuple
+	rel.Iterate(func(t value.Tuple) bool {
+		if t.Key() == key {
+			found = t
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/store"
+	"repro/internal/value"
 )
 
 // RemoteView is the maintained per-destination image of every fact a peer's
@@ -27,6 +28,11 @@ import (
 type RemoteView struct {
 	views map[string]map[string]ast.Fact          // dst -> fact key -> fact
 	trees map[string]map[string]*store.MerkleTree // dst -> relID at dst -> summary tree
+	// intern, when set, canonicalizes the tuples the view retains: a fact
+	// maintained at many destinations (a post pushed to every follower)
+	// keeps one tuple backing for all its ledger entries instead of one
+	// copy per destination. Aliasing-only, like store.Relation's interner.
+	intern *value.Interner
 }
 
 // NewRemoteView returns an empty maintained view.
@@ -36,6 +42,10 @@ func NewRemoteView() *RemoteView {
 		trees: map[string]map[string]*store.MerkleTree{},
 	}
 }
+
+// SetInterner routes the view's retained tuples through the given intern
+// table (see the intern field). Call before the first Diff.
+func (v *RemoteView) SetInterner(in *value.Interner) { v.intern = in }
 
 // Digests returns the per-relation digests of the facts maintained at dst,
 // empty when nothing is maintained there. O(#relations): each digest is a
@@ -113,6 +123,9 @@ func (v *RemoteView) Diff(remote map[string][]FactOp) map[string][]RemoteOp {
 			if m == nil {
 				m = map[string]ast.Fact{}
 				cur[dst] = m
+			}
+			if v.intern != nil {
+				op.Fact.Args, _ = v.intern.Tuple(op.Fact.Args)
 			}
 			key := op.Fact.Key()
 			m[key] = op.Fact

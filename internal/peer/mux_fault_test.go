@@ -1,0 +1,154 @@
+package peer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// newMuxFaultPair builds two peers on separate muxes whose carriers — the
+// single shared frame link every stream between the muxes rides — are
+// fault-wrapped in both directions. All of the existing fault machinery
+// (at-least-once outbox, receiver dedup, anti-entropy) must hold when the
+// faults hit multiplexed frames instead of per-pair links.
+func newMuxFaultPair(t *testing.T, cfg transport.FaultConfig) (a, b *Peer) {
+	t.Helper()
+	bus := transport.NewBus()
+	m1 := transport.NewMuxOver(transport.Faulty(bus.Endpoint("node1"), cfg))
+	m2 := transport.NewMuxOver(transport.Faulty(bus.Endpoint("node2"), cfg))
+	t.Cleanup(func() { m1.Close(); m2.Close() })
+	m1.Route("b", "node2")
+	m2.Route("a", "node1")
+
+	mk := func(m *transport.Mux, name string) *Peer {
+		p, err := New(Config{Name: name}, m.Endpoint(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.outbox.ackTimeout = 10 * time.Millisecond
+		p.outbox.baseBackoff = 2 * time.Millisecond
+		p.outbox.maxBackoff = 20 * time.Millisecond
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+	return mk(m1, "a"), mk(m2, "b")
+}
+
+// TestMuxConvergenceUnderFaults re-runs the two-peer maintained-view
+// convergence schedules with both peers behind multiplexed transports and
+// the faults injected into the shared carrier link: drops, duplicates,
+// reorders and failures of MuxFrames must stay invisible to the fixpoint.
+func TestMuxConvergenceUnderFaults(t *testing.T) {
+	schedules := []struct {
+		name string
+		cfg  transport.FaultConfig
+	}{
+		{"drop", transport.FaultConfig{Seed: 21, Drop: 0.3}},
+		{"dup", transport.FaultConfig{Seed: 22, Dup: 0.3}},
+		{"reorder", transport.FaultConfig{Seed: 23, Reorder: 0.3}},
+		{"fail", transport.FaultConfig{Seed: 24, Fail: 0.3}},
+		{"mixed", transport.FaultConfig{Seed: 25, Drop: 0.15, Dup: 0.1, Reorder: 0.1, Fail: 0.1}},
+	}
+	for _, sched := range schedules {
+		t.Run(sched.name, func(t *testing.T) {
+			a, b := newMuxFaultPair(t, sched.cfg)
+			if err := a.LoadSource(`
+				relation extensional src@a(x);
+				view@b($x) :- src@a($x);
+			`); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+				t.Fatal(err)
+			}
+			peers := []*Peer{a, b}
+
+			rng := rand.New(rand.NewSource(sched.cfg.Seed))
+			present := map[int64]bool{}
+			for i := 0; i < 60; i++ {
+				k := rng.Int63n(8)
+				var err error
+				if present[k] {
+					err = a.Delete(ast.NewFact("src", "a", value.Int(k)))
+				} else {
+					err = a.Insert(ast.NewFact("src", "a", value.Int(k)))
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				present[k] = !present[k]
+				drive(peers, func() bool { return false }, 2*time.Millisecond)
+			}
+
+			var want []value.Tuple
+			for k, in := range present {
+				if in {
+					want = append(want, value.Tuple{value.Int(k)})
+				}
+			}
+			value.SortTuples(want)
+			expected := fmt.Sprint(want)
+			if !drive(peers, func() bool { return tupleSet(b, "view") == expected }, 20*time.Second) {
+				t.Fatalf("view@b never converged under %s faults over mux:\n got %s\nwant %s\n(outbox: %+v)",
+					sched.name, tupleSet(b, "view"), expected, a.Stats())
+			}
+		})
+	}
+}
+
+// TestMuxDisconnectRecovery hard-drops the carrier mid-stream (SetDown) and
+// checks the maintained view repairs once the link returns.
+func TestMuxDisconnectRecovery(t *testing.T) {
+	bus := transport.NewBus()
+	down := transport.Faulty(bus.Endpoint("node1"), transport.FaultConfig{Seed: 31})
+	m1 := transport.NewMuxOver(down)
+	m2 := transport.NewMuxOver(bus.Endpoint("node2"))
+	t.Cleanup(func() { m1.Close(); m2.Close() })
+	m1.Route("b", "node2")
+	m2.Route("a", "node1")
+
+	a, err := New(Config{Name: "a"}, m1.Endpoint("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Name: "b"}, m2.Endpoint("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*Peer{a, b} {
+		p.outbox.ackTimeout = 10 * time.Millisecond
+		p.outbox.baseBackoff = 2 * time.Millisecond
+		p.outbox.maxBackoff = 20 * time.Millisecond
+		t.Cleanup(func() { p.Close() })
+	}
+	if err := a.LoadSource(`
+		relation extensional src@a(x);
+		view@b($x) :- src@a($x);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareRelation("view", ast.Intensional, "x"); err != nil {
+		t.Fatal(err)
+	}
+	peers := []*Peer{a, b}
+
+	down.SetDown(true)
+	for i := int64(0); i < 5; i++ {
+		if err := a.Insert(ast.NewFact("src", "a", value.Int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive(peers, func() bool { return false }, 50*time.Millisecond)
+	if got := len(b.Query("view")); got != 0 {
+		t.Fatalf("view@b has %d tuples while the carrier is down", got)
+	}
+	down.SetDown(false)
+	if !drive(peers, func() bool { return len(b.Query("view")) == 5 }, 20*time.Second) {
+		t.Fatalf("view@b never recovered after carrier reconnect: %v", b.Query("view"))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/errdefs"
@@ -31,12 +32,38 @@ type Network struct {
 
 	sequential bool
 	workers    int
+
+	// Wake-queue scheduler state (concurrent mode only). Peers and outboxes
+	// report gaining work through hooks (kick → markReady, outbox enqueue →
+	// markOutbox, endpoint delivery → markReady), so each round examines only
+	// the peers that were woken — O(active peers) — instead of scanning the
+	// whole network: a quiescent region of a 100k-peer swarm costs nothing.
+	// schedMu is a leaf lock: nothing else is ever acquired under it, so the
+	// hooks are safe to fire from any goroutine and lock context.
+	schedMu  sync.Mutex
+	ready    map[string]struct{} // woken peers (set half: dedupe)
+	readyq   []string            // woken peers (queue half: FIFO order)
+	obAct    map[string]struct{} // peers whose outbox may have pending entries
+	unhooked map[string]struct{} // peers whose endpoint can't hook: polled every round
+	wakeCh   chan struct{}       // 1-slot, edge-triggered: some hook fired
+
+	// scans counts peers examined by the scheduler (HasWork / OutboxPending
+	// probes). Experiment P11 asserts it stays flat across a RunToQuiescence
+	// on an already-quiescent swarm.
+	scans atomic.Uint64
 }
 
 // NewNetwork creates an empty network over a fresh bus with the concurrent
 // scheduler.
 func NewNetwork() *Network {
-	return &Network{bus: transport.NewBus(), peers: make(map[string]*Peer)}
+	return &Network{
+		bus:      transport.NewBus(),
+		peers:    make(map[string]*Peer),
+		ready:    make(map[string]struct{}),
+		obAct:    make(map[string]struct{}),
+		unhooked: make(map[string]struct{}),
+		wakeCh:   make(chan struct{}, 1),
+	}
 }
 
 // NewSequentialNetwork creates a network whose scheduler runs stages one at
@@ -81,15 +108,75 @@ func (n *Network) NewPeer(cfg Config) (*Peer, error) {
 // already present replaces the old registration — a restarted peer takes
 // over its name; close the previous instance first.
 func (n *Network) Add(p *Peer) {
+	name := p.Name()
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, dup := n.peers[p.Name()]; dup {
-		n.peers[p.Name()] = p
+	if _, dup := n.peers[name]; !dup {
+		n.order = append(n.order, name)
+		sort.Strings(n.order)
+	}
+	n.peers[name] = p
+	sequential := n.sequential
+	n.mu.Unlock()
+	if sequential {
 		return
 	}
-	n.peers[p.Name()] = p
-	n.order = append(n.order, p.Name())
-	sort.Strings(n.order)
+	// Wire the peer into the wake queue: message arrival at its endpoint and
+	// every internal kick mark it ready; outbox enqueues mark its outbox
+	// active. An endpoint that cannot hook (a wrapper over an unhookable
+	// inner) falls back to per-round polling.
+	hooked := false
+	if h, ok := p.ep.(transport.WakeHooker); ok {
+		hooked = h.SetWakeHook(func() { n.markReady(name) })
+	}
+	if !hooked {
+		n.schedMu.Lock()
+		n.unhooked[name] = struct{}{}
+		n.schedMu.Unlock()
+	}
+	p.setSchedHooks(func() { n.markReady(name) }, func() { n.markOutbox(name) })
+	// Conservative initial state: the peer may already hold work (recovered
+	// WAL state, pre-attach deliveries) and has never run a stage.
+	n.markReady(name)
+	n.markOutbox(name)
+}
+
+// markReady records that a peer may have stage work and wakes the scheduler.
+// Safe from any goroutine; schedMu is a leaf lock.
+func (n *Network) markReady(name string) {
+	n.schedMu.Lock()
+	if _, ok := n.ready[name]; !ok {
+		n.ready[name] = struct{}{}
+		n.readyq = append(n.readyq, name)
+	}
+	n.schedMu.Unlock()
+	select {
+	case n.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// markOutbox records that a peer's outbox may have undrained entries.
+func (n *Network) markOutbox(name string) {
+	n.schedMu.Lock()
+	n.obAct[name] = struct{}{}
+	n.schedMu.Unlock()
+	select {
+	case n.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// SchedulerScans returns the cumulative number of peers the concurrent
+// scheduler has examined (HasWork / outbox probes). On a quiescent network a
+// RunToQuiescence adds zero: no hook fired, so nothing is examined.
+func (n *Network) SchedulerScans() uint64 { return n.scans.Load() }
+
+// SchedulerQueueDepths returns the current sizes of the wake queue and the
+// outbox-active set (metrics).
+func (n *Network) SchedulerQueueDepths() (ready, outboxes int) {
+	n.schedMu.Lock()
+	defer n.schedMu.Unlock()
+	return len(n.ready), len(n.obAct)
 }
 
 // Peer returns the registered peer with the given name, or nil.
@@ -197,30 +284,22 @@ func (n *Network) runSequential(ctx context.Context, maxRounds int) (rounds, sta
 	return rounds, stages, &QuiescenceError{Rounds: maxRounds}
 }
 
-// runConcurrent is the default scheduler: each round stages every peer with
-// work on a bounded worker pool, then accelerates outbox delivery inline.
+// runConcurrent is the default scheduler: wake-queue driven. Each round
+// stages the peers the wake queue surfaced (not every peer) on a bounded
+// worker pool; when the queue is empty it accelerates delivery on the
+// outboxes known to be active and decides quiescence from those sets alone.
+// Work discovery is O(active peers): a peer that stays quiet is never
+// examined, so idle regions of a large swarm cost nothing per round.
 func (n *Network) runConcurrent(ctx context.Context, maxRounds int) (rounds, stages int, err error) {
 	workers := n.workerCount()
 	for r := 0; r < maxRounds; r++ {
 		if err := ctx.Err(); err != nil {
 			return rounds, stages, err
 		}
-		peers := n.Peers() // fresh snapshot: peers may join mid-run
-		var work []*Peer
-		for _, p := range peers {
-			if p.HasWork() {
-				work = append(work, p)
-			}
-		}
+		work := n.takeReady()
 		if len(work) == 0 {
-			delivered := false
-			for _, p := range peers {
-				if p.FlushOutbox() {
-					delivered = true
-				}
-			}
-			if !n.anyWork() {
-				total, stalled := n.outboxTotals()
+			total, stalled, delivered := n.checkOutboxes()
+			if !n.readyPending() {
 				if total == 0 {
 					return r, stages, nil
 				}
@@ -232,10 +311,12 @@ func (n *Network) runConcurrent(ctx context.Context, maxRounds int) (rounds, sta
 				}
 				if !delivered {
 					// In-flight flushers (or backoff gates about to expire):
-					// give them a moment rather than spinning.
+					// sleep until a hook fires or a short tick elapses rather
+					// than spinning.
 					select {
 					case <-ctx.Done():
 						return rounds, stages, ctx.Err()
+					case <-n.wakeCh:
 					case <-time.After(200 * time.Microsecond):
 					}
 				}
@@ -259,15 +340,125 @@ func (n *Network) runConcurrent(ctx context.Context, maxRounds int) (rounds, sta
 					stages++
 					mu.Unlock()
 				}
+				if p.HasWork() {
+					// A stage can queue its own follow-up work (staged local
+					// updates) without a kick; re-wake explicitly.
+					n.markReady(p.Name())
+				}
 			}(p)
 		}
 		wg.Wait()
-		for _, p := range peers {
+		for _, p := range work {
 			p.FlushOutbox()
 		}
 		rounds = r + 1
 	}
 	return rounds, stages, &QuiescenceError{Rounds: maxRounds}
+}
+
+// takeReady drains the wake queue and returns the woken peers that actually
+// have work, in wake order. Unhookable-endpoint peers are appended every
+// round (the polling fallback). A popped peer whose work check comes up
+// empty is simply dropped: any later work-gaining event re-marks it, because
+// hooks fire after the state they report is published.
+func (n *Network) takeReady() []*Peer {
+	n.schedMu.Lock()
+	names := n.readyq
+	n.readyq = nil
+	clear(n.ready)
+	for name := range n.unhooked {
+		names = append(names, name)
+	}
+	n.schedMu.Unlock()
+	var work []*Peer
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		p := n.Peer(name)
+		if p == nil {
+			continue // woken before registration, or removed
+		}
+		n.scans.Add(1)
+		if p.HasWork() {
+			work = append(work, p)
+		}
+	}
+	return work
+}
+
+// checkOutboxes accelerates delivery on the outboxes marked active and
+// returns their pending totals plus whether this pass delivered anything.
+// A drained outbox is retired from the set — with a re-check after the
+// removal, so an enqueue racing the probe (its hook firing between our read
+// and our delete) is never lost.
+func (n *Network) checkOutboxes() (total, stalled int, delivered bool) {
+	n.schedMu.Lock()
+	names := make([]string, 0, len(n.obAct))
+	for name := range n.obAct {
+		names = append(names, name)
+	}
+	n.schedMu.Unlock()
+	for _, name := range names {
+		p := n.Peer(name)
+		if p == nil {
+			n.schedMu.Lock()
+			delete(n.obAct, name)
+			n.schedMu.Unlock()
+			continue
+		}
+		n.scans.Add(1)
+		if p.FlushOutbox() {
+			delivered = true
+		}
+		t, s := p.OutboxPending()
+		if t == 0 {
+			n.schedMu.Lock()
+			delete(n.obAct, name)
+			n.schedMu.Unlock()
+			if t2, _ := p.OutboxPending(); t2 > 0 {
+				// Enqueue raced the retirement: re-mark and keep counting it
+				// as pending (not stalled, so the scheduler keeps driving).
+				n.markOutbox(name)
+				total += t2
+			}
+			continue
+		}
+		total += t
+		stalled += s
+	}
+	return total, stalled, delivered
+}
+
+// readyPending reports whether any wake-queue entry (or any unhookable
+// peer's work) exists without consuming the queue — the guard that keeps
+// quiescence decisions honest when checkOutboxes' deliveries just woke
+// receivers.
+func (n *Network) readyPending() bool {
+	n.schedMu.Lock()
+	pending := len(n.ready) > 0
+	var poll []string
+	if !pending {
+		poll = make([]string, 0, len(n.unhooked))
+		for name := range n.unhooked {
+			poll = append(poll, name)
+		}
+	}
+	n.schedMu.Unlock()
+	if pending {
+		return true
+	}
+	for _, name := range poll {
+		if p := n.Peer(name); p != nil {
+			n.scans.Add(1)
+			if p.HasWork() {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func (n *Network) workerCount() int {
@@ -278,15 +469,6 @@ func (n *Network) workerCount() int {
 		k = runtime.GOMAXPROCS(0)
 	}
 	return k
-}
-
-func (n *Network) anyWork() bool {
-	for _, p := range n.Peers() {
-		if p.HasWork() {
-			return true
-		}
-	}
-	return false
 }
 
 func (n *Network) outboxesDrained() bool {

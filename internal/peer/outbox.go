@@ -127,6 +127,12 @@ type outbox struct {
 	onReset    func(dst string, epoch uint64, entries []outEntry)
 	onPreFlush func() error
 
+	// onActive, when set (network.go via setSchedHooks), fires every time the
+	// outbox gains pending entries, so the concurrent scheduler can track
+	// possibly-undrained outboxes without polling every peer. Atomic: fired
+	// from stage and API goroutines, installed from the network.
+	onActive atomic.Pointer[func()]
+
 	enqueued    atomic.Uint64
 	delivered   atomic.Uint64 // entries acknowledged by their destination
 	retransmits atomic.Uint64
@@ -150,6 +156,16 @@ func newOutbox(ep transport.Endpoint, ctx context.Context, syncMode bool, logf f
 		maxBackoff:   defaultMaxBackoff,
 		sendTimeout:  defaultSendTimeout,
 		queues:       make(map[string]*sendSession),
+	}
+}
+
+// notifyActive fires the scheduler's outbox-gained-work hook, if installed.
+// Called after an enqueue is published (queue Pending already reflects it),
+// off all outbox locks, so the hook's observe-then-recheck protocol in the
+// scheduler never misses the entry.
+func (o *outbox) notifyActive() {
+	if fn := o.onActive.Load(); fn != nil {
+		(*fn)()
 	}
 }
 
@@ -226,6 +242,7 @@ func (o *outbox) EnqueueData(dst string, msg protocol.Payload) uint64 {
 	dq.enqMu.Unlock()
 	o.enqueued.Add(1)
 	dq.signal()
+	o.notifyActive()
 	return seq
 }
 
@@ -247,6 +264,7 @@ func (o *outbox) EnqueueDataBatch(dst string, msgs ...protocol.Payload) {
 	dq.enqMu.Unlock()
 	o.enqueued.Add(uint64(len(msgs)))
 	dq.signal()
+	o.notifyActive()
 }
 
 // EnqueueDataCtx is EnqueueData with admission control: when the
@@ -266,6 +284,7 @@ func (o *outbox) EnqueueDataCtx(ctx context.Context, dst string, msg protocol.Pa
 			dq.enqMu.Unlock()
 			o.enqueued.Add(1)
 			dq.signal()
+			o.notifyActive()
 			return seq, nil
 		}
 		if o.failFast {
@@ -379,6 +398,7 @@ func (o *outbox) reset(dst string, firsts []protocol.Payload, drop bool) {
 	dq.enqMu.Unlock()
 	o.enqueued.Add(1)
 	dq.signal()
+	o.notifyActive()
 }
 
 // EnqueueAck schedules a cumulative acknowledgment of the peer's own inbox

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/acl"
@@ -41,6 +42,15 @@ type Config struct {
 	Name string
 	// Engine holds evaluation options; nil means engine.DefaultOptions.
 	Engine *engine.Options
+	// Interner, when non-nil, deduplicates stored strings and tuples through
+	// the given intern table: every relation insert stores the canonical
+	// interned tuple (and its canonical key string), so a fact replicated
+	// across thousands of peers sharing one interner costs one tuple plus a
+	// map entry per replica instead of a full copy. Share one interner per
+	// swarm (experiment P11 relies on this for sub-linear memory). The table
+	// is append-only: it never evicts, so it is suited to corpus-like data,
+	// not unbounded unique streams.
+	Interner *value.Interner
 	// WAL, when non-nil, makes the peer's extensional relations durable.
 	WAL *store.WAL
 	// WALErr records a failure to open the WAL this config asked for.
@@ -230,12 +240,16 @@ type delegationKey struct {
 type Peer struct {
 	name string
 	db   *store.Store
-	eng  *engine.Engine
-	ep   transport.Endpoint
-	wal  *store.WAL
-	prov *provenance.Store
-	ctrl *acl.Controller
-	logf func(string, ...any)
+	// intern is Config.Interner (nil when interning is off): the shared
+	// table the store, the remote view and the inbound session ledgers
+	// canonicalize their tuples through.
+	intern *value.Interner
+	eng    *engine.Engine
+	ep     transport.Endpoint
+	wal    *store.WAL
+	prov   *provenance.Store
+	ctrl   *acl.Controller
+	logf   func(string, ...any)
 
 	// ctx is the peer's lifetime: Close cancels it, which stops the outbox
 	// flushers and aborts any in-flight dial instead of letting it run to
@@ -298,6 +312,10 @@ type Peer struct {
 	stats         Stats
 	stageNo       uint64
 	wake          chan struct{}
+	// onReady, when set (network.go, setSchedHooks), is fired by kick() so
+	// the concurrent scheduler's wake queue learns this peer has work without
+	// scanning. Atomic: kick() runs outside p.mu and may race the installer.
+	onReady atomic.Pointer[func()]
 
 	subSeq int
 	subs   map[int]*subscription
@@ -324,6 +342,9 @@ func New(cfg Config, ep transport.Endpoint) (*Peer, error) {
 		return nil, fmt.Errorf("peer %s: %w", cfg.Name, err)
 	}
 	db := store.New()
+	if cfg.Interner != nil {
+		db.SetInterner(cfg.Interner)
+	}
 	if cfg.WAL != nil {
 		if err := cfg.WAL.Recover(db); err != nil {
 			return nil, fmt.Errorf("peer %s: recovering: %w", cfg.Name, err)
@@ -349,6 +370,10 @@ func New(cfg Config, ep transport.Endpoint) (*Peer, error) {
 		wake:          make(chan struct{}, 1),
 		subs:          make(map[int]*subscription),
 		needRebuild:   true,
+	}
+	p.intern = cfg.Interner
+	if cfg.Interner != nil {
+		p.rv.SetInterner(cfg.Interner)
 	}
 	p.outbox = newOutbox(ep, ctx, cfg.SyncEmit, p.debugf)
 	if cfg.OutboxAckTimeout > 0 {
@@ -498,6 +523,7 @@ func (p *Peer) sessionLocked(from string) *inSession {
 	s := p.inbound[from]
 	if s == nil {
 		s = newInSession(from)
+		s.intern = p.intern
 		p.inbound[from] = s
 	}
 	return s
@@ -620,6 +646,22 @@ func (p *Peer) kick() {
 	select {
 	case p.wake <- struct{}{}:
 	default:
+	}
+	if fn := p.onReady.Load(); fn != nil {
+		(*fn)()
+	}
+}
+
+// setSchedHooks installs the concurrent scheduler's wake callbacks: ready
+// fires whenever the peer gains stage work (every kick), outboxActive
+// whenever the outbox gains pending entries. Both must be safe to call from
+// any goroutine and must not acquire scheduler locks held across peer calls.
+func (p *Peer) setSchedHooks(ready, outboxActive func()) {
+	if ready != nil {
+		p.onReady.Store(&ready)
+	}
+	if outboxActive != nil {
+		p.outbox.onActive.Store(&outboxActive)
 	}
 }
 

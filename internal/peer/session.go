@@ -81,6 +81,10 @@ type inSession struct {
 	// answer the bisection dialogue in O(log n).
 	sup   map[string]map[string]value.Tuple
 	trees map[string]*store.MerkleTree
+	// intern, when set (peers with Config.Interner), canonicalizes ledger
+	// tuples so a replicated fact's support entry shares its backing with
+	// the stored relation tuple and every other peer's ledger.
+	intern *value.Interner
 
 	// snapParts buffers the ops of a chunked snapshot in flight: every
 	// SnapshotMsg with More set parks its ops here, and the final chunk
@@ -170,7 +174,12 @@ func (s *inSession) ledgerAdd(relID string, t value.Tuple) {
 	if _, ok := m[key]; ok {
 		return
 	}
-	m[key] = t.Clone()
+	if s.intern != nil {
+		t, key = s.intern.Tuple(t)
+	} else {
+		t = t.Clone()
+	}
+	m[key] = t
 	tr := s.trees[relID]
 	if tr == nil {
 		tr = store.NewMerkleTree()

@@ -118,6 +118,14 @@ type Relation struct {
 	// must not be forever: once the relation's size changes by 2x either
 	// way, the verdict is re-evaluated.
 	degraded map[ColMask]int
+
+	// intern, when non-nil, canonicalizes inserted tuples and their keys
+	// through a shared table (value.Interner): the relation then stores the
+	// process-wide canonical Tuple and key instead of private clones, so a
+	// fact replicated at many peers costs one tuple plus a map entry per
+	// replica. Purely an aliasing change — contents, digests and iteration
+	// are indistinguishable from an uninterned relation.
+	intern *value.Interner
 }
 
 // tupleHash is FNV-64a over a tuple's canonical key. XOR-folding these per
@@ -144,6 +152,16 @@ func NewRelation(schema Schema) *Relation {
 		tuples:  make(map[string]value.Tuple),
 		indexes: make(map[ColMask]map[string][]value.Tuple),
 	}
+}
+
+// SetInterner routes this relation's future inserts through the given
+// shared intern table (nil turns interning off). Already-stored tuples are
+// left as they are; mixing interned and uninterned tuples in one relation is
+// harmless, the interned ones just share storage.
+func (r *Relation) SetInterner(in *value.Interner) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.intern = in
 }
 
 // Schema returns the relation's schema.
@@ -194,7 +212,11 @@ func (r *Relation) Insert(t value.Tuple) bool {
 	if _, dup := r.tuples[key]; dup {
 		return false
 	}
-	t = t.Clone()
+	if r.intern != nil {
+		t, key = r.intern.Tuple(t)
+	} else {
+		t = t.Clone()
+	}
 	r.tuples[key] = t
 	for mask, idx := range r.indexes {
 		ik := indexKey(t, mask)
@@ -243,7 +265,11 @@ func (r *Relation) InsertMany(ts []value.Tuple) []value.Tuple {
 		if _, dup := r.tuples[key]; dup {
 			continue
 		}
-		t = t.Clone()
+		if r.intern != nil {
+			t, key = r.intern.Tuple(t)
+		} else {
+			t = t.Clone()
+		}
 		r.tuples[key] = t
 		for mask, idx := range r.indexes {
 			ik := indexKey(t, mask)
@@ -666,13 +692,28 @@ func boundKey(bound []value.Value) string {
 
 // Store is the catalog of relations at one peer.
 type Store struct {
-	mu   sync.RWMutex
-	rels map[string]*Relation // key = name@peer
+	mu     sync.RWMutex
+	rels   map[string]*Relation // key = name@peer
+	intern *value.Interner      // shared by every relation declared here
 }
 
 // New creates an empty store.
 func New() *Store {
 	return &Store{rels: make(map[string]*Relation)}
+}
+
+// SetInterner makes every relation of this store — existing and future —
+// canonicalize inserted tuples through the given shared intern table. Peers
+// of one swarm point their stores at one Interner so replicated facts are
+// stored once process-wide (see Relation.SetInterner); nil turns interning
+// off for future inserts.
+func (s *Store) SetInterner(in *value.Interner) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.intern = in
+	for _, r := range s.rels {
+		r.SetInterner(in)
+	}
 }
 
 // Declare creates the relation if it does not exist, and returns it. If a
@@ -690,6 +731,9 @@ func (s *Store) Declare(schema Schema) (*Relation, error) {
 		return r, nil
 	}
 	r := NewRelation(schema)
+	if s.intern != nil {
+		r.SetInterner(s.intern)
+	}
 	s.rels[id] = r
 	return r, nil
 }

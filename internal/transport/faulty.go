@@ -104,6 +104,16 @@ func (f *FaultyEndpoint) Stats() FaultStats {
 	return f.stats
 }
 
+// SetWakeHook forwards the scheduler hook to the wrapped endpoint, which is
+// where arrivals actually land (Drain delegates). It reports false when the
+// inner endpoint cannot hook, telling the caller to poll instead.
+func (f *FaultyEndpoint) SetWakeHook(fn func()) bool {
+	if h, ok := f.inner.(WakeHooker); ok {
+		return h.SetWakeHook(fn)
+	}
+	return false
+}
+
 // CanRoute delegates to the wrapped endpoint's Router, if any.
 func (f *FaultyEndpoint) CanRoute(to string) bool {
 	if r, ok := f.inner.(Router); ok {

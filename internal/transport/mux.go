@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// Mux multiplexes many peers' endpoints over shared links instead of
+// per-pair attachments. Every local peer attaches as a MuxEndpoint — the
+// ordinary Endpoint contract, so the peer layer (sessions, outbox) is
+// untouched — and envelopes between two local peers are delivered directly,
+// taking only the destination endpoint's lock. Envelopes for peers hosted
+// by another mux travel as (from, to)-tagged frames (protocol.MuxFrame)
+// over a single carrier connection shared by every stream between the two
+// muxes: one bus attachment or one TCP link instead of n×m pairs, which is
+// what lets a swarm of 10k–100k in-process peers afford cross-host traffic.
+//
+// Isolation: a send never holds the mux-wide lock while transmitting, so a
+// slow (from, to) pair — an injected-latency FaultyEndpoint, a stalling
+// carrier write — delays only its own caller, never sibling streams (the
+// same discipline as the TCP transport's per-link write mutex).
+type Mux struct {
+	node    string
+	carrier Endpoint // nil for a purely local mux
+
+	mu     sync.Mutex
+	locals map[string]*MuxEndpoint
+	routes map[string]string // remote peer -> carrier node hosting it
+	stats  Stats
+	drops  uint64 // carrier frames with no routable local destination
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewMux creates a mux with no carrier: it connects exactly the peers that
+// attach to it, like a Bus with direct delivery.
+func NewMux() *Mux {
+	return &Mux{
+		locals: make(map[string]*MuxEndpoint),
+		routes: make(map[string]string),
+		done:   make(chan struct{}),
+	}
+}
+
+// NewMuxOver creates a mux whose non-local traffic rides the given carrier
+// endpoint as MuxFrame-tagged envelopes — all streams to peers of another
+// mux share that one connection. The mux owns the carrier: a pump goroutine
+// drains it continuously, and Close closes it. Remote peers become routable
+// with Route.
+func NewMuxOver(carrier Endpoint) *Mux {
+	m := NewMux()
+	m.node = carrier.Name()
+	m.carrier = carrier
+	m.wg.Add(1)
+	go m.pump()
+	return m
+}
+
+// Node returns the mux's name on the carrier link ("" for a local mux).
+func (m *Mux) Node() string { return m.node }
+
+// Route declares that the given remote peer is hosted by the carrier node
+// with the given name: frames for it are sent over the carrier, tagged for
+// that node's mux to deliver.
+func (m *Mux) Route(peerName, node string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.routes[peerName] = node
+}
+
+// Endpoint attaches (or returns the existing) local endpoint named name,
+// with the Bus's crash semantics: a closed endpoint under that name is
+// replaced by a fresh one, so a restarted peer re-attaches under its old
+// name.
+func (m *Mux) Endpoint(name string) *MuxEndpoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.locals[name]; ok {
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if !closed {
+			return e
+		}
+	}
+	e := &MuxEndpoint{mux: m, name: name, notify: make(chan struct{}, 1)}
+	m.locals[name] = e
+	return e
+}
+
+// Peers returns the names of all attached local endpoints, sorted.
+func (m *Mux) Peers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.locals))
+	for name := range m.locals {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a snapshot of the mux counters (local and carrier traffic
+// combined).
+func (m *Mux) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Dropped returns the number of carrier frames that named no attached local
+// endpoint (misrouted or raced with a detach).
+func (m *Mux) Dropped() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.drops
+}
+
+// local resolves an attached endpoint, nil if the name never attached.
+func (m *Mux) local(name string) *MuxEndpoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.locals[name]
+}
+
+// routeOf resolves the carrier node hosting a remote peer.
+func (m *Mux) routeOf(peerName string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	node, ok := m.routes[peerName]
+	return node, ok
+}
+
+// countSent bumps the sent counter (delivery confirmed or handed to the
+// carrier).
+func (m *Mux) countSent() {
+	m.mu.Lock()
+	m.stats.MessagesSent++
+	m.mu.Unlock()
+}
+
+// Deliver injects an inner envelope into the local endpoint it addresses —
+// the receive half of a carrier link. Exported so alternative carriers
+// (tests, in-memory bridges) can feed a mux directly.
+func (m *Mux) Deliver(env protocol.Envelope) error {
+	dst := m.local(env.To)
+	if dst == nil {
+		m.mu.Lock()
+		m.drops++
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, env.To)
+	}
+	if err := dst.enqueue(env); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.stats.MessagesSent++
+	m.mu.Unlock()
+	return nil
+}
+
+// pump drains the carrier for the mux's lifetime, unwrapping MuxFrames into
+// local endpoints. One goroutine per mux, not per peer.
+func (m *Mux) pump() {
+	defer m.wg.Done()
+	for {
+		for _, env := range m.carrier.Drain() {
+			frame, ok := env.Msg.(protocol.MuxFrame)
+			if !ok {
+				m.mu.Lock()
+				m.drops++
+				m.mu.Unlock()
+				continue
+			}
+			m.Deliver(frame.Env) // unroutable frames are counted and dropped
+		}
+		select {
+		case <-m.done:
+			return
+		case <-m.carrier.Notify():
+		}
+	}
+}
+
+// Close shuts the mux down: the pump stops and the carrier (when owned) is
+// closed. Local endpoints close individually via their own Close.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.done)
+	var err error
+	if m.carrier != nil {
+		err = m.carrier.Close()
+	}
+	m.wg.Wait()
+	return err
+}
+
+// MuxEndpoint is one peer's attachment to a Mux. It implements the full
+// Endpoint contract (plus Router and WakeHooker), so peers run over it
+// exactly as over a BusEndpoint.
+type MuxEndpoint struct {
+	mux  *Mux
+	name string
+
+	mu       sync.Mutex
+	queue    []protocol.Envelope
+	seq      uint64
+	closed   bool
+	notify   chan struct{}
+	wakeHook func()
+}
+
+var _ Endpoint = (*MuxEndpoint)(nil)
+var _ Router = (*MuxEndpoint)(nil)
+var _ WakeHooker = (*MuxEndpoint)(nil)
+
+// Name returns the endpoint's peer name.
+func (e *MuxEndpoint) Name() string { return e.name }
+
+// CanRoute reports whether the destination is attached locally or routed
+// over the carrier (implements Router).
+func (e *MuxEndpoint) CanRoute(to string) bool {
+	if e.mux.local(to) != nil {
+		return true
+	}
+	_, ok := e.mux.routeOf(to)
+	return ok
+}
+
+// SetWakeHook implements WakeHooker: fn is invoked after every delivery into
+// this endpoint's queue.
+func (e *MuxEndpoint) SetWakeHook(fn func()) bool {
+	e.mu.Lock()
+	e.wakeHook = fn
+	e.mu.Unlock()
+	return true
+}
+
+// Send delivers msg to peer to: directly when to is attached to the same
+// mux, as a tagged frame over the shared carrier when it is routed to
+// another mux node. No mux-wide lock is held during delivery, so one slow
+// destination cannot wedge sends between other pairs.
+func (e *MuxEndpoint) Send(ctx context.Context, to string, msg protocol.Payload) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.seq++
+	seq := e.seq
+	e.mu.Unlock()
+
+	env := protocol.Envelope{From: e.name, To: to, Seq: seq, Msg: msg}
+	if dst := e.mux.local(to); dst != nil {
+		if err := dst.enqueue(env); err != nil {
+			return err
+		}
+		e.mux.countSent()
+		return nil
+	}
+	node, ok := e.mux.routeOf(to)
+	if !ok || e.mux.carrier == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	if err := e.mux.carrier.Send(ctx, node, protocol.MuxFrame{Env: env}); err != nil {
+		return fmt.Errorf("transport: mux frame to %s via %s: %w", to, node, err)
+	}
+	e.mux.countSent()
+	return nil
+}
+
+// enqueue appends an envelope to the receive queue and fires the wakeups.
+func (e *MuxEndpoint) enqueue(env protocol.Envelope) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("transport: peer %q is closed", e.name)
+	}
+	e.queue = append(e.queue, env)
+	hook := e.wakeHook
+	e.mu.Unlock()
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
+	if hook != nil {
+		hook()
+	}
+	return nil
+}
+
+// Drain removes and returns all pending envelopes.
+func (e *MuxEndpoint) Drain() []protocol.Envelope {
+	e.mu.Lock()
+	out := e.queue
+	e.queue = nil
+	e.mu.Unlock()
+	if len(out) > 0 {
+		e.mux.mu.Lock()
+		e.mux.stats.MessagesDelivered += uint64(len(out))
+		e.mux.mu.Unlock()
+	}
+	return out
+}
+
+// Pending returns the number of queued envelopes.
+func (e *MuxEndpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
+// Notify returns the wakeup channel.
+func (e *MuxEndpoint) Notify() <-chan struct{} { return e.notify }
+
+// Close detaches the endpoint; subsequent sends to or from it fail. The mux
+// itself (and its other endpoints) keeps running.
+func (e *MuxEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	e.queue = nil
+	return nil
+}

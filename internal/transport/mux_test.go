@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+func TestMuxLocalDelivery(t *testing.T) {
+	m := NewMux()
+	a := m.Endpoint("a")
+	b := m.Endpoint("b")
+	if err := a.Send(context.Background(), "b", factMsg(1)); err != nil {
+		t.Fatal(err)
+	}
+	envs := b.Drain()
+	if len(envs) != 1 || envs[0].From != "a" || envs[0].To != "b" {
+		t.Fatalf("envs = %v", envs)
+	}
+	st := m.Stats()
+	if st.MessagesSent != 1 || st.MessagesDelivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMuxFIFOPerSender(t *testing.T) {
+	m := NewMux()
+	a := m.Endpoint("a")
+	b := m.Endpoint("b")
+	for i := 0; i < 100; i++ {
+		if err := a.Send(context.Background(), "b", factMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	envs := b.Drain()
+	if len(envs) != 100 {
+		t.Fatalf("delivered %d, want 100", len(envs))
+	}
+	for i, env := range envs {
+		got := env.Msg.(protocol.FactsMsg).Ops[0].Fact.Args[0].IntVal()
+		if got != int64(i) {
+			t.Fatalf("order violated at %d: got %d", i, got)
+		}
+	}
+}
+
+func TestMuxUnknownPeer(t *testing.T) {
+	m := NewMux()
+	a := m.Endpoint("a")
+	err := a.Send(context.Background(), "nope", factMsg(1))
+	if !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+	if a.CanRoute("nope") {
+		t.Error("CanRoute(nope) = true")
+	}
+	if !a.CanRoute("a") {
+		t.Error("CanRoute(a) = false")
+	}
+}
+
+func TestMuxClosedEndpointReplaced(t *testing.T) {
+	m := NewMux()
+	a := m.Endpoint("a")
+	b := m.Endpoint("b")
+	b.Close()
+	if err := a.Send(context.Background(), "b", factMsg(1)); err == nil {
+		t.Fatal("send to closed endpoint succeeded")
+	}
+	// Bus crash semantics: re-attaching under the old name replaces the
+	// closed endpoint and receives subsequent traffic.
+	b2 := m.Endpoint("b")
+	if b2 == b {
+		t.Fatal("closed endpoint was not replaced")
+	}
+	if err := a.Send(context.Background(), "b", factMsg(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b2.Drain()); got != 1 {
+		t.Fatalf("drained %d, want 1", got)
+	}
+}
+
+// TestMuxCarrier runs two muxes over a shared bus carrier: every stream
+// between them rides one (from,to)-tagged frame link.
+func TestMuxCarrier(t *testing.T) {
+	bus := NewBus()
+	m1 := NewMuxOver(bus.Endpoint("node1"))
+	m2 := NewMuxOver(bus.Endpoint("node2"))
+	defer m1.Close()
+	defer m2.Close()
+
+	a := m1.Endpoint("a")
+	b := m2.Endpoint("b")
+	m1.Route("b", "node2")
+	m2.Route("a", "node1")
+
+	if !a.CanRoute("b") {
+		t.Fatal("a cannot route to b after Route")
+	}
+	for i := 0; i < 50; i++ {
+		if err := a.Send(context.Background(), "b", factMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	envs := drainWithin(t, b, 50, 2*time.Second)
+	for i, env := range envs {
+		if env.From != "a" || env.To != "b" {
+			t.Fatalf("env %d addressed %s->%s", i, env.From, env.To)
+		}
+		got := env.Msg.(protocol.FactsMsg).Ops[0].Fact.Args[0].IntVal()
+		if got != int64(i) {
+			t.Fatalf("order violated at %d: got %d", i, got)
+		}
+	}
+	// Reply path.
+	if err := b.Send(context.Background(), "a", factMsg(99)); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainWithin(t, a, 1, 2*time.Second); got[0].From != "b" {
+		t.Fatalf("reply from %s", got[0].From)
+	}
+}
+
+func drainWithin(t *testing.T, e Endpoint, n int, timeout time.Duration) []protocol.Envelope {
+	t.Helper()
+	deadline := time.After(timeout)
+	var envs []protocol.Envelope
+	for len(envs) < n {
+		envs = append(envs, e.Drain()...)
+		if len(envs) >= n {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("drained %d of %d envelopes before timeout", len(envs), n)
+		case <-e.Notify():
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if len(envs) != n {
+		t.Fatalf("drained %d, want %d", len(envs), n)
+	}
+	return envs
+}
+
+// TestMuxPerStreamIsolation pins the isolation property the mux shares with
+// the TCP transport's per-link write mutex: one slow (from,to) pair — here a
+// FaultyEndpoint with injected latency between two muxes — delays only its
+// own sender, never a sibling stream on the same mux. This mirrors the PR 3
+// regression (a global write lock serializing all destinations).
+func TestMuxPerStreamIsolation(t *testing.T) {
+	bus := NewBus()
+	slowCarrier := Faulty(bus.Endpoint("node1"), FaultConfig{Latency: 150 * time.Millisecond})
+	m1 := NewMuxOver(slowCarrier)
+	m2 := NewMuxOver(bus.Endpoint("node2"))
+	defer m1.Close()
+	defer m2.Close()
+
+	slow := m1.Endpoint("slow")
+	fast := m1.Endpoint("fast")
+	sib := m1.Endpoint("sib")
+	m1.Route("remote", "node2")
+	m2.Endpoint("remote")
+	m2.Route("slow", "node1")
+
+	// The slow sender blocks in its carrier's injected latency...
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		slow.Send(context.Background(), "remote", factMsg(1))
+	}()
+
+	// ...while a local sibling stream on the same mux completes immediately.
+	start := time.Now()
+	if err := fast.Send(context.Background(), "sib", factMsg(2)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("sibling stream waited %v behind a slow pair", elapsed)
+	}
+	if got := len(sib.Drain()); got != 1 {
+		t.Fatalf("sibling drained %d, want 1", got)
+	}
+	wg.Wait()
+}
+
+// TestMuxWakeHook checks WakeHooker fires on both local and carrier paths.
+func TestMuxWakeHook(t *testing.T) {
+	bus := NewBus()
+	m1 := NewMuxOver(bus.Endpoint("node1"))
+	m2 := NewMuxOver(bus.Endpoint("node2"))
+	defer m1.Close()
+	defer m2.Close()
+	a := m1.Endpoint("a")
+	b := m2.Endpoint("b")
+	m1.Route("b", "node2")
+
+	woke := make(chan struct{}, 4)
+	if !b.SetWakeHook(func() { woke <- struct{}{} }) {
+		t.Fatal("SetWakeHook refused")
+	}
+	if err := a.Send(context.Background(), "b", factMsg(1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-woke:
+	case <-time.After(2 * time.Second):
+		t.Fatal("carrier-path delivery did not fire wake hook")
+	}
+	local := m2.Endpoint("c")
+	if err := local.Send(context.Background(), "b", factMsg(2)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-woke:
+	case <-time.After(2 * time.Second):
+		t.Fatal("local delivery did not fire wake hook")
+	}
+}

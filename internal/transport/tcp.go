@@ -30,6 +30,7 @@ type TCPEndpoint struct {
 	seq       uint64
 	closed    bool
 	notify    chan struct{}
+	wakeHook  func()
 	done      chan struct{} // closed by Close; releases the ctx watcher
 	wg        sync.WaitGroup
 
@@ -39,6 +40,7 @@ type TCPEndpoint struct {
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)
+var _ WakeHooker = (*TCPEndpoint)(nil)
 
 type tcpConn struct {
 	c net.Conn
@@ -170,12 +172,25 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 			return
 		}
 		e.queue = append(e.queue, env)
+		hook := e.wakeHook
 		e.mu.Unlock()
 		select {
 		case e.notify <- struct{}{}:
 		default:
 		}
+		if hook != nil {
+			hook()
+		}
 	}
+}
+
+// SetWakeHook implements WakeHooker: fn is invoked after every envelope read
+// off an inbound link.
+func (e *TCPEndpoint) SetWakeHook(fn func()) bool {
+	e.mu.Lock()
+	e.wakeHook = fn
+	e.mu.Unlock()
+	return true
 }
 
 // frame layout: 4-byte little-endian length, then the gob-encoded envelope.

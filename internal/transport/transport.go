@@ -42,6 +42,19 @@ type Endpoint interface {
 	Close() error
 }
 
+// WakeHooker is optionally implemented by endpoints that can synchronously
+// report envelope arrival to an external scheduler. SetWakeHook installs fn
+// (replacing any previous hook) to be called — outside the endpoint's locks,
+// possibly from the sender's goroutine — every time envelopes are appended
+// to the receive queue; it reports whether arrivals will actually invoke the
+// hook (a wrapper whose inner endpoint cannot hook returns false, and the
+// caller must fall back to polling). The peer network's wake-queue scheduler
+// uses this to discover work in O(active peers) instead of scanning every
+// peer every round.
+type WakeHooker interface {
+	SetWakeHook(fn func()) bool
+}
+
 // Router is optionally implemented by endpoints that can cheaply answer
 // whether a destination is currently routable (attached to the bus, present
 // in the TCP dial directory). The peer layer uses it to fail API-level
@@ -134,14 +147,25 @@ type BusEndpoint struct {
 	bus  *Bus
 	name string
 
-	mu     sync.Mutex
-	queue  []protocol.Envelope
-	seq    uint64
-	closed bool
-	notify chan struct{}
+	mu       sync.Mutex
+	queue    []protocol.Envelope
+	seq      uint64
+	closed   bool
+	notify   chan struct{}
+	wakeHook func()
 }
 
 var _ Endpoint = (*BusEndpoint)(nil)
+var _ WakeHooker = (*BusEndpoint)(nil)
+
+// SetWakeHook implements WakeHooker: fn is invoked after every delivery into
+// this endpoint's queue.
+func (n *BusEndpoint) SetWakeHook(fn func()) bool {
+	n.mu.Lock()
+	n.wakeHook = fn
+	n.mu.Unlock()
+	return true
+}
 
 // Name returns the endpoint's peer name.
 func (n *BusEndpoint) Name() string { return n.name }
@@ -188,10 +212,14 @@ func (n *BusEndpoint) Send(ctx context.Context, to string, msg protocol.Payload)
 		return fmt.Errorf("transport: peer %q is closed", to)
 	}
 	dst.queue = append(dst.queue, env)
+	hook := dst.wakeHook
 	dst.mu.Unlock()
 	select {
 	case dst.notify <- struct{}{}:
 	default:
+	}
+	if hook != nil {
+		hook()
 	}
 	return nil
 }

@@ -363,6 +363,24 @@ func (t Tuple) Key() string {
 	return string(dst)
 }
 
+// DecodeKey reverses Tuple.Key: it parses the canonical key encoding back
+// into the tuple it was built from. Together with Key it makes the canonical
+// encoding a full codec, so a tuple held as its compact interned key (the
+// store's interned representation) can always be reconstituted.
+func DecodeKey(key string) (Tuple, error) {
+	b := []byte(key)
+	var t Tuple
+	for len(b) > 0 {
+		v, rest, err := Decode(b)
+		if err != nil {
+			return nil, err
+		}
+		t = append(t, v)
+		b = rest
+	}
+	return t, nil
+}
+
 // Hash returns a 64-bit hash of the tuple.
 func (t Tuple) Hash() uint64 {
 	h := fnv.New64a()
